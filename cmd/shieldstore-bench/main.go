@@ -1,0 +1,64 @@
+// Command shieldstore-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	shieldstore-bench -run all                 # every experiment
+//	shieldstore-bench -run fig10,fig13         # a subset
+//	shieldstore-bench -run table1 -scale 50    # bigger (slower) scale
+//	shieldstore-bench -list
+//
+// Scale divides the paper's data-set sizes and the EPC together (see
+// DESIGN.md); -scale 1 is the full paper configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"shieldstore/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Int("scale", 0, "scale divisor (default 200; 1 = paper scale)")
+		ops   = flag.Int("ops", 0, "measured ops per data point (default 20000)")
+		seed  = flag.Int64("seed", 0, "workload seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Ops: *ops, Seed: *seed}.Defaults()
+	fmt.Printf("# shieldstore-bench scale=%d ops=%d seed=%d\n\n", cfg.Scale, cfg.Ops, cfg.Seed)
+
+	var selected []bench.Experiment
+	if *run == "all" {
+		selected = bench.All
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Print(res.Format())
+		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

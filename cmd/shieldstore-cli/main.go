@@ -1,0 +1,143 @@
+// Command shieldstore-cli is an interactive client for a ShieldStore
+// server: it attests the server enclave, establishes the encrypted
+// session, and issues commands.
+//
+//	shieldstore-cli -addr 127.0.0.1:7701 set greeting hello
+//	shieldstore-cli -addr 127.0.0.1:7701 get greeting
+//	shieldstore-cli -addr 127.0.0.1:7701            # REPL mode
+//
+// Commands: get K | set K V | del K | append K V | incr K N | stats | ping
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"shieldstore"
+	"shieldstore/internal/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7701", "server address")
+		insecure = flag.Bool("insecure", false, "skip attestation + encryption")
+		seed     = flag.Uint64("seed", 0, "deployment seed (must match the server)")
+	)
+	flag.Parse()
+
+	opts := client.Options{Secure: !*insecure}
+	if opts.Secure {
+		opts.Verifier = shieldstore.AttestationService(*seed)
+		opts.Measurement = shieldstore.Measurement()
+	}
+	c, err := client.Dial(*addr, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := runCommand(c, args); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// REPL mode.
+	fmt.Println("shieldstore-cli: connected (attested secure channel). Type 'help'.")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("commands: get K | set K V | del K | append K V | incr K N | stats | ping | quit")
+			continue
+		}
+		if err := runCommand(c, fields); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func runCommand(c *client.Client, args []string) error {
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return errors.New("usage: get K")
+		}
+		v, err := c.Get([]byte(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", v)
+	case "set":
+		if len(args) != 3 {
+			return errors.New("usage: set K V")
+		}
+		if err := c.Set([]byte(args[1]), []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	case "del":
+		if len(args) != 2 {
+			return errors.New("usage: del K")
+		}
+		if err := c.Delete([]byte(args[1])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	case "append":
+		if len(args) != 3 {
+			return errors.New("usage: append K V")
+		}
+		if err := c.Append([]byte(args[1]), []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	case "incr":
+		if len(args) != 3 {
+			return errors.New("usage: incr K N")
+		}
+		n, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad delta %q", args[2])
+		}
+		v, err := c.Incr([]byte(args[1]), n)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+	case "stats":
+		lines, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "ping":
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("PONG")
+	default:
+		return fmt.Errorf("unknown command %q (try help)", args[0])
+	}
+	return nil
+}

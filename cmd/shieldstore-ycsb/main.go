@@ -1,0 +1,94 @@
+// Command shieldstore-ycsb drives a live ShieldStore server with the
+// paper's YCSB-style workloads (Table 2), measuring wall-clock throughput
+// and latency percentiles over the real attested network stack.
+//
+//	shieldstore-server -listen 127.0.0.1:7701 &
+//	shieldstore-ycsb   -addr   127.0.0.1:7701 -workload RD95_Z -ops 100000
+//
+// Or fully self-contained:
+//
+//	shieldstore-ycsb -selfhost -workload RD50_U -conns 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"shieldstore"
+	"shieldstore/internal/client"
+	"shieldstore/internal/loadgen"
+	"shieldstore/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7701", "server address")
+		wl       = flag.String("workload", "RD95_Z", "Table 2 workload name")
+		keys     = flag.Int("keys", 10000, "preloaded key count")
+		valSize  = flag.Int("value-size", 128, "value size in bytes")
+		ops      = flag.Int("ops", 50000, "measured operations")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		insecure = flag.Bool("insecure", false, "skip attestation + encryption")
+		seed     = flag.Uint64("seed", 0, "deployment seed (must match the server)")
+		selfhost = flag.Bool("selfhost", false, "start an in-process server on a random port")
+		noLoad   = flag.Bool("skip-preload", false, "assume the key space is already loaded")
+		list     = flag.Bool("list", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, spec := range workload.Table2 {
+			fmt.Printf("%-10s read=%d%% rmw=%d%% dist=%s\n",
+				spec.Name, spec.ReadPct, spec.RMWPct, spec.Dist)
+		}
+		return
+	}
+
+	target := *addr
+	if *selfhost {
+		db, err := shieldstore.Open(shieldstore.Config{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		srv := db.Serve(ln, shieldstore.ServeOptions{HotCalls: true, Insecure: *insecure})
+		defer srv.Close()
+		target = srv.Addr().String()
+		fmt.Printf("self-hosted server on %s\n", target)
+	}
+
+	copts := client.Options{Secure: !*insecure}
+	if copts.Secure {
+		copts.Verifier = shieldstore.AttestationService(*seed)
+		copts.Measurement = shieldstore.Measurement()
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:        target,
+		Client:      copts,
+		Workload:    *wl,
+		Keys:        *keys,
+		ValueSize:   *valSize,
+		Ops:         *ops,
+		Connections: *conns,
+		SkipPreload: *noLoad,
+		Seed:        int64(*seed) + 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Format())
+	for kind, n := range res.ByKind {
+		fmt.Printf("  %s: %d\n", kind, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shieldstore-ycsb:", err)
+	os.Exit(1)
+}

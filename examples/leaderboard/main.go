@@ -1,0 +1,100 @@
+// Leaderboard: exercises the two extensions this reproduction adds on
+// top of the paper — ordered range queries (§7 future work) and
+// write-ahead-log persistence with batched monotonic-counter pinning
+// (§7's "log entry per operation" alternative).
+//
+// A game backend tracks player scores with server-side Incr, lists score
+// buckets with Range, and survives a crash via WAL replay.
+//
+//	go run ./examples/leaderboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"shieldstore"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/persist"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func main() {
+	// Part 1: ordered queries through the public API.
+	db, err := shieldstore.Open(shieldstore.Config{
+		Partitions: 2,
+		Buckets:    4096,
+		Seed:       77,
+		RangeIndex: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		player := fmt.Sprintf("player:%04d", i)
+		score := rng.Intn(10000)
+		// Key scheme: tier prefix + player id; value = score.
+		tier := score / 2500 // 0..3
+		key := fmt.Sprintf("board:t%d:%s", tier, player)
+		if err := db.Set([]byte(key), []byte(fmt.Sprintf("%d", score))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Range over the top tier, in key order.
+	top, err := db.Range([]byte("board:t3:"), []byte("board:t4:"), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top tier sample (%d of tier-3 players):\n", len(top))
+	for _, kv := range top {
+		fmt.Printf("  %s = %s points\n", kv.Key, kv.Value)
+	}
+
+	// Part 2: per-operation durability with the WAL (internal API; the
+	// paper's §7 fine-grained persistence alternative).
+	dir, err := os.MkdirTemp("", "leaderboard-wal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	space := mem.NewSpace(mem.Config{})
+	encl := sgx.New(sgx.Config{Space: space, Seed: 77})
+	store := core.New(encl, nil, core.Defaults(1024))
+	wal, err := persist.NewWAL(store, dir, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := sim.NewMeter(encl.Model())
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("match:%03d", i))
+		if err := wal.Set(meter, k, []byte("result")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	wal.Close() // simulate a crash: no snapshot, no clean shutdown
+	fmt.Printf("\nWAL: logged 100 mutations (%d monotonic-counter pins at batch 16)\n",
+		meter.Events(sim.CtrMonotonicInc))
+
+	// Recover by replay.
+	encl2 := sgx.New(sgx.Config{Space: mem.NewSpace(mem.Config{}), Seed: 77})
+	store2 := core.New(encl2, nil, core.Defaults(1024))
+	meter2 := sim.NewMeter(encl2.Model())
+	wal2, err := persist.ReplayWAL(store2, dir, 16, meter2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wal2.Close()
+	fmt.Printf("recovered %d matches from the log; integrity verified\n", store2.Keys())
+	if err := store2.VerifyAll(meter2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full audit of recovered state passed ✔")
+}

@@ -1,0 +1,3 @@
+module shieldstore
+
+go 1.24

@@ -1,0 +1,208 @@
+package shieldstore
+
+// integration_test.go exercises the whole system the way a deployment
+// would: networked clients against a persistent, range-indexed store,
+// across server restarts and under attack.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/workload"
+)
+
+func TestFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Partitions:  4,
+		Buckets:     1024,
+		EPCBytes:    16 << 20,
+		Seed:        2025,
+		SnapshotDir: dir,
+		RangeIndex:  true,
+	}
+
+	// --- Phase 1: boot, serve concurrent attested clients ---
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := db.Serve(ln, ServeOptions{HotCalls: true})
+
+	const clients = 4
+	const keysPer = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String(), client.Options{
+				Verifier:    db.Enclave(),
+				Measurement: Measurement(),
+				Secure:      true,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < keysPer; i++ {
+				k := []byte(fmt.Sprintf("data:c%d:%03d", cid, i))
+				if err := c.Set(k, workload.MakeValue(64, uint64(cid*1000+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := c.Incr([]byte("global:ops"), keysPer); err != nil {
+				errs <- err
+			}
+		}(cid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Batch read through the network.
+	c, err := client.Dial(srv.Addr().String(), client.Options{
+		Verifier: db.Enclave(), Measurement: Measurement(), Secure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.MGet([]byte("data:c0:000"), []byte("data:c3:099"), []byte("absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] == nil || vals[1] == nil || vals[2] != nil {
+		t.Fatalf("mget wrong: %v", vals)
+	}
+	c.Close()
+
+	n, err := db.Incr([]byte("global:ops"), 0)
+	if err != nil || n != clients*keysPer {
+		t.Fatalf("global counter = %d, %v", n, err)
+	}
+
+	// Range over one client's namespace.
+	kvs, err := db.Range([]byte("data:c2:"), []byte("data:c3:"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != keysPer {
+		t.Fatalf("range: %d keys, want %d", len(kvs), keysPer)
+	}
+
+	// --- Phase 2: snapshot, shutdown, restart, verify ---
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Keys() != clients*keysPer+1 {
+		t.Fatalf("restored keys = %d, want %d", db2.Keys(), clients*keysPer+1)
+	}
+	if err := db2.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Get([]byte("data:c1:042"))
+	if err != nil || !bytes.Equal(got, workload.MakeValue(64, 1042)) {
+		t.Fatalf("restored value wrong: %v", err)
+	}
+	// Range index rebuilt through restore.
+	kvs, err = db2.Range([]byte("data:c2:"), []byte("data:c3:"), 3)
+	if err != nil || len(kvs) != 3 {
+		t.Fatalf("restored range: %d, %v", len(kvs), err)
+	}
+
+	// --- Phase 3: host attacks the snapshot files ---
+	if err := db2.Set([]byte("post"), []byte("restart")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+
+	// Corrupt one partition's data file.
+	files, _ := filepath.Glob(filepath.Join(dir, "part-*", "snapshot.data"))
+	if len(files) == 0 {
+		t.Fatal("no snapshot files")
+	}
+	data, _ := os.ReadFile(files[0])
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(files[0], data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("corrupted snapshot opened without error")
+	}
+}
+
+func TestWorkloadSoak(t *testing.T) {
+	// A long mixed workload against the public API with a model check.
+	db, err := Open(Config{Partitions: 2, Buckets: 512, EPCBytes: 8 << 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ref := map[string][]byte{}
+	spec, _ := workload.ByName("RD50_Z")
+	gen := workload.NewGen(spec, 300, 17)
+	for i := 0; i < 8000; i++ {
+		op := gen.Next()
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			got, err := db.Get(key)
+			want, ok := ref[string(key)]
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("op %d: key %s mismatch (%v)", i, key, err)
+			}
+		default:
+			val := workload.MakeValue(32, op.Key^uint64(i))
+			if err := db.Set(key, val); err != nil {
+				t.Fatal(err)
+			}
+			ref[string(key)] = val
+		}
+	}
+	if db.Keys() != len(ref) {
+		t.Fatalf("Keys = %d, ref = %d", db.Keys(), len(ref))
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Decryptions == 0 || st.VirtualSeconds <= 0 {
+		t.Fatalf("stats look dead: %+v", st)
+	}
+}

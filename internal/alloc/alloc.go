@@ -1,0 +1,166 @@
+// Package alloc implements the untrusted-memory allocators available to
+// enclave code.
+//
+// The SGX SDK offers only two heaps: the trusted heap (enclave memory) and
+// the conventional host heap, which costs a full OCALL per call. Because
+// ShieldStore allocates one untrusted data entry per inserted key, the
+// OCALL-per-allocation path dominates insert cost. Section 5.1 introduces
+// an "extra heap allocator": a tcmalloc-style allocator that *runs inside
+// the enclave* (its metadata stays in protected memory, per the §7
+// discussion) but hands out *unprotected* memory, refilling its pool with
+// chunked sbrk OCALLs. Figure 6 sweeps the chunk size from 1 MB to 32 MB
+// and shows OCALL counts collapsing; the paper settles on 16 MB.
+//
+// Two implementations of the Allocator interface are provided:
+//
+//   - Outside: the naive path, one OCALL per Alloc/Free.
+//   - ExtraHeap: the §5.1 optimized allocator.
+package alloc
+
+import (
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Allocator hands out untrusted memory to enclave code.
+type Allocator interface {
+	// Alloc returns the address of n bytes of untrusted memory.
+	Alloc(m *sim.Meter, n int) mem.Addr
+	// Free returns n bytes at addr to the allocator.
+	Free(m *sim.Meter, a mem.Addr, n int)
+}
+
+// Outside is the naive allocator: every call crosses the enclave boundary
+// to run on the host heap.
+type Outside struct {
+	enclave *sgx.Enclave
+}
+
+// NewOutside returns the naive OCALL-per-call allocator.
+func NewOutside(e *sgx.Enclave) *Outside { return &Outside{enclave: e} }
+
+// Alloc performs one OCALL + malloc.
+func (o *Outside) Alloc(m *sim.Meter, n int) mem.Addr {
+	return o.enclave.SbrkUntrusted(m, n)
+}
+
+// Free performs one OCALL + free. The simulated space never reuses the
+// memory (the host heap does, but that is invisible to the enclave).
+func (o *Outside) Free(m *sim.Meter, a mem.Addr, n int) {
+	o.enclave.OCall(m)
+	m.Charge(o.enclave.Model().Syscall)
+}
+
+// DefaultChunk is the sbrk granularity the paper selects (16 MB).
+const DefaultChunk = 16 << 20
+
+// numClasses is the number of allocation size classes below.
+const numClasses = 20
+
+// sizeClasses rounds request sizes to a small set of classes so freed
+// blocks are reusable, tcmalloc-style. Requests above the largest class go
+// straight to sbrk.
+var sizeClasses = [numClasses]int{
+	16, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+	768, 1024, 1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384,
+}
+
+// classIndex returns the class for n, or -1 when n exceeds all classes.
+func classIndex(n int) int {
+	for i, c := range sizeClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ExtraHeap is the §5.1 in-enclave allocator for untrusted memory. It is
+// not safe for concurrent use: ShieldStore's hash-partitioned threading
+// gives each partition its own heap, which is also how the paper avoids
+// allocator contention.
+type ExtraHeap struct {
+	enclave *sgx.Enclave
+	chunk   int
+
+	cur       mem.Addr // bump pointer into the current chunk
+	remaining int
+
+	free [numClasses][]mem.Addr
+
+	// Stats observable by the Figure 6 harness.
+	sbrkCalls   uint64
+	bytesServed uint64
+	bytesWasted uint64 // internal fragmentation: class size - request
+}
+
+// NewExtraHeap creates an extra heap with the given sbrk chunk size
+// (DefaultChunk when chunk <= 0).
+func NewExtraHeap(e *sgx.Enclave, chunk int) *ExtraHeap {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	return &ExtraHeap{enclave: e, chunk: chunk}
+}
+
+// Alloc returns n bytes of untrusted memory, preferring the free pool,
+// then the current chunk, and only calling out of the enclave when the
+// pool is exhausted.
+func (h *ExtraHeap) Alloc(m *sim.Meter, n int) mem.Addr {
+	model := h.enclave.Model()
+	m.Charge(model.CacheAccess * 2) // in-enclave metadata bookkeeping
+
+	ci := classIndex(n)
+	if ci < 0 {
+		// Oversized: dedicated sbrk.
+		h.sbrkCalls++
+		h.bytesServed += uint64(n)
+		return h.enclave.SbrkUntrusted(m, n)
+	}
+	size := sizeClasses[ci]
+	if fl := h.free[ci]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		h.free[ci] = fl[:len(fl)-1]
+		h.bytesServed += uint64(n)
+		h.bytesWasted += uint64(size - n)
+		return a
+	}
+	if h.remaining < size {
+		// Refill: one OCALL for a whole chunk; leftover tail of the old
+		// chunk is abandoned (bounded fragmentation).
+		h.bytesWasted += uint64(h.remaining)
+		h.cur = h.enclave.SbrkUntrusted(m, h.chunk)
+		h.remaining = h.chunk
+		h.sbrkCalls++
+	}
+	a := h.cur
+	h.cur += mem.Addr(size)
+	h.remaining -= size
+	h.bytesServed += uint64(n)
+	h.bytesWasted += uint64(size - n)
+	return a
+}
+
+// Free returns a block to its size-class pool without leaving the enclave.
+func (h *ExtraHeap) Free(m *sim.Meter, a mem.Addr, n int) {
+	model := h.enclave.Model()
+	m.Charge(model.CacheAccess * 2)
+	ci := classIndex(n)
+	if ci < 0 {
+		return // oversized blocks are leaked back to the host region
+	}
+	h.free[ci] = append(h.free[ci], a)
+}
+
+// SbrkCalls reports how many boundary-crossing refills occurred.
+func (h *ExtraHeap) SbrkCalls() uint64 { return h.sbrkCalls }
+
+// BytesServed reports the total bytes handed to callers.
+func (h *ExtraHeap) BytesServed() uint64 { return h.bytesServed }
+
+// BytesWasted reports internal fragmentation plus abandoned chunk tails.
+func (h *ExtraHeap) BytesWasted() uint64 { return h.bytesWasted }
+
+// Chunk reports the configured sbrk granularity.
+func (h *ExtraHeap) Chunk() int { return h.chunk }

@@ -1,0 +1,188 @@
+package alloc
+
+import (
+	"testing"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave() *sgx.Enclave {
+	return sgx.New(sgx.Config{Space: mem.NewSpace(mem.Config{EPCBytes: 1 << 20})})
+}
+
+func TestOutsideAllocCostsOCallEveryTime(t *testing.T) {
+	e := newEnclave()
+	o := NewOutside(e)
+	m := sim.NewMeter(e.Model())
+	const n = 50
+	addrs := map[mem.Addr]bool{}
+	for i := 0; i < n; i++ {
+		a := o.Alloc(m, 100)
+		if mem.RegionOf(a) != mem.Untrusted {
+			t.Fatal("outside alloc must be untrusted")
+		}
+		if addrs[a] {
+			t.Fatal("duplicate address")
+		}
+		addrs[a] = true
+	}
+	if got := m.Events(sim.CtrOCall); got != n {
+		t.Fatalf("OCALLs = %d, want %d", got, n)
+	}
+	o.Free(m, 0, 100)
+	if got := m.Events(sim.CtrOCall); got != n+1 {
+		t.Fatal("Free must also OCALL")
+	}
+}
+
+func TestExtraHeapAmortizesOCalls(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 1000; i++ {
+		a := h.Alloc(m, 128)
+		if mem.RegionOf(a) != mem.Untrusted {
+			t.Fatal("extra heap must serve untrusted memory")
+		}
+	}
+	// 1000 * 128 B = 128 KB from a 1 MB chunk: exactly one sbrk.
+	if got := m.Events(sim.CtrOCall); got != 1 {
+		t.Fatalf("OCALLs = %d, want 1", got)
+	}
+	if h.SbrkCalls() != 1 {
+		t.Fatalf("SbrkCalls = %d, want 1", h.SbrkCalls())
+	}
+}
+
+func TestExtraHeapChunkSizeTradeoff(t *testing.T) {
+	// Figure 6 in miniature: larger chunks, fewer OCALLs.
+	e := newEnclave()
+	ocallsFor := func(chunk int) uint64 {
+		h := NewExtraHeap(e, chunk)
+		m := sim.NewMeter(e.Model())
+		for i := 0; i < 5000; i++ {
+			h.Alloc(m, 256)
+		}
+		return m.Events(sim.CtrOCall)
+	}
+	small := ocallsFor(64 << 10)
+	large := ocallsFor(1 << 20)
+	if small <= large {
+		t.Fatalf("small-chunk OCALLs (%d) must exceed large-chunk OCALLs (%d)", small, large)
+	}
+	if ratio := float64(small) / float64(large); ratio < 8 {
+		t.Fatalf("16x chunk growth should cut OCALLs ~16x, got %.1fx", ratio)
+	}
+}
+
+func TestExtraHeapFreeListReuse(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+
+	a := h.Alloc(m, 100)
+	h.Free(m, a, 100)
+	b := h.Alloc(m, 100) // same size class: must reuse
+	if a != b {
+		t.Fatalf("free list not reused: %#x vs %#x", uint64(a), uint64(b))
+	}
+	// Different class must not reuse.
+	cAddr := h.Alloc(m, 5000)
+	h.Free(m, cAddr, 5000)
+	d := h.Alloc(m, 100)
+	if d == cAddr {
+		t.Fatal("cross-class reuse")
+	}
+	// Frees never cross the boundary.
+	if m.Events(sim.CtrOCall) != h.SbrkCalls() {
+		t.Fatalf("extra OCALLs beyond sbrk: %d vs %d", m.Events(sim.CtrOCall), h.SbrkCalls())
+	}
+}
+
+func TestExtraHeapOversized(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+	big := sizeClasses[len(sizeClasses)-1] + 1
+	a := h.Alloc(m, big)
+	if a == 0 {
+		t.Fatal("oversized alloc failed")
+	}
+	if m.Events(sim.CtrOCall) != 1 {
+		t.Fatal("oversized alloc must go straight to sbrk")
+	}
+	h.Free(m, a, big) // must not panic
+}
+
+func TestExtraHeapAllocationsDistinct(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 2000; i++ {
+		a := h.Alloc(m, 64)
+		if seen[a] {
+			t.Fatalf("address %#x handed out twice", uint64(a))
+		}
+		seen[a] = true
+	}
+}
+
+func TestExtraHeapDefaultChunk(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 0)
+	if h.Chunk() != DefaultChunk {
+		t.Fatalf("default chunk = %d, want %d", h.Chunk(), DefaultChunk)
+	}
+}
+
+func TestExtraHeapStats(t *testing.T) {
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+	h.Alloc(m, 100) // class 128: wastes 28
+	if h.BytesServed() != 100 {
+		t.Fatalf("BytesServed = %d", h.BytesServed())
+	}
+	if h.BytesWasted() != 28 {
+		t.Fatalf("BytesWasted = %d, want 28", h.BytesWasted())
+	}
+}
+
+func TestClassIndexMonotone(t *testing.T) {
+	prev := -1
+	for n := 1; n <= sizeClasses[len(sizeClasses)-1]; n++ {
+		ci := classIndex(n)
+		if ci < 0 {
+			t.Fatalf("classIndex(%d) < 0 within range", n)
+		}
+		if sizeClasses[ci] < n {
+			t.Fatalf("class %d too small for %d", sizeClasses[ci], n)
+		}
+		if ci < prev {
+			t.Fatalf("classIndex not monotone at %d", n)
+		}
+		prev = ci
+	}
+	if classIndex(sizeClasses[len(sizeClasses)-1]+1) != -1 {
+		t.Fatal("oversized must map to -1")
+	}
+}
+
+func TestWriteThroughAllocatedMemory(t *testing.T) {
+	// Allocations are real memory: data written through them round-trips.
+	e := newEnclave()
+	h := NewExtraHeap(e, 1<<20)
+	m := sim.NewMeter(e.Model())
+	a := h.Alloc(m, 64)
+	b := h.Alloc(m, 64)
+	e.Space().Write(m, a, []byte("AAAA"))
+	e.Space().Write(m, b, []byte("BBBB"))
+	buf := make([]byte, 4)
+	e.Space().Read(m, a, buf)
+	if string(buf) != "AAAA" {
+		t.Fatal("allocation a corrupted by b")
+	}
+}

@@ -1,0 +1,357 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation:
+//
+//   - NaiveSGX — the §3.1 baseline: a plaintext chained hash table placed
+//     entirely in *enclave* memory, so working sets beyond the EPC pay
+//     demand paging on nearly every access (Figures 3, 10-14, 18).
+//   - Insecure — the same engine in ordinary untrusted memory with SGX
+//     disabled (the NoSGX lines of Figures 3 and 18, Table 1).
+//   - MemcachedInsecure — a memcached-like variant: slab allocation, LRU
+//     links and a background maintainer thread serialized on a global
+//     lock (Table 1, Figure 18).
+//   - MemcachedGraphene — memcached hosted in an enclave by a library OS
+//     (Graphene-SGX): enclave-resident data plus a libOS syscall
+//     multiplier (Figures 10, 11, 13).
+//
+// Unlike ShieldStore's lock-free hash-partitioned design, these engines
+// share one table among all threads and serialize on a global lock —
+// modeled in virtual time by a sim.SharedClock — and, when enclave-hosted,
+// additionally serialize on the machine-wide EPC paging path, which is
+// what flattens their scalability curves in Figure 13.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/siphash"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("baseline: key not found")
+
+// Variant selects one of the comparison systems.
+type Variant int
+
+const (
+	// NaiveSGX is the paper's baseline: whole table in enclave memory.
+	NaiveSGX Variant = iota
+	// Insecure is the same store without SGX (plain DRAM).
+	Insecure
+	// MemcachedInsecure models stock memcached (no SGX).
+	MemcachedInsecure
+	// MemcachedGraphene models memcached inside Graphene-SGX.
+	MemcachedGraphene
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case NaiveSGX:
+		return "Baseline"
+	case Insecure:
+		return "Insecure Baseline"
+	case MemcachedInsecure:
+		return "Insecure Memcached"
+	case MemcachedGraphene:
+		return "Memcached+graphene"
+	default:
+		return "baseline(?)"
+	}
+}
+
+// InEnclave reports whether the variant's data lives in enclave memory.
+func (v Variant) InEnclave() bool {
+	return v == NaiveSGX || v == MemcachedGraphene
+}
+
+// LibOS reports whether syscalls route through a library OS.
+func (v Variant) LibOS() bool { return v == MemcachedGraphene }
+
+// memcachedLike reports slab allocation + maintainer thread behavior.
+func (v Variant) memcachedLike() bool {
+	return v == MemcachedInsecure || v == MemcachedGraphene
+}
+
+// Entry layout (plaintext — SGX hardware or nothing protects it):
+//
+//	0   8  next
+//	8   4  key size
+//	12  4  value size
+//	16  -  key bytes, then value bytes
+const hdrSize = 16
+
+// Options configures a baseline store.
+type Options struct {
+	Buckets int
+	Variant Variant
+	// MaintainerEvery is the op cadence of the memcached maintainer
+	// thread's table sweep (0 = default).
+	MaintainerEvery int
+}
+
+// Store is one baseline key-value store. All threads share it; a real
+// mutex protects the Go-side state while a virtual SharedClock charges the
+// serialization cost to the simulated timeline.
+type Store struct {
+	space   *mem.Space
+	model   *sim.CostModel
+	enclave *sgx.Enclave
+	opts    Options
+	region  mem.Region
+	hash    *siphash.Hash
+
+	mu    sync.Mutex
+	heads mem.Addr
+	keys  int
+
+	lock      sim.SharedClock // global table lock (virtual time)
+	lockHold  uint64
+	opCount   uint64
+	maintEach uint64
+	maintRng  uint64
+
+	// naive free management: the baseline has no allocator cleverness;
+	// memcached variants reuse slab blocks.
+	slabFree map[int][]mem.Addr
+}
+
+// New creates a baseline store.
+func New(e *sgx.Enclave, opts Options) *Store {
+	if opts.Buckets <= 0 {
+		panic("baseline: Buckets must be positive")
+	}
+	region := mem.Untrusted
+	if opts.Variant.InEnclave() {
+		region = mem.Enclave
+	}
+	maintEach := uint64(opts.MaintainerEvery)
+	if maintEach == 0 {
+		maintEach = 64
+	}
+	var hkey [16]byte
+	e.ReadRand(nil, hkey[:])
+	s := &Store{
+		space:     e.Space(),
+		model:     e.Model(),
+		enclave:   e,
+		opts:      opts,
+		region:    region,
+		hash:      siphash.New(hkey[:]),
+		lockHold:  350,
+		maintEach: maintEach,
+		maintRng:  0x9E3779B97F4A7C15,
+		slabFree:  map[int][]mem.Addr{},
+	}
+	if opts.Variant.memcachedLike() {
+		s.lockHold = 550 // LRU list maintenance under the lock
+	}
+	s.heads = s.space.Alloc(region, opts.Buckets*8)
+	return s
+}
+
+// Variant returns the store's variant.
+func (s *Store) Variant() Variant { return s.opts.Variant }
+
+// ResetClock rewinds the global-lock timeline to virtual time zero (used
+// between preload and measurement phases whose meters restart at zero).
+func (s *Store) ResetClock() { s.lock.Reset() }
+
+// Keys returns the number of live keys.
+func (s *Store) Keys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keys
+}
+
+func (s *Store) bucketOf(m *sim.Meter, key []byte) int {
+	m.Charge(s.model.Hash(len(key)))
+	return int(s.hash.Sum64(key) % uint64(s.opts.Buckets))
+}
+
+func (s *Store) headAddr(b int) mem.Addr { return s.heads + mem.Addr(b*8) }
+
+// enter begins an operation: global lock, request overhead, and the
+// periodic maintainer sweep for memcached variants.
+func (s *Store) enter(m *sim.Meter) {
+	m.Charge(s.model.RequestOverhead)
+	s.lock.Acquire(m, s.lockHold)
+	s.opCount++
+	if s.opts.Variant.memcachedLike() && s.opCount%s.maintEach == 0 {
+		s.maintainer(m)
+	}
+}
+
+// maintainer models memcached's background thread rebalancing the hash
+// table while holding the global lock: it touches a handful of buckets
+// (paging, for enclave-hosted variants) with every other thread waiting.
+func (s *Store) maintainer(m *sim.Meter) {
+	before := m.Cycles()
+	var buf [8]byte
+	for i := 0; i < 16; i++ {
+		s.maintRng = s.maintRng*6364136223846793005 + 1442695040888963407
+		b := int(s.maintRng>>33) % s.opts.Buckets
+		s.space.Read(m, s.headAddr(b), buf[:])
+	}
+	spent := m.Cycles() - before
+	m.SetCycles(before)
+	s.lock.Acquire(m, spent)
+}
+
+// alloc hands out table memory: naive bump allocation for the baseline, or
+// slab-class reuse for memcached variants.
+func (s *Store) alloc(m *sim.Meter, n int) mem.Addr {
+	if s.opts.Variant.memcachedLike() {
+		c := 64
+		for c < n {
+			c *= 2
+		}
+		m.Charge(s.model.CacheAccess) // slab freelist pop
+		if fl := s.slabFree[c]; len(fl) > 0 {
+			a := fl[len(fl)-1]
+			s.slabFree[c] = fl[:len(fl)-1]
+			return a
+		}
+		return s.space.Alloc(s.region, c)
+	}
+	// Naive allocator: free-list walk in shared memory.
+	m.Charge(s.model.DRAMAccess * 2)
+	return s.space.Alloc(s.region, n)
+}
+
+func (s *Store) free(m *sim.Meter, a mem.Addr, n int) {
+	if s.opts.Variant.memcachedLike() {
+		c := 64
+		for c < n {
+			c *= 2
+		}
+		s.slabFree[c] = append(s.slabFree[c], a)
+		m.Charge(s.model.CacheAccess)
+		return
+	}
+	m.Charge(s.model.DRAMAccess)
+}
+
+// found describes a located entry.
+type found struct {
+	addr     mem.Addr
+	prevLink mem.Addr
+	next     mem.Addr
+	keyLen   int
+	valLen   int
+}
+
+// find walks the chain comparing plaintext keys.
+func (s *Store) find(m *sim.Meter, b int, key []byte) (found, bool) {
+	cur := mem.Addr(s.space.ReadU64(m, s.headAddr(b)))
+	link := s.headAddr(b)
+	var hdr [hdrSize]byte
+	for cur != 0 {
+		s.space.Read(m, cur, hdr[:])
+		next := mem.Addr(binary.LittleEndian.Uint64(hdr[0:]))
+		kl := int(binary.LittleEndian.Uint32(hdr[8:]))
+		vl := int(binary.LittleEndian.Uint32(hdr[12:]))
+		if kl == len(key) {
+			kb := make([]byte, kl)
+			s.space.Read(m, cur+hdrSize, kb)
+			if string(kb) == string(key) {
+				return found{addr: cur, prevLink: link, next: next, keyLen: kl, valLen: vl}, true
+			}
+		}
+		link = cur
+		cur = next
+	}
+	return found{}, false
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enter(m)
+	b := s.bucketOf(m, key)
+	f, ok := s.find(m, b, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	val := make([]byte, f.valLen)
+	s.space.Read(m, f.addr+hdrSize+mem.Addr(f.keyLen), val)
+	return val, nil
+}
+
+// Set inserts or updates key.
+func (s *Store) Set(m *sim.Meter, key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enter(m)
+	s.setLocked(m, key, value)
+	return nil
+}
+
+func (s *Store) setLocked(m *sim.Meter, key, value []byte) {
+	b := s.bucketOf(m, key)
+	f, ok := s.find(m, b, key)
+	if ok && f.valLen == len(value) {
+		s.space.Write(m, f.addr+hdrSize+mem.Addr(f.keyLen), value)
+		return
+	}
+	if ok {
+		// Unlink and free; then reinsert at head.
+		if f.prevLink == s.headAddr(b) {
+			s.space.WriteU64(m, f.prevLink, uint64(f.next))
+		} else {
+			s.space.WriteU64(m, f.prevLink, uint64(f.next))
+		}
+		s.free(m, f.addr, hdrSize+f.keyLen+f.valLen)
+		s.keys--
+	}
+	head := mem.Addr(s.space.ReadU64(m, s.headAddr(b)))
+	n := hdrSize + len(key) + len(value)
+	a := s.alloc(m, n)
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(head))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(value)))
+	copy(buf[hdrSize:], key)
+	copy(buf[hdrSize+len(key):], value)
+	s.space.Write(m, a, buf)
+	s.space.WriteU64(m, s.headAddr(b), uint64(a))
+	s.keys++
+}
+
+// Append appends suffix to key's value (created when absent).
+func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enter(m)
+	b := s.bucketOf(m, key)
+	f, ok := s.find(m, b, key)
+	if !ok {
+		s.setLocked(m, key, suffix)
+		return nil
+	}
+	old := make([]byte, f.valLen)
+	s.space.Read(m, f.addr+hdrSize+mem.Addr(f.keyLen), old)
+	s.setLocked(m, key, append(old, suffix...))
+	return nil
+}
+
+// Delete removes key.
+func (s *Store) Delete(m *sim.Meter, key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enter(m)
+	b := s.bucketOf(m, key)
+	f, ok := s.find(m, b, key)
+	if !ok {
+		return ErrNotFound
+	}
+	s.space.WriteU64(m, f.prevLink, uint64(f.next))
+	s.free(m, f.addr, hdrSize+f.keyLen+f.valLen)
+	s.keys--
+	return nil
+}

@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave(epc int64) *sgx.Enclave {
+	return sgx.New(sgx.Config{Space: mem.NewSpace(mem.Config{EPCBytes: epc}), Seed: 2})
+}
+
+func variants() []Variant {
+	return []Variant{NaiveSGX, Insecure, MemcachedInsecure, MemcachedGraphene}
+}
+
+func TestSetGetDeleteAllVariants(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			e := newEnclave(8 << 20)
+			s := New(e, Options{Buckets: 32, Variant: v})
+			m := sim.NewMeter(e.Model())
+
+			for i := 0; i < 150; i++ {
+				k := []byte(fmt.Sprintf("k%03d", i))
+				if err := s.Set(m, k, []byte(fmt.Sprintf("v%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.Keys() != 150 {
+				t.Fatalf("Keys = %d", s.Keys())
+			}
+			for i := 0; i < 150; i++ {
+				k := []byte(fmt.Sprintf("k%03d", i))
+				got, err := s.Get(m, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != fmt.Sprintf("v%03d", i) {
+					t.Fatalf("key %d: %q", i, got)
+				}
+			}
+			if err := s.Delete(m, []byte("k010")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(m, []byte("k010")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key: %v", err)
+			}
+			if err := s.Delete(m, []byte("absent")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("delete absent: %v", err)
+			}
+		})
+	}
+}
+
+func TestUpdateAndResize(t *testing.T) {
+	e := newEnclave(8 << 20)
+	s := New(e, Options{Buckets: 8, Variant: Insecure})
+	m := sim.NewMeter(e.Model())
+	key := []byte("k")
+	for _, v := range []string{"aaaa", "bbbb", "cccccccc", "d"} {
+		if err := s.Set(m, key, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(m, key)
+		if err != nil || string(got) != v {
+			t.Fatalf("after set %q: got %q, %v", v, got, err)
+		}
+	}
+	if s.Keys() != 1 {
+		t.Fatalf("Keys = %d after updates", s.Keys())
+	}
+}
+
+func TestAppend(t *testing.T) {
+	e := newEnclave(8 << 20)
+	s := New(e, Options{Buckets: 8, Variant: Insecure})
+	m := sim.NewMeter(e.Model())
+	if err := s.Append(m, []byte("log"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(m, []byte("log"), []byte("bc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(m, []byte("log"))
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("append: %q, %v", got, err)
+	}
+}
+
+func TestVariantRegions(t *testing.T) {
+	if !NaiveSGX.InEnclave() || !MemcachedGraphene.InEnclave() {
+		t.Error("SGX variants must live in enclave memory")
+	}
+	if Insecure.InEnclave() || MemcachedInsecure.InEnclave() {
+		t.Error("insecure variants must not live in enclave memory")
+	}
+	if !MemcachedGraphene.LibOS() || NaiveSGX.LibOS() {
+		t.Error("LibOS flag wrong")
+	}
+}
+
+func TestNaiveSGXPaysPagingBeyondEPC(t *testing.T) {
+	// Tiny EPC so a modest table overflows it; the same workload in the
+	// insecure variant is far cheaper. This is Figure 3's mechanism.
+	model := sim.DefaultCostModel()
+	run := func(v Variant) uint64 {
+		space := mem.NewSpace(mem.Config{Model: model, EPCBytes: int64(32 * model.PageSize)})
+		e := sgx.New(sgx.Config{Space: space, Seed: 2})
+		s := New(e, Options{Buckets: 256, Variant: v})
+		m := sim.NewMeter(model)
+		val := bytes.Repeat([]byte{7}, 512)
+		for i := 0; i < 2000; i++ {
+			if err := s.Set(m, []byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Reset()
+		for i := 0; i < 500; i++ {
+			if _, err := s.Get(m, []byte(fmt.Sprintf("key-%06d", i*4))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Cycles()
+	}
+	sgxCycles := run(NaiveSGX)
+	insecureCycles := run(Insecure)
+	if ratio := float64(sgxCycles) / float64(insecureCycles); ratio < 10 {
+		t.Fatalf("beyond-EPC baseline should be >>10x slower: ratio %.1f", ratio)
+	}
+}
+
+func TestNaiveSGXFastWithinEPC(t *testing.T) {
+	// Small working set inside EPC: overhead is a small constant factor
+	// (paper: ~60% degradation, i.e. <3x), not orders of magnitude.
+	model := sim.DefaultCostModel()
+	run := func(v Variant) uint64 {
+		space := mem.NewSpace(mem.Config{Model: model, EPCBytes: 8 << 20})
+		e := sgx.New(sgx.Config{Space: space, Seed: 2})
+		s := New(e, Options{Buckets: 64, Variant: v})
+		m := sim.NewMeter(model)
+		for i := 0; i < 500; i++ {
+			if err := s.Set(m, []byte(fmt.Sprintf("key-%04d", i)), []byte("0123456789abcdef")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm residency, then measure.
+		for i := 0; i < 500; i++ {
+			if _, err := s.Get(m, []byte(fmt.Sprintf("key-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Reset()
+		for i := 0; i < 500; i++ {
+			if _, err := s.Get(m, []byte(fmt.Sprintf("key-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Cycles()
+	}
+	sgxCycles := run(NaiveSGX)
+	insecureCycles := run(Insecure)
+	ratio := float64(sgxCycles) / float64(insecureCycles)
+	if ratio > 4 {
+		t.Fatalf("within-EPC baseline overhead too big: %.2fx", ratio)
+	}
+	if ratio < 1.05 {
+		t.Fatalf("within-EPC baseline should still cost more than NoSGX: %.2fx", ratio)
+	}
+}
+
+func TestGlobalLockSerializesThreads(t *testing.T) {
+	// Two threads hammering the store must not finish in the time one
+	// thread's share would take: the shared clock serializes lock holds.
+	e := newEnclave(16 << 20)
+	s := New(e, Options{Buckets: 64, Variant: Insecure})
+	const perThread = 500
+
+	var wg sync.WaitGroup
+	meters := []*sim.Meter{sim.NewMeter(e.Model()), sim.NewMeter(e.Model())}
+	for i, m := range meters {
+		wg.Add(1)
+		go func(id int, m *sim.Meter) {
+			defer wg.Done()
+			for j := 0; j < perThread; j++ {
+				k := []byte(fmt.Sprintf("t%d-%04d", id, j))
+				if err := s.Set(m, k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	// Lock holds are fully serialized: total lock occupancy is visible in
+	// the slower meter.
+	minSerial := uint64(2*perThread) * 350
+	slower := meters[0].Cycles()
+	if meters[1].Cycles() > slower {
+		slower = meters[1].Cycles()
+	}
+	if slower < minSerial {
+		t.Fatalf("lock serialization missing: slower=%d < %d", slower, minSerial)
+	}
+	if s.Keys() != 2*perThread {
+		t.Fatalf("Keys = %d", s.Keys())
+	}
+}
+
+func TestMaintainerRunsForMemcached(t *testing.T) {
+	e := newEnclave(16 << 20)
+	s := New(e, Options{Buckets: 64, Variant: MemcachedInsecure, MaintainerEvery: 10})
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 100; i++ {
+		if err := s.Set(m, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The maintainer's bucket touches show up as extra cost vs the plain
+	// insecure variant.
+	s2 := New(e, Options{Buckets: 64, Variant: Insecure})
+	m2 := sim.NewMeter(e.Model())
+	for i := 0; i < 100; i++ {
+		if err := s2.Set(m2, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Cycles() <= m2.Cycles() {
+		t.Fatalf("memcached maintainer cost invisible: %d <= %d", m.Cycles(), m2.Cycles())
+	}
+}
+
+func TestSlabReuse(t *testing.T) {
+	e := newEnclave(16 << 20)
+	s := New(e, Options{Buckets: 8, Variant: MemcachedInsecure})
+	m := sim.NewMeter(e.Model())
+	if err := s.Set(m, []byte("a"), []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := e.Space().UsedBytes(mem.Untrusted)
+	// Delete and reinsert the same size: must reuse the slab.
+	if err := s.Delete(m, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(m, []byte("b"), []byte("9876543210")); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Space().UsedBytes(mem.Untrusted); got != usedBefore {
+		t.Fatalf("slab not reused: %d -> %d", usedBefore, got)
+	}
+}
+
+func TestZeroBucketsPanics(t *testing.T) {
+	e := newEnclave(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	New(e, Options{})
+}
+
+func TestVariantString(t *testing.T) {
+	for _, v := range variants() {
+		if v.String() == "" || v.String() == "baseline(?)" {
+			t.Errorf("variant %d has bad name", v)
+		}
+	}
+	if Variant(99).String() != "baseline(?)" {
+		t.Error("unknown variant must render placeholder")
+	}
+}

@@ -1,0 +1,444 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment builds the systems involved on a
+// fresh simulated machine, preloads the (scaled) data set, replays the
+// YCSB-style workloads, and reports throughput and event counts derived
+// from the virtual-cycle model.
+//
+// Scaling: the paper's data sets (10M keys, up to 5.2 GB) and the 90 MB
+// effective EPC are divided by Config.Scale together, preserving every
+// working-set/EPC ratio, so scaled runs land on the same crossover points.
+// Scale=1 reproduces paper-sized runs.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shieldstore/internal/baseline"
+	"shieldstore/internal/core"
+	"shieldstore/internal/eleos"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+// Paper-scale constants (§6.1).
+const (
+	paperKeys      = 10_000_000
+	paperBuckets   = 8_000_000
+	paperMACHashes = 4_000_000
+	paperEPC       = int64(90) << 20
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Scale divides key counts, bucket counts and the EPC together.
+	// Default 200 (50k keys, ~460 KB EPC): seconds-fast with the paper's
+	// shapes intact. Scale 1 is the full paper configuration.
+	Scale int
+	// Ops is the measured operation count per data point (default 20000).
+	Ops int
+	// Seed drives workload generation and enclave key material.
+	Seed int64
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 200
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// keys/buckets/macHashes return paper constants divided by scale.
+func (c Config) keys() int      { return maxi(256, paperKeys/c.Scale) }
+func (c Config) buckets() int   { return maxi(64, paperBuckets/c.Scale) }
+func (c Config) macHashes() int { return maxi(32, paperMACHashes/c.Scale) }
+func (c Config) epcBytes() int64 {
+	e := paperEPC / int64(c.Scale)
+	if e < 64<<10 {
+		e = 64 << 10
+	}
+	return e
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// machine bundles one simulated host.
+type machine struct {
+	space   *mem.Space
+	enclave *sgx.Enclave
+	model   *sim.CostModel
+}
+
+// newMachine builds a host with the scaled EPC.
+func (c Config) newMachine() *machine {
+	model := sim.DefaultCostModel()
+	model.EPCBytes = c.epcBytes()
+	space := mem.NewSpace(mem.Config{Model: model})
+	enclave := sgx.New(sgx.Config{Space: space, Seed: uint64(c.Seed)})
+	return &machine{space: space, enclave: enclave, model: model}
+}
+
+// newMachineEPC overrides the EPC (Figure 2/3 sweeps).
+func (c Config) newMachineEPC(epc int64) *machine {
+	model := sim.DefaultCostModel()
+	model.EPCBytes = epc
+	space := mem.NewSpace(mem.Config{Model: model})
+	enclave := sgx.New(sgx.Config{Space: space, Seed: uint64(c.Seed)})
+	return &machine{space: space, enclave: enclave, model: model}
+}
+
+// --- ShieldStore driver ---
+
+// shieldVariant tweaks core options for ablations.
+type shieldVariant func(*core.Options)
+
+// buildShield creates a partitioned ShieldStore on the machine.
+func buildShield(m *machine, threads, buckets, macHashes int, mods ...shieldVariant) *core.Partitioned {
+	opts := core.Defaults(buckets)
+	opts.MACHashes = macHashes
+	for _, mod := range mods {
+		mod(&opts)
+	}
+	return core.NewPartitioned(m.enclave, threads, opts)
+}
+
+var (
+	shieldBase = func(o *core.Options) {
+		o.KeyHint = false
+		o.MACBucket = false
+		o.ExtraHeap = false
+	}
+	withKeyHint   = func(o *core.Options) { o.KeyHint = true }
+	withExtraHeap = func(o *core.Options) { o.ExtraHeap = true }
+	withMACBucket = func(o *core.Options) { o.MACBucket = true }
+)
+
+// preloadShield inserts n keys with valSize-byte values.
+func preloadShield(p *core.Partitioned, n, valSize int) error {
+	loader := sim.NewMeter(p.Part(0).Enclave().Model())
+	for id := 0; id < n; id++ {
+		key := workload.FormatKey(uint64(id))
+		part := p.Route(loader, key)
+		if err := p.Part(part).Set(loader, key, workload.MakeValue(valSize, uint64(id))); err != nil {
+			return err
+		}
+	}
+	p.ResetMeters()
+	p.Part(0).Enclave().Space().ResetPagingClock()
+	return nil
+}
+
+// netCost describes the synthetic per-operation network path used by the
+// networked experiments (Figures 18, 19, Table 1): the server receives
+// one request and sends one response per op.
+type netCost struct {
+	enabled  bool
+	hotcalls bool // exitless socket calls
+	noSGX    bool // insecure host (no boundary crossing)
+	libOS    bool // Graphene syscall multiplier
+	secure   bool // session channel crypto
+	reqSize  int
+	respSize int
+}
+
+// charge applies the network path cost to the serving thread's meter.
+func (nc netCost) charge(e *sgx.Enclave, m *sim.Meter) {
+	if !nc.enabled {
+		return
+	}
+	model := e.Model()
+	for _, n := range []int{nc.reqSize, nc.respSize} {
+		switch {
+		case nc.noSGX:
+			m.Charge(model.Syscall)
+			m.Count(sim.CtrSyscall)
+		case nc.libOS:
+			m.Charge(uint64(float64(model.Syscall) * model.LibOSSyscallMult))
+			e.Syscall(m, false)
+			m.Charge(model.EnclaveIOPerMessage + model.MemCopy(n))
+		default:
+			e.Syscall(m, nc.hotcalls)
+			// Enclave-hosted server: stage the message across the boundary.
+			m.Charge(model.EnclaveIOPerMessage + model.MemCopy(n))
+		}
+		m.Charge(model.NIC(n))
+		m.Count(sim.CtrNetMessage)
+		if nc.secure {
+			m.Charge(model.AES(n) + model.CMAC(n))
+		}
+	}
+}
+
+// runShield replays ops against a partitioned ShieldStore, returning
+// Kop/s and the aggregated stats. Ops are pre-routed to partitions and
+// executed in parallel, one goroutine per partition (the paper's §5.3
+// threading).
+func runShield(cfg Config, p *core.Partitioned, spec workload.Spec, nKeys, valSize, ops int, nc netCost) (float64, sim.Stats) {
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	routeM := sim.NewMeter(p.Part(0).Enclave().Model())
+	queues := make([][]workload.Op, p.Parts())
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		part := p.Route(routeM, workload.FormatKey(op.Key))
+		queues[part] = append(queues[part], op)
+	}
+	p.ResetMeters()
+	p.Part(0).Enclave().Space().ResetPagingClock()
+
+	// Discrete-event execution: always advance the partition with the
+	// smallest virtual clock, so shared timelines (the machine-wide EPC
+	// paging path) observe arrivals in virtual-time order. This also makes
+	// every run bit-deterministic.
+	next := make([]int, p.Parts())
+	for {
+		t := -1
+		for i := 0; i < p.Parts(); i++ {
+			if next[i] >= len(queues[i]) {
+				continue
+			}
+			if t < 0 || p.Meter(i).Cycles() < p.Meter(t).Cycles() {
+				t = i
+			}
+		}
+		if t < 0 {
+			break
+		}
+		op := queues[t][next[t]]
+		next[t]++
+		s, m := p.Part(t), p.Meter(t)
+		nc.charge(s.Enclave(), m)
+		execShield(s, m, op, valSize)
+	}
+	stats := p.AggregateStats()
+	model := p.Part(0).Enclave().Model()
+	return sim.KopsPerSec(sim.Throughput(model, uint64(ops), p.MaxCycles())), stats
+}
+
+func execShield(s *core.Store, m *sim.Meter, op workload.Op, valSize int) {
+	key := workload.FormatKey(op.Key)
+	switch op.Kind {
+	case workload.Read:
+		_, _ = s.Get(m, key)
+	case workload.Update, workload.Insert:
+		_ = s.Set(m, key, workload.MakeValue(valSize, op.Key))
+	case workload.Append:
+		_ = s.Append(m, key, []byte("-app8byte"))
+	case workload.ReadModifyWrite:
+		if v, err := s.Get(m, key); err == nil {
+			for i := range v {
+				v[i] ^= 0x5A
+			}
+			_ = s.Set(m, key, v)
+		} else {
+			_ = s.Set(m, key, workload.MakeValue(valSize, op.Key))
+		}
+	}
+}
+
+// --- baseline driver ---
+
+// buildBaseline creates one of the comparison stores.
+func buildBaseline(m *machine, variant baseline.Variant, buckets int) *baseline.Store {
+	return baseline.New(m.enclave, baseline.Options{Buckets: buckets, Variant: variant})
+}
+
+// preloadBaseline inserts n keys.
+func preloadBaseline(s *baseline.Store, m *machine, n, valSize int) error {
+	loader := sim.NewMeter(m.model)
+	for id := 0; id < n; id++ {
+		if err := s.Set(loader, workload.FormatKey(uint64(id)), workload.MakeValue(valSize, uint64(id))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBaseline replays ops against a shared baseline store with the given
+// thread count. Threads contend on the store's global lock and (for
+// enclave variants) the machine-wide paging path; because those shared
+// clocks require virtual-time-ordered arrivals, the threads are driven by
+// a deterministic discrete-event loop that always advances the thread with
+// the smallest virtual clock.
+func runBaseline(cfg Config, m *machine, s *baseline.Store, spec workload.Spec, nKeys, valSize, ops, threads int, nc netCost) (float64, sim.Stats) {
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	queues := make([][]workload.Op, threads)
+	for i := 0; i < ops; i++ {
+		queues[i%threads] = append(queues[i%threads], gen.Next())
+	}
+	// Measurement meters restart at zero: rewind the shared timelines the
+	// preload advanced.
+	s.ResetClock()
+	m.space.ResetPagingClock()
+
+	meters := make([]*sim.Meter, threads)
+	next := make([]int, threads)
+	for t := range meters {
+		meters[t] = sim.NewMeter(m.model)
+	}
+	for remaining := ops; remaining > 0; remaining-- {
+		// Advance the thread with the smallest virtual clock that still
+		// has work (discrete-event order).
+		t := -1
+		for i := range meters {
+			if next[i] >= len(queues[i]) {
+				continue
+			}
+			if t < 0 || meters[i].Cycles() < meters[t].Cycles() {
+				t = i
+			}
+		}
+		if t < 0 {
+			break
+		}
+		op := queues[t][next[t]]
+		next[t]++
+		nc.charge(m.enclave, meters[t])
+		execBaseline(s, meters[t], op, valSize)
+	}
+
+	agg := sim.NewMeter(m.model)
+	var maxC uint64
+	for _, mt := range meters {
+		agg.Add(mt)
+		if mt.Cycles() > maxC {
+			maxC = mt.Cycles()
+		}
+	}
+	stats := agg.Snapshot()
+	stats.Cycles = maxC
+	return sim.KopsPerSec(sim.Throughput(m.model, uint64(ops), maxC)), stats
+}
+
+func execBaseline(s *baseline.Store, m *sim.Meter, op workload.Op, valSize int) {
+	key := workload.FormatKey(op.Key)
+	switch op.Kind {
+	case workload.Read:
+		_, _ = s.Get(m, key)
+	case workload.Update, workload.Insert:
+		_ = s.Set(m, key, workload.MakeValue(valSize, op.Key))
+	case workload.Append:
+		_ = s.Append(m, key, []byte("-app8byte"))
+	case workload.ReadModifyWrite:
+		if v, err := s.Get(m, key); err == nil {
+			_ = s.Set(m, key, v)
+		} else {
+			_ = s.Set(m, key, workload.MakeValue(valSize, op.Key))
+		}
+	}
+}
+
+// --- eleos driver ---
+
+// runEleos replays a 100% get stream against an Eleos KV (single thread,
+// as in §6.3) and returns Kop/s. Returns ok=false when the data set does
+// not fit the pool (the paper's >2 GB failures in Figure 17).
+func runEleos(cfg Config, m *machine, pageSize int, poolBytes, cacheBytes int64, buckets, nKeys, valSize, ops int) (float64, bool) {
+	kv, err := eleos.NewKV(m.enclave, eleos.PagerConfig{
+		PageSize:   pageSize,
+		CacheBytes: cacheBytes,
+		PoolBytes:  poolBytes,
+	}, buckets)
+	if err != nil {
+		return 0, false
+	}
+	loader := sim.NewMeter(m.model)
+	for id := 0; id < nKeys; id++ {
+		if err := kv.Set(loader, workload.FormatKey(uint64(id)), workload.MakeValue(valSize, uint64(id))); err != nil {
+			return 0, false // pool exhausted mid-load
+		}
+	}
+	spec := workload.Spec{Name: "GET100_U", ReadPct: 100, Dist: workload.Uniform}
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	meter := sim.NewMeter(m.model)
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		if _, err := kv.Get(meter, workload.FormatKey(op.Key)); err != nil {
+			return 0, false
+		}
+	}
+	return sim.KopsPerSec(sim.Throughput(m.model, uint64(ops), meter.Cycles())), true
+}
+
+// --- formatting helpers ---
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2s(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortedKeys returns a map's keys sorted (stable table output).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

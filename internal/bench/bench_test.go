@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"shieldstore/internal/sim"
+	"strconv"
+	"strings"
+	"testing"
+
+	"shieldstore/internal/workload"
+)
+
+// quick returns a configuration small enough for unit tests while keeping
+// every working-set/EPC ratio.
+func quick() Config {
+	return Config{Scale: 500, Ops: 6000, Seed: 42}.Defaults()
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, r Result, row, col int) float64 {
+	t.Helper()
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", r.ID, row, col)
+	}
+	s := strings.TrimSuffix(r.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", r.ID, row, col, r.Rows[row][col])
+	}
+	return v
+}
+
+func colIndex(t *testing.T, r Result, name string) int {
+	t.Helper()
+	for i, h := range r.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column %q in %v", r.ID, name, r.Header)
+	return -1
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.Defaults()
+	if cfg.Scale != 200 || cfg.Ops != 20000 || cfg.Seed != 42 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.keys() != paperKeys/200 {
+		t.Fatalf("keys = %d", cfg.keys())
+	}
+	if cfg.epcBytes() != paperEPC/200 {
+		t.Fatalf("epc = %d", cfg.epcBytes())
+	}
+	// Floors hold at absurd scales.
+	tiny := Config{Scale: 1 << 30}.Defaults()
+	if tiny.keys() < 256 || tiny.buckets() < 64 || tiny.epcBytes() < 64<<10 {
+		t.Fatal("scale floors violated")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID: "x", Title: "t",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	out := r.Format()
+	for _, want := range []string{"=== x: t ===", "a", "bbbb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
+	}
+	for i, id := range want {
+		if All[i].ID != id {
+			t.Errorf("All[%d] = %s, want %s", i, All[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestRunShieldDeterministic(t *testing.T) {
+	cfg := quick()
+	run := func() (float64, uint64) {
+		m := cfg.newMachine()
+		p := buildShield(m, 4, cfg.buckets(), cfg.macHashes())
+		if err := preloadShield(p, cfg.keys(), 16); err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := workload.ByName("RD95_Z")
+		kops, stats := runShield(cfg, p, spec, cfg.keys(), 16, 2000, netCost{})
+		return kops, stats.Cycles
+	}
+	k1, c1 := run()
+	k2, c2 := run()
+	if k1 != k2 || c1 != c2 {
+		t.Fatalf("runs diverged: %v/%v vs %v/%v", k1, c1, k2, c2)
+	}
+}
+
+// --- shape assertions: the paper's qualitative results must hold ---
+
+func TestShapeTable1(t *testing.T) {
+	r := Table1(quick())
+	mem1, base1 := cell(t, r, 0, 1), cell(t, r, 0, 2)
+	mem4, base4 := cell(t, r, 1, 1), cell(t, r, 1, 2)
+	// memcached and baseline within 15% of each other.
+	if ratio := mem1 / base1; ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("1-thread memcached/baseline = %.2f, want ~1", ratio)
+	}
+	// Both scale with threads.
+	if mem4 < 2*mem1 || base4 < 2*base1 {
+		t.Errorf("no thread scaling: %v->%v / %v->%v", mem1, mem4, base1, base4)
+	}
+}
+
+func TestShapeFig2(t *testing.T) {
+	r := Fig2(quick())
+	rdN := colIndex(t, r, "rd_nosgx")
+	rdE := colIndex(t, r, "rd_enclave")
+	rdU := colIndex(t, r, "rd_unprot")
+	first, last := 0, len(r.Rows)-1
+	// Below EPC: enclave ~5.7x NoSGX.
+	ratio := cell(t, r, first, rdE) / cell(t, r, first, rdN)
+	if ratio < 4 || ratio > 8 {
+		t.Errorf("below-EPC enclave ratio = %.1f, want ~5.7", ratio)
+	}
+	// At 4GB: enclave orders of magnitude worse.
+	ratio = cell(t, r, last, rdE) / cell(t, r, last, rdN)
+	if ratio < 50 {
+		t.Errorf("4GB enclave ratio = %.1f, want >>50", ratio)
+	}
+	// Unprotected flat at NoSGX level everywhere.
+	for i := range r.Rows {
+		if u := cell(t, r, i, rdU) / cell(t, r, i, rdN); u > 1.5 {
+			t.Errorf("row %d: unprotected %.1fx NoSGX", i, u)
+		}
+	}
+}
+
+func TestShapeFig3(t *testing.T) {
+	r := Fig3(quick())
+	sd := colIndex(t, r, "slowdown")
+	// Slowdown grows with DB size and exceeds 20x at the largest.
+	firstSlow := cell(t, r, 0, sd)
+	lastSlow := cell(t, r, len(r.Rows)-1, sd)
+	if lastSlow < 20 {
+		t.Errorf("4GB slowdown = %.1f, want >20 (paper 134x)", lastSlow)
+	}
+	if lastSlow < 3*firstSlow {
+		t.Errorf("slowdown must grow: %.1f -> %.1f", firstSlow, lastSlow)
+	}
+}
+
+func TestShapeFig6(t *testing.T) {
+	r := Fig6(quick())
+	oc := colIndex(t, r, "ocalls")
+	prev := cell(t, r, 0, oc)
+	for i := 1; i < len(r.Rows); i++ {
+		cur := cell(t, r, i, oc)
+		if cur >= prev {
+			t.Errorf("OCALLs not decreasing: row %d %v >= %v", i, cur, prev)
+		}
+		prev = cur
+	}
+	if first, last := cell(t, r, 0, oc), prev; first < 8*last {
+		t.Errorf("32x chunk growth cut OCALLs only %.1fx", first/last)
+	}
+}
+
+func TestShapeFig9(t *testing.T) {
+	r := Fig9(quick())
+	red := colIndex(t, r, "reduction")
+	at1M := cell(t, r, 0, red)
+	at8M := cell(t, r, 1, red)
+	if at1M < 2 {
+		t.Errorf("1M-bucket hint reduction = %.1f, want >2", at1M)
+	}
+	if at8M >= at1M {
+		t.Errorf("reduction should shrink with more buckets: %.1f vs %.1f", at8M, at1M)
+	}
+}
+
+func TestShapeFig10(t *testing.T) {
+	r := Fig10(quick())
+	base := colIndex(t, r, "Baseline")
+	opt := colIndex(t, r, "ShieldOpt")
+	sbase := colIndex(t, r, "ShieldBase")
+	mg := colIndex(t, r, "Memcached+graphene")
+	for i := range r.Rows {
+		threads := r.Rows[i][0]
+		optX := cell(t, r, i, opt)
+		sbX := cell(t, r, i, sbase)
+		if cell(t, r, i, base) != 1.00 {
+			t.Errorf("row %d: baseline not normalized", i)
+		}
+		if m := cell(t, r, i, mg); m < 0.5 || m > 1.6 {
+			t.Errorf("row %d: memcached+graphene = %.2f, want ~baseline", i, m)
+		}
+		if optX < sbX {
+			t.Errorf("row %d: ShieldOpt (%.1fx) below ShieldBase (%.1fx)", i, optX, sbX)
+		}
+		switch threads {
+		case "1":
+			if optX < 5 || optX > 25 {
+				t.Errorf("1-thread ShieldOpt = %.1fx, paper 8-11x", optX)
+			}
+		case "4":
+			if optX < 15 || optX > 60 {
+				t.Errorf("4-thread ShieldOpt = %.1fx, paper 24-30x", optX)
+			}
+		}
+	}
+}
+
+func TestShapeFig13(t *testing.T) {
+	r := Fig13(quick())
+	scaling := colIndex(t, r, "4/1")
+	for i := range r.Rows {
+		sys := r.Rows[i][0]
+		s := cell(t, r, i, scaling)
+		switch sys {
+		case "ShieldOpt":
+			if s < 2.2 {
+				t.Errorf("ShieldOpt %s scales only %.2fx", r.Rows[i][1], s)
+			}
+		default: // Baseline, Memcached+graphene
+			if s > 1.8 {
+				t.Errorf("%s %s scales %.2fx, should be paging-bound <1.8x", sys, r.Rows[i][1], s)
+			}
+		}
+	}
+}
+
+func TestShapeFig15(t *testing.T) {
+	r := Fig15(quick())
+	for _, ds := range []string{"Small", "Medium", "Large"} {
+		c := colIndex(t, r, ds)
+		at1M := cell(t, r, 0, c)
+		at4M := cell(t, r, 2, c)
+		at8M := cell(t, r, 3, c)
+		if at4M <= at1M {
+			t.Errorf("%s: 4M hashes (%.1f) not faster than 1M (%.1f)", ds, at4M, at1M)
+		}
+		if at8M >= at4M {
+			t.Errorf("%s: 8M hashes (%.1f) should collapse below 4M (%.1f) — EPC overflow", ds, at8M, at4M)
+		}
+	}
+}
+
+func TestShapeFig16(t *testing.T) {
+	r := Fig16(quick())
+	ratio := colIndex(t, r, "shield/eleos")
+	at16 := cell(t, r, 0, ratio)
+	at4096 := cell(t, r, len(r.Rows)-1, ratio)
+	if at16 < 2 {
+		t.Errorf("16B shield/eleos = %.1f, want >2 (paper 40x)", at16)
+	}
+	if at4096 >= at16 {
+		t.Errorf("advantage must shrink with value size: %.1f -> %.1f", at16, at4096)
+	}
+}
+
+func TestShapeFig17(t *testing.T) {
+	r := Fig17(quick())
+	el := colIndex(t, r, "Eleos")
+	opt := colIndex(t, r, "ShieldOpt")
+	// Eleos fails beyond the (scaled) 2GB pool.
+	lastRow := len(r.Rows) - 1
+	if r.Rows[lastRow][el] != "fail" {
+		t.Errorf("Eleos at 8GB = %q, want fail", r.Rows[lastRow][el])
+	}
+	// ShieldOpt flat: min/max within 25%.
+	minV, maxV := 1e18, 0.0
+	for i := range r.Rows {
+		v := cell(t, r, i, opt)
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV/minV > 1.25 {
+		t.Errorf("ShieldOpt not flat across WS: %.1f..%.1f", minV, maxV)
+	}
+}
+
+func TestShapeFig18(t *testing.T) {
+	r := Fig18(quick())
+	bhc := colIndex(t, r, "Baseline+HotCalls")
+	ohc := colIndex(t, r, "ShieldOpt+HotCalls")
+	o := colIndex(t, r, "ShieldOpt")
+	ib := colIndex(t, r, "Insec.Baseline")
+	for i := range r.Rows {
+		shield := cell(t, r, i, ohc)
+		baseline := cell(t, r, i, bhc)
+		if ratio := shield / baseline; ratio < 3 {
+			t.Errorf("row %d: ShieldOpt+HC/Baseline+HC = %.1f, want >3 (paper 4.9-10.7)", i, ratio)
+		}
+		// HotCalls help.
+		if shield <= cell(t, r, i, o) {
+			t.Errorf("row %d: HotCalls did not help", i)
+		}
+		// Insecure is faster, but within ~2-5x (paper 3.0/3.9).
+		if gap := cell(t, r, i, ib) / shield; gap < 1.5 || gap > 6 {
+			t.Errorf("row %d: insecure/shield = %.1f, paper ~3-4", i, gap)
+		}
+	}
+}
+
+func TestShapeFig19(t *testing.T) {
+	r := Fig19(quick())
+	nl := colIndex(t, r, "naive_loss")
+	ol := colIndex(t, r, "opt_loss")
+	for i := range r.Rows {
+		naive := cell(t, r, i, nl)
+		opt := cell(t, r, i, ol)
+		if opt >= naive {
+			t.Errorf("row %d: optimized loss (%.1f%%) not below naive (%.1f%%)", i, opt, naive)
+		}
+		if opt > 12 {
+			t.Errorf("row %d: optimized loss %.1f%%, paper 2-6.5%%", i, opt)
+		}
+	}
+	// Naive loss grows with data size: compare small vs large RD50_Z rows.
+	if small, large := cell(t, r, 0, nl), cell(t, r, 6, nl); large <= small {
+		t.Errorf("naive loss should grow with size: %.1f%% -> %.1f%%", small, large)
+	}
+}
+
+func TestShapeFig11(t *testing.T) {
+	r := Fig11(quick())
+	ratio := colIndex(t, r, "opt/base")
+	byName := map[string]float64{}
+	for i := range r.Rows {
+		byName[r.Rows[i][0]] = cell(t, r, i, ratio)
+	}
+	// Improvement rises with read share (paper: 7.3x RD50 -> 11x RD100).
+	if byName["RD100_Z"] <= byName["RD50_Z"] {
+		t.Errorf("zipf improvement should rise with reads: RD50 %.1f vs RD100 %.1f",
+			byName["RD50_Z"], byName["RD100_Z"])
+	}
+	for wl, x := range byName {
+		if x < 4 || x > 40 {
+			t.Errorf("%s: opt/base = %.1f, paper 7.3-11x", wl, x)
+		}
+	}
+}
+
+func TestShapeFig12(t *testing.T) {
+	r := Fig12(quick())
+	ratio := colIndex(t, r, "opt/base")
+	var z99, uni float64
+	for i := range r.Rows {
+		x := cell(t, r, i, ratio)
+		if x < 1.5 {
+			t.Errorf("%s: append improvement %.1f, paper 1.7-16x", r.Rows[i][0], x)
+		}
+		switch r.Rows[i][0] {
+		case "RD95AP5_Z99":
+			z99 = x
+		case "RD95AP5_U":
+			uni = x
+		}
+	}
+	// Paper: smaller gap under zipfian (hot values grow, crypto dominates).
+	if z99 >= uni {
+		t.Errorf("zipfian append gap (%.1f) should be below uniform (%.1f)", z99, uni)
+	}
+}
+
+func TestShapeFig14(t *testing.T) {
+	r := Fig14(quick())
+	base := colIndex(t, r, "ShieldBase")
+	full := colIndex(t, r, "+MACBucket")
+	// Optimizations are cumulative: the full stack never loses to bare
+	// ShieldBase, and at the longest chains (1M buckets / 40M keys) the
+	// gain is large.
+	var shortGain, longGain float64
+	for i := range r.Rows {
+		g := cell(t, r, i, full) / cell(t, r, i, base)
+		if g < 0.95 {
+			t.Errorf("row %d: optimizations lost ground (%.2fx)", i, g)
+		}
+		if r.Rows[i][0] == "8M" && r.Rows[i][1] == "10M" {
+			shortGain = g
+		}
+		if r.Rows[i][0] == "1M" && r.Rows[i][1] == "40M" {
+			longGain = g
+		}
+	}
+	if longGain < 2*shortGain {
+		t.Errorf("long-chain gain (%.1fx) should dwarf short-chain gain (%.1fx)", longGain, shortGain)
+	}
+}
+
+func TestNetCostPaths(t *testing.T) {
+	cfg := quick()
+	m := cfg.newMachine()
+	cost := func(nc netCost) uint64 {
+		meter := sim.NewMeter(m.model)
+		nc.charge(m.enclave, meter)
+		return meter.Cycles()
+	}
+	nosgx := cost(netFor(64, false, true, false, false))
+	hot := cost(netFor(64, true, false, false, true))
+	ocall := cost(netFor(64, false, false, false, true))
+	libos := cost(netFor(64, false, false, true, false))
+	if !(nosgx < hot && hot < ocall) {
+		t.Errorf("ordering broken: nosgx=%d hot=%d ocall=%d", nosgx, hot, ocall)
+	}
+	if libos <= ocall {
+		t.Errorf("libOS path (%d) should cost more than plain OCALL path (%d)", libos, ocall)
+	}
+	if cost(netCost{}) != 0 {
+		t.Error("disabled netCost charged cycles")
+	}
+}

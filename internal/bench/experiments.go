@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shieldstore/internal/baseline"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+// netFor builds the standard networked-evaluation cost for a data set.
+func netFor(valSize int, hotcalls, noSGX, libOS, secure bool) netCost {
+	return netCost{
+		enabled:  true,
+		hotcalls: hotcalls,
+		noSGX:    noSGX,
+		libOS:    libOS,
+		secure:   secure,
+		reqSize:  17 + 16 + valSize, // request header + key + value
+		respSize: 13 + valSize,      // response header + value
+	}
+}
+
+// Table1 reproduces Table 1: insecure memcached vs the insecure baseline
+// under the networked setup with 512 B values — validating that the
+// baseline engine is a fair memcached stand-in.
+func Table1(cfg Config) Result {
+	cfg = cfg.Defaults()
+	spec, _ := workload.ByName("RD95_Z")
+	nKeys := cfg.keys()
+	const valSize = 512
+
+	res := Result{
+		ID:     "table1",
+		Title:  "Throughput for key-value stores w/o SGX: memcached vs baseline (Kop/s)",
+		Header: []string{"threads", "memcached", "baseline", "ratio"},
+		Notes: []string{
+			"paper: 1 thr 313.5 vs 311.6; 4 thr 876.6 vs 845.8 (within ~4%)",
+		},
+	}
+	for _, threads := range []int{1, 4} {
+		row := []string{fmt.Sprintf("%d", threads)}
+		var vals []float64
+		for _, variant := range []baseline.Variant{baseline.MemcachedInsecure, baseline.Insecure} {
+			m := cfg.newMachine()
+			s := buildBaseline(m, variant, cfg.buckets())
+			if err := preloadBaseline(s, m, nKeys, valSize); err != nil {
+				panic(err)
+			}
+			nc := netFor(valSize, false, true, false, false)
+			kops, _ := runBaseline(cfg, m, s, spec, nKeys, valSize, cfg.Ops, threads, nc)
+			vals = append(vals, kops)
+			row = append(row, f1(kops))
+		}
+		row = append(row, f2s(vals[0]/vals[1]))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Fig2 reproduces Figure 2: random memory access latency versus working
+// set size for NoSGX, SGX enclave memory, and unprotected memory accessed
+// from an enclave.
+func Fig2(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:    "fig2",
+		Title: "Memory access latencies w/ and w/o SGX (ns/access)",
+		Header: []string{"ws", "rd_nosgx", "rd_enclave", "rd_unprot",
+			"wr_nosgx", "wr_enclave", "wr_unprot"},
+		Notes: []string{
+			"paper: enclave ~5.7x below EPC; 578x (read) / 685x (write) at 4GB",
+		},
+	}
+	// Paper sweep: 16MB..4096MB, scaled.
+	sizesMB := []int{16, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096}
+	epc := cfg.epcBytes()
+
+	for _, szMB := range sizesMB {
+		ws := int(int64(szMB) << 20 / int64(cfg.Scale))
+		model := sim.DefaultCostModel()
+		if ws < 8*model.PageSize {
+			ws = 8 * model.PageSize
+		}
+		m := cfg.newMachineEPC(epc)
+		row := []string{fmt.Sprintf("%dMB", szMB)}
+		for _, write := range []bool{false, true} {
+			// NoSGX == untrusted without an enclave, same cost path as
+			// unprotected-from-enclave in the model; measure both anyway.
+			row = append(row,
+				f1(memLatency(m, mem.Untrusted, ws, write, cfg.Seed)),
+				f1(memLatency(m, mem.Enclave, ws, write, cfg.Seed)),
+				f1(memLatency(m, mem.Untrusted, ws, write, cfg.Seed+1)),
+			)
+		}
+		// Reorder: we appended rd triple then wr triple already in order.
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// memLatency measures steady-state random page-touch latency in ns.
+func memLatency(m *machine, region mem.Region, ws int, write bool, seed int64) float64 {
+	base := m.space.Alloc(region, ws)
+	if region == mem.Enclave {
+		m.space.ResetEPC()
+	}
+	pages := maxi(1, ws/m.model.PageSize)
+	// Warm the working set once (steady state, as in the paper).
+	warm := sim.NewMeter(m.model)
+	buf := make([]byte, 8)
+	for p := 0; p < pages; p++ {
+		m.space.Read(warm, base+mem.Addr(p*m.model.PageSize), buf)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	meter := sim.NewMeter(m.model)
+	const accesses = 4000
+	for i := 0; i < accesses; i++ {
+		a := base + mem.Addr(rng.Intn(pages)*m.model.PageSize)
+		if write {
+			m.space.Write(meter, a, buf)
+		} else {
+			m.space.Read(meter, a, buf)
+		}
+	}
+	return m.model.Nanos(meter.Cycles()) / accesses
+}
+
+// Fig3 reproduces Figure 3: the naive SGX key-value store collapsing as
+// the database outgrows the EPC, versus the same store without SGX.
+func Fig3(cfg Config) Result {
+	cfg = cfg.Defaults()
+	spec, _ := workload.ByName("RD50_U")
+	const valSize = 512
+	entryBytes := 16 + valSize + 16 // key + value + header
+
+	res := Result{
+		ID:     "fig3",
+		Title:  "Baseline performance w/ and w/o SGX (Kop/s)",
+		Header: []string{"db_size", "NoSGX", "Baseline", "slowdown"},
+		Notes: []string{
+			"paper: parity below 64MB (within ~60%), 134x slower at 4GB",
+		},
+	}
+	sizesMB := []int{16, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096}
+	for _, szMB := range sizesMB {
+		bytes := int64(szMB) << 20 / int64(cfg.Scale)
+		nKeys := maxi(64, int(bytes/int64(entryBytes)))
+		ops := cfg.Ops / 4
+		row := []string{fmt.Sprintf("%dMB", szMB)}
+		var vals []float64
+		for _, variant := range []baseline.Variant{baseline.Insecure, baseline.NaiveSGX} {
+			m := cfg.newMachine()
+			s := buildBaseline(m, variant, maxi(64, nKeys)) // ~1 entry/bucket like a sized table
+			if err := preloadBaseline(s, m, nKeys, valSize); err != nil {
+				panic(err)
+			}
+			kops, _ := runBaseline(cfg, m, s, spec, nKeys, valSize, ops, 1, netCost{})
+			vals = append(vals, kops)
+			row = append(row, f1(kops))
+		}
+		row = append(row, f1(vals[0]/vals[1]))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Fig6 reproduces Figure 6: the extra heap allocator's OCALL count and
+// throughput versus sbrk chunk granularity (RD50_Z, small data set).
+func Fig6(cfg Config) Result {
+	cfg = cfg.Defaults()
+	spec, _ := workload.ByName("RD50_Z")
+	ds := workload.Table3[0] // small
+	nKeys := cfg.keys()
+
+	res := Result{
+		ID:     "fig6",
+		Title:  "OCALLs and throughput vs allocation granularity (RD50_Z, small)",
+		Header: []string{"chunk", "ocalls", "kops"},
+		Notes: []string{
+			"paper: OCALLs collapse as the chunk grows; 16MB chosen as default",
+		},
+	}
+	for _, chunkMB := range []int{1, 2, 4, 8, 16, 32} {
+		chunk := maxi(4096, chunkMB<<20/cfg.Scale)
+		m := cfg.newMachine()
+		p := buildShield(m, 1, cfg.buckets(), cfg.macHashes(), func(o *core.Options) {
+			o.HeapChunk = chunk
+		})
+		// OCALLs are incurred by entry and MAC-bucket allocation, so count
+		// them across table construction plus the steady-state run (the
+		// update-heavy phase alone updates in place and allocates little).
+		loader := sim.NewMeter(m.model)
+		for id := 0; id < nKeys; id++ {
+			key := workload.FormatKey(uint64(id))
+			part := p.Route(loader, key)
+			if err := p.Part(part).Set(loader, key, workload.MakeValue(ds.ValSize, uint64(id))); err != nil {
+				panic(err)
+			}
+		}
+		ocalls := loader.Events(sim.CtrOCall)
+		kops, stats := runShield(cfg, p, spec, nKeys, ds.ValSize, cfg.Ops, netCost{})
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%dMB", chunkMB),
+			fmt.Sprintf("%d", ocalls+stats.Events[sim.CtrOCall]),
+			f1(kops),
+		})
+	}
+	return res
+}
+
+// Fig9 reproduces Figure 9: decryptions needed to find the matching entry
+// with and without the 1-byte key hint, on 1M and 8M buckets.
+func Fig9(cfg Config) Result {
+	cfg = cfg.Defaults()
+	spec, _ := workload.ByName("RD95_Z")
+	ds := workload.Table3[0] // small
+	nKeys := cfg.keys()
+
+	res := Result{
+		ID:     "fig9",
+		Title:  "Decryptions to find the matching entry w/ and w/o key hint",
+		Header: []string{"buckets", "w/o_hint", "w/_hint", "reduction"},
+		Notes: []string{
+			"paper: large reduction at 1M buckets (chains ~10); smaller at 8M (chains ~1.25)",
+		},
+	}
+	for _, bucketsM := range []int{1, 8} {
+		buckets := maxi(64, bucketsM*1_000_000/cfg.Scale)
+		var vals []uint64
+		for _, hint := range []bool{false, true} {
+			m := cfg.newMachine()
+			p := buildShield(m, 1, buckets, maxi(32, buckets/2), func(o *core.Options) {
+				o.KeyHint = hint
+			})
+			if err := preloadShield(p, nKeys, ds.ValSize); err != nil {
+				panic(err)
+			}
+			_, stats := runShield(cfg, p, spec, nKeys, ds.ValSize, cfg.Ops, netCost{})
+			vals = append(vals, stats.Events[sim.CtrDecrypt])
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%dM", bucketsM),
+			fmt.Sprintf("%d", vals[0]),
+			fmt.Sprintf("%d", vals[1]),
+			f1(float64(vals[0]) / float64(maxu(1, vals[1]))),
+		})
+	}
+	return res
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+
+	"shieldstore/internal/baseline"
+	"shieldstore/internal/core"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+// system identifies one of the compared key-value stores.
+type system int
+
+const (
+	sysMemcachedGraphene system = iota
+	sysBaseline
+	sysShieldBase
+	sysShieldOpt
+	sysInsecureMemcached
+	sysInsecureBaseline
+)
+
+func (s system) String() string {
+	switch s {
+	case sysMemcachedGraphene:
+		return "Memcached+graphene"
+	case sysBaseline:
+		return "Baseline"
+	case sysShieldBase:
+		return "ShieldBase"
+	case sysShieldOpt:
+		return "ShieldOpt"
+	case sysInsecureMemcached:
+		return "Insecure Memcached"
+	case sysInsecureBaseline:
+		return "Insecure Baseline"
+	default:
+		return "?"
+	}
+}
+
+// sysRunner executes workloads against one built-and-preloaded system.
+type sysRunner struct {
+	sys system
+	run func(spec workload.Spec, ops int, nc netCost) (float64, sim.Stats)
+}
+
+// buildSystem constructs and preloads one system on a fresh machine.
+func buildSystem(cfg Config, sys system, threads, nKeys, valSize int) sysRunner {
+	m := cfg.newMachine()
+	switch sys {
+	case sysShieldBase, sysShieldOpt:
+		mods := []shieldVariant{}
+		if sys == sysShieldBase {
+			mods = append(mods, shieldBase)
+		}
+		p := buildShield(m, threads, cfg.buckets(), cfg.macHashes(), mods...)
+		if err := preloadShield(p, nKeys, valSize); err != nil {
+			panic(err)
+		}
+		return sysRunner{sys: sys, run: func(spec workload.Spec, ops int, nc netCost) (float64, sim.Stats) {
+			return runShield(cfg, p, spec, nKeys, valSize, ops, nc)
+		}}
+	default:
+		variant := map[system]baseline.Variant{
+			sysMemcachedGraphene: baseline.MemcachedGraphene,
+			sysBaseline:          baseline.NaiveSGX,
+			sysInsecureMemcached: baseline.MemcachedInsecure,
+			sysInsecureBaseline:  baseline.Insecure,
+		}[sys]
+		s := buildBaseline(m, variant, cfg.buckets())
+		if err := preloadBaseline(s, m, nKeys, valSize); err != nil {
+			panic(err)
+		}
+		return sysRunner{sys: sys, run: func(spec workload.Spec, ops int, nc netCost) (float64, sim.Stats) {
+			return runBaseline(cfg, m, s, spec, nKeys, valSize, ops, threads, nc)
+		}}
+	}
+}
+
+// avgOverWorkloads runs every Table 2 workload and averages Kop/s.
+func (r sysRunner) avgOverWorkloads(ops int, nc netCost) float64 {
+	per := maxi(500, ops/len(workload.Table2))
+	total := 0.0
+	for _, spec := range workload.Table2 {
+		kops, _ := r.run(spec, per, nc)
+		total += kops
+	}
+	return total / float64(len(workload.Table2))
+}
+
+// Fig10 reproduces Figure 10: overall throughput normalized to the
+// baseline, across data sizes and 1/4 threads.
+func Fig10(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:    "fig10",
+		Title: "Overall performance normalized to Baseline (avg over Table 2 workloads)",
+		Header: []string{"threads", "dataset", "Memcached+graphene", "Baseline",
+			"ShieldBase", "ShieldOpt"},
+		Notes: []string{
+			"paper: ShieldBase 7-10x / ShieldOpt 8-11x at 1 thread;",
+			"       21-26x / 24-30x at 4 threads; memcached+graphene ~Baseline",
+		},
+	}
+	systems := []system{sysMemcachedGraphene, sysBaseline, sysShieldBase, sysShieldOpt}
+	for _, threads := range []int{1, 4} {
+		for _, ds := range workload.Table3 {
+			vals := map[system]float64{}
+			for _, sys := range systems {
+				r := buildSystem(cfg, sys, threads, cfg.keys(), ds.ValSize)
+				vals[sys] = r.avgOverWorkloads(cfg.Ops, netCost{})
+			}
+			base := vals[sysBaseline]
+			row := []string{fmt.Sprintf("%d", threads), ds.Name}
+			for _, sys := range systems {
+				row = append(row, f2s(vals[sys]/base))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Fig11 reproduces Figure 11: per-workload throughput with the large
+// data set (1 thread).
+func Fig11(cfg Config) Result {
+	cfg = cfg.Defaults()
+	ds := workload.Table3[2] // large
+	res := Result{
+		ID:    "fig11",
+		Title: "Throughput per workload, large data set, 1 thread (Kop/s)",
+		Header: []string{"workload", "Memcached+graphene", "Baseline",
+			"ShieldBase", "ShieldOpt", "opt/base"},
+		Notes: []string{
+			"paper: ~7.3x on RD50, rising to ~11x on RD95/RD100",
+		},
+	}
+	systems := []system{sysMemcachedGraphene, sysBaseline, sysShieldBase, sysShieldOpt}
+	runners := make([]sysRunner, len(systems))
+	for i, sys := range systems {
+		runners[i] = buildSystem(cfg, sys, 1, cfg.keys(), ds.ValSize)
+	}
+	for _, spec := range workload.Table2 {
+		row := []string{spec.Name}
+		var baseV, optV float64
+		for i, r := range runners {
+			kops, _ := r.run(spec, cfg.Ops, netCost{})
+			row = append(row, f1(kops))
+			if systems[i] == sysBaseline {
+				baseV = kops
+			}
+			if systems[i] == sysShieldOpt {
+				optV = kops
+			}
+		}
+		row = append(row, f1(optV/baseV))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Fig12 reproduces Figure 12: append-operation throughput across mixes
+// and distributions.
+func Fig12(cfg Config) Result {
+	cfg = cfg.Defaults()
+	ds := workload.Table3[2] // large
+	res := Result{
+		ID:    "fig12",
+		Title: "Append operations (Kop/s, 1 thread)",
+		Header: []string{"mix", "Memcached+graphene", "Baseline",
+			"ShieldBase", "ShieldOpt", "opt/base"},
+		Notes: []string{
+			"paper: 1.7-16x over baseline; smaller gap under zipfian",
+			"(appends grow hot values, so crypto on large values dominates)",
+		},
+	}
+	systems := []system{sysMemcachedGraphene, sysBaseline, sysShieldBase, sysShieldOpt}
+	for _, spec := range workload.AppendSpecs {
+		row := []string{spec.Name}
+		var baseV, optV float64
+		for _, sys := range systems {
+			// Fresh preload per mix: append mutates value sizes.
+			r := buildSystem(cfg, sys, 1, cfg.keys(), ds.ValSize)
+			kops, _ := r.run(spec, cfg.Ops, netCost{})
+			row = append(row, f1(kops))
+			if sys == sysBaseline {
+				baseV = kops
+			}
+			if sys == sysShieldOpt {
+				optV = kops
+			}
+		}
+		row = append(row, f1(optV/baseV))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Fig13 reproduces Figure 13: thread scalability of the three systems
+// (large data set, per workload).
+func Fig13(cfg Config) Result {
+	cfg = cfg.Defaults()
+	ds := workload.Table3[2]
+	res := Result{
+		ID:     "fig13",
+		Title:  "Scalability from 1 to 4 threads, large data set (Kop/s)",
+		Header: []string{"system", "workload", "1thr", "2thr", "3thr", "4thr", "4/1"},
+		Notes: []string{
+			"paper: ShieldOpt scales ~linearly (330 -> 1250 Kop/s);",
+			"       Baseline and Memcached+graphene gain nothing past 2 threads",
+		},
+	}
+	specs := []string{"RD50_Z", "RD95_Z", "RD100_Z", "RD95_U"}
+	for _, sys := range []system{sysMemcachedGraphene, sysBaseline, sysShieldOpt} {
+		for _, name := range specs {
+			spec, _ := workload.ByName(name)
+			row := []string{sys.String(), name}
+			var first, last float64
+			for threads := 1; threads <= 4; threads++ {
+				r := buildSystem(cfg, sys, threads, cfg.keys(), ds.ValSize)
+				kops, _ := r.run(spec, cfg.Ops, netCost{})
+				if threads == 1 {
+					first = kops
+				}
+				last = kops
+				row = append(row, f1(kops))
+			}
+			row = append(row, f2s(last/first))
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Fig14 reproduces Figure 14: the cumulative effect of the §5
+// optimizations under four bucket/key-count configurations (chain lengths
+// 1.25 to 40).
+func Fig14(cfg Config) Result {
+	cfg = cfg.Defaults()
+	ds := workload.Table3[2] // large
+	res := Result{
+		ID:     "fig14",
+		Title:  "Effect of optimizations (Kop/s, large values, 1 thread)",
+		Header: []string{"buckets", "entries", "workload", "ShieldBase", "+KeyOPT", "+HeapAlloc", "+MACBucket"},
+		Notes: []string{
+			"paper: negligible gains at chain 1.25; KeyOPT and MACBucket",
+			"       dominate as chains grow (up to 40)",
+		},
+	}
+	type variantSet struct {
+		name string
+		mods []shieldVariant
+	}
+	variants := []variantSet{
+		{"ShieldBase", []shieldVariant{shieldBase}},
+		{"+KeyOPT", []shieldVariant{shieldBase, withKeyHint}},
+		{"+HeapAlloc", []shieldVariant{shieldBase, withKeyHint, withExtraHeap}},
+		{"+MACBucket", []shieldVariant{shieldBase, withKeyHint, withExtraHeap, withMACBucket}},
+	}
+	configs := []struct {
+		bucketsM float64
+		entriesM float64
+	}{
+		{8, 10}, {8, 40}, {1, 10}, {1, 40},
+	}
+	specs := []string{"RD50_Z", "RD95_Z", "RD100_Z"}
+	for _, cc := range configs {
+		buckets := maxi(64, int(cc.bucketsM*1e6)/cfg.Scale)
+		entries := maxi(128, int(cc.entriesM*1e6)/cfg.Scale)
+		// One build+preload per variant, reused across the 3 workloads.
+		kops := map[string]map[string]float64{}
+		for _, v := range variants {
+			m := cfg.newMachine()
+			p := buildShield(m, 1, buckets, maxi(32, buckets/2), v.mods...)
+			if err := preloadShield(p, entries, ds.ValSize); err != nil {
+				panic(err)
+			}
+			kops[v.name] = map[string]float64{}
+			for _, name := range specs {
+				spec, _ := workload.ByName(name)
+				k, _ := runShield(cfg, p, spec, entries, ds.ValSize, cfg.Ops/2, netCost{})
+				kops[v.name][name] = k
+			}
+		}
+		for _, name := range specs {
+			row := []string{
+				fmt.Sprintf("%gM", cc.bucketsM),
+				fmt.Sprintf("%gM", cc.entriesM),
+				name,
+			}
+			for _, v := range variants {
+				row = append(row, f1(kops[v.name][name]))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Fig15 reproduces Figure 15: the MAC-hash count trade-off — more
+// in-enclave hashes shrink bucket sets (faster verification) until the
+// array itself overflows the EPC.
+func Fig15(cfg Config) Result {
+	cfg = cfg.Defaults()
+	spec, _ := workload.ByName("RD95_Z")
+	res := Result{
+		ID:     "fig15",
+		Title:  "Throughput vs number of MAC hashes (8M buckets)",
+		Header: []string{"mac_hashes", "epc_footprint", "Small", "Medium", "Large"},
+		Notes: []string{
+			"paper: rising 1M->4M (+5-14%), collapsing at 8M (128MB > EPC)",
+		},
+	}
+	buckets := maxi(64, 8_000_000/cfg.Scale)
+	for _, hashesM := range []int{1, 2, 4, 8} {
+		hashes := maxi(32, hashesM*1_000_000/cfg.Scale)
+		if hashes > buckets {
+			hashes = buckets
+		}
+		row := []string{
+			fmt.Sprintf("%dM", hashesM),
+			fmtBytes(int64(hashes) * 16),
+		}
+		for _, ds := range workload.Table3 {
+			m := cfg.newMachine()
+			p := buildShield(m, 1, buckets, hashes)
+			if err := preloadShield(p, cfg.keys(), ds.ValSize); err != nil {
+				panic(err)
+			}
+			kops, _ := runShield(cfg, p, spec, cfg.keys(), ds.ValSize, cfg.Ops/2, netCost{})
+			row = append(row, f1(kops))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+var _ = core.Defaults // keep core import for shieldVariant mods

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/persist"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+// eleosPool returns the scaled memsys5 pool ceiling (2 GB at paper scale),
+// with a little slack so the boundary data set still fits.
+func (c Config) eleosPool() int64 {
+	return (2<<30)/int64(c.Scale) + (2<<30)/int64(c.Scale)/8
+}
+
+// Fig16 reproduces Figure 16: ShieldStore vs Eleos across value sizes at
+// a fixed 500 MB working set (100% gets, 1 thread).
+func Fig16(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "fig16",
+		Title:  "ShieldStore vs Eleos across value sizes (500MB working set, 100% get)",
+		Header: []string{"value", "Eleos", "ShieldOpt", "shield/eleos"},
+		Notes: []string{
+			"paper: ShieldStore 40x at 16B, 7x at 512B; parity at 1KB-4KB",
+			"(page-granularity crypto dominates Eleos for small values)",
+		},
+	}
+	wsBytes := (500 << 20) / cfg.Scale
+	getSpec := workload.Spec{Name: "GET100_U", ReadPct: 100, Dist: workload.Uniform}
+
+	for _, valSize := range []int{16, 512, 1024, 4096} {
+		entryBytes := 16 + valSize + 16
+		nKeys := maxi(128, wsBytes/entryBytes)
+		ops := cfg.Ops / 2
+
+		// Eleos: 4 KB default paging granularity, EPC-sized page cache.
+		mE := cfg.newMachine()
+		cache := mE.model.EPCBytes * 7 / 10
+		eleosKops, ok := runEleos(cfg, mE, 4096, cfg.eleosPool(), cache,
+			maxi(64, cfg.buckets()), nKeys, valSize, ops)
+		eleosStr := f1(eleosKops)
+		if !ok {
+			eleosStr = "fail"
+		}
+
+		mS := cfg.newMachine()
+		p := buildShield(mS, 1, cfg.buckets(), cfg.macHashes())
+		if err := preloadShield(p, nKeys, valSize); err != nil {
+			panic(err)
+		}
+		shieldKops, _ := runShield(cfg, p, getSpec, nKeys, valSize, ops, netCost{})
+
+		ratio := "-"
+		if ok && eleosKops > 0 {
+			ratio = f1(shieldKops / eleosKops)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%dB", valSize), eleosStr, f1(shieldKops), ratio,
+		})
+	}
+	return res
+}
+
+// Fig17 reproduces Figure 17: ShieldStore vs Eleos across working-set
+// sizes at 4 KB values, including the ShieldOpt+cache configuration and
+// Eleos's >2 GB failure.
+func Fig17(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "fig17",
+		Title:  "ShieldStore vs Eleos across working sets (4KB values, 100% get)",
+		Header: []string{"ws", "Eleos", "ShieldOpt", "ShieldOpt+cache"},
+		Notes: []string{
+			"paper: Eleos wins inside EPC, dies past 2GB (memsys5 pools);",
+			"       ShieldOpt flat to 8GB; +cache matches Eleos at small WS",
+		},
+	}
+	const valSize = 4096
+	entryBytes := 16 + valSize + 16
+	getSpec := workload.Spec{Name: "GET100_U", ReadPct: 100, Dist: workload.Uniform}
+
+	for _, wsMB := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		wsBytes := (wsMB << 20) / cfg.Scale
+		nKeys := maxi(64, wsBytes/entryBytes)
+		ops := cfg.Ops / 3
+		buckets := maxi(64, nKeys) // sized table, chains ~1
+
+		mE := cfg.newMachine()
+		cache := mE.model.EPCBytes * 7 / 10
+		eleosKops, ok := runEleos(cfg, mE, 4096, cfg.eleosPool(), cache,
+			buckets, nKeys, valSize, ops)
+		eleosStr := f1(eleosKops)
+		if !ok {
+			eleosStr = "fail"
+		}
+
+		run := func(cacheBytes int64) float64 {
+			m := cfg.newMachine()
+			p := buildShield(m, 1, buckets, maxi(32, buckets/2), func(o *core.Options) {
+				o.CacheBytes = cacheBytes
+			})
+			if err := preloadShield(p, nKeys, valSize); err != nil {
+				panic(err)
+			}
+			kops, _ := runShield(cfg, p, getSpec, nKeys, valSize, ops, netCost{})
+			return kops
+		}
+		plain := run(0)
+		// +cache: spend the EPC left after MAC hashes on plaintext entries.
+		macBytes := int64(maxi(32, buckets/2)) * 16
+		budget := cfg.epcBytes() - macBytes
+		if budget < 0 {
+			budget = 0
+		}
+		cached := run(budget * 8 / 10)
+
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%dMB", wsMB), eleosStr, f1(plain), f1(cached),
+		})
+	}
+	return res
+}
+
+// Fig18 reproduces Figure 18: the networked evaluation across six system
+// configurations, 1 and 4 threads, three data sizes. Per-operation
+// network costs (socket syscalls through the enclave boundary, NIC, and
+// session-channel crypto) are charged to the serving threads.
+func Fig18(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:    "fig18",
+		Title: "Networked evaluation (Kop/s, avg over Table 2 workloads)",
+		Header: []string{"threads", "dataset", "Memcached+graphene", "Baseline+HotCalls",
+			"ShieldOpt", "ShieldOpt+HotCalls", "Insec.Memcached", "Insec.Baseline"},
+		Notes: []string{
+			"paper: ShieldOpt+HotCalls 4.9-6.4x (1thr) / 9.2-10.7x (4thr) over",
+			"       Baseline+HotCalls; 3.0x/3.9x slower than Insecure Baseline",
+		},
+	}
+	type netSys struct {
+		sys system
+		nc  func(valSize int) netCost
+	}
+	configs := []netSys{
+		{sysMemcachedGraphene, func(v int) netCost { return netFor(v, false, false, true, false) }},
+		{sysBaseline, func(v int) netCost { return netFor(v, true, false, false, true) }},
+		{sysShieldOpt, func(v int) netCost { return netFor(v, false, false, false, true) }},
+		{sysShieldOpt, func(v int) netCost { return netFor(v, true, false, false, true) }},
+		{sysInsecureMemcached, func(v int) netCost { return netFor(v, false, true, false, false) }},
+		{sysInsecureBaseline, func(v int) netCost { return netFor(v, false, true, false, false) }},
+	}
+	for _, threads := range []int{1, 4} {
+		for _, ds := range workload.Table3 {
+			row := []string{fmt.Sprintf("%d", threads), ds.Name}
+			for _, c := range configs {
+				r := buildSystem(cfg, c.sys, threads, cfg.keys(), ds.ValSize)
+				kops := r.avgOverWorkloads(cfg.Ops, c.nc(ds.ValSize))
+				row = append(row, f1(kops))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Fig19 reproduces Figure 19: throughput under periodic snapshots
+// (60-second period at paper scale, scaled with everything else).
+//
+// The steady-state math combines three measured quantities per cell: the
+// normal-operation rate, the rate while a snapshot is draining (temp
+// table in effect), and the snapshot's blocking + background costs, over
+// the configured period.
+func Fig19(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "fig19",
+		Title:  "Persistence: none vs naive vs optimized snapshots (Kop/s, networked, 1 thread)",
+		Header: []string{"dataset", "workload", "none", "naive", "optimized", "naive_loss", "opt_loss"},
+		Notes: []string{
+			"paper: naive loses up to 25% (large); optimized 2.1/2.6/6.5%",
+		},
+	}
+	// Snapshot period: 60 s at paper scale.
+	periodCycles := uint64(60.0 / float64(cfg.Scale) * sim.DefaultCostModel().ClockHz)
+	specs := []string{"RD50_Z", "RD95_Z", "RD100_Z"}
+
+	for _, ds := range workload.Table3 {
+		for _, name := range specs {
+			spec, _ := workload.ByName(name)
+			nc := netFor(ds.ValSize, true, false, false, true)
+
+			// Build one persistent store per mode.
+			rate := map[persist.Mode]float64{}     // ops per cycle, normal
+			blockC := map[persist.Mode]uint64{}    // blocking cycles per snapshot
+			childC := map[persist.Mode]uint64{}    // background cycles per snapshot
+			snapRate := map[persist.Mode]float64{} // ops per cycle during drain
+			for _, mode := range []persist.Mode{persist.Naive, persist.Optimized} {
+				dir, err := os.MkdirTemp("", "ssbench")
+				if err != nil {
+					panic(err)
+				}
+				defer os.RemoveAll(dir)
+
+				m := cfg.newMachine()
+				// The snapshot period scales 1/Scale with the data; the
+				// monotonic-counter increment is fixed hardware cost, so
+				// it must scale with the period to preserve the paper's
+				// counter-to-period ratio (~0.1%).
+				m.model.MonotonicCounterInc = maxu(1, m.model.MonotonicCounterInc/uint64(cfg.Scale))
+				opts := core.Defaults(cfg.buckets())
+				opts.MACHashes = cfg.macHashes()
+				s := core.New(m.enclave, nil, opts)
+				ps := persist.New(s, dir, mode)
+				meter := sim.NewMeter(m.model)
+				for id := 0; id < cfg.keys(); id++ {
+					if err := ps.Set(meter, workload.FormatKey(uint64(id)), workload.MakeValue(ds.ValSize, uint64(id))); err != nil {
+						panic(err)
+					}
+				}
+
+				// Normal rate.
+				meter.Reset()
+				ops := cfg.Ops / 3
+				replayPersist(cfg, ps, meter, spec, ds.ValSize, ops, nc, m)
+				rate[mode] = float64(ops) / float64(meter.Cycles())
+
+				// Snapshot costs.
+				meter.Reset()
+				if err := ps.Snapshot(meter); err != nil {
+					panic(err)
+				}
+				blockC[mode] = meter.Cycles()
+				childC[mode] = ps.ChildCycles()
+
+				// Rate during drain (optimized only; naive has no window).
+				snapRate[mode] = rate[mode]
+				if mode == persist.Optimized && ps.InSnapshot() {
+					start := meter.Cycles()
+					replayPersist(cfg, ps, meter, spec, ds.ValSize, ops/2, nc, m)
+					snapRate[mode] = float64(ops/2) / float64(meter.Cycles()-start)
+					ps.Drain(meter)
+				}
+			}
+
+			// Steady-state throughput over one period.
+			sustained := func(mode persist.Mode) float64 {
+				block := float64(blockC[mode])
+				period := float64(periodCycles)
+				if block >= period {
+					block = period
+				}
+				var opsPerPeriod float64
+				if mode == persist.Naive {
+					opsPerPeriod = (period - block) * rate[mode]
+				} else {
+					drain := float64(childC[mode])
+					if block+drain > period {
+						drain = period - block
+					}
+					normal := period - block - drain
+					opsPerPeriod = drain*snapRate[mode] + normal*rate[mode]
+				}
+				model := sim.DefaultCostModel()
+				return sim.KopsPerSec(opsPerPeriod / (period / model.ClockHz))
+			}
+			noneKops := sim.KopsPerSec(rate[persist.Naive] * sim.DefaultCostModel().ClockHz)
+			naiveKops := sustained(persist.Naive)
+			optKops := sustained(persist.Optimized)
+			res.Rows = append(res.Rows, []string{
+				ds.Name, name, f1(noneKops), f1(naiveKops), f1(optKops),
+				fmt.Sprintf("%.1f%%", 100*(1-naiveKops/noneKops)),
+				fmt.Sprintf("%.1f%%", 100*(1-optKops/noneKops)),
+			})
+		}
+	}
+	return res
+}
+
+// replayPersist drives a persistent store with one workload.
+func replayPersist(cfg Config, ps *persist.Store, m *sim.Meter, spec workload.Spec, valSize, ops int, nc netCost, mach *machine) {
+	gen := workload.NewGen(spec, uint64(cfg.keys()), cfg.Seed)
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		nc.charge(mach.enclave, m)
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			_, _ = ps.Get(m, key)
+		case workload.Update, workload.Insert:
+			_ = ps.Set(m, key, workload.MakeValue(valSize, op.Key))
+		case workload.Append:
+			_ = ps.Append(m, key, []byte("-app8byte"))
+		case workload.ReadModifyWrite:
+			if v, err := ps.Get(m, key); err == nil {
+				_ = ps.Set(m, key, v)
+			}
+		}
+	}
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) Result
+}
+
+// All lists every regenerable table and figure in paper order.
+var All = []Experiment{
+	{"table1", "memcached vs baseline without SGX", Table1},
+	{"fig2", "memory latency vs working set", Fig2},
+	{"fig3", "naive SGX KV collapse", Fig3},
+	{"fig6", "extra heap allocator chunk sweep", Fig6},
+	{"fig9", "key hint decryption counts", Fig9},
+	{"fig10", "overall normalized throughput", Fig10},
+	{"fig11", "per-workload throughput (large)", Fig11},
+	{"fig12", "append operations", Fig12},
+	{"fig13", "multicore scalability", Fig13},
+	{"fig14", "optimization breakdown", Fig14},
+	{"fig15", "MAC hash count trade-off", Fig15},
+	{"fig16", "vs Eleos: value sizes", Fig16},
+	{"fig17", "vs Eleos: working sets", Fig17},
+	{"fig18", "networked evaluation", Fig18},
+	{"fig19", "snapshot persistence", Fig19},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,181 @@
+// Package client implements the remote ShieldStore client: it dials the
+// server, remote-attests the enclave, establishes the encrypted session
+// of §3.2, and issues get/set/delete/append/incr requests.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"shieldstore/internal/proto"
+)
+
+// Errors surfaced to callers.
+var (
+	// ErrNotFound mirrors the server-side missing-key status.
+	ErrNotFound = errors.New("shieldstore client: key not found")
+	// ErrIntegrity reports a server-side integrity violation.
+	ErrIntegrity = errors.New("shieldstore client: server reported integrity violation")
+	// ErrServer reports any other server-side failure.
+	ErrServer = errors.New("shieldstore client: server error")
+)
+
+// Options configures a client connection.
+type Options struct {
+	// Verifier validates the server's attestation quote (the simulated
+	// attestation service); required when Secure is true.
+	Verifier proto.QuoteVerifier
+	// Measurement is the expected enclave identity.
+	Measurement [32]byte
+	// Secure enables attestation + channel encryption (the default
+	// deployment; disable only for the §6.4 plaintext ablation).
+	Secure bool
+}
+
+// Client is one connection to a ShieldStore server.
+type Client struct {
+	conn net.Conn
+	ch   *proto.Channel
+}
+
+// Dial connects and (when Secure) attests + establishes the session.
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, opts)
+}
+
+// NewClient wraps an existing connection (tests, in-memory pipes).
+func NewClient(conn net.Conn, opts Options) (*Client, error) {
+	c := &Client{conn: conn}
+	if opts.Secure {
+		if opts.Verifier == nil {
+			conn.Close()
+			return nil, fmt.Errorf("shieldstore client: Secure requires a Verifier")
+		}
+		ch, err := proto.ClientHandshake(conn, opts.Verifier, opts.Measurement)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.ch = ch
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the reply.
+func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
+	payload := proto.EncodeRequest(req)
+	if c.ch != nil {
+		payload = c.ch.Seal(payload)
+	}
+	if err := proto.WriteFrame(c.conn, payload); err != nil {
+		return nil, err
+	}
+	frame, err := proto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if c.ch != nil {
+		frame, err = c.ch.Open(frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp, err := proto.DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		return resp, nil
+	case proto.StatusNotFound:
+		return nil, ErrNotFound
+	case proto.StatusIntegrityViolation:
+		return nil, ErrIntegrity
+	default:
+		return nil, ErrServer
+	}
+}
+
+// Get fetches a value.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Set stores a value.
+func (c *Client) Set(key, value []byte) error {
+	_, err := c.roundTrip(&proto.Request{Cmd: proto.CmdSet, Key: key, Value: value})
+	return err
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error {
+	_, err := c.roundTrip(&proto.Request{Cmd: proto.CmdDelete, Key: key})
+	return err
+}
+
+// Append appends to a value server-side.
+func (c *Client) Append(key, suffix []byte) error {
+	_, err := c.roundTrip(&proto.Request{Cmd: proto.CmdAppend, Key: key, Value: suffix})
+	return err
+}
+
+// Incr adds delta to a numeric value server-side and returns the result.
+func (c *Client) Incr(key []byte, delta int64) (int64, error) {
+	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdIncr, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Num, nil
+}
+
+// MGet fetches several keys in one round trip. The result has one slot
+// per requested key; missing keys are nil.
+func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
+	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdMGet, Value: proto.EncodeList(keys)})
+	if err != nil {
+		return nil, err
+	}
+	vals, err := proto.DecodeList(resp.Value)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(keys) {
+		return nil, proto.ErrBadMessage
+	}
+	return vals, nil
+}
+
+// Stats fetches the server's "name=value" statistics lines.
+func (c *Client) Stats() ([]string, error) {
+	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdStats})
+	if err != nil {
+		return nil, err
+	}
+	items, err := proto.DecodeList(resp.Value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = string(it)
+	}
+	return out, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&proto.Request{Cmd: proto.CmdPing})
+	return err
+}

@@ -1,0 +1,194 @@
+package cmac
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 4493 §4 test vectors (AES-128 key 2b7e1516...).
+func TestRFC4493Vectors(t *testing.T) {
+	key := "2b7e151628aed2a6abf7158809cf4f3c"
+	msg := "6bc1bee22e409f96e93d7e117393172a" +
+		"ae2d8a571e03ac9c9eb76fac45af8e51" +
+		"30c81c46a35ce411e5fbc1191a0a52ef" +
+		"f69f2445df4f9b17ad2b417be66c3710"
+
+	cases := []struct {
+		name string
+		n    int // message prefix length in bytes
+		tag  string
+	}{
+		{"len0", 0, "bb1d6929e95937287fa37d129b756746"},
+		{"len16", 16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"len40", 40, "dfa66747de9ae63030ca32611497c827"},
+		{"len64", 64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+
+	c, err := New(unhex(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := unhex(t, msg)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.Tag(full[:tc.n])
+			want := unhex(t, tc.tag)
+			if !bytes.Equal(got[:], want) {
+				t.Errorf("tag = %x, want %x", got, want)
+			}
+			if !c.Verify(full[:tc.n], want) {
+				t.Error("Verify rejected the RFC tag")
+			}
+		})
+	}
+}
+
+// RFC 4493 subkey generation intermediate values.
+func TestSubkeyGeneration(t *testing.T) {
+	c, err := New(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK1 := unhex(t, "fbeed618357133667c85e08f7236a8de")
+	wantK2 := unhex(t, "f7ddac306ae266ccf90bc11ee46d513b")
+	if !bytes.Equal(c.k1[:], wantK1) {
+		t.Errorf("K1 = %x, want %x", c.k1, wantK1)
+	}
+	if !bytes.Equal(c.k2[:], wantK2) {
+		t.Errorf("K2 = %x, want %x", c.k2, wantK2)
+	}
+}
+
+func TestAES256Key(t *testing.T) {
+	// NIST SP 800-38B example D.3 (AES-256, empty message).
+	key := unhex(t, "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := unhex(t, "028962f61b7bf89efc6b551f4667d983")
+	got := c.Tag(nil)
+	if !bytes.Equal(got[:], want) {
+		t.Errorf("AES-256 empty tag = %x, want %x", got, want)
+	}
+}
+
+func TestBadKey(t *testing.T) {
+	if _, err := New(make([]byte, 5)); err == nil {
+		t.Fatal("5-byte key accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedTag(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	msg := []byte("shielded key-value storage")
+	tag := c.Tag(msg)
+	for i := range tag {
+		bad := tag
+		bad[i] ^= 1
+		if c.Verify(msg, bad[:]) {
+			t.Fatalf("accepted tag with bit flip at byte %d", i)
+		}
+	}
+	if c.Verify(msg, tag[:8]) {
+		t.Fatal("accepted short tag")
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	msg := []byte("0123456789abcdef0123456789abcdef") // two full blocks
+	tag := c.Tag(msg)
+	for i := range msg {
+		bad := append([]byte(nil), msg...)
+		bad[i] ^= 0x80
+		if c.Verify(bad, tag[:]) {
+			t.Fatalf("accepted message with bit flip at byte %d", i)
+		}
+	}
+}
+
+func TestSumPanicsOnShortBuffer(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short output buffer must panic")
+		}
+	}()
+	c.Sum(make([]byte, 8), []byte("x"))
+}
+
+// Property: distinct messages essentially never collide, and the tag is a
+// pure function of the message.
+func TestCMACProperties(t *testing.T) {
+	c, _ := New([]byte("0123456789abcdef"))
+	f := func(a, b []byte) bool {
+		ta, tb := c.Tag(a), c.Tag(b)
+		if bytes.Equal(a, b) {
+			return ta == tb
+		}
+		return ta != tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum into a caller buffer matches Tag.
+func TestSumMatchesTag(t *testing.T) {
+	c, _ := New([]byte("0123456789abcdef"))
+	f := func(msg []byte) bool {
+		out := make([]byte, Size)
+		c.Sum(out, msg)
+		tag := c.Tag(msg)
+		return bytes.Equal(out, tag[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: message lengths straddling block boundaries are all handled.
+func TestAllLengthsUpTo100(t *testing.T) {
+	c, _ := New([]byte("0123456789abcdef"))
+	msg := make([]byte, 100)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	seen := map[[Size]byte]int{}
+	for n := 0; n <= 100; n++ {
+		tag := c.Tag(msg[:n])
+		if prev, dup := seen[tag]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[tag] = n
+		if !c.Verify(msg[:n], tag[:]) {
+			t.Fatalf("round trip failed at length %d", n)
+		}
+	}
+}
+
+func BenchmarkCMAC16(b *testing.B)  { benchCMAC(b, 16) }
+func BenchmarkCMAC512(b *testing.B) { benchCMAC(b, 512) }
+
+func benchCMAC(b *testing.B, n int) {
+	c, _ := New(make([]byte, 16))
+	msg := make([]byte, n)
+	out := make([]byte, Size)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Sum(out, msg)
+	}
+}

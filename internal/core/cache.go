@@ -1,0 +1,230 @@
+package core
+
+import (
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// epcCache is the optional plaintext cache of §6.3 ("ShieldOpt+cache"): it
+// spends EPC memory left over after the MAC hashes on decrypted entries,
+// so small working sets skip the decrypt+verify path entirely and match
+// Eleos's in-EPC performance (Figure 17, left side).
+//
+// Cached values are stored in simulated *enclave* memory, so a cache
+// budget that exceeds the remaining EPC simply pages — the cache cannot
+// cheat the hardware model.
+type epcCache struct {
+	space  *mem.Space
+	model  *sim.CostModel
+	budget int64
+	used   int64
+
+	items map[string]*cacheItem
+	head  *cacheItem // most recently used
+	tail  *cacheItem // least recently used
+
+	// free lists recycle enclave slabs by rounded size class.
+	free map[int][]mem.Addr
+
+	// Admission control: when the working set dwarfs the cache, filling
+	// on every miss only burns enclave bandwidth. After the cache has
+	// churned through its capacity a few times with a negligible hit
+	// rate, admission drops to 1-in-16 sampling (staying adaptive in
+	// case the working set shrinks).
+	hits, misses, fills uint64
+}
+
+// admissionSampling reports whether the cache should only sample inserts.
+func (c *epcCache) admissionSampling() bool {
+	if c.fills < 4*uint64(len(c.items)+1) || c.fills < 256 {
+		return false // still warming
+	}
+	return c.hits*20 < c.misses // observed hit rate below ~5%
+}
+
+type cacheItem struct {
+	key        string
+	val        []byte
+	addr       mem.Addr // enclave slab backing this item
+	slab       int      // rounded slab size
+	prev, next *cacheItem
+}
+
+func newEPCCache(e *sgx.Enclave, budget int64) *epcCache {
+	return &epcCache{
+		space:  e.Space(),
+		model:  e.Model(),
+		budget: budget,
+		items:  map[string]*cacheItem{},
+		free:   map[int][]mem.Addr{},
+	}
+}
+
+// slabSize rounds an item footprint to a power-of-two-ish class so freed
+// slabs are reusable.
+func slabSize(n int) int {
+	c := 64
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// get returns the cached value, touching the backing enclave memory (which
+// charges EPC-resident or fault costs through the hardware model).
+func (c *epcCache) get(m *sim.Meter, key []byte) ([]byte, bool) {
+	m.Charge(c.model.CacheAccess) // map probe
+	it, ok := c.items[string(key)]
+	if !ok {
+		m.Count(sim.CtrCacheMiss)
+		c.misses++
+		return nil, false
+	}
+	m.Count(sim.CtrCacheHit)
+	c.hits++
+	buf := make([]byte, len(it.val))
+	c.space.Read(m, it.addr, buf)
+	c.moveToFront(it)
+	return buf, true
+}
+
+// put inserts or refreshes a cache entry after a successful Get.
+func (c *epcCache) put(m *sim.Meter, key, val []byte) {
+	if it, ok := c.items[string(key)]; ok {
+		c.store(m, it, val)
+		c.moveToFront(it)
+		return
+	}
+	need := int64(slabSize(len(key) + len(val)))
+	if need > c.budget {
+		return // larger than the whole cache
+	}
+	c.fills++
+	if c.admissionSampling() && c.fills%16 != 0 {
+		return
+	}
+	for c.used+need > c.budget {
+		c.evict(m)
+	}
+	it := &cacheItem{key: string(key)}
+	c.items[it.key] = it
+	c.allocSlab(m, it, len(key)+len(val))
+	c.used += int64(it.slab)
+	c.storeVal(m, it, val)
+	c.pushFront(it)
+}
+
+// update refreshes the cached value after a mutation (write-through).
+func (c *epcCache) update(m *sim.Meter, key, val []byte) {
+	it, ok := c.items[string(key)]
+	if !ok {
+		return
+	}
+	c.store(m, it, val)
+	c.moveToFront(it)
+}
+
+// invalidate drops a key (delete path).
+func (c *epcCache) invalidate(m *sim.Meter, key []byte) {
+	it, ok := c.items[string(key)]
+	if !ok {
+		return
+	}
+	c.remove(it)
+}
+
+// store rewrites an item's value, reallocating its slab when it no longer
+// fits.
+func (c *epcCache) store(m *sim.Meter, it *cacheItem, val []byte) {
+	need := len(it.key) + len(val)
+	if slabSize(need) != it.slab {
+		c.freeSlab(it)
+		c.used -= int64(it.slab)
+		c.allocSlab(m, it, need)
+		c.used += int64(it.slab)
+		for c.used > c.budget {
+			c.evict(m)
+		}
+	}
+	c.storeVal(m, it, val)
+}
+
+func (c *epcCache) storeVal(m *sim.Meter, it *cacheItem, val []byte) {
+	it.val = append(it.val[:0], val...)
+	// Touch the enclave slab so residency and cost are modeled.
+	c.space.Write(m, it.addr, val)
+}
+
+func (c *epcCache) allocSlab(m *sim.Meter, it *cacheItem, n int) {
+	size := slabSize(n)
+	if size == 0 {
+		size = 64
+	}
+	if fl := c.free[size]; len(fl) > 0 {
+		it.addr = fl[len(fl)-1]
+		c.free[size] = fl[:len(fl)-1]
+	} else {
+		it.addr = c.space.Alloc(mem.Enclave, size)
+	}
+	it.slab = size
+	m.Charge(c.model.CacheAccess)
+}
+
+func (c *epcCache) freeSlab(it *cacheItem) {
+	c.free[it.slab] = append(c.free[it.slab], it.addr)
+}
+
+func (c *epcCache) evict(m *sim.Meter) {
+	if c.tail == nil {
+		return
+	}
+	c.remove(c.tail)
+	m.Charge(c.model.CacheAccess)
+}
+
+func (c *epcCache) remove(it *cacheItem) {
+	c.unlink(it)
+	delete(c.items, it.key)
+	c.freeSlab(it)
+	c.used -= int64(it.slab)
+}
+
+// --- intrusive LRU list ---
+
+func (c *epcCache) pushFront(it *cacheItem) {
+	it.prev = nil
+	it.next = c.head
+	if c.head != nil {
+		c.head.prev = it
+	}
+	c.head = it
+	if c.tail == nil {
+		c.tail = it
+	}
+}
+
+func (c *epcCache) unlink(it *cacheItem) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		c.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		c.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}
+
+func (c *epcCache) moveToFront(it *cacheItem) {
+	if c.head == it {
+		return
+	}
+	c.unlink(it)
+	c.pushFront(it)
+}
+
+// Len reports the number of cached items (tests).
+func (c *epcCache) Len() int { return len(c.items) }

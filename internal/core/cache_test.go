@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/sim"
+)
+
+func cacheStore(budget int64) (*Store, *sim.Meter) {
+	opts := Defaults(32)
+	opts.CacheBytes = budget
+	return newTestStore(opts)
+}
+
+func TestCacheHitSkipsDecryption(t *testing.T) {
+	s, m := cacheStore(1 << 20)
+	key, val := []byte("hot"), []byte("value-in-cache")
+	must(t, s.Set(m, key, val))
+
+	// First get fills the cache (one decrypt).
+	got, err := s.Get(m, key)
+	must(t, err)
+	if !bytes.Equal(got, val) {
+		t.Fatal("first get mismatch")
+	}
+	before := m.Events(sim.CtrDecrypt)
+	for i := 0; i < 10; i++ {
+		got, err = s.Get(m, key)
+		must(t, err)
+		if !bytes.Equal(got, val) {
+			t.Fatal("cached get mismatch")
+		}
+	}
+	if m.Events(sim.CtrDecrypt) != before {
+		t.Fatalf("cache hits decrypted: %d -> %d", before, m.Events(sim.CtrDecrypt))
+	}
+	if m.Events(sim.CtrCacheHit) < 10 {
+		t.Fatalf("cache hits = %d, want >= 10", m.Events(sim.CtrCacheHit))
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	s, m := cacheStore(1 << 20)
+	key := []byte("k")
+	must(t, s.Set(m, key, []byte("old")))
+	_, err := s.Get(m, key) // warm cache
+	must(t, err)
+	must(t, s.Set(m, key, []byte("new")))
+	got, err := s.Get(m, key)
+	must(t, err)
+	if string(got) != "new" {
+		t.Fatalf("stale cache after update: %q", got)
+	}
+	// Size-changing update too.
+	must(t, s.Set(m, key, []byte("much-longer-value")))
+	got, err = s.Get(m, key)
+	must(t, err)
+	if string(got) != "much-longer-value" {
+		t.Fatalf("stale cache after resize: %q", got)
+	}
+}
+
+func TestCacheInvalidatedOnDelete(t *testing.T) {
+	s, m := cacheStore(1 << 20)
+	key := []byte("k")
+	must(t, s.Set(m, key, []byte("v")))
+	_, err := s.Get(m, key)
+	must(t, err)
+	must(t, s.Delete(m, key))
+	if _, err := s.Get(m, key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key served from cache: %v", err)
+	}
+}
+
+func TestCacheEvictionUnderBudget(t *testing.T) {
+	// Budget for only a handful of 64+-byte slabs.
+	s, m := cacheStore(1024)
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		must(t, s.Set(m, k, bytes.Repeat([]byte{1}, 40)))
+		_, err := s.Get(m, k)
+		must(t, err)
+	}
+	if s.cache.used > 1024 {
+		t.Fatalf("cache used %d > budget 1024", s.cache.used)
+	}
+	if s.cache.Len() == 0 {
+		t.Fatal("cache empty despite budget")
+	}
+	// Everything still correct after churn.
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		got, err := s.Get(m, k)
+		must(t, err)
+		if len(got) != 40 {
+			t.Fatalf("key %d wrong length %d", i, len(got))
+		}
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// Two-slab budget (64-byte slabs): inserting a third evicts the LRU.
+	s, m := cacheStore(128)
+	for _, k := range []string{"a", "b"} {
+		must(t, s.Set(m, []byte(k), bytes.Repeat([]byte{2}, 50)))
+		_, err := s.Get(m, []byte(k))
+		must(t, err)
+	}
+	// Touch "a" so "b" becomes LRU.
+	_, err := s.Get(m, []byte("a"))
+	must(t, err)
+	must(t, s.Set(m, []byte("c"), bytes.Repeat([]byte{3}, 50)))
+	_, err = s.Get(m, []byte("c")) // fills cache, evicting "b"
+	must(t, err)
+
+	base := m.Events(sim.CtrCacheMiss)
+	_, err = s.Get(m, []byte("a"))
+	must(t, err)
+	if m.Events(sim.CtrCacheMiss) != base {
+		t.Fatal("recently-used item was evicted")
+	}
+	_, err = s.Get(m, []byte("b"))
+	must(t, err)
+	if m.Events(sim.CtrCacheMiss) != base+1 {
+		t.Fatal("LRU item was not evicted")
+	}
+}
+
+func TestCacheOversizedValueBypasses(t *testing.T) {
+	s, m := cacheStore(128)
+	key := []byte("big")
+	must(t, s.Set(m, key, bytes.Repeat([]byte{9}, 4096)))
+	got, err := s.Get(m, key)
+	must(t, err)
+	if len(got) != 4096 {
+		t.Fatal("big value corrupted")
+	}
+	if s.cache.Len() != 0 {
+		t.Fatal("oversized value cached past budget")
+	}
+}
+
+func TestSlabSize(t *testing.T) {
+	cases := map[int]int{1: 64, 64: 64, 65: 128, 128: 128, 1000: 1024}
+	for n, want := range cases {
+		if got := slabSize(n); got != want {
+			t.Errorf("slabSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

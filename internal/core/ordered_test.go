@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shieldstore/internal/entry"
+	"shieldstore/internal/sim"
+)
+
+func rangeStore(t *testing.T) (*Store, *sim.Meter) {
+	t.Helper()
+	opts := Defaults(64)
+	opts.RangeIndex = true
+	return newTestStore(opts)
+}
+
+func TestRangeBasic(t *testing.T) {
+	s, m := rangeStore(t)
+	for i := 0; i < 50; i++ {
+		must(t, s.Set(m, []byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("v%03d", i))))
+	}
+	kvs, err := s.Range(m, []byte("key-010"), []byte("key-020"), 0)
+	must(t, err)
+	if len(kvs) != 10 {
+		t.Fatalf("range returned %d pairs, want 10", len(kvs))
+	}
+	for i, kv := range kvs {
+		wantK := fmt.Sprintf("key-%03d", 10+i)
+		if string(kv.Key) != wantK {
+			t.Fatalf("pair %d: key %q, want %q (order broken)", i, kv.Key, wantK)
+		}
+		if string(kv.Value) != fmt.Sprintf("v%03d", 10+i) {
+			t.Fatalf("pair %d: wrong value %q", i, kv.Value)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s, m := rangeStore(t)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		must(t, s.Set(m, []byte(k), []byte("v")))
+	}
+	// Empty end = unbounded.
+	kvs, err := s.Range(m, []byte("b"), nil, 0)
+	must(t, err)
+	if len(kvs) != 3 || string(kvs[0].Key) != "b" || string(kvs[2].Key) != "d" {
+		t.Fatalf("unbounded range wrong: %d pairs", len(kvs))
+	}
+	// Limit.
+	kvs, err = s.Range(m, nil, nil, 2)
+	must(t, err)
+	if len(kvs) != 2 || string(kvs[0].Key) != "a" || string(kvs[1].Key) != "b" {
+		t.Fatalf("limited range wrong")
+	}
+	// Empty window.
+	kvs, err = s.Range(m, []byte("x"), []byte("z"), 0)
+	must(t, err)
+	if len(kvs) != 0 {
+		t.Fatalf("empty window returned %d pairs", len(kvs))
+	}
+}
+
+func TestRangeDisabled(t *testing.T) {
+	s, m := newTestStore(Defaults(16))
+	if _, err := s.Range(m, nil, nil, 0); !errors.Is(err, ErrNoRangeIndex) {
+		t.Fatalf("err = %v, want ErrNoRangeIndex", err)
+	}
+}
+
+func TestRangeTracksMutations(t *testing.T) {
+	s, m := rangeStore(t)
+	must(t, s.Set(m, []byte("k1"), []byte("a")))
+	must(t, s.Set(m, []byte("k2"), []byte("b")))
+	must(t, s.Set(m, []byte("k3"), []byte("c")))
+	must(t, s.Delete(m, []byte("k2")))
+	must(t, s.Set(m, []byte("k1"), []byte("a2"))) // update must not duplicate
+
+	kvs, err := s.Range(m, nil, nil, 0)
+	must(t, err)
+	if len(kvs) != 2 {
+		t.Fatalf("%d pairs after delete+update, want 2", len(kvs))
+	}
+	if string(kvs[0].Key) != "k1" || string(kvs[0].Value) != "a2" {
+		t.Fatalf("k1 wrong: %q=%q", kvs[0].Key, kvs[0].Value)
+	}
+	if string(kvs[1].Key) != "k3" {
+		t.Fatalf("k3 missing")
+	}
+}
+
+func TestRangeModelBased(t *testing.T) {
+	s, m := rangeStore(t)
+	ref := map[string][]byte{}
+	rng := rand.New(rand.NewSource(31))
+	for step := 0; step < 1500; step++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(150))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := make([]byte, rng.Intn(40))
+			rng.Read(v)
+			must(t, s.Set(m, []byte(k), v))
+			ref[k] = v
+		case 2:
+			err := s.Delete(m, []byte(k))
+			if _, ok := ref[k]; ok {
+				must(t, err)
+				delete(ref, k)
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+		case 3:
+			lo := fmt.Sprintf("key%03d", rng.Intn(150))
+			hi := fmt.Sprintf("key%03d", rng.Intn(150))
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			kvs, err := s.Range(m, []byte(lo), []byte(hi), 0)
+			must(t, err)
+			var want []string
+			for k := range ref {
+				if k >= lo && k < hi {
+					want = append(want, k)
+				}
+			}
+			sort.Strings(want)
+			if len(kvs) != len(want) {
+				t.Fatalf("step %d: range [%s,%s) -> %d pairs, want %d", step, lo, hi, len(kvs), len(want))
+			}
+			for i := range want {
+				if string(kvs[i].Key) != want[i] || !bytes.Equal(kvs[i].Value, ref[want[i]]) {
+					t.Fatalf("step %d: pair %d mismatch", step, i)
+				}
+			}
+		}
+	}
+	must(t, s.VerifyAll(m))
+}
+
+func TestRangeValuesIntegrityVerified(t *testing.T) {
+	// Range fetches go through Get, so tampering an entry surfaces as
+	// ErrIntegrity from the range call.
+	s, m := rangeStore(t)
+	for i := 0; i < 10; i++ {
+		must(t, s.Set(m, []byte(fmt.Sprintf("k%02d", i)), []byte("value")))
+	}
+	key := []byte("k05")
+	b := s.bucketOf(m, key)
+	res, err := s.search(m, b, key)
+	must(t, err)
+	s.space.Tamper(res.addr+entry.HeaderSize+2, []byte{0xFF})
+	if _, err := s.Range(m, nil, nil, 0); err == nil {
+		t.Fatal("range served tampered data")
+	}
+}
+
+func TestRangeSurvivesRestore(t *testing.T) {
+	opts := Defaults(16)
+	opts.RangeIndex = true
+	s, m := newTestStore(opts)
+	for i := 0; i < 40; i++ {
+		must(t, s.Set(m, []byte(fmt.Sprintf("k%02d", i)), []byte("v")))
+	}
+	var dumps [][][]byte
+	var bIDs []int
+	must(t, s.ForEachBucketRaw(func(b int, entries [][]byte) error {
+		cp := make([][]byte, len(entries))
+		for i := range entries {
+			cp[i] = append([]byte(nil), entries[i]...)
+		}
+		dumps = append(dumps, cp)
+		bIDs = append(bIDs, b)
+		return nil
+	}))
+	s2 := New(s.Enclave(), entry.NewCipherFromKeys(s.Enclave(), s.Cipher().ExportKeys()), opts)
+	m2 := sim.NewMeter(s.Enclave().Model())
+	for i := range dumps {
+		must(t, s2.RestoreBucket(m2, bIDs[i], dumps[i]))
+	}
+	must(t, s2.ImportMACHashes(m2, s.ExportMACHashes()))
+	must(t, s2.VerifyAll(m2))
+
+	kvs, err := s2.Range(m2, []byte("k10"), []byte("k15"), 0)
+	must(t, err)
+	if len(kvs) != 5 {
+		t.Fatalf("restored range: %d pairs, want 5", len(kvs))
+	}
+}
+
+func TestOrderedIndexChargesEnclaveCosts(t *testing.T) {
+	s, m := rangeStore(t)
+	for i := 0; i < 100; i++ {
+		must(t, s.Set(m, []byte(fmt.Sprintf("k%03d", i)), []byte("v")))
+	}
+	before := m.Cycles()
+	_, err := s.Range(m, nil, nil, 0)
+	must(t, err)
+	if m.Cycles() == before {
+		t.Fatal("range scan charged nothing")
+	}
+	if s.ordered.Len() != 100 {
+		t.Fatalf("index size %d", s.ordered.Len())
+	}
+}
+
+func TestSkiplistLevelsBounded(t *testing.T) {
+	ix := newOrderedIndex(testEnclave(4 << 20).Space())
+	m := sim.NewMeter(ix.model)
+	for i := 0; i < 5000; i++ {
+		ix.insert(m, []byte(fmt.Sprintf("%06d", i)))
+	}
+	if ix.level < 2 || ix.level > skipMaxLevel {
+		t.Fatalf("level = %d", ix.level)
+	}
+	if ix.Len() != 5000 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	// Duplicate insert is a no-op.
+	ix.insert(m, []byte("000000"))
+	if ix.Len() != 5000 {
+		t.Fatal("duplicate insert changed size")
+	}
+	// Remove absent is a no-op.
+	ix.remove(m, []byte("zzz"))
+	if ix.Len() != 5000 {
+		t.Fatal("remove absent changed size")
+	}
+}

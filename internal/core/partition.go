@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"shieldstore/internal/entry"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Partitioned is the §5.3 multithreaded deployment: the key space is
+// partitioned by the keyed hash, each partition is an independent Store
+// owned by exactly one worker thread, and no synchronization is ever
+// needed on the data path (Figure 8). All partitions share one enclave
+// (and therefore one EPC) and one cipher key set.
+type Partitioned struct {
+	enclave *sgx.Enclave
+	cipher  *entry.Cipher
+	parts   []*Store
+	meters  []*sim.Meter
+
+	workers []chan task
+	wg      sync.WaitGroup
+	started bool
+}
+
+type task func(s *Store, m *sim.Meter)
+
+// NewPartitioned creates n partitions, splitting buckets, MAC hashes and
+// cache budget evenly. Mirroring the paper, the partition count is fixed
+// at creation (SGX cannot grow enclave threads dynamically).
+func NewPartitioned(e *sgx.Enclave, n int, opts Options) *Partitioned {
+	if n <= 0 {
+		n = 1
+	}
+	setup := sim.NewMeter(e.Model())
+	cipher := entry.NewCipher(e, setup)
+
+	p := &Partitioned{enclave: e, cipher: cipher}
+	per := opts
+	per.Buckets = max(1, opts.Buckets/n)
+	per.MACHashes = max(1, opts.MACHashes/n)
+	per.CacheBytes = opts.CacheBytes / int64(n)
+	for i := 0; i < n; i++ {
+		p.parts = append(p.parts, New(e, cipher, per))
+		p.meters = append(p.meters, sim.NewMeter(e.Model()))
+	}
+	return p
+}
+
+// Parts returns the number of partitions.
+func (p *Partitioned) Parts() int { return len(p.parts) }
+
+// Part returns partition i's store.
+func (p *Partitioned) Part(i int) *Store { return p.parts[i] }
+
+// Meter returns partition i's worker meter.
+func (p *Partitioned) Meter(i int) *sim.Meter { return p.meters[i] }
+
+// Cipher returns the shared key material.
+func (p *Partitioned) Cipher() *entry.Cipher { return p.cipher }
+
+// Route returns the partition owning key. It uses the low bits of the
+// keyed hash; stores use the high bits for bucket selection, so the two
+// mappings are independent.
+func (p *Partitioned) Route(m *sim.Meter, key []byte) int {
+	h := p.cipher.BucketHash(m, key)
+	return int(h % uint64(len(p.parts)))
+}
+
+// Keys returns the total number of live keys across partitions.
+func (p *Partitioned) Keys() int {
+	total := 0
+	for _, s := range p.parts {
+		total += s.Keys()
+	}
+	return total
+}
+
+// MaxCycles returns the slowest worker's virtual time — the completion
+// time of a parallel phase.
+func (p *Partitioned) MaxCycles() uint64 {
+	var maxC uint64
+	for _, m := range p.meters {
+		if m.Cycles() > maxC {
+			maxC = m.Cycles()
+		}
+	}
+	return maxC
+}
+
+// ResetMeters zeroes all worker meters (between benchmark phases).
+func (p *Partitioned) ResetMeters() {
+	for _, m := range p.meters {
+		m.Reset()
+	}
+}
+
+// AggregateStats sums event counters across workers.
+func (p *Partitioned) AggregateStats() sim.Stats {
+	agg := sim.NewMeter(p.enclave.Model())
+	for _, m := range p.meters {
+		agg.Add(m)
+	}
+	s := agg.Snapshot()
+	s.Cycles = p.MaxCycles()
+	return s
+}
+
+// Start launches one worker goroutine per partition for the asynchronous
+// (networked server) mode. Benchmarks drive partitions directly instead.
+func (p *Partitioned) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.workers = make([]chan task, len(p.parts))
+	for i := range p.parts {
+		ch := make(chan task, 256)
+		p.workers[i] = ch
+		p.wg.Add(1)
+		go func(s *Store, m *sim.Meter, ch chan task) {
+			defer p.wg.Done()
+			for t := range ch {
+				t(s, m)
+			}
+		}(p.parts[i], p.meters[i], ch)
+	}
+}
+
+// Stop drains and joins the workers.
+func (p *Partitioned) Stop() {
+	if !p.started {
+		return
+	}
+	for _, ch := range p.workers {
+		close(ch)
+	}
+	p.wg.Wait()
+	p.started = false
+	p.workers = nil
+}
+
+// submit enqueues a task on key's partition worker and returns a function
+// that waits for its completion.
+func (p *Partitioned) submit(routeM *sim.Meter, key []byte, f task) func() {
+	i := p.Route(routeM, key)
+	done := make(chan struct{})
+	p.workers[i] <- func(s *Store, m *sim.Meter) {
+		f(s, m)
+		close(done)
+	}
+	return func() { <-done }
+}
+
+// Get fetches key through the worker pool (Start must have been called).
+func (p *Partitioned) Get(routeM *sim.Meter, key []byte) ([]byte, error) {
+	var val []byte
+	var err error
+	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
+		val, err = s.Get(m, key)
+	})
+	wait()
+	return val, err
+}
+
+// Set stores key through the worker pool.
+func (p *Partitioned) Set(routeM *sim.Meter, key, value []byte) error {
+	var err error
+	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
+		err = s.Set(m, key, value)
+	})
+	wait()
+	return err
+}
+
+// Append appends through the worker pool.
+func (p *Partitioned) Append(routeM *sim.Meter, key, suffix []byte) error {
+	var err error
+	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
+		err = s.Append(m, key, suffix)
+	})
+	wait()
+	return err
+}
+
+// Incr increments through the worker pool.
+func (p *Partitioned) Incr(routeM *sim.Meter, key []byte, delta int64) (int64, error) {
+	var out int64
+	var err error
+	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
+		out, err = s.Incr(m, key, delta)
+	})
+	wait()
+	return out, err
+}
+
+// Delete removes through the worker pool.
+func (p *Partitioned) Delete(routeM *sim.Meter, key []byte) error {
+	var err error
+	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
+		err = s.Delete(m, key)
+	})
+	wait()
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Repartition rebuilds the store across a new partition count — the
+// dynamic parallelism adjustment §5.3 leaves to future work (SGX1 cannot
+// grow enclave *threads* at runtime, but the partition map itself can be
+// rebuilt during a stop-the-world window, e.g. before spawning a
+// different number of untrusted worker threads at the next restart).
+//
+// The rebuild decrypts every entry once and reinserts it under the new
+// partition routing; the cost (charged to the supplied meter) is
+// proportional to the data set, which is why the paper treats the thread
+// count as fixed. The worker pool must be stopped.
+func (p *Partitioned) Repartition(m *sim.Meter, n int) error {
+	if p.started {
+		return errors.New("core: stop the worker pool before repartitioning")
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if n == len(p.parts) {
+		return nil
+	}
+	oldParts := p.parts
+
+	// Build the new partition set with the same cipher and per-partition
+	// shares of the original global configuration.
+	opts := oldParts[0].Options()
+	totalBuckets := opts.Buckets * len(oldParts)
+	totalHashes := opts.MACHashes * len(oldParts)
+	totalCache := opts.CacheBytes * int64(len(oldParts))
+	per := opts
+	per.Buckets = max(1, totalBuckets/n)
+	per.MACHashes = max(1, totalHashes/n)
+	per.CacheBytes = totalCache / int64(n)
+
+	newParts := make([]*Store, n)
+	newMeters := make([]*sim.Meter, n)
+	for i := 0; i < n; i++ {
+		newParts[i] = New(p.enclave, p.cipher, per)
+		newMeters[i] = sim.NewMeter(p.enclave.Model())
+	}
+	// Re-route every pair. Decryption/re-encryption happens inside the
+	// enclave; the old untrusted memory is abandoned to the host heap.
+	route := func(key []byte) int {
+		h := p.cipher.BucketHash(m, key)
+		return int(h % uint64(n))
+	}
+	for _, s := range oldParts {
+		err := s.ForEachDecrypt(m, func(k, v []byte) error {
+			return newParts[route(k)].Set(m, k, v)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	p.parts = newParts
+	p.meters = newMeters
+	return nil
+}

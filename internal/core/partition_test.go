@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shieldstore/internal/sim"
+)
+
+func TestPartitionedRoutingStable(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		r1 := p.Route(m, key)
+		r2 := p.Route(m, key)
+		if r1 != r2 {
+			t.Fatalf("routing unstable for %s", key)
+		}
+		if r1 < 0 || r1 >= p.Parts() {
+			t.Fatalf("route out of range: %d", r1)
+		}
+	}
+}
+
+func TestPartitionedSpreadsKeys(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	m := sim.NewMeter(e.Model())
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[p.Route(m, []byte(fmt.Sprintf("key-%05d", i)))]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("partition %d has %d/4000 keys (want ~1000)", i, c)
+		}
+	}
+}
+
+func TestPartitionedWorkerOps(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 3, Defaults(48))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		if err := p.Set(m, k, []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Keys() != 200 {
+		t.Fatalf("Keys = %d", p.Keys())
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		got, err := p.Get(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte(fmt.Sprintf("v%04d", i))) {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	// Append/Incr/Delete through the pool.
+	if err := p.Append(m, []byte("k0000"), []byte("-x")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(m, []byte("k0000"))
+	if string(got) != "v0000-x" {
+		t.Fatalf("append via pool: %q", got)
+	}
+	if _, err := p.Incr(m, []byte("ctr"), 41); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Incr(m, []byte("ctr"), 1)
+	if err != nil || n != 42 {
+		t.Fatalf("incr via pool: %d, %v", n, err)
+	}
+	if err := p.Delete(m, []byte("k0001")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(m, []byte("k0001")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestPartitionedConcurrentClients(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	p.Start()
+	defer p.Stop()
+
+	const clients = 8
+	const opsPer = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			m := sim.NewMeter(e.Model())
+			for i := 0; i < opsPer; i++ {
+				k := []byte(fmt.Sprintf("c%d-k%03d", c, i))
+				if err := p.Set(m, k, []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := p.Get(m, k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.Keys() != clients*opsPer {
+		t.Fatalf("Keys = %d, want %d", p.Keys(), clients*opsPer)
+	}
+}
+
+func TestPartitionedMetersAndStats(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 2, Defaults(32))
+	m := sim.NewMeter(e.Model())
+
+	// Drive partitions directly (benchmark style).
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		part := p.Route(m, k)
+		if err := p.Part(part).Set(p.Meter(part), k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.MaxCycles() == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	agg := p.AggregateStats()
+	if agg.Events[sim.CtrEncrypt] != 50 {
+		t.Fatalf("aggregate encrypts = %d, want 50", agg.Events[sim.CtrEncrypt])
+	}
+	if agg.Cycles != p.MaxCycles() {
+		t.Fatal("aggregate cycles must be the max worker time")
+	}
+	p.ResetMeters()
+	if p.MaxCycles() != 0 {
+		t.Fatal("ResetMeters failed")
+	}
+}
+
+func TestPartitionedSharedCipher(t *testing.T) {
+	// All partitions must share key material: an entry written through
+	// partition routing must decrypt under the shared cipher.
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	if p.Cipher() == nil {
+		t.Fatal("nil shared cipher")
+	}
+	for i := 0; i < 4; i++ {
+		if p.Part(i).Cipher() != p.Cipher() {
+			t.Fatalf("partition %d has its own cipher", i)
+		}
+	}
+}
+
+func TestPartitionedSinglePartition(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 0, Defaults(16)) // clamps to 1
+	if p.Parts() != 1 {
+		t.Fatalf("Parts = %d, want 1", p.Parts())
+	}
+	m := sim.NewMeter(e.Model())
+	if p.Route(m, []byte("any")) != 0 {
+		t.Fatal("single partition must route to 0")
+	}
+}
+
+func TestRepartition(t *testing.T) {
+	e := testEnclave(16 << 20)
+	p := NewPartitioned(e, 2, Defaults(64))
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		part := p.Route(m, k)
+		if err := p.Part(part).Set(p.Meter(part), k, []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Repartition(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Parts() != 4 {
+		t.Fatalf("Parts = %d", p.Parts())
+	}
+	if p.Keys() != 200 {
+		t.Fatalf("Keys = %d after repartition", p.Keys())
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		part := p.Route(m, k)
+		got, err := p.Part(part).Get(p.Meter(part), k)
+		if err != nil || string(got) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("key %d after repartition: %q %v", i, got, err)
+		}
+	}
+	// Every partition verifies.
+	for i := 0; i < p.Parts(); i++ {
+		if err := p.Part(i).VerifyAll(m); err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+	// Shrink back down.
+	if err := p.Repartition(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Parts() != 1 || p.Keys() != 200 {
+		t.Fatalf("shrink: parts=%d keys=%d", p.Parts(), p.Keys())
+	}
+	// No-op and guard rails.
+	if err := p.Repartition(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	if err := p.Repartition(m, 2); err == nil {
+		t.Fatal("repartition with running workers must fail")
+	}
+}

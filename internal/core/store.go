@@ -1,0 +1,1267 @@
+// Package core implements the ShieldStore engine — the paper's primary
+// contribution (§4, §5).
+//
+// The main chained hash table lives entirely in *untrusted* memory; every
+// data entry is individually encrypted and MACed by enclave code
+// (internal/entry). Only the secret keys and the flattened-Merkle array of
+// bucket-set MAC hashes (§4.3) are kept in enclave memory. The package
+// also implements the paper's optimizations: the extra heap allocator
+// (§5.1, internal/alloc), MAC bucketing (§5.2), hash-partitioned
+// multithreading (§5.3, partition.go) and the 1-byte key hint with its
+// two-step fallback search (§5.4), plus the optional EPC plaintext cache
+// used in the Eleos comparison (§6.3, cache.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"shieldstore/internal/alloc"
+	"shieldstore/internal/entry"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/merkle"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Errors returned by store operations.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("shieldstore: key not found")
+	// ErrIntegrity reports that untrusted memory failed MAC verification:
+	// an entry, a MAC bucket, or a whole bucket set was tampered with or
+	// replayed.
+	ErrIntegrity = errors.New("shieldstore: integrity verification failed")
+	// ErrCorruptPointer reports an untrusted pointer aliasing the enclave
+	// address range (§7 pointer sanitization).
+	ErrCorruptPointer = errors.New("shieldstore: untrusted pointer aliases enclave memory")
+	// ErrNotNumeric reports an Incr on a non-numeric value.
+	ErrNotNumeric = errors.New("shieldstore: value is not numeric")
+	// ErrNoRangeIndex reports a Range call on a store built without
+	// Options.RangeIndex.
+	ErrNoRangeIndex = errors.New("shieldstore: range index not enabled")
+)
+
+// Options configures a Store. The zero value is unusable; use Defaults.
+type Options struct {
+	// Buckets is the number of hash buckets.
+	Buckets int
+	// MACHashes is the number of in-enclave MAC hash slots; must not
+	// exceed Buckets. Each slot covers the bucket set {b : b ≡ slot
+	// (mod MACHashes)}.
+	MACHashes int
+	// MACBucketCap is the number of MACs per MAC-bucket node (§5.2).
+	MACBucketCap int
+	// KeyHint enables the 1-byte key hint (§5.4).
+	KeyHint bool
+	// MACBucket enables MAC bucketing (§5.2). When disabled, bucket-set
+	// verification chases entry chain pointers to gather MACs.
+	MACBucket bool
+	// ExtraHeap enables the §5.1 in-enclave allocator for untrusted
+	// memory; when false every entry allocation is an OCALL.
+	ExtraHeap bool
+	// HeapChunk is the extra heap's sbrk granularity (default 16 MB).
+	HeapChunk int
+	// CacheBytes enables the in-enclave plaintext cache with the given
+	// capacity (0 = disabled).
+	CacheBytes int64
+	// RangeIndex enables ordered range queries via an enclave-resident
+	// skiplist over plaintext keys (the §7 future-work extension). Costs
+	// EPC proportional to the key set; see internal/core/ordered.go.
+	RangeIndex bool
+	// MerkleTree replaces the flattened in-enclave MAC hashes (§4.3) with
+	// the full Merkle tree the paper rejects: one leaf per bucket,
+	// internal nodes in untrusted memory, only the 16-byte root in the
+	// enclave. Exists to validate the paper's design choice by ablation
+	// (BenchmarkAblationIntegrity); slower per §4.3's argument.
+	MerkleTree bool
+}
+
+// Defaults returns the ShieldOpt configuration for a given bucket count:
+// all optimizations on, MAC hashes equal to buckets (capped), cache off.
+func Defaults(buckets int) Options {
+	return Options{
+		Buckets:      buckets,
+		MACHashes:    buckets,
+		MACBucketCap: 30,
+		KeyHint:      true,
+		MACBucket:    true,
+		ExtraHeap:    true,
+		HeapChunk:    alloc.DefaultChunk,
+	}
+}
+
+// Base returns the ShieldBase configuration: fine-grained encryption and
+// integrity only, none of the §5 optimizations.
+func Base(buckets int) Options {
+	return Options{
+		Buckets:      buckets,
+		MACHashes:    buckets,
+		MACBucketCap: 30,
+	}
+}
+
+// MAC bucket node layout (untrusted memory):
+//
+//	0   8  next node address
+//	8   4  count (head node only: MACs in this hash bucket)
+//	12  4  reserved
+//	16  -  MACs (MACBucketCap x 16 B)
+const (
+	macNodeHdr = 16
+)
+
+// Store is one ShieldStore instance (one partition in multithreaded
+// deployments). A Store is not safe for concurrent use: the paper's
+// hash-key partitioning gives every thread exclusive ownership of its
+// partition precisely so no synchronization is needed (§5.3).
+type Store struct {
+	space   *mem.Space
+	enclave *sgx.Enclave
+	cipher  *entry.Cipher
+	model   *sim.CostModel
+	opts    Options
+
+	heads    mem.Addr // untrusted: Buckets x 8 B chain heads
+	macHeads mem.Addr // untrusted: Buckets x 8 B MAC-bucket heads (if enabled)
+	macHash  mem.Addr // enclave: MACHashes x 16 B bucket-set MAC hashes
+
+	heap    alloc.Allocator
+	cache   *epcCache
+	ordered *orderedIndex // non-nil when Options.RangeIndex
+	tree    *merkle.Tree  // non-nil when Options.MerkleTree
+
+	keys int // number of live entries
+}
+
+// New creates a store inside the given enclave. When cipher is nil a fresh
+// key set is generated.
+func New(e *sgx.Enclave, cipher *entry.Cipher, opts Options) *Store {
+	if opts.Buckets <= 0 {
+		panic("core: Buckets must be positive")
+	}
+	if opts.MACHashes <= 0 || opts.MACHashes > opts.Buckets {
+		opts.MACHashes = opts.Buckets
+	}
+	if opts.MerkleTree {
+		// One leaf per bucket: the tree provides per-bucket granularity.
+		opts.MACHashes = opts.Buckets
+	}
+	if opts.MACBucketCap <= 0 {
+		opts.MACBucketCap = 30
+	}
+	setup := sim.NewMeter(e.Model())
+	if cipher == nil {
+		cipher = entry.NewCipher(e, setup)
+	}
+	s := &Store{
+		space:   e.Space(),
+		enclave: e,
+		cipher:  cipher,
+		model:   e.Model(),
+		opts:    opts,
+	}
+	s.heads = s.space.Alloc(mem.Untrusted, opts.Buckets*8)
+	if opts.MACBucket {
+		s.macHeads = s.space.Alloc(mem.Untrusted, opts.Buckets*8)
+	}
+	if opts.MerkleTree {
+		s.tree = merkle.New(s.space, cipher.MACEngine(), opts.Buckets)
+	} else {
+		// The MAC hash array is the dominant EPC consumer (§4.3); its
+		// size is what Figure 15 sweeps. Zero-filled = "empty set".
+		s.macHash = s.space.Alloc(mem.Enclave, opts.MACHashes*entry.MACSize)
+	}
+	if opts.ExtraHeap {
+		s.heap = alloc.NewExtraHeap(e, opts.HeapChunk)
+	} else {
+		s.heap = alloc.NewOutside(e)
+	}
+	if opts.CacheBytes > 0 {
+		s.cache = newEPCCache(e, opts.CacheBytes)
+	}
+	if opts.RangeIndex {
+		s.ordered = newOrderedIndex(e.Space())
+	}
+	return s
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Cipher returns the store's key material holder (for sealing).
+func (s *Store) Cipher() *entry.Cipher { return s.cipher }
+
+// Enclave returns the enclave the store runs in.
+func (s *Store) Enclave() *sgx.Enclave { return s.enclave }
+
+// Keys returns the number of live keys.
+func (s *Store) Keys() int { return s.keys }
+
+// Heap returns the untrusted-memory allocator (for Figure 6 stats).
+func (s *Store) Heap() alloc.Allocator { return s.heap }
+
+// bucketOf maps a key to its bucket via the keyed hash. The upper hash
+// bits are used so that partition routing (low bits, partition.go) stays
+// independent.
+func (s *Store) bucketOf(m *sim.Meter, key []byte) int {
+	h := s.cipher.BucketHash(m, key)
+	return int((h >> 16) % uint64(s.opts.Buckets))
+}
+
+// headAddr returns the address of bucket b's chain head pointer.
+func (s *Store) headAddr(b int) mem.Addr { return s.heads + mem.Addr(b*8) }
+
+// macHeadAddr returns the address of bucket b's MAC-bucket head pointer.
+func (s *Store) macHeadAddr(b int) mem.Addr { return s.macHeads + mem.Addr(b*8) }
+
+// macHashAddr returns the enclave address of MAC hash slot i.
+func (s *Store) macHashAddr(i int) mem.Addr {
+	return s.macHash + mem.Addr(i*entry.MACSize)
+}
+
+// readPtr loads and sanitizes an untrusted chain pointer: it must not
+// alias the enclave range (§7) and must point into allocated untrusted
+// memory — a wild pointer would fault the process (availability attack).
+func (s *Store) readPtr(m *sim.Meter, a mem.Addr) (mem.Addr, error) {
+	p := mem.Addr(s.space.ReadU64(m, a))
+	if err := mem.CheckUntrusted(p); err != nil {
+		return 0, ErrCorruptPointer
+	}
+	if p != 0 && !s.space.InAllocated(p, entry.HeaderSize) {
+		return 0, ErrCorruptPointer
+	}
+	return p, nil
+}
+
+// checkSpan validates that an untrusted read of n bytes at a stays inside
+// allocated memory (tampered size fields could otherwise walk off the
+// heap).
+func (s *Store) checkSpan(a mem.Addr, n int) error {
+	if !s.space.InAllocated(a, n) {
+		return ErrCorruptPointer
+	}
+	return nil
+}
+
+// lookup is the result of a chain search.
+type lookup struct {
+	bucket   int
+	found    bool
+	addr     mem.Addr // entry address
+	prevLink mem.Addr // address of the pointer linking to this entry
+	hdr      entry.Header
+	val      []byte // decrypted value (valid when found)
+	chainIdx int    // position from head (for chain-ordered MAC sets)
+	chainLen int    // entries walked in the bucket (>= chainIdx+1)
+}
+
+// search walks bucket b's chain looking for key. With key hints enabled it
+// first decrypts only hint-matching candidates; if that pass misses, the
+// two-step fallback (§5.4) decrypts everything, which both serves inserts
+// and defeats hint-corruption availability attacks.
+func (s *Store) search(m *sim.Meter, b int, key []byte) (lookup, error) {
+	hint := byte(0)
+	if s.opts.KeyHint {
+		hint = s.cipher.KeyHint(m, key)
+	}
+	res, err := s.walk(m, b, key, s.opts.KeyHint, hint)
+	if err != nil || res.found || !s.opts.KeyHint {
+		return res, err
+	}
+	// Two-step fallback: full decrypting search.
+	return s.walk(m, b, key, false, 0)
+}
+
+// walk performs one pass over the chain. useHint limits decryption to
+// hint-matching entries.
+func (s *Store) walk(m *sim.Meter, b int, key []byte, useHint bool, hint byte) (lookup, error) {
+	res := lookup{bucket: b}
+	link := s.headAddr(b)
+	cur, err := s.readPtr(m, link)
+	if err != nil {
+		return res, err
+	}
+	var hdrBuf [entry.HeaderSize]byte
+	idx := 0
+	for cur != 0 {
+		m.Count(sim.CtrEntryVisited)
+		s.space.Read(m, cur, hdrBuf[:])
+		hdr := entry.ParseHeader(hdrBuf[:])
+		if err := mem.CheckUntrusted(hdr.Next); err != nil {
+			return res, ErrCorruptPointer
+		}
+		if hdr.Next != 0 && !s.space.InAllocated(hdr.Next, entry.HeaderSize) {
+			return res, ErrCorruptPointer
+		}
+		// Sanity-bound sizes before trusting them for a read.
+		if hdr.CTLen() > 64<<20 {
+			return res, ErrIntegrity
+		}
+		if err := s.checkSpan(cur+entry.HeaderSize, hdr.CTLen()); err != nil {
+			return res, err
+		}
+		tryDecrypt := !useHint || hdr.KeyHint == hint
+		if tryDecrypt && int(hdr.KeySize) == len(key) {
+			ct := make([]byte, hdr.CTLen())
+			s.space.Read(m, cur+entry.HeaderSize, ct)
+			pt := make([]byte, len(ct))
+			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
+			if string(pt[:hdr.KeySize]) == string(key) {
+				res.found = true
+				res.addr = cur
+				res.prevLink = link
+				res.hdr = hdr
+				res.val = pt[hdr.KeySize:]
+				res.chainIdx = idx
+				res.chainLen = idx + 1
+				return res, nil
+			}
+		}
+		link = cur + entry.OffNext
+		cur = hdr.Next
+		idx++
+	}
+	res.chainLen = idx
+	return res, nil
+}
+
+// setView is the gathered MAC material of one bucket set, used both to
+// verify the current in-enclave MAC hash and to splice in a mutation
+// without a second collection pass.
+type setView struct {
+	macIdx  int
+	macs    []byte // concatenated entry MACs, canonical order
+	buckets []int  // buckets in the set, ascending
+	offs    []int  // byte offset of each bucket's first MAC in macs
+	cnts    []int  // entry count per bucket
+}
+
+// bucketOffset returns the offset and count of bucket b inside the view.
+func (v *setView) bucketOffset(b int) (off, cnt int) {
+	for i, bb := range v.buckets {
+		if bb == b {
+			return v.offs[i], v.cnts[i]
+		}
+	}
+	panic("core: bucket not in set view")
+}
+
+// collectSet gathers the MACs of every bucket covered by b's MAC hash
+// slot. With MAC bucketing the sidecar arrays are read (few sequential
+// reads); without it, every entry chain is pointer-chased and each entry's
+// MAC field read individually — the §5.2 overhead.
+func (s *Store) collectSet(m *sim.Meter, b int) (setView, error) {
+	if s.tree != nil {
+		// Merkle mode: every bucket is its own leaf.
+		v := setView{macIdx: b, buckets: []int{b}, offs: []int{0}}
+		var cnt int
+		var err error
+		if s.opts.MACBucket {
+			v.macs, cnt, err = s.readMACBucket(m, b, nil)
+		} else {
+			v.macs, cnt, err = s.readChainMACs(m, b, nil)
+		}
+		if err != nil {
+			return v, err
+		}
+		v.cnts = []int{cnt}
+		return v, nil
+	}
+	v := setView{macIdx: b % s.opts.MACHashes}
+	for bb := v.macIdx; bb < s.opts.Buckets; bb += s.opts.MACHashes {
+		v.buckets = append(v.buckets, bb)
+		v.offs = append(v.offs, len(v.macs))
+		var cnt int
+		var err error
+		if s.opts.MACBucket {
+			v.macs, cnt, err = s.readMACBucket(m, bb, v.macs)
+		} else {
+			v.macs, cnt, err = s.readChainMACs(m, bb, v.macs)
+		}
+		if err != nil {
+			return v, err
+		}
+		v.cnts = append(v.cnts, cnt)
+	}
+	return v, nil
+}
+
+// readMACBucket appends bucket bb's sidecar MACs (slot order) to dst.
+func (s *Store) readMACBucket(m *sim.Meter, bb int, dst []byte) ([]byte, int, error) {
+	node, err := s.readPtr(m, s.macHeadAddr(bb))
+	if err != nil {
+		return dst, 0, err
+	}
+	if node == 0 {
+		return dst, 0, nil
+	}
+	var cntBuf [4]byte
+	s.space.Read(m, node+8, cntBuf[:])
+	cnt := int(leU32(cntBuf[:]))
+	if cnt < 0 || cnt > 1<<24 {
+		return dst, 0, ErrIntegrity
+	}
+	remaining := cnt
+	for node != 0 && remaining > 0 {
+		take := remaining
+		if take > s.opts.MACBucketCap {
+			take = s.opts.MACBucketCap
+		}
+		buf := make([]byte, take*entry.MACSize)
+		s.space.Read(m, node+macNodeHdr, buf)
+		dst = append(dst, buf...)
+		remaining -= take
+		node, err = s.readPtr(m, node)
+		if err != nil {
+			return dst, 0, err
+		}
+	}
+	if remaining > 0 {
+		return dst, 0, ErrIntegrity // sidecar chain shorter than its count
+	}
+	return dst, cnt, nil
+}
+
+// readChainMACs appends bucket bb's entry MACs in chain order to dst by
+// walking the data entries themselves.
+func (s *Store) readChainMACs(m *sim.Meter, bb int, dst []byte) ([]byte, int, error) {
+	cur, err := s.readPtr(m, s.headAddr(bb))
+	if err != nil {
+		return dst, 0, err
+	}
+	cnt := 0
+	var macBuf [entry.MACSize]byte
+	for cur != 0 {
+		s.space.Read(m, cur+entry.OffMAC, macBuf[:])
+		dst = append(dst, macBuf[:]...)
+		cnt++
+		cur, err = s.readPtr(m, cur+entry.OffNext)
+		if err != nil {
+			return dst, 0, err
+		}
+		if cnt > 1<<24 {
+			return dst, 0, ErrIntegrity // cycle in tampered chain
+		}
+	}
+	return dst, cnt, nil
+}
+
+// verifySet checks the collected MACs against the in-enclave MAC hash.
+// The enclave-side read is a real enclave memory access, so large MAC hash
+// arrays push into EPC paging exactly as Figure 15 shows.
+func (s *Store) verifySet(m *sim.Meter, v *setView) error {
+	if s.tree != nil {
+		return s.verifyLeafMerkle(m, v)
+	}
+	var stored [entry.MACSize]byte
+	s.space.Read(m, s.macHashAddr(v.macIdx), stored[:])
+	if len(v.macs) == 0 {
+		for _, x := range stored {
+			if x != 0 {
+				return ErrIntegrity
+			}
+		}
+		return nil
+	}
+	want := s.cipher.SetMAC(m, v.macs)
+	if want != stored {
+		return ErrIntegrity
+	}
+	return nil
+}
+
+// writeSetHash recomputes and stores the MAC hash for a (modified) view.
+func (s *Store) writeSetHash(m *sim.Meter, v *setView) {
+	var h [entry.MACSize]byte
+	if len(v.macs) > 0 {
+		h = s.cipher.SetMAC(m, v.macs)
+	}
+	if s.tree != nil {
+		s.tree.UpdateLeaf(m, v.macIdx, h)
+		return
+	}
+	s.space.Write(m, s.macHashAddr(v.macIdx), h[:])
+}
+
+// verifyLeafMerkle authenticates a bucket's MAC list through the Merkle
+// tree path to the enclave root.
+func (s *Store) verifyLeafMerkle(m *sim.Meter, v *setView) error {
+	var leaf [entry.MACSize]byte
+	if len(v.macs) > 0 {
+		leaf = s.cipher.SetMAC(m, v.macs)
+	}
+	if err := s.tree.VerifyLeaf(m, v.macIdx, leaf); err != nil {
+		return ErrIntegrity
+	}
+	return nil
+}
+
+// positionOf returns the byte offset of the entry's MAC inside the view:
+// slot order under MAC bucketing, chain order otherwise.
+func (s *Store) positionOf(v *setView, res *lookup) (int, error) {
+	off, cnt := v.bucketOffset(res.bucket)
+	pos := res.chainIdx
+	if s.opts.MACBucket {
+		pos = int(res.hdr.Slot)
+	}
+	if pos < 0 || pos >= cnt {
+		return 0, ErrIntegrity
+	}
+	return off + pos*entry.MACSize, nil
+}
+
+// verifyMissChain guards the not-found path under MAC bucketing. The set
+// hash authenticates the *sidecar*, but a malicious host could unlink an
+// entry from the data chain (or substitute a decoy) without touching the
+// sidecar, turning a present key into a verified miss. Before reporting
+// ErrNotFound, the chain is therefore cross-checked against the sidecar:
+// every entry's slot must be unique and its MAC field must equal the
+// sidecar MAC at that slot, and the chain length must match the sidecar
+// count. (Without MAC bucketing the set hash is computed from the chain
+// itself, so misses are self-verifying.)
+func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
+	if !s.opts.MACBucket {
+		return nil
+	}
+	off, cnt := v.bucketOffset(b)
+	seen := make([]bool, cnt)
+	cur, err := s.readPtr(m, s.headAddr(b))
+	if err != nil {
+		return err
+	}
+	n := 0
+	var hdrBuf [entry.HeaderSize]byte
+	for cur != 0 {
+		s.space.Read(m, cur, hdrBuf[:])
+		hdr := entry.ParseHeader(hdrBuf[:])
+		slot := int(hdr.Slot)
+		if slot < 0 || slot >= cnt || seen[slot] {
+			return ErrIntegrity
+		}
+		if string(hdr.MAC[:]) != string(v.macs[off+slot*entry.MACSize:off+(slot+1)*entry.MACSize]) {
+			return ErrIntegrity
+		}
+		seen[slot] = true
+		n++
+		if err := mem.CheckUntrusted(hdr.Next); err != nil {
+			return ErrCorruptPointer
+		}
+		cur = hdr.Next
+		if n > cnt {
+			return ErrIntegrity
+		}
+	}
+	if n != cnt {
+		return ErrIntegrity
+	}
+	return nil
+}
+
+// verifyEntry authenticates the found entry's content against the MAC
+// covered by the set hash (the sidecar slot under MAC bucketing).
+func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
+	p, err := s.positionOf(v, res)
+	if err != nil {
+		return err
+	}
+	authoritative := v.macs[p : p+entry.MACSize]
+	// Reconstruct ciphertext from the decrypted plaintext we already hold
+	// (cheaper than re-reading untrusted memory; the plaintext is in the
+	// enclave). Encryption cost is not re-charged: this is the same pass.
+	ct := make([]byte, res.hdr.CTLen())
+	s.space.Peek(res.addr+entry.HeaderSize, ct)
+	if !s.cipher.VerifyEntryMAC(m, &res.hdr, ct, authoritative) {
+		return ErrIntegrity
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
+	m.Charge(s.model.RequestOverhead)
+	b := s.bucketOf(m, key)
+
+	if s.cache != nil {
+		if val, ok := s.cache.get(m, key); ok {
+			return val, nil
+		}
+	}
+
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.collectSet(m, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.verifySet(m, &v); err != nil {
+		return nil, err
+	}
+	if !res.found {
+		if err := s.verifyMissChain(m, &v, b); err != nil {
+			return nil, err
+		}
+		return nil, ErrNotFound
+	}
+	if err := s.verifyEntry(m, &v, &res); err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.put(m, key, res.val)
+	}
+	return res.val, nil
+}
+
+// Set stores value under key, inserting or updating in place.
+func (s *Store) Set(m *sim.Meter, key, value []byte) error {
+	m.Charge(s.model.RequestOverhead)
+	return s.mutate(m, key, func(_ []byte, _ bool) ([]byte, error) {
+		return value, nil
+	})
+}
+
+// Append appends suffix to the existing value (server-side computation,
+// §3.2/§6.2). A missing key is created with suffix as its value, matching
+// Redis APPEND semantics.
+func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
+	m.Charge(s.model.RequestOverhead)
+	return s.mutate(m, key, func(old []byte, found bool) ([]byte, error) {
+		if !found {
+			return suffix, nil
+		}
+		nv := make([]byte, 0, len(old)+len(suffix))
+		nv = append(nv, old...)
+		nv = append(nv, suffix...)
+		return nv, nil
+	})
+}
+
+// Incr adds delta to a decimal-encoded value, creating it at delta when
+// missing, and returns the new number.
+func (s *Store) Incr(m *sim.Meter, key []byte, delta int64) (int64, error) {
+	m.Charge(s.model.RequestOverhead)
+	var out int64
+	err := s.mutate(m, key, func(old []byte, found bool) ([]byte, error) {
+		cur := int64(0)
+		if found {
+			n, err := strconv.ParseInt(string(old), 10, 64)
+			if err != nil {
+				return nil, ErrNotNumeric
+			}
+			cur = n
+		}
+		out = cur + delta
+		return strconv.AppendInt(nil, out, 10), nil
+	})
+	return out, err
+}
+
+// Delete removes key, returning ErrNotFound when absent.
+func (s *Store) Delete(m *sim.Meter, key []byte) error {
+	m.Charge(s.model.RequestOverhead)
+	b := s.bucketOf(m, key)
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return err
+	}
+	v, err := s.collectSet(m, b)
+	if err != nil {
+		return err
+	}
+	if err := s.verifySet(m, &v); err != nil {
+		return err
+	}
+	if !res.found {
+		if err := s.verifyMissChain(m, &v, b); err != nil {
+			return err
+		}
+		return ErrNotFound
+	}
+	if err := s.verifyEntry(m, &v, &res); err != nil {
+		return err
+	}
+
+	// Unlink from the data chain.
+	s.space.WriteU64(m, res.prevLink, uint64(res.hdr.Next))
+
+	// Remove the MAC from the set view (and sidecar).
+	p, err := s.positionOf(&v, &res)
+	if err != nil {
+		return err
+	}
+	off, cnt := v.bucketOffset(res.bucket)
+	if s.opts.MACBucket {
+		last := off + (cnt-1)*entry.MACSize
+		if p != last {
+			// Move the last slot's MAC into the hole and repoint the
+			// entry that owned it.
+			copy(v.macs[p:p+entry.MACSize], v.macs[last:last+entry.MACSize])
+			s.writeSidecarSlot(m, res.bucket, int(res.hdr.Slot), v.macs[p:p+entry.MACSize])
+			if err := s.reslotEntry(m, res.bucket, uint32(cnt-1), res.hdr.Slot); err != nil {
+				return err
+			}
+		}
+		s.setSidecarCount(m, res.bucket, cnt-1)
+		v.macs = spliceOut(v.macs, last)
+	} else {
+		v.macs = spliceOut(v.macs, p)
+	}
+	s.shiftCounts(&v, res.bucket, -1)
+	s.writeSetHash(m, &v)
+
+	if s.cache != nil {
+		s.cache.invalidate(m, key)
+	}
+	if s.ordered != nil {
+		s.ordered.remove(m, key)
+	}
+	s.heap.Free(m, res.addr, res.hdr.TotalLen())
+	s.keys--
+	return nil
+}
+
+// mutate implements set/append/incr: search, verify, then update in place,
+// replace (size change), or insert at the chain head.
+func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) ([]byte, error)) error {
+	b := s.bucketOf(m, key)
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return err
+	}
+	v, err := s.collectSet(m, b)
+	if err != nil {
+		return err
+	}
+	if err := s.verifySet(m, &v); err != nil {
+		return err
+	}
+	if res.found {
+		if err := s.verifyEntry(m, &v, &res); err != nil {
+			return err
+		}
+	} else if err := s.verifyMissChain(m, &v, b); err != nil {
+		return err
+	}
+
+	var oldVal []byte
+	if res.found {
+		oldVal = res.val
+	}
+	newVal, err := f(oldVal, res.found)
+	if err != nil {
+		return err
+	}
+
+	if !res.found {
+		err = s.insert(m, &v, b, key, newVal)
+	} else if len(newVal) == len(oldVal) {
+		err = s.updateInPlace(m, &v, &res, key, newVal)
+	} else {
+		err = s.replace(m, &v, &res, key, newVal)
+	}
+	if err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.update(m, key, newVal)
+	}
+	return nil
+}
+
+// insert creates a new entry at the head of bucket b's chain.
+func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
+	oldHead, err := s.readPtr(m, s.headAddr(b))
+	if err != nil {
+		return err
+	}
+	off, cnt := v.bucketOffset(b)
+
+	hdr := entry.Header{
+		Next:    oldHead,
+		Slot:    uint32(cnt),
+		KeySize: uint32(len(key)),
+		ValSize: uint32(len(val)),
+	}
+	if s.opts.KeyHint {
+		hdr.KeyHint = s.cipher.KeyHint(m, key)
+	}
+	s.cipher.NewIV(m, &hdr.IV)
+
+	ct := make([]byte, len(key)+len(val))
+	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
+	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
+
+	addr := s.heap.Alloc(m, hdr.TotalLen())
+	s.writeEntry(m, addr, &hdr, ct)
+	s.space.WriteU64(m, s.headAddr(b), uint64(addr))
+
+	if s.opts.MACBucket {
+		if err := s.appendSidecar(m, b, cnt, hdr.MAC[:]); err != nil {
+			return err
+		}
+		// Slot order: new MAC goes after the bucket's existing MACs.
+		v.macs = spliceIn(v.macs, off+cnt*entry.MACSize, hdr.MAC[:])
+	} else {
+		// Chain order: new head goes first.
+		v.macs = spliceIn(v.macs, off, hdr.MAC[:])
+	}
+	s.shiftCounts(v, b, +1)
+	s.writeSetHash(m, v)
+	if s.ordered != nil {
+		s.ordered.insert(m, key)
+	}
+	s.keys++
+	return nil
+}
+
+// updateInPlace overwrites an entry whose value size is unchanged, bumping
+// the IV/counter (§4.2).
+func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
+	hdr := res.hdr
+	hdr.BumpIV()
+	ct := make([]byte, hdr.CTLen())
+	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
+	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
+
+	s.writeEntry(m, res.addr, &hdr, ct)
+
+	p, err := s.positionOf(v, res)
+	if err != nil {
+		return err
+	}
+	copy(v.macs[p:p+entry.MACSize], hdr.MAC[:])
+	if s.opts.MACBucket {
+		s.writeSidecarSlot(m, res.bucket, int(hdr.Slot), hdr.MAC[:])
+	}
+	s.writeSetHash(m, v)
+	return nil
+}
+
+// replace swaps an entry for a differently-sized one, keeping its chain
+// position and sidecar slot.
+func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
+	hdr := entry.Header{
+		Next:    res.hdr.Next,
+		Slot:    res.hdr.Slot,
+		KeyHint: res.hdr.KeyHint,
+		KeySize: uint32(len(key)),
+		ValSize: uint32(len(val)),
+	}
+	s.cipher.NewIV(m, &hdr.IV)
+	ct := make([]byte, hdr.CTLen())
+	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
+	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
+
+	addr := s.heap.Alloc(m, hdr.TotalLen())
+	s.writeEntry(m, addr, &hdr, ct)
+	s.space.WriteU64(m, res.prevLink, uint64(addr))
+	s.heap.Free(m, res.addr, res.hdr.TotalLen())
+
+	p, err := s.positionOf(v, res)
+	if err != nil {
+		return err
+	}
+	copy(v.macs[p:p+entry.MACSize], hdr.MAC[:])
+	if s.opts.MACBucket {
+		s.writeSidecarSlot(m, res.bucket, int(hdr.Slot), hdr.MAC[:])
+	}
+	s.writeSetHash(m, v)
+	return nil
+}
+
+// writeEntry serializes header+ciphertext into untrusted memory.
+func (s *Store) writeEntry(m *sim.Meter, addr mem.Addr, hdr *entry.Header, ct []byte) {
+	buf := make([]byte, entry.HeaderSize+len(ct))
+	hdr.Marshal(buf)
+	copy(buf[entry.HeaderSize:], ct)
+	s.space.Write(m, addr, buf)
+}
+
+// shiftCounts adjusts the per-bucket counts and subsequent offsets of a
+// view after an insert (+1) or delete (-1) in bucket b.
+func (s *Store) shiftCounts(v *setView, b int, delta int) {
+	seen := false
+	for i, bb := range v.buckets {
+		if seen {
+			v.offs[i] += delta * entry.MACSize
+		}
+		if bb == b {
+			v.cnts[i] += delta
+			seen = true
+		}
+	}
+}
+
+// --- MAC bucket (sidecar) maintenance ---
+
+// sidecarNodeSize returns the byte size of one MAC bucket node.
+func (s *Store) sidecarNodeSize() int {
+	return macNodeHdr + s.opts.MACBucketCap*entry.MACSize
+}
+
+// sidecarSlotAddr locates slot idx of bucket b, returning 0 when the node
+// chain is too short.
+func (s *Store) sidecarSlotAddr(m *sim.Meter, b, idx int) (mem.Addr, error) {
+	node, err := s.readPtr(m, s.macHeadAddr(b))
+	if err != nil {
+		return 0, err
+	}
+	for skip := idx / s.opts.MACBucketCap; skip > 0 && node != 0; skip-- {
+		node, err = s.readPtr(m, node)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if node == 0 {
+		return 0, nil
+	}
+	return node + mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize), nil
+}
+
+// writeSidecarSlot overwrites one sidecar MAC.
+func (s *Store) writeSidecarSlot(m *sim.Meter, b, idx int, mac []byte) {
+	a, err := s.sidecarSlotAddr(m, b, idx)
+	if err != nil || a == 0 {
+		return // corrupt sidecar surfaces as ErrIntegrity on next verify
+	}
+	s.space.Write(m, a, mac)
+}
+
+// appendSidecar adds a MAC at slot idx (== current count), growing the
+// node chain when the tail node is full.
+func (s *Store) appendSidecar(m *sim.Meter, b, idx int, mac []byte) error {
+	head, err := s.readPtr(m, s.macHeadAddr(b))
+	if err != nil {
+		return err
+	}
+	if head == 0 {
+		head = s.newSidecarNode(m)
+		s.space.WriteU64(m, s.macHeadAddr(b), uint64(head))
+	}
+	// Walk to the node holding slot idx, extending as needed.
+	node := head
+	for skip := idx / s.opts.MACBucketCap; skip > 0; skip-- {
+		next, err := s.readPtr(m, node)
+		if err != nil {
+			return err
+		}
+		if next == 0 {
+			next = s.newSidecarNode(m)
+			s.space.WriteU64(m, node, uint64(next))
+		}
+		node = next
+	}
+	s.space.Write(m, node+mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize), mac)
+	s.setSidecarCount(m, b, idx+1)
+	return nil
+}
+
+// newSidecarNode allocates a zeroed MAC bucket node.
+func (s *Store) newSidecarNode(m *sim.Meter) mem.Addr {
+	a := s.heap.Alloc(m, s.sidecarNodeSize())
+	zero := make([]byte, macNodeHdr)
+	s.space.Write(m, a, zero)
+	return a
+}
+
+// setSidecarCount stores bucket b's MAC count in its head node.
+func (s *Store) setSidecarCount(m *sim.Meter, b, cnt int) {
+	head, err := s.readPtr(m, s.macHeadAddr(b))
+	if err != nil || head == 0 {
+		return
+	}
+	var buf [4]byte
+	putLeU32(buf[:], uint32(cnt))
+	s.space.Write(m, head+8, buf[:])
+}
+
+// reslotEntry finds the entry in bucket b whose sidecar slot is `from` and
+// rewrites it to `to` (delete compaction).
+func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
+	cur, err := s.readPtr(m, s.headAddr(b))
+	if err != nil {
+		return err
+	}
+	var hdrBuf [entry.HeaderSize]byte
+	for cur != 0 {
+		s.space.Read(m, cur, hdrBuf[:])
+		hdr := entry.ParseHeader(hdrBuf[:])
+		if hdr.Slot == from {
+			var sb [4]byte
+			putLeU32(sb[:], to)
+			s.space.Write(m, cur+entry.OffSlot, sb[:])
+			return nil
+		}
+		if err := mem.CheckUntrusted(hdr.Next); err != nil {
+			return ErrCorruptPointer
+		}
+		cur = hdr.Next
+	}
+	return ErrIntegrity
+}
+
+// --- maintenance / persistence hooks ---
+
+// VerifyAll performs a full integrity audit: every bucket set's MAC list
+// is checked against its in-enclave MAC hash, every entry's content is
+// authenticated against its covered MAC, and under MAC bucketing the data
+// chains are cross-checked against the sidecars. Used after snapshot
+// restore and as a defense-in-depth scrub.
+func (s *Store) VerifyAll(m *sim.Meter) error {
+	for idx := 0; idx < s.opts.MACHashes; idx++ {
+		v, err := s.collectSet(m, idx)
+		if err != nil {
+			return err
+		}
+		if err := s.verifySet(m, &v); err != nil {
+			return fmt.Errorf("%w (MAC hash slot %d)", err, idx)
+		}
+		for _, b := range v.buckets {
+			if err := s.verifyBucketEntries(m, &v, b); err != nil {
+				return fmt.Errorf("%w (bucket %d)", err, b)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyBucketEntries authenticates every entry in bucket b against the
+// collected (already set-hash-verified) MAC material.
+func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
+	off, cnt := v.bucketOffset(b)
+	cur, err := s.readPtr(m, s.headAddr(b))
+	if err != nil {
+		return err
+	}
+	i := 0
+	var hdrBuf [entry.HeaderSize]byte
+	for cur != 0 {
+		s.space.Read(m, cur, hdrBuf[:])
+		hdr := entry.ParseHeader(hdrBuf[:])
+		if hdr.CTLen() > 64<<20 {
+			return ErrIntegrity
+		}
+		pos := i
+		if s.opts.MACBucket {
+			pos = int(hdr.Slot)
+		}
+		if pos < 0 || pos >= cnt || i >= cnt {
+			return ErrIntegrity
+		}
+		if err := s.checkSpan(cur+entry.HeaderSize, hdr.CTLen()); err != nil {
+			return err
+		}
+		authoritative := v.macs[off+pos*entry.MACSize : off+(pos+1)*entry.MACSize]
+		ct := make([]byte, hdr.CTLen())
+		s.space.Read(m, cur+entry.HeaderSize, ct)
+		if !s.cipher.VerifyEntryMAC(m, &hdr, ct, authoritative) {
+			return ErrIntegrity
+		}
+		if s.opts.MACBucket && string(hdr.MAC[:]) != string(authoritative) {
+			return ErrIntegrity // stale entry MAC field vs sidecar
+		}
+		if err := mem.CheckUntrusted(hdr.Next); err != nil {
+			return ErrCorruptPointer
+		}
+		cur = hdr.Next
+		i++
+	}
+	if i != cnt {
+		return ErrIntegrity
+	}
+	return nil
+}
+
+// ForEachBucketRaw streams each non-empty bucket's raw encrypted entries
+// (head-first) to f without charging access cost; the snapshot writer
+// models its own streaming cost (§4.4: entries are written to storage
+// as-is, already encrypted).
+func (s *Store) ForEachBucketRaw(f func(bucket int, entries [][]byte) error) error {
+	for b := 0; b < s.opts.Buckets; b++ {
+		var head [8]byte
+		s.space.Peek(s.headAddr(b), head[:])
+		cur := mem.Addr(leU64(head[:]))
+		var list [][]byte
+		for cur != 0 {
+			var hdrBuf [entry.HeaderSize]byte
+			s.space.Peek(cur, hdrBuf[:])
+			hdr := entry.ParseHeader(hdrBuf[:])
+			raw := make([]byte, hdr.TotalLen())
+			s.space.Peek(cur, raw)
+			list = append(list, raw)
+			cur = hdr.Next
+		}
+		if len(list) == 0 {
+			continue
+		}
+		if err := f(b, list); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachDecrypt iterates every live key/value pair in plaintext (enclave
+// internal; used to merge the temporary snapshot table back, Alg. 1).
+func (s *Store) ForEachDecrypt(m *sim.Meter, f func(key, val []byte) error) error {
+	return s.ForEachBucketRaw(func(b int, entries [][]byte) error {
+		for _, raw := range entries {
+			hdr := entry.ParseHeader(raw)
+			ct := raw[entry.HeaderSize:]
+			pt := make([]byte, len(ct))
+			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
+			if err := f(pt[:hdr.KeySize], pt[hdr.KeySize:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RestoreBucket rebuilds bucket b from raw entries (head-first order, as
+// produced by ForEachBucketRaw), reconstructing the chain and the MAC
+// sidecar. The caller must afterwards install the sealed MAC hashes and
+// run VerifyAll to authenticate the restored state.
+func (s *Store) RestoreBucket(m *sim.Meter, b int, entries [][]byte) error {
+	// Insert in reverse so head-first order is reproduced exactly.
+	for i := len(entries) - 1; i >= 0; i-- {
+		raw := entries[i]
+		if len(raw) < entry.HeaderSize {
+			return ErrIntegrity
+		}
+		hdr := entry.ParseHeader(raw)
+		if hdr.TotalLen() != len(raw) {
+			return ErrIntegrity
+		}
+		oldHead, err := s.readPtr(m, s.headAddr(b))
+		if err != nil {
+			return err
+		}
+		addr := s.heap.Alloc(m, len(raw))
+		// Rewrite the next pointer to the rebuilt chain.
+		hdr.Next = oldHead
+		buf := append([]byte(nil), raw...)
+		hdr.Marshal(buf[:entry.HeaderSize])
+		s.space.Write(m, addr, buf)
+		s.space.WriteU64(m, s.headAddr(b), uint64(addr))
+		if s.opts.MACBucket {
+			if err := s.appendSidecarAt(m, b, int(hdr.Slot), hdr.MAC[:]); err != nil {
+				return err
+			}
+		}
+		if s.ordered != nil {
+			// Rebuild the ordered index from the decrypted key.
+			ct := raw[entry.HeaderSize:]
+			pt := make([]byte, len(ct))
+			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
+			s.ordered.insert(m, pt[:hdr.KeySize])
+		}
+		s.keys++
+	}
+	if s.opts.MACBucket && len(entries) > 0 {
+		s.setSidecarCount(m, b, len(entries))
+	}
+	return nil
+}
+
+// appendSidecarAt writes a MAC at an explicit slot, growing nodes without
+// touching the head count (RestoreBucket fixes the count at the end).
+func (s *Store) appendSidecarAt(m *sim.Meter, b, idx int, mac []byte) error {
+	head, err := s.readPtr(m, s.macHeadAddr(b))
+	if err != nil {
+		return err
+	}
+	if head == 0 {
+		head = s.newSidecarNode(m)
+		s.space.WriteU64(m, s.macHeadAddr(b), uint64(head))
+	}
+	node := head
+	for skip := idx / s.opts.MACBucketCap; skip > 0; skip-- {
+		next, err := s.readPtr(m, node)
+		if err != nil {
+			return err
+		}
+		if next == 0 {
+			next = s.newSidecarNode(m)
+			s.space.WriteU64(m, node, uint64(next))
+		}
+		node = next
+	}
+	s.space.Write(m, node+mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize), mac)
+	return nil
+}
+
+// ExportMACHashes copies the in-enclave integrity roots for sealing: the
+// MAC hash array, or the 16-byte Merkle root in MerkleTree mode.
+func (s *Store) ExportMACHashes() []byte {
+	if s.tree != nil {
+		d := s.tree.RootPeek()
+		return d[:]
+	}
+	out := make([]byte, s.opts.MACHashes*entry.MACSize)
+	s.space.Peek(s.macHash, out)
+	return out
+}
+
+// ImportMACHashes installs sealed integrity roots after restore. In
+// MerkleTree mode the tree is rebuilt from the restored buckets and its
+// recomputed root must equal the sealed one.
+func (s *Store) ImportMACHashes(m *sim.Meter, data []byte) error {
+	if s.tree != nil {
+		if len(data) != entry.MACSize {
+			return fmt.Errorf("shieldstore: sealed Merkle root size mismatch: %d", len(data))
+		}
+		for b := 0; b < s.opts.Buckets; b++ {
+			v, err := s.collectSet(m, b)
+			if err != nil {
+				return err
+			}
+			if len(v.macs) == 0 {
+				continue
+			}
+			s.writeSetHash(m, &v)
+		}
+		got := s.tree.RootPeek()
+		if string(got[:]) != string(data) {
+			return fmt.Errorf("%w: rebuilt Merkle root does not match sealed root", ErrIntegrity)
+		}
+		return nil
+	}
+	if len(data) != s.opts.MACHashes*entry.MACSize {
+		return fmt.Errorf("shieldstore: MAC hash array size mismatch: %d != %d",
+			len(data), s.opts.MACHashes*entry.MACSize)
+	}
+	s.space.Write(m, s.macHash, data)
+	return nil
+}
+
+// --- small helpers ---
+
+func spliceOut(b []byte, off int) []byte {
+	return append(b[:off], b[off+entry.MACSize:]...)
+}
+
+func spliceIn(b []byte, off int, mac []byte) []byte {
+	b = append(b, mac...) // grow
+	copy(b[off+entry.MACSize:], b[off:])
+	copy(b[off:], mac)
+	return b
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLeU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}

@@ -1,0 +1,604 @@
+// Package eleos implements the Eleos comparator of §6.3 (Orenbach et al.,
+// EuroSys'17): exit-less user-space paging for enclaves.
+//
+// Eleos keeps an encrypted backing store in untrusted memory at *page*
+// granularity (4 KB, or 1 KB sub-pages) and a software page cache of
+// decrypted frames inside the enclave. Accesses through "secure pointers"
+// hit the cache or trigger a user-space page-in — decrypt + integrity
+// check of a whole page, plus re-encryption of a dirty victim — without
+// ever exiting the enclave. Its memsys5-style pool allocator manages at
+// most 2 GB per pool, which is why the paper's Figure 17 shows Eleos
+// failing beyond 2 GB data sets.
+//
+// The contrast with ShieldStore is granularity: Eleos moves whole pages
+// through the crypto engine no matter how small the object, so 16 B values
+// cost the same as 4 KB values (Figure 16), while ShieldStore encrypts
+// exactly one entry.
+package eleos
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"shieldstore/internal/cmac"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/siphash"
+)
+
+// Errors returned by the pager and KV layers.
+var (
+	// ErrPoolExhausted reports allocation beyond the pool limit — the
+	// memsys5 2 GB ceiling of the paper's evaluation.
+	ErrPoolExhausted = errors.New("eleos: backing pool exhausted (memsys5 limit)")
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("eleos: key not found")
+	// ErrIntegrity reports a tampered backing page.
+	ErrIntegrity = errors.New("eleos: page integrity verification failed")
+)
+
+// EAddr is a virtual address inside the paged backing store. 0 is nil.
+type EAddr uint64
+
+// PagerConfig parameterizes the user-space paging layer.
+type PagerConfig struct {
+	// PageSize is the paging granularity (4096 default; Eleos also
+	// supports 1024-byte sub-pages).
+	PageSize int
+	// CacheBytes is the in-enclave page cache budget.
+	CacheBytes int64
+	// PoolBytes is the maximum backing-store size (the memsys5 per-pool
+	// ceiling; scaled along with data sets in scaled experiments).
+	PoolBytes int64
+}
+
+// Pager is the exit-less user-space paging engine.
+type Pager struct {
+	enclave *sgx.Enclave
+	space   *mem.Space
+	model   *sim.CostModel
+	cfg     PagerConfig
+
+	backing mem.Addr // untrusted ciphertext page array
+	pages   int      // allocated backing capacity in pages
+	next    uint64   // bump allocation offset (starts at PageSize: 0 is nil)
+
+	block cipher.Block
+	mac   *cmac.CMAC
+
+	// Per-page metadata lives in enclave memory: version counters (IVs)
+	// and page MACs. Both are real simulated allocations so they consume
+	// EPC like everything else in the enclave.
+	versions mem.Addr // pages x 8 B
+	macs     mem.Addr // pages x 16 B
+
+	frames map[int]*frame // resident decrypted pages by page index
+	head   *frame         // LRU list
+	tail   *frame
+	nFrame int
+	maxFrm int
+
+	faults uint64
+}
+
+type frame struct {
+	page       int
+	addr       mem.Addr // enclave frame backing
+	dirty      bool
+	fresh      bool // never written back yet (version 0 page)
+	prev, next *frame
+}
+
+// NewPager creates the paging layer.
+func NewPager(e *sgx.Enclave, cfg PagerConfig) *Pager {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.PoolBytes <= 0 {
+		cfg.PoolBytes = 2 << 30
+	}
+	pages := int(cfg.PoolBytes / int64(cfg.PageSize))
+	var key [16]byte
+	e.ReadRand(nil, key[:])
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err)
+	}
+	var mkey [16]byte
+	e.ReadRand(nil, mkey[:])
+	mc, err := cmac.New(mkey[:])
+	if err != nil {
+		panic(err)
+	}
+	p := &Pager{
+		enclave: e,
+		space:   e.Space(),
+		model:   e.Model(),
+		cfg:     cfg,
+		pages:   pages,
+		next:    uint64(cfg.PageSize), // page 0 reserved so EAddr 0 is nil
+		block:   block,
+		mac:     mc,
+		backing: e.Space().Alloc(mem.Untrusted, pages*cfg.PageSize),
+		// Metadata arrays are enclave-resident (and EPC-accounted).
+		versions: e.Space().Alloc(mem.Enclave, pages*8),
+		macs:     e.Space().Alloc(mem.Enclave, pages*16),
+		frames:   map[int]*frame{},
+		maxFrm:   int(cfg.CacheBytes / int64(cfg.PageSize)),
+	}
+	if p.maxFrm < 2 {
+		p.maxFrm = 2
+	}
+	return p
+}
+
+// Faults reports user-space page-in events (no enclave exits involved).
+func (p *Pager) Faults() uint64 { return p.faults }
+
+// PageSize returns the paging granularity.
+func (p *Pager) PageSize() int { return p.cfg.PageSize }
+
+// Alloc reserves n bytes of paged memory. Objects never straddle the pool
+// end; allocation past PoolBytes fails like memsys5 does.
+func (p *Pager) Alloc(m *sim.Meter, n int) (EAddr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	n = (n + 7) &^ 7
+	m.Charge(p.model.CacheAccess * 2)
+	if p.next+uint64(n) > uint64(p.pages)*uint64(p.cfg.PageSize) {
+		return 0, ErrPoolExhausted
+	}
+	a := EAddr(p.next)
+	p.next += uint64(n)
+	return a, nil
+}
+
+// Read copies paged memory at a into buf.
+func (p *Pager) Read(m *sim.Meter, a EAddr, buf []byte) error {
+	return p.access(m, a, buf, false)
+}
+
+// Write copies data into paged memory at a.
+func (p *Pager) Write(m *sim.Meter, a EAddr, data []byte) error {
+	return p.access(m, a, data, true)
+}
+
+// ReadU64 reads a little-endian uint64 from paged memory.
+func (p *Pager) ReadU64(m *sim.Meter, a EAddr) (uint64, error) {
+	var b [8]byte
+	if err := p.Read(m, a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 to paged memory.
+func (p *Pager) WriteU64(m *sim.Meter, a EAddr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return p.Write(m, a, b[:])
+}
+
+func (p *Pager) access(m *sim.Meter, a EAddr, buf []byte, write bool) error {
+	if a == 0 {
+		panic("eleos: nil dereference")
+	}
+	off := uint64(a)
+	for len(buf) > 0 {
+		page := int(off / uint64(p.cfg.PageSize))
+		in := int(off % uint64(p.cfg.PageSize))
+		n := p.cfg.PageSize - in
+		if n > len(buf) {
+			n = len(buf)
+		}
+		f, err := p.pin(m, page)
+		if err != nil {
+			return err
+		}
+		if write {
+			p.space.Write(m, f.addr+mem.Addr(in), buf[:n])
+			f.dirty = true
+		} else {
+			p.space.Read(m, f.addr+mem.Addr(in), buf[:n])
+		}
+		buf = buf[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// pin returns the resident frame for a page, paging it in if needed.
+func (p *Pager) pin(m *sim.Meter, page int) (*frame, error) {
+	m.Charge(p.model.CacheAccess) // secure-pointer translation
+	if f, ok := p.frames[page]; ok {
+		m.Count(sim.CtrCacheHit)
+		p.moveFront(f)
+		return f, nil
+	}
+	m.Count(sim.CtrCacheMiss)
+	p.faults++
+
+	var f *frame
+	if p.nFrame < p.maxFrm {
+		f = &frame{addr: p.space.Alloc(mem.Enclave, p.cfg.PageSize)}
+		p.nFrame++
+	} else {
+		f = p.tail
+		p.unlink(f)
+		delete(p.frames, f.page)
+		if f.dirty {
+			if err := p.writeBack(m, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f.page = page
+	f.dirty = false
+	if err := p.pageIn(m, f); err != nil {
+		return nil, err
+	}
+	p.frames[page] = f
+	p.pushFront(f)
+	return f, nil
+}
+
+// metaU64 reads per-page metadata. The version and MAC arrays are tiny
+// and touched on every pin, so they live in the CPU caches in practice;
+// they are charged at cache rates rather than full MEE latency.
+func (p *Pager) metaU64(m *sim.Meter, a mem.Addr) uint64 {
+	var b [8]byte
+	p.space.Peek(a, b[:])
+	m.Charge(p.model.CacheAccess)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// pageIn decrypts and verifies a backing page into a frame. Version 0
+// means the page was never written back: its content is defined as zeros.
+func (p *Pager) pageIn(m *sim.Meter, f *frame) error {
+	ver := p.metaU64(m, p.versions+mem.Addr(f.page*8))
+	buf := make([]byte, p.cfg.PageSize)
+	if ver == 0 {
+		f.fresh = true
+		p.space.BulkWrite(m, f.addr, buf)
+		return nil
+	}
+	f.fresh = false
+	ct := make([]byte, p.cfg.PageSize)
+	p.space.BulkRead(m, p.backing+mem.Addr(f.page*p.cfg.PageSize), ct)
+
+	// Verify page MAC (computed over version || ciphertext). Like the
+	// version array this is hot metadata, charged at cache rates.
+	var want [16]byte
+	p.space.Peek(p.macs+mem.Addr(f.page*16), want[:])
+	m.Charge(p.model.CacheAccess)
+	got := p.pageMAC(m, f.page, ver, ct)
+	if got != want {
+		return ErrIntegrity
+	}
+
+	stream := cipher.NewCTR(p.block, p.pageIV(f.page, ver))
+	stream.XORKeyStream(buf, ct)
+	m.Charge(p.model.AES(p.cfg.PageSize))
+	m.Count(sim.CtrDecrypt)
+	p.space.BulkWrite(m, f.addr, buf)
+	return nil
+}
+
+// writeBack encrypts a dirty frame to the backing store under a bumped
+// version counter.
+func (p *Pager) writeBack(m *sim.Meter, f *frame) error {
+	ver := p.metaU64(m, p.versions+mem.Addr(f.page*8)) + 1
+	p.space.WriteU64(m, p.versions+mem.Addr(f.page*8), ver)
+
+	pt := make([]byte, p.cfg.PageSize)
+	p.space.BulkRead(m, f.addr, pt)
+	ct := make([]byte, p.cfg.PageSize)
+	stream := cipher.NewCTR(p.block, p.pageIV(f.page, ver))
+	stream.XORKeyStream(ct, pt)
+	m.Charge(p.model.AES(p.cfg.PageSize))
+	m.Count(sim.CtrEncrypt)
+
+	macv := p.pageMAC(m, f.page, ver, ct)
+	p.space.Write(m, p.macs+mem.Addr(f.page*16), macv[:])
+	p.space.BulkWrite(m, p.backing+mem.Addr(f.page*p.cfg.PageSize), ct)
+	return nil
+}
+
+// Flush writes back every dirty frame (tests and shutdown).
+func (p *Pager) Flush(m *sim.Meter) error {
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBack(m, f); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+func (p *Pager) pageIV(page int, ver uint64) []byte {
+	iv := make([]byte, 16)
+	binary.LittleEndian.PutUint64(iv[:8], uint64(page))
+	binary.LittleEndian.PutUint32(iv[8:12], uint32(ver))
+	return iv
+}
+
+func (p *Pager) pageMAC(m *sim.Meter, page int, ver uint64, ct []byte) [16]byte {
+	input := make([]byte, 16+len(ct))
+	binary.LittleEndian.PutUint64(input[:8], uint64(page))
+	binary.LittleEndian.PutUint64(input[8:16], ver)
+	copy(input[16:], ct)
+	m.Charge(p.model.CMAC(len(input)))
+	m.Count(sim.CtrCMAC)
+	return p.mac.Tag(input)
+}
+
+// Tamper overwrites backing-store ciphertext (tests: host attack).
+func (p *Pager) Tamper(page int, off int, data []byte) {
+	p.space.Tamper(p.backing+mem.Addr(page*p.cfg.PageSize+off), data)
+}
+
+// DropCache evicts every frame, writing dirty pages back (benchmark phase
+// boundaries).
+func (p *Pager) DropCache(m *sim.Meter) error {
+	if err := p.Flush(m); err != nil {
+		return err
+	}
+	for k, f := range p.frames {
+		delete(p.frames, k)
+		p.unlink(f)
+		_ = f
+	}
+	// Frames are abandoned; the frame pool restarts cold.
+	p.nFrame = 0
+	p.head, p.tail = nil, nil
+	return nil
+}
+
+// --- LRU ---
+
+func (p *Pager) pushFront(f *frame) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+func (p *Pager) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (p *Pager) moveFront(f *frame) {
+	if p.head == f {
+		return
+	}
+	p.unlink(f)
+	p.pushFront(f)
+}
+
+// --- key-value store over the pager ---
+
+// KV is the baseline hash KV ported to Eleos (the configuration the paper
+// benchmarks in Figures 16 and 17): plaintext table semantics, but every
+// byte lives in the encrypted paged backing store.
+type KV struct {
+	pager   *Pager
+	buckets int
+	heads   EAddr
+	hash    *siphash.Hash
+	keys    int
+}
+
+const kvHdr = 16 // next 8, keySize 4, valSize 4
+
+// NewKV builds an Eleos-backed store with the given bucket count.
+func NewKV(e *sgx.Enclave, pcfg PagerConfig, buckets int) (*KV, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("eleos: buckets must be positive")
+	}
+	p := NewPager(e, pcfg)
+	var hkey [16]byte
+	e.ReadRand(nil, hkey[:])
+	kv := &KV{pager: p, buckets: buckets, hash: siphash.New(hkey[:])}
+	m := sim.NewMeter(e.Model())
+	heads, err := p.Alloc(m, buckets*8)
+	if err != nil {
+		return nil, err
+	}
+	kv.heads = heads
+	// Zero the head array.
+	zero := make([]byte, 4096)
+	for off := 0; off < buckets*8; off += len(zero) {
+		n := buckets*8 - off
+		if n > len(zero) {
+			n = len(zero)
+		}
+		if err := p.Write(m, heads+EAddr(off), zero[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return kv, nil
+}
+
+// Pager exposes the paging layer (stats, tamper tests).
+func (kv *KV) Pager() *Pager { return kv.pager }
+
+// Keys returns the number of live keys.
+func (kv *KV) Keys() int { return kv.keys }
+
+func (kv *KV) bucketOf(m *sim.Meter, key []byte) EAddr {
+	m.Charge(kv.pager.model.Hash(len(key)))
+	b := kv.hash.Sum64(key) % uint64(kv.buckets)
+	return kv.heads + EAddr(b*8)
+}
+
+// Get returns the value stored under key.
+func (kv *KV) Get(m *sim.Meter, key []byte) ([]byte, error) {
+	m.Charge(kv.pager.model.RequestOverhead)
+	headA := kv.bucketOf(m, key)
+	cur, err := kv.pager.ReadU64(m, headA)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [kvHdr]byte
+	for cur != 0 {
+		if err := kv.pager.Read(m, EAddr(cur), hdr[:]); err != nil {
+			return nil, err
+		}
+		next := binary.LittleEndian.Uint64(hdr[0:])
+		kl := int(binary.LittleEndian.Uint32(hdr[8:]))
+		vl := int(binary.LittleEndian.Uint32(hdr[12:]))
+		if kl == len(key) {
+			kb := make([]byte, kl)
+			if err := kv.pager.Read(m, EAddr(cur)+kvHdr, kb); err != nil {
+				return nil, err
+			}
+			if string(kb) == string(key) {
+				val := make([]byte, vl)
+				if err := kv.pager.Read(m, EAddr(cur)+kvHdr+EAddr(kl), val); err != nil {
+					return nil, err
+				}
+				return val, nil
+			}
+		}
+		cur = next
+	}
+	return nil, ErrNotFound
+}
+
+// Set inserts or updates key.
+func (kv *KV) Set(m *sim.Meter, key, value []byte) error {
+	m.Charge(kv.pager.model.RequestOverhead)
+	headA := kv.bucketOf(m, key)
+	cur, err := kv.pager.ReadU64(m, headA)
+	if err != nil {
+		return err
+	}
+	var hdr [kvHdr]byte
+	for a := cur; a != 0; {
+		if err := kv.pager.Read(m, EAddr(a), hdr[:]); err != nil {
+			return err
+		}
+		next := binary.LittleEndian.Uint64(hdr[0:])
+		kl := int(binary.LittleEndian.Uint32(hdr[8:]))
+		vl := int(binary.LittleEndian.Uint32(hdr[12:]))
+		if kl == len(key) {
+			kb := make([]byte, kl)
+			if err := kv.pager.Read(m, EAddr(a)+kvHdr, kb); err != nil {
+				return err
+			}
+			if string(kb) == string(key) && vl == len(value) {
+				return kv.pager.Write(m, EAddr(a)+kvHdr+EAddr(kl), value)
+			}
+			if string(kb) == string(key) {
+				// Size change: overwrite header size + write at a fresh
+				// allocation, relinking. Simplest correct path: delete
+				// then reinsert.
+				if err := kv.deleteAddr(m, headA, EAddr(a)); err != nil {
+					return err
+				}
+				kv.keys--
+				break
+			}
+		}
+		a = next
+	}
+	// Insert at head.
+	n := kvHdr + len(key) + len(value)
+	a, err := kv.pager.Alloc(m, n)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint64(buf[0:], cur)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(value)))
+	copy(buf[kvHdr:], key)
+	copy(buf[kvHdr+len(key):], value)
+	if err := kv.pager.Write(m, a, buf); err != nil {
+		return err
+	}
+	if err := kv.pager.WriteU64(m, headA, uint64(a)); err != nil {
+		return err
+	}
+	kv.keys++
+	return nil
+}
+
+// deleteAddr unlinks the entry at target from the chain rooted at headA.
+func (kv *KV) deleteAddr(m *sim.Meter, headA EAddr, target EAddr) error {
+	cur, err := kv.pager.ReadU64(m, headA)
+	if err != nil {
+		return err
+	}
+	link := headA
+	for cur != 0 {
+		next, err := kv.pager.ReadU64(m, EAddr(cur))
+		if err != nil {
+			return err
+		}
+		if EAddr(cur) == target {
+			return kv.pager.WriteU64(m, link, next)
+		}
+		link = EAddr(cur)
+		cur = next
+	}
+	return ErrNotFound
+}
+
+// Delete removes key.
+func (kv *KV) Delete(m *sim.Meter, key []byte) error {
+	m.Charge(kv.pager.model.RequestOverhead)
+	headA := kv.bucketOf(m, key)
+	cur, err := kv.pager.ReadU64(m, headA)
+	if err != nil {
+		return err
+	}
+	var hdr [kvHdr]byte
+	for cur != 0 {
+		if err := kv.pager.Read(m, EAddr(cur), hdr[:]); err != nil {
+			return err
+		}
+		next := binary.LittleEndian.Uint64(hdr[0:])
+		kl := int(binary.LittleEndian.Uint32(hdr[8:]))
+		if kl == len(key) {
+			kb := make([]byte, kl)
+			if err := kv.pager.Read(m, EAddr(cur)+kvHdr, kb); err != nil {
+				return err
+			}
+			if string(kb) == string(key) {
+				if err := kv.deleteAddr(m, headA, EAddr(cur)); err != nil {
+					return err
+				}
+				kv.keys--
+				return nil
+			}
+		}
+		cur = next
+	}
+	return ErrNotFound
+}

@@ -1,0 +1,332 @@
+package eleos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave() *sgx.Enclave {
+	return sgx.New(sgx.Config{Space: mem.NewSpace(mem.Config{EPCBytes: 32 << 20}), Seed: 4})
+}
+
+func TestPagerReadWriteRoundTrip(t *testing.T) {
+	e := newEnclave()
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 16 << 10, PoolBytes: 1 << 20})
+	m := sim.NewMeter(e.Model())
+
+	a, err := p.Alloc(m, 5000) // spans multiple pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 5000)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if err := p.Write(m, a, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5000)
+	if err := p.Read(m, a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestPagerSurvivesEviction(t *testing.T) {
+	e := newEnclave()
+	// 4 frames of 1 KB, data spanning 32 pages: heavy eviction.
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 4 << 10, PoolBytes: 1 << 20})
+	m := sim.NewMeter(e.Model())
+
+	addrs := make([]EAddr, 32)
+	for i := range addrs {
+		a, err := p.Alloc(m, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+		if err := p.Write(m, a, bytes.Repeat([]byte{byte(i)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range addrs {
+		got := make([]byte, 1024)
+		if err := p.Read(m, a, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) || got[1023] != byte(i) {
+			t.Fatalf("page %d corrupted after eviction", i)
+		}
+	}
+	if p.Faults() == 0 {
+		t.Fatal("expected user-space faults under eviction")
+	}
+	// Eleos is exitless: zero OCALLs regardless of faults.
+	if m.Events(sim.CtrOCall) != 0 {
+		t.Fatalf("Eleos must not exit the enclave: %d OCALLs", m.Events(sim.CtrOCall))
+	}
+}
+
+func TestBackingStoreIsEncrypted(t *testing.T) {
+	e := newEnclave()
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 2 << 10, PoolBytes: 1 << 20})
+	m := sim.NewMeter(e.Model())
+	secret := []byte("eleos-page-secret-content")
+	a, err := p.Alloc(m, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(m, a, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Force eviction by touching other pages.
+	for i := 0; i < 8; i++ {
+		b, _ := p.Alloc(m, 1024)
+		if err := p.Write(m, b, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := p.space.UsedBytes(mem.Untrusted)
+	dump := make([]byte, used)
+	p.space.Peek(mem.UntrustedBase, dump)
+	if bytes.Contains(dump, secret) {
+		t.Fatal("plaintext leaked to untrusted backing store")
+	}
+}
+
+func TestPageTamperDetected(t *testing.T) {
+	e := newEnclave()
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 2 << 10, PoolBytes: 1 << 20})
+	m := sim.NewMeter(e.Model())
+	a, err := p.Alloc(m, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(m, a, bytes.Repeat([]byte{7}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropCache(m); err != nil {
+		t.Fatal(err)
+	}
+	page := int(uint64(a) / 1024)
+	p.Tamper(page, 100, []byte{0xFF, 0xFF})
+	err = p.Read(m, a, make([]byte, 16))
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered page: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	e := newEnclave()
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 4 << 10, PoolBytes: 16 << 10})
+	m := sim.NewMeter(e.Model())
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = p.Alloc(m, 1024); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("pool limit not enforced: %v", err)
+	}
+}
+
+func TestKVBasicOps(t *testing.T) {
+	e := newEnclave()
+	kv, err := NewKV(e, PagerConfig{PageSize: 1024, CacheBytes: 64 << 10, PoolBytes: 4 << 20}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMeter(e.Model())
+
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		if err := kv.Set(m, k, []byte(fmt.Sprintf("value-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kv.Keys() != 100 {
+		t.Fatalf("Keys = %d", kv.Keys())
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		got, err := kv.Get(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("value-%03d", i) {
+			t.Fatalf("key %d: %q", i, got)
+		}
+	}
+	// Update in place and with resize.
+	if err := kv.Set(m, []byte("k000"), []byte("value-xxx")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := kv.Get(m, []byte("k000"))
+	if string(got) != "value-xxx" {
+		t.Fatalf("update: %q", got)
+	}
+	if err := kv.Set(m, []byte("k000"), []byte("bigger-value-entirely")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = kv.Get(m, []byte("k000"))
+	if string(got) != "bigger-value-entirely" {
+		t.Fatalf("resize: %q", got)
+	}
+	if kv.Keys() != 100 {
+		t.Fatalf("Keys changed on update: %d", kv.Keys())
+	}
+	// Delete.
+	if err := kv.Delete(m, []byte("k050")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Get(m, []byte("k050")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if err := kv.Delete(m, []byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+func TestKVMissingKey(t *testing.T) {
+	e := newEnclave()
+	kv, err := NewKV(e, PagerConfig{PageSize: 1024, CacheBytes: 64 << 10, PoolBytes: 1 << 20}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMeter(e.Model())
+	if _, err := kv.Get(m, []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSmallValuesPayFullPageCrypto(t *testing.T) {
+	// Figure 16's mechanism: under cache pressure a 16-byte get costs a
+	// whole-page decrypt, so small-value gets are barely cheaper than
+	// page-size-value gets.
+	e := newEnclave()
+	perGet := func(valSize int) float64 {
+		kv, err := NewKV(e, PagerConfig{PageSize: 4096, CacheBytes: 64 << 10, PoolBytes: 16 << 20}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.NewMeter(e.Model())
+		const n = 200
+		for i := 0; i < n; i++ {
+			if err := kv.Set(m, []byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte{1}, valSize)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Reset()
+		for i := 0; i < n; i++ {
+			if _, err := kv.Get(m, []byte(fmt.Sprintf("key-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(m.Cycles()) / n
+	}
+	small := perGet(16)
+	large := perGet(4096 - 64)
+	if large > small*6 {
+		t.Fatalf("page-granularity lost: 16B get %.0f vs 4KB get %.0f cycles", small, large)
+	}
+	// And a small get is still expensive in absolute terms (page crypto).
+	model := e.Model()
+	if small < float64(model.AES(4096)) {
+		t.Fatalf("16B get (%.0f cycles) cheaper than one page decrypt (%d)", small, model.AES(4096))
+	}
+}
+
+func TestPoolLimitSurfacesThroughKV(t *testing.T) {
+	e := newEnclave()
+	kv, err := NewKV(e, PagerConfig{PageSize: 1024, CacheBytes: 16 << 10, PoolBytes: 64 << 10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMeter(e.Model())
+	var setErr error
+	for i := 0; i < 1000; i++ {
+		setErr = kv.Set(m, []byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{1}, 100))
+		if setErr != nil {
+			break
+		}
+	}
+	if !errors.Is(setErr, ErrPoolExhausted) {
+		t.Fatalf("KV beyond pool: %v", setErr)
+	}
+}
+
+func TestSubPageGranularityHelpsSmallValues(t *testing.T) {
+	// The paper notes Eleos supports 1KB sub-pages: for small values a
+	// finer page size wastes less crypto per miss under cache pressure.
+	e := newEnclave()
+	perGet := func(pageSize int) float64 {
+		kv, err := NewKV(e, PagerConfig{PageSize: pageSize, CacheBytes: 32 << 10, PoolBytes: 8 << 20}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.NewMeter(e.Model())
+		const n = 400
+		for i := 0; i < n; i++ {
+			if err := kv.Set(m, []byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte{1}, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Reset()
+		for i := 0; i < n; i++ {
+			if _, err := kv.Get(m, []byte(fmt.Sprintf("key-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(m.Cycles()) / n
+	}
+	coarse := perGet(4096)
+	fine := perGet(1024)
+	if fine >= coarse {
+		t.Fatalf("1KB sub-pages (%.0f cyc/get) should beat 4KB pages (%.0f) for 64B values", fine, coarse)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// Dirty frames must be re-encrypted on eviction and the data must
+	// survive a full cache cycle.
+	e := newEnclave()
+	p := NewPager(e, PagerConfig{PageSize: 1024, CacheBytes: 2 << 10, PoolBytes: 1 << 20})
+	m := sim.NewMeter(e.Model())
+	a, err := p.Alloc(m, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(m, a, []byte("dirty-data")); err != nil {
+		t.Fatal(err)
+	}
+	encBefore := m.Events(sim.CtrEncrypt)
+	// Evict by touching other pages (2 frames only).
+	for i := 0; i < 4; i++ {
+		b, _ := p.Alloc(m, 1024)
+		if err := p.Write(m, b, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Events(sim.CtrEncrypt) <= encBefore {
+		t.Fatal("dirty eviction did not re-encrypt")
+	}
+	got := make([]byte, 10)
+	if err := p.Read(m, a, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "dirty-data" {
+		t.Fatalf("data lost through eviction: %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package entry implements ShieldStore's encrypted data entry (Figure 5)
+// and the enclave-held cipher suite that protects it.
+//
+// Each entry living in untrusted memory carries:
+//
+//	offset  size  field
+//	     0     8  next        chain pointer (untrusted; sanitized on read)
+//	     8     4  slot        index into the bucket's MAC bucket (§5.2)
+//	    12     1  key hint    1-byte keyed hash of the plaintext key (§5.4)
+//	    13     1  flags       reserved
+//	    14     4  key size
+//	    18     4  value size
+//	    22    16  IV/counter  AES-CTR nonce, bumped on every update
+//	    38    16  MAC         AES-CMAC over (ciphertext, sizes, hint, IV)
+//	    54     -  ciphertext  Enc(key || value)
+//
+// The chain pointer, sizes, hint and IV are plaintext — the paper's point
+// is that *pointers and allocator metadata need no confidentiality* as long
+// as keys and values are encrypted and everything is integrity-checked.
+package entry
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+
+	"shieldstore/internal/cmac"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/siphash"
+)
+
+// Field offsets and sizes of the on-"disk" entry layout.
+const (
+	OffNext    = 0
+	OffSlot    = 8
+	OffHint    = 12
+	OffFlags   = 13
+	OffKeySize = 14
+	OffValSize = 18
+	OffIV      = 22
+	OffMAC     = 38
+	HeaderSize = 54
+
+	// IVSize is the AES-CTR nonce size; MACSize the CMAC tag size.
+	IVSize  = 16
+	MACSize = 16
+)
+
+// Header is the decoded fixed-size prefix of a data entry.
+type Header struct {
+	Next    mem.Addr
+	Slot    uint32
+	KeyHint byte
+	Flags   byte
+	KeySize uint32
+	ValSize uint32
+	IV      [IVSize]byte
+	MAC     [MACSize]byte
+}
+
+// Size returns the full entry footprint for the given key/value lengths.
+func Size(keyLen, valLen int) int { return HeaderSize + keyLen + valLen }
+
+// CTLen returns the ciphertext length of an entry.
+func (h *Header) CTLen() int { return int(h.KeySize) + int(h.ValSize) }
+
+// TotalLen returns the entry's full footprint.
+func (h *Header) TotalLen() int { return HeaderSize + h.CTLen() }
+
+// ParseHeader decodes a header from a raw buffer of at least HeaderSize.
+func ParseHeader(b []byte) Header {
+	var h Header
+	h.Next = mem.Addr(binary.LittleEndian.Uint64(b[OffNext:]))
+	h.Slot = binary.LittleEndian.Uint32(b[OffSlot:])
+	h.KeyHint = b[OffHint]
+	h.Flags = b[OffFlags]
+	h.KeySize = binary.LittleEndian.Uint32(b[OffKeySize:])
+	h.ValSize = binary.LittleEndian.Uint32(b[OffValSize:])
+	copy(h.IV[:], b[OffIV:OffIV+IVSize])
+	copy(h.MAC[:], b[OffMAC:OffMAC+MACSize])
+	return h
+}
+
+// Marshal encodes the header into b, which must hold HeaderSize bytes.
+func (h *Header) Marshal(b []byte) {
+	binary.LittleEndian.PutUint64(b[OffNext:], uint64(h.Next))
+	binary.LittleEndian.PutUint32(b[OffSlot:], h.Slot)
+	b[OffHint] = h.KeyHint
+	b[OffFlags] = h.Flags
+	binary.LittleEndian.PutUint32(b[OffKeySize:], h.KeySize)
+	binary.LittleEndian.PutUint32(b[OffValSize:], h.ValSize)
+	copy(b[OffIV:], h.IV[:])
+	copy(b[OffMAC:], h.MAC[:])
+}
+
+// BumpIV advances the IV/counter for an in-place update. The upper eight
+// bytes act as a per-entry message counter while the lower eight bytes are
+// the CTR block counter space, so successive updates never reuse keystream.
+func (h *Header) BumpIV() {
+	hi := binary.BigEndian.Uint64(h.IV[:8])
+	binary.BigEndian.PutUint64(h.IV[:8], hi+1)
+	for i := 8; i < IVSize; i++ {
+		h.IV[i] = 0
+	}
+}
+
+// Cipher is the enclave-resident key material and crypto engine: the
+// 128-bit global AES-CTR data key, the CMAC key, and two SipHash keys (one
+// for the keyed bucket index, one for the 1-byte key hint). All four are
+// generated inside the enclave and never leave it except via sealing.
+type Cipher struct {
+	block   cipher.Block
+	mac     *cmac.CMAC
+	keys    Keys
+	enclave *sgx.Enclave
+	model   *sim.CostModel
+}
+
+// Keys bundles the secret key material for sealing to disk.
+type Keys struct {
+	Data   [16]byte // AES-CTR data key
+	MAC    [16]byte // AES-CMAC key
+	Bucket [16]byte // SipHash key for the bucket index
+	Hint   [16]byte // SipHash key for the 1-byte key hint
+}
+
+// NewCipher generates fresh key material via the enclave DRBG.
+func NewCipher(e *sgx.Enclave, m *sim.Meter) *Cipher {
+	var k Keys
+	e.ReadRand(m, k.Data[:])
+	e.ReadRand(m, k.MAC[:])
+	e.ReadRand(m, k.Bucket[:])
+	e.ReadRand(m, k.Hint[:])
+	return NewCipherFromKeys(e, k)
+}
+
+// NewCipherFromKeys rebuilds a cipher from sealed key material (recovery).
+func NewCipherFromKeys(e *sgx.Enclave, k Keys) *Cipher {
+	block, err := aes.NewCipher(k.Data[:])
+	if err != nil {
+		panic(err)
+	}
+	mc, err := cmac.New(k.MAC[:])
+	if err != nil {
+		panic(err)
+	}
+	return &Cipher{block: block, mac: mc, keys: k, enclave: e, model: e.Model()}
+}
+
+// ExportKeys returns the key material (for sealing only).
+func (c *Cipher) ExportKeys() Keys { return c.keys }
+
+// MACEngine exposes the underlying CMAC instance (shared with auxiliary
+// integrity structures such as the Merkle-tree backend).
+func (c *Cipher) MACEngine() *cmac.CMAC { return c.mac }
+
+// NewIV fills iv with a fresh random nonce (new entry creation, §4.2).
+func (c *Cipher) NewIV(m *sim.Meter, iv *[IVSize]byte) {
+	c.enclave.ReadRand(m, iv[:8])
+	for i := 8; i < IVSize; i++ {
+		iv[i] = 0
+	}
+}
+
+// EncryptKV encrypts key||val under the data key with the given IV into
+// dst (which must hold len(key)+len(val) bytes).
+func (c *Cipher) EncryptKV(m *sim.Meter, iv *[IVSize]byte, key, val, dst []byte) {
+	n := len(key) + len(val)
+	stream := cipher.NewCTR(c.block, iv[:])
+	stream.XORKeyStream(dst[:len(key)], key)
+	stream.XORKeyStream(dst[len(key):n], val)
+	if m != nil {
+		m.Charge(c.model.AES(n))
+		m.Count(sim.CtrEncrypt)
+	}
+}
+
+// DecryptKV decrypts ciphertext into dst (same length) and counts one
+// decryption — the unit of Figure 9.
+func (c *Cipher) DecryptKV(m *sim.Meter, iv *[IVSize]byte, ct, dst []byte) {
+	stream := cipher.NewCTR(c.block, iv[:])
+	stream.XORKeyStream(dst, ct)
+	if m != nil {
+		m.Charge(c.model.AES(len(ct)))
+		m.Count(sim.CtrDecrypt)
+	}
+}
+
+// macInput assembles the authenticated fields: ciphertext, sizes, key
+// hint and IV, exactly the set §4.2 lists.
+func macInput(h *Header, ct []byte, buf []byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, ct...)
+	var meta [9]byte
+	binary.LittleEndian.PutUint32(meta[0:], h.KeySize)
+	binary.LittleEndian.PutUint32(meta[4:], h.ValSize)
+	meta[8] = h.KeyHint
+	buf = append(buf, meta[:]...)
+	buf = append(buf, h.IV[:]...)
+	return buf
+}
+
+// EntryMAC computes the entry MAC over the header's authenticated fields
+// and the ciphertext.
+func (c *Cipher) EntryMAC(m *sim.Meter, h *Header, ct []byte) [MACSize]byte {
+	buf := make([]byte, 0, len(ct)+32)
+	input := macInput(h, ct, buf)
+	if m != nil {
+		m.Charge(c.model.CMAC(len(input)))
+		m.Count(sim.CtrCMAC)
+	}
+	return c.mac.Tag(input)
+}
+
+// VerifyEntryMAC checks an entry's MAC in constant time.
+func (c *Cipher) VerifyEntryMAC(m *sim.Meter, h *Header, ct []byte, tag []byte) bool {
+	want := c.EntryMAC(m, h, ct)
+	return subtle.ConstantTimeCompare(want[:], tag) == 1
+}
+
+// SetMAC computes the bucket-set MAC hash: the CMAC over the concatenated
+// entry MACs of every bucket in the set (§4.3). The caller assembles the
+// MAC list in canonical order.
+func (c *Cipher) SetMAC(m *sim.Meter, macs []byte) [MACSize]byte {
+	if m != nil {
+		m.Charge(c.model.CMAC(len(macs)))
+		m.Count(sim.CtrCMAC)
+	}
+	return c.mac.Tag(macs)
+}
+
+// BucketHash returns the keyed 64-bit hash used for bucket selection and
+// partitioning. Using a keyed hash keeps the per-bucket key distribution
+// hidden from the host (§4.2).
+func (c *Cipher) BucketHash(m *sim.Meter, key []byte) uint64 {
+	if m != nil {
+		m.Charge(c.model.Hash(len(key)))
+		m.Count(sim.CtrBucketHash)
+	}
+	return sipSum(c.keys.Bucket, key)
+}
+
+// KeyHint returns the 1-byte hint stored in the entry (§5.4). It uses an
+// independent key from the bucket hash so the pair leaks at most the
+// documented one byte.
+func (c *Cipher) KeyHint(m *sim.Meter, key []byte) byte {
+	if m != nil {
+		m.Charge(c.model.Hash(len(key)))
+	}
+	return byte(sipSum(c.keys.Hint, key))
+}
+
+// sipSum computes SipHash-2-4 under the given key.
+func sipSum(key [16]byte, data []byte) uint64 {
+	return siphash.New(key[:]).Sum64(data)
+}

@@ -1,0 +1,248 @@
+package entry
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newCipher() (*Cipher, *sim.Meter) {
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	e := sgx.New(sgx.Config{Space: space, Seed: 3})
+	m := sim.NewMeter(e.Model())
+	return NewCipher(e, m), m
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Next:    mem.UntrustedBase + 0x1234,
+		Slot:    99,
+		KeyHint: 0xAB,
+		Flags:   1,
+		KeySize: 16,
+		ValSize: 512,
+	}
+	for i := range h.IV {
+		h.IV[i] = byte(i)
+	}
+	for i := range h.MAC {
+		h.MAC[i] = byte(0xF0 + i)
+	}
+	buf := make([]byte, HeaderSize)
+	h.Marshal(buf)
+	got := ParseHeader(buf)
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	h := Header{KeySize: 16, ValSize: 128}
+	if h.CTLen() != 144 {
+		t.Errorf("CTLen = %d", h.CTLen())
+	}
+	if h.TotalLen() != HeaderSize+144 {
+		t.Errorf("TotalLen = %d", h.TotalLen())
+	}
+	if Size(16, 128) != h.TotalLen() {
+		t.Errorf("Size disagrees with TotalLen")
+	}
+}
+
+func TestBumpIVChangesKeystream(t *testing.T) {
+	c, m := newCipher()
+	var h Header
+	c.NewIV(m, &h.IV)
+	key, val := []byte("key0123456789abc"), bytes.Repeat([]byte{7}, 64)
+
+	ct1 := make([]byte, len(key)+len(val))
+	c.EncryptKV(m, &h.IV, key, val, ct1)
+
+	before := h.IV
+	h.BumpIV()
+	if h.IV == before {
+		t.Fatal("BumpIV did not change the IV")
+	}
+	ct2 := make([]byte, len(key)+len(val))
+	c.EncryptKV(m, &h.IV, key, val, ct2)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("same ciphertext after IV bump: keystream reuse")
+	}
+	// Low 8 bytes (block counter space) must be zeroed after a bump.
+	for i := 8; i < IVSize; i++ {
+		if h.IV[i] != 0 {
+			t.Fatal("block counter space not reset")
+		}
+	}
+}
+
+func TestBumpIVNeverRepeats(t *testing.T) {
+	var h Header
+	seen := map[[IVSize]byte]bool{}
+	for i := 0; i < 1000; i++ {
+		if seen[h.IV] {
+			t.Fatalf("IV repeated after %d bumps", i)
+		}
+		seen[h.IV] = true
+		h.BumpIV()
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c, m := newCipher()
+	var iv [IVSize]byte
+	c.NewIV(m, &iv)
+	key, val := []byte("user000000000001"), bytes.Repeat([]byte{0x5A}, 512)
+
+	ct := make([]byte, len(key)+len(val))
+	c.EncryptKV(m, &iv, key, val, ct)
+	if bytes.Contains(ct, key) {
+		t.Fatal("ciphertext leaks plaintext key")
+	}
+	pt := make([]byte, len(ct))
+	c.DecryptKV(m, &iv, ct, pt)
+	if !bytes.Equal(pt[:len(key)], key) || !bytes.Equal(pt[len(key):], val) {
+		t.Fatal("decrypt mismatch")
+	}
+	if m.Events(sim.CtrDecrypt) != 1 {
+		t.Fatalf("decrypt count = %d, want 1", m.Events(sim.CtrDecrypt))
+	}
+	if m.Events(sim.CtrEncrypt) != 1 {
+		t.Fatalf("encrypt count = %d, want 1", m.Events(sim.CtrEncrypt))
+	}
+}
+
+func TestEntryMACDetectsTampering(t *testing.T) {
+	c, m := newCipher()
+	h := Header{KeySize: 4, ValSize: 4, KeyHint: 0x33}
+	c.NewIV(m, &h.IV)
+	ct := []byte("AAAABBBB")
+	tag := c.EntryMAC(m, &h, ct)
+
+	if !c.VerifyEntryMAC(m, &h, ct, tag[:]) {
+		t.Fatal("valid MAC rejected")
+	}
+	// Tampered ciphertext.
+	bad := append([]byte(nil), ct...)
+	bad[0] ^= 1
+	if c.VerifyEntryMAC(m, &h, bad, tag[:]) {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	// Tampered key hint (a protected field per §4.2).
+	h2 := h
+	h2.KeyHint ^= 1
+	if c.VerifyEntryMAC(m, &h2, ct, tag[:]) {
+		t.Fatal("tampered key hint accepted")
+	}
+	// Tampered sizes.
+	h3 := h
+	h3.ValSize = 8
+	if c.VerifyEntryMAC(m, &h3, ct, tag[:]) {
+		t.Fatal("tampered size accepted")
+	}
+	// Tampered IV (replay of old counter).
+	h4 := h
+	h4.IV[0] ^= 1
+	if c.VerifyEntryMAC(m, &h4, ct, tag[:]) {
+		t.Fatal("tampered IV accepted")
+	}
+}
+
+func TestSetMACOrderSensitive(t *testing.T) {
+	c, m := newCipher()
+	a := bytes.Repeat([]byte{1}, MACSize)
+	b := bytes.Repeat([]byte{2}, MACSize)
+	ab := c.SetMAC(m, append(append([]byte{}, a...), b...))
+	ba := c.SetMAC(m, append(append([]byte{}, b...), a...))
+	if ab == ba {
+		t.Fatal("set MAC must be order sensitive (replay/reorder defense)")
+	}
+}
+
+func TestBucketHashKeyed(t *testing.T) {
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	e1 := sgx.New(sgx.Config{Space: space, Seed: 1})
+	e2 := sgx.New(sgx.Config{Space: space, Seed: 2})
+	c1 := NewCipher(e1, nil)
+	c2 := NewCipher(e2, nil)
+	key := []byte("same-key")
+	if c1.BucketHash(nil, key) == c2.BucketHash(nil, key) {
+		t.Fatal("bucket hash identical under different secret keys")
+	}
+}
+
+func TestKeyHintIndependentOfBucketHash(t *testing.T) {
+	c, _ := newCipher()
+	// The hint must not be a simple truncation of the bucket hash, or it
+	// would leak bucket-correlated info beyond the documented 1 byte.
+	diff := 0
+	var kb [8]byte
+	for i := 0; i < 64; i++ {
+		kb[0] = byte(i)
+		if byte(c.BucketHash(nil, kb[:])) != c.KeyHint(nil, kb[:]) {
+			diff++
+		}
+	}
+	if diff < 32 {
+		t.Fatalf("key hint correlates with bucket hash (%d/64 differ)", diff)
+	}
+}
+
+func TestCipherKeyExportRebuild(t *testing.T) {
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	e := sgx.New(sgx.Config{Space: space, Seed: 9})
+	c1 := NewCipher(e, nil)
+	c2 := NewCipherFromKeys(e, c1.ExportKeys())
+
+	var iv [IVSize]byte
+	c1.NewIV(nil, &iv)
+	key, val := []byte("k"), []byte("v")
+	ct := make([]byte, 2)
+	c1.EncryptKV(nil, &iv, key, val, ct)
+	pt := make([]byte, 2)
+	c2.DecryptKV(nil, &iv, ct, pt)
+	if string(pt) != "kv" {
+		t.Fatal("rebuilt cipher cannot decrypt")
+	}
+	h := Header{KeySize: 1, ValSize: 1, IV: iv}
+	if c1.EntryMAC(nil, &h, ct) != c2.EntryMAC(nil, &h, ct) {
+		t.Fatal("rebuilt cipher MAC differs")
+	}
+}
+
+// Property: encrypt/decrypt round-trips arbitrary key/value pairs.
+func TestEncryptRoundTripProperty(t *testing.T) {
+	c, m := newCipher()
+	f := func(key, val []byte) bool {
+		var iv [IVSize]byte
+		c.NewIV(m, &iv)
+		ct := make([]byte, len(key)+len(val))
+		c.EncryptKV(m, &iv, key, val, ct)
+		pt := make([]byte, len(ct))
+		c.DecryptKV(m, &iv, ct, pt)
+		return bytes.Equal(pt[:len(key)], key) && bytes.Equal(pt[len(key):], val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: header marshal/parse round-trips arbitrary field values.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(next uint64, slot uint32, hint, flags byte, ks, vs uint32, iv, mac [16]byte) bool {
+		h := Header{
+			Next: mem.Addr(next), Slot: slot, KeyHint: hint, Flags: flags,
+			KeySize: ks, ValSize: vs, IV: iv, MAC: mac,
+		}
+		buf := make([]byte, HeaderSize)
+		h.Marshal(buf)
+		return ParseHeader(buf) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package histo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histo{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestExactStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Count() != 3 || h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("count/min/max wrong: %d %d %d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.ExpFloat64() * 10000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// Log-bucket error bound ~19%, plus rank slack.
+		if float64(got) < float64(exact)*0.75 || float64(got) > float64(exact)*1.35 {
+			t.Errorf("q=%.2f: got %d, exact %d", q, got, exact)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("extreme quantiles must be exact min/max")
+	}
+}
+
+func TestBucketBoundsConsistent(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 20, 1 << 40} {
+		idx := bucketOf(v)
+		if u := bucketUpper(idx); v > u {
+			t.Errorf("value %d above its bucket upper %d (idx %d)", v, u, idx)
+		}
+		if idx > 0 && idx < numBuckets-1 {
+			if prev := bucketUpper(idx - 1); v <= prev {
+				t.Errorf("value %d not above previous bucket upper %d", v, prev)
+			}
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := uint64(1); i <= 100; i++ {
+		all.Record(i)
+		if i%2 == 0 {
+			a.Record(i)
+		} else {
+			b.Record(i)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merge lost samples")
+	}
+	if a.Quantile(0.5) != all.Quantile(0.5) {
+		t.Fatal("merged quantile differs")
+	}
+	// Merging empty is a no-op.
+	var empty Histogram
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Fatal("empty merge changed count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Record(uint64(v))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev || cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

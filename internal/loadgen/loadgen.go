@@ -1,0 +1,213 @@
+// Package loadgen drives a live ShieldStore server over the network with
+// the paper's YCSB-style workloads (Table 2/3), measuring *wall-clock*
+// throughput and latency percentiles. It complements internal/bench,
+// which replays workloads against in-process stores in virtual time: the
+// load generator exercises the real TCP/attestation/channel stack the way
+// the paper's 256-user client machine does (§6.1, §6.4).
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/histo"
+	"shieldstore/internal/workload"
+)
+
+// Options configures a run.
+type Options struct {
+	// Addr is the server address.
+	Addr string
+	// Client options (attestation etc).
+	Client client.Options
+	// Workload is a Table 2 name (default RD95_Z).
+	Workload string
+	// Keys is the preloaded key-space size (default 10_000).
+	Keys int
+	// ValueSize is the value size in bytes (default 128).
+	ValueSize int
+	// Ops is the measured operation count (default 50_000).
+	Ops int
+	// Connections is the number of concurrent client connections
+	// (default 8; the paper simulates 256 users).
+	Connections int
+	// Preload fills the key space before measuring (default true when
+	// Keys > 0 and the caller does not disable it).
+	SkipPreload bool
+	// Seed drives deterministic op streams (wall times still vary).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workload == "" {
+		o.Workload = "RD95_Z"
+	}
+	if o.Keys <= 0 {
+		o.Keys = 10_000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 128
+	}
+	if o.Ops <= 0 {
+		o.Ops = 50_000
+	}
+	if o.Connections <= 0 {
+		o.Connections = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops        int
+	Errors     int
+	Wall       time.Duration
+	OpsPerSec  float64
+	MeanUs     float64
+	P50Us      float64
+	P99Us      float64
+	MaxUs      float64
+	ByKind     map[string]int
+	Workload   string
+	Connection int
+}
+
+// Format renders a human-readable summary.
+func (r Result) Format() string {
+	return fmt.Sprintf(
+		"workload=%s conns=%d ops=%d errors=%d wall=%.2fs\n"+
+			"throughput=%.1f Kop/s  latency mean=%.0fus p50=%.0fus p99=%.0fus max=%.0fus",
+		r.Workload, r.Connection, r.Ops, r.Errors, r.Wall.Seconds(),
+		r.OpsPerSec/1e3, r.MeanUs, r.P50Us, r.P99Us, r.MaxUs)
+}
+
+// Run preloads (unless disabled) and executes the workload.
+func Run(o Options) (Result, error) {
+	o = o.withDefaults()
+	spec, ok := workload.ByName(o.Workload)
+	if !ok {
+		return Result{}, fmt.Errorf("loadgen: unknown workload %q", o.Workload)
+	}
+
+	if !o.SkipPreload {
+		if err := preload(o); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Partition the op stream across connections up front so the
+	// measured section does no generation work.
+	gen := workload.NewGen(spec, uint64(o.Keys), o.Seed)
+	streams := make([][]workload.Op, o.Connections)
+	for i := 0; i < o.Ops; i++ {
+		streams[i%o.Connections] = append(streams[i%o.Connections], gen.Next())
+	}
+
+	type connResult struct {
+		lat    histo.Histogram
+		errs   int
+		kinds  map[string]int
+		failed error
+	}
+	results := make([]connResult, o.Connections)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < o.Connections; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			res.kinds = map[string]int{}
+			c, err := client.Dial(o.Addr, o.Client)
+			if err != nil {
+				res.failed = err
+				return
+			}
+			defer c.Close()
+			for _, op := range streams[ci] {
+				key := workload.FormatKey(op.Key)
+				t0 := time.Now()
+				var err error
+				switch op.Kind {
+				case workload.Read:
+					_, err = c.Get(key)
+				case workload.Update, workload.Insert:
+					err = c.Set(key, workload.MakeValue(o.ValueSize, op.Key))
+				case workload.Append:
+					err = c.Append(key, []byte("-app8byte"))
+				case workload.ReadModifyWrite:
+					var v []byte
+					if v, err = c.Get(key); err == nil {
+						err = c.Set(key, v)
+					}
+				}
+				res.lat.Record(uint64(time.Since(t0).Microseconds()))
+				res.kinds[op.Kind.String()]++
+				if err != nil && err != client.ErrNotFound {
+					res.errs++
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	agg := Result{
+		Ops: o.Ops, Wall: wall, Workload: o.Workload,
+		Connection: o.Connections, ByKind: map[string]int{},
+	}
+	var lat histo.Histogram
+	for i := range results {
+		if results[i].failed != nil {
+			return Result{}, results[i].failed
+		}
+		lat.Merge(&results[i].lat)
+		agg.Errors += results[i].errs
+		for k, n := range results[i].kinds {
+			agg.ByKind[k] += n
+		}
+	}
+	agg.OpsPerSec = float64(o.Ops) / wall.Seconds()
+	agg.MeanUs = lat.Mean()
+	agg.P50Us = float64(lat.Quantile(0.5))
+	agg.P99Us = float64(lat.Quantile(0.99))
+	agg.MaxUs = float64(lat.Max())
+	return agg, nil
+}
+
+// preload fills the key space over a handful of connections.
+func preload(o Options) error {
+	const loaders = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, loaders)
+	per := (o.Keys + loaders - 1) / loaders
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c, err := client.Dial(o.Addr, o.Client)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for id := l * per; id < (l+1)*per && id < o.Keys; id++ {
+				if err := c.Set(workload.FormatKey(uint64(id)), workload.MakeValue(o.ValueSize, uint64(id))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}

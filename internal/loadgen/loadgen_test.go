@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"shieldstore"
+	"shieldstore/internal/client"
+)
+
+func startServer(t *testing.T) (*shieldstore.DB, string) {
+	t.Helper()
+	db, err := shieldstore.Open(shieldstore.Config{
+		Partitions: 2, Buckets: 1024, EPCBytes: 8 << 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := db.Serve(ln, shieldstore.ServeOptions{HotCalls: true})
+	t.Cleanup(srv.Close)
+	return db, srv.Addr().String()
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	db, addr := startServer(t)
+	res, err := Run(Options{
+		Addr: addr,
+		Client: client.Options{
+			Verifier:    db.Enclave(),
+			Measurement: shieldstore.Measurement(),
+			Secure:      true,
+		},
+		Workload:    "RD50_Z",
+		Keys:        500,
+		ValueSize:   64,
+		Ops:         2000,
+		Connections: 3,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 || res.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.OpsPerSec <= 0 || res.P99Us < res.P50Us || res.MeanUs <= 0 {
+		t.Fatalf("bad metrics: %+v", res)
+	}
+	if db.Keys() < 500 {
+		t.Fatalf("preload missing: %d keys", db.Keys())
+	}
+	reads := res.ByKind["read"]
+	if reads < 800 || reads > 1200 {
+		t.Fatalf("read mix = %d/2000, want ~50%%", reads)
+	}
+	if !strings.Contains(res.Format(), "Kop/s") {
+		t.Fatal("Format missing throughput")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Options{Addr: "127.0.0.1:1", Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunConnectFailure(t *testing.T) {
+	if _, err := Run(Options{Addr: "127.0.0.1:1", Workload: "RD95_Z", Keys: 10, Ops: 10}); err == nil {
+		t.Fatal("dial failure not surfaced")
+	}
+}
+
+func TestSkipPreload(t *testing.T) {
+	db, addr := startServer(t)
+	// Load a tiny key space manually, then run reads only.
+	c, err := client.Dial(addr, client.Options{
+		Verifier: db.Enclave(), Measurement: shieldstore.Measurement(), Secure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Set([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	before := db.Keys()
+	res, err := Run(Options{
+		Addr: addr,
+		Client: client.Options{
+			Verifier: db.Enclave(), Measurement: shieldstore.Measurement(), Secure: true,
+		},
+		Workload: "RD100_U", Keys: 50, Ops: 500, Connections: 2, SkipPreload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misses are fine for RD100 over a mismatched space, but nothing may
+	// have been written.
+	if db.Keys() != before {
+		t.Fatalf("skip-preload wrote keys: %d -> %d", before, db.Keys())
+	}
+	if res.Ops != 500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}

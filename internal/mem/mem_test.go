@@ -1,0 +1,549 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shieldstore/internal/sim"
+)
+
+func newSpace(epcBytes int64) *Space {
+	return NewSpace(Config{EPCBytes: epcBytes})
+}
+
+func TestRegionOf(t *testing.T) {
+	s := newSpace(1 << 20)
+	e := s.Alloc(Enclave, 64)
+	u := s.Alloc(Untrusted, 64)
+	if RegionOf(e) != Enclave || !InEnclave(e) {
+		t.Errorf("enclave alloc misclassified: %#x", uint64(e))
+	}
+	if RegionOf(u) != Untrusted || InEnclave(u) {
+		t.Errorf("untrusted alloc misclassified: %#x", uint64(u))
+	}
+	if Enclave.String() != "enclave" || Untrusted.String() != "untrusted" {
+		t.Error("region names wrong")
+	}
+	if Region(9).String() == "" {
+		t.Error("unknown region must render")
+	}
+}
+
+func TestCheckUntrusted(t *testing.T) {
+	s := newSpace(1 << 20)
+	e := s.Alloc(Enclave, 64)
+	u := s.Alloc(Untrusted, 64)
+	if err := CheckUntrusted(u); err != nil {
+		t.Errorf("untrusted addr rejected: %v", err)
+	}
+	if err := CheckUntrusted(0); err != nil {
+		t.Errorf("nil addr rejected: %v", err)
+	}
+	if err := CheckUntrusted(e); err == nil {
+		t.Error("enclave-aliasing pointer accepted — §7 check broken")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	for _, r := range []Region{Enclave, Untrusted} {
+		a := s.Alloc(r, 1024)
+		want := make([]byte, 1024)
+		for i := range want {
+			want[i] = byte(i * 7)
+		}
+		s.Write(m, a, want)
+		got := make([]byte, 1024)
+		s.Read(m, a, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v round trip failed", r)
+		}
+	}
+}
+
+func TestReadWriteU64(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Untrusted, 8)
+	s.WriteU64(m, a, 0xdeadbeefcafef00d)
+	if got := s.ReadU64(m, a); got != 0xdeadbeefcafef00d {
+		t.Fatalf("u64 round trip = %#x", got)
+	}
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Untrusted, 16)
+	b := s.Alloc(Untrusted, 16)
+	if a == b {
+		t.Fatal("identical addresses")
+	}
+	s.Write(m, a, bytes.Repeat([]byte{0xAA}, 16))
+	s.Write(m, b, bytes.Repeat([]byte{0xBB}, 16))
+	buf := make([]byte, 16)
+	s.Read(m, a, buf)
+	if buf[0] != 0xAA {
+		t.Fatal("allocation b clobbered a")
+	}
+}
+
+func TestAllocNeverReturnsNil(t *testing.T) {
+	s := newSpace(1 << 20)
+	for i := 0; i < 100; i++ {
+		if s.Alloc(Untrusted, 8) == 0 || s.Alloc(Enclave, 8) == 0 {
+			t.Fatal("Alloc returned the nil address")
+		}
+	}
+}
+
+func TestSegmentBoundarySpanning(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	// Allocate until just before a segment boundary, then span it.
+	pad := segSize - int(s.UsedBytes(Untrusted)) - 100
+	s.Alloc(Untrusted, pad)
+	a := s.Alloc(Untrusted, 4096)
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	s.Write(m, a, want)
+	got := make([]byte, 4096)
+	s.Read(m, a, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("segment-spanning access corrupted data")
+	}
+}
+
+func TestUnprotectedAccessCost(t *testing.T) {
+	s := newSpace(1 << 20)
+	c := s.Model()
+	m := sim.NewMeter(c)
+	a := s.Alloc(Untrusted, 64)
+	s.Read(m, a, make([]byte, 8))
+	if m.Cycles() != c.DRAMAccess {
+		t.Fatalf("single-line untrusted read = %d cycles, want %d", m.Cycles(), c.DRAMAccess)
+	}
+}
+
+func TestEnclaveResidentCostMultiplier(t *testing.T) {
+	s := newSpace(1 << 20) // plenty of EPC
+	c := s.Model()
+	a := s.Alloc(Enclave, 64)
+
+	// Prime residency.
+	prime := sim.NewMeter(c)
+	s.Read(prime, a, make([]byte, 8))
+	if prime.Events(sim.CtrEPCFaultRead) != 1 {
+		t.Fatalf("first touch should fault once, got %d", prime.Events(sim.CtrEPCFaultRead))
+	}
+
+	m := sim.NewMeter(c)
+	s.Read(m, a, make([]byte, 8))
+	want := uint64(float64(c.DRAMAccess) * c.EPCReadMult)
+	if m.Cycles() != want {
+		t.Fatalf("EPC-resident read = %d cycles, want %d", m.Cycles(), want)
+	}
+	if m.Events(sim.CtrEPCFaultRead) != 0 {
+		t.Fatal("resident read must not fault")
+	}
+
+	w := sim.NewMeter(c)
+	s.Write(w, a, make([]byte, 8))
+	wantW := uint64(float64(c.DRAMAccess) * c.EPCWriteMult)
+	if w.Cycles() != wantW {
+		t.Fatalf("EPC-resident write = %d cycles, want %d", w.Cycles(), wantW)
+	}
+}
+
+func TestDemandPagingBeyondEPC(t *testing.T) {
+	c := sim.DefaultCostModel()
+	epcPages := 16
+	s := NewSpace(Config{Model: c, EPCBytes: int64(epcPages * c.PageSize)})
+
+	// Working set of 64 pages, 4x the EPC.
+	pages := 64
+	base := s.Alloc(Enclave, pages*c.PageSize)
+
+	m := sim.NewMeter(c)
+	// First pass: everything faults.
+	for p := 0; p < pages; p++ {
+		s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+	}
+	if got := m.Events(sim.CtrEPCFaultRead); got != uint64(pages) {
+		t.Fatalf("cold pass faults = %d, want %d", got, pages)
+	}
+	if got := s.EPCResidentPages(); got > epcPages {
+		t.Fatalf("resident pages %d exceed capacity %d", got, epcPages)
+	}
+
+	// Second sequential pass over 4x working set with CLOCK: still ~all faults.
+	before := m.Events(sim.CtrEPCFaultRead)
+	for p := 0; p < pages; p++ {
+		s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+	}
+	faults := m.Events(sim.CtrEPCFaultRead) - before
+	if faults < uint64(pages)/2 {
+		t.Fatalf("thrashing pass faults = %d, want most of %d", faults, pages)
+	}
+}
+
+func TestSmallWorkingSetNoFaultsAfterWarmup(t *testing.T) {
+	c := sim.DefaultCostModel()
+	s := NewSpace(Config{Model: c, EPCBytes: int64(64 * c.PageSize)})
+	base := s.Alloc(Enclave, 16*c.PageSize)
+	m := sim.NewMeter(c)
+	for p := 0; p < 16; p++ {
+		s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+	}
+	warm := m.Events(sim.CtrEPCFaultRead)
+	for i := 0; i < 100; i++ {
+		p := i % 16
+		s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+	}
+	if got := m.Events(sim.CtrEPCFaultRead); got != warm {
+		t.Fatalf("faults after warmup: %d -> %d", warm, got)
+	}
+}
+
+// TestFigure2Shape reproduces the microbenchmark of Figure 2 in miniature:
+// random page touches across a growing working set. Below the EPC limit the
+// enclave latency is a small constant multiple of NoSGX; beyond it, latency
+// explodes by orders of magnitude; unprotected-from-enclave stays at NoSGX
+// level throughout.
+func TestFigure2Shape(t *testing.T) {
+	c := sim.DefaultCostModel()
+	epcBytes := int64(1 << 20) // scaled-down 1 MiB EPC
+	s := NewSpace(Config{Model: c, EPCBytes: epcBytes})
+
+	latency := func(region Region, wsBytes int) float64 {
+		base := s.Alloc(region, wsBytes)
+		if region == Enclave {
+			s.ResetEPC()
+		}
+		rng := rand.New(rand.NewSource(42))
+		pages := wsBytes / c.PageSize
+		// Steady state: touch the whole working set once before measuring,
+		// as the paper's microbenchmark does.
+		warm := sim.NewMeter(c)
+		for p := 0; p < pages; p++ {
+			s.Read(warm, base+Addr(p*c.PageSize), make([]byte, 8))
+		}
+		m := sim.NewMeter(c)
+		const accesses = 2000
+		for i := 0; i < accesses; i++ {
+			p := rng.Intn(pages)
+			s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+		}
+		return c.Nanos(m.Cycles()) / accesses
+	}
+
+	small := int(epcBytes / 2)
+	large := int(epcBytes * 16)
+
+	noSGXSmall := latency(Untrusted, small)
+	enclaveSmall := latency(Enclave, small)
+	enclaveLarge := latency(Enclave, large)
+	unprotLarge := latency(Untrusted, large)
+
+	// Below EPC: enclave ≈ 5.7x NoSGX (allow warmup-fault slack).
+	ratioSmall := enclaveSmall / noSGXSmall
+	if ratioSmall < 3 || ratioSmall > 20 {
+		t.Errorf("below-EPC enclave/NoSGX ratio = %.1f, want ~5.7", ratioSmall)
+	}
+	// Beyond EPC: enclave latency is orders of magnitude worse.
+	ratioLarge := enclaveLarge / unprotLarge
+	if ratioLarge < 100 {
+		t.Errorf("beyond-EPC enclave/NoSGX ratio = %.0f, want >100 (paper: 578x)", ratioLarge)
+	}
+	// Unprotected stays flat regardless of working set.
+	if unprotLarge > noSGXSmall*2 {
+		t.Errorf("unprotected latency grew with WS: %.1f vs %.1f ns", unprotLarge, noSGXSmall)
+	}
+}
+
+func TestPagingSerializationAcrossThreads(t *testing.T) {
+	c := sim.DefaultCostModel()
+	s := NewSpace(Config{Model: c, EPCBytes: int64(8 * c.PageSize)})
+	pages := 256
+	base := s.Alloc(Enclave, pages*c.PageSize)
+
+	const threads = 4
+	var wg sync.WaitGroup
+	meters := make([]*sim.Meter, threads)
+	for i := 0; i < threads; i++ {
+		meters[i] = sim.NewMeter(c)
+		wg.Add(1)
+		go func(id int, m *sim.Meter) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for j := 0; j < 200; j++ {
+				p := rng.Intn(pages)
+				s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+			}
+		}(i, meters[i])
+	}
+	wg.Wait()
+
+	// The kernel-side share of every fault is serialized machine-wide, so
+	// the slowest thread's virtual time must cover at least the summed
+	// serial portions — adding threads cannot add kernel-path throughput.
+	var totalFaults uint64
+	var maxCycles uint64
+	for _, m := range meters {
+		totalFaults += m.Events(sim.CtrEPCFaultRead)
+		if m.Cycles() > maxCycles {
+			maxCycles = m.Cycles()
+		}
+	}
+	serializedFloor := uint64(float64(totalFaults*c.PageFaultRead) * c.PageFaultSerialFraction)
+	if maxCycles < serializedFloor {
+		t.Fatalf("max thread time %d < serialized paging floor %d: faults ran fully parallel", maxCycles, serializedFloor)
+	}
+}
+
+func TestTamper(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	u := s.Alloc(Untrusted, 16)
+	s.Write(m, u, bytes.Repeat([]byte{1}, 16))
+	s.Tamper(u, []byte{0xFF})
+	got := make([]byte, 1)
+	s.Read(m, u, got)
+	if got[0] != 0xFF {
+		t.Fatal("Tamper did not modify untrusted memory")
+	}
+
+	e := s.Alloc(Enclave, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tamper on enclave memory must panic")
+		}
+	}()
+	s.Tamper(e, []byte{1})
+}
+
+func TestPeekFree(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Untrusted, 8)
+	s.Write(m, a, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	before := m.Cycles()
+	buf := make([]byte, 8)
+	s.Peek(a, buf)
+	if m.Cycles() != before {
+		t.Fatal("Peek charged cycles")
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("Peek returned wrong data")
+	}
+}
+
+func TestNilDereferencePanics(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil dereference must panic")
+		}
+	}()
+	s.Read(m, 0, make([]byte, 1))
+}
+
+func TestResetEPC(t *testing.T) {
+	c := sim.DefaultCostModel()
+	s := NewSpace(Config{Model: c, EPCBytes: int64(64 * c.PageSize)})
+	a := s.Alloc(Enclave, 4*c.PageSize)
+	m := sim.NewMeter(c)
+	s.Read(m, a, make([]byte, 8))
+	if s.EPCResidentPages() == 0 {
+		t.Fatal("no pages resident after access")
+	}
+	s.ResetEPC()
+	if s.EPCResidentPages() != 0 {
+		t.Fatal("ResetEPC left pages resident")
+	}
+	before := m.Events(sim.CtrEPCFaultRead)
+	s.Read(m, a, make([]byte, 8))
+	if m.Events(sim.CtrEPCFaultRead) != before+1 {
+		t.Fatal("access after ResetEPC must fault")
+	}
+}
+
+func TestMultilineReadCheaperThanLoop(t *testing.T) {
+	s := newSpace(1 << 20)
+	c := s.Model()
+	a := s.Alloc(Untrusted, 4096)
+
+	bulk := sim.NewMeter(c)
+	s.Read(bulk, a, make([]byte, 4096))
+
+	loop := sim.NewMeter(c)
+	for i := 0; i < 4096; i += 64 {
+		s.Read(loop, a+Addr(i), make([]byte, 64))
+	}
+	if bulk.Cycles() >= loop.Cycles() {
+		t.Fatalf("bulk read %d !< looped read %d: streaming discount missing", bulk.Cycles(), loop.Cycles())
+	}
+}
+
+// Property: round trips preserve arbitrary data at arbitrary offsets.
+func TestRoundTripProperty(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	f := func(data []byte, pad uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		s.Alloc(Untrusted, int(pad)%1000+1)
+		a := s.Alloc(Untrusted, len(data))
+		s.Write(m, a, data)
+		got := make([]byte, len(data))
+		s.Read(m, a, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EPC resident count never exceeds capacity.
+func TestEPCCapacityInvariant(t *testing.T) {
+	c := sim.DefaultCostModel()
+	s := NewSpace(Config{Model: c, EPCBytes: int64(8 * c.PageSize)})
+	base := s.Alloc(Enclave, 128*c.PageSize)
+	m := sim.NewMeter(c)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		p := rng.Intn(128)
+		s.Read(m, base+Addr(p*c.PageSize), make([]byte, 8))
+		if got := s.EPCResidentPages(); got > s.EPCCapacityPages() {
+			t.Fatalf("resident %d > capacity %d at step %d", got, s.EPCCapacityPages(), i)
+		}
+	}
+}
+
+func BenchmarkUntrustedRead64(b *testing.B) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Untrusted, 64)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Read(m, a, buf)
+	}
+}
+
+func BenchmarkEnclaveReadResident(b *testing.B) {
+	s := newSpace(1 << 24)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Enclave, 64)
+	buf := make([]byte, 64)
+	s.Read(m, a, buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(m, a, buf)
+	}
+}
+
+func TestBulkReadWriteRoundTrip(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	for _, r := range []Region{Enclave, Untrusted} {
+		a := s.Alloc(r, 8192)
+		want := make([]byte, 8192)
+		for i := range want {
+			want[i] = byte(i * 3)
+		}
+		s.BulkWrite(m, a, want)
+		got := make([]byte, 8192)
+		s.BulkRead(m, a, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v bulk round trip failed", r)
+		}
+	}
+}
+
+func TestBulkCheaperThanPerLine(t *testing.T) {
+	s := newSpace(1 << 24)
+	c := s.Model()
+	a := s.Alloc(Enclave, 4096)
+	warm := sim.NewMeter(c)
+	s.Read(warm, a, make([]byte, 4096))
+
+	bulk := sim.NewMeter(c)
+	s.BulkRead(bulk, a, make([]byte, 4096))
+	perLine := sim.NewMeter(c)
+	s.Read(perLine, a, make([]byte, 4096))
+	if bulk.Cycles() >= perLine.Cycles() {
+		t.Fatalf("bulk enclave read %d !< per-line read %d", bulk.Cycles(), perLine.Cycles())
+	}
+	// Bulk accesses still touch EPC pages: beyond-EPC bulk reads fault.
+	tiny := NewSpace(Config{Model: c, EPCBytes: int64(4 * c.PageSize)})
+	big := tiny.Alloc(Enclave, 64*c.PageSize)
+	m := sim.NewMeter(c)
+	tiny.BulkRead(m, big, make([]byte, 64*c.PageSize))
+	if m.Events(sim.CtrEPCFaultRead) == 0 {
+		t.Fatal("bulk read bypassed EPC accounting")
+	}
+}
+
+func TestBulkZeroLenFree(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	a := s.Alloc(Untrusted, 8)
+	s.BulkRead(m, a, nil)
+	s.BulkWrite(m, a, nil)
+	if m.Cycles() != 0 {
+		t.Fatal("zero-length bulk access charged cycles")
+	}
+}
+
+func TestEPCBitmapGrowth(t *testing.T) {
+	// Touch an enclave page far beyond the initial bitmap coverage
+	// (1<<20 pages = 4 GiB) to exercise the ensure() growth path.
+	c := sim.DefaultCostModel()
+	s := NewSpace(Config{Model: c, EPCBytes: int64(64 * c.PageSize)})
+	a := s.Alloc(Enclave, 5<<30) // 5 GiB reservation
+	m := sim.NewMeter(c)
+	far := a + Addr(5<<30-c.PageSize)
+	s.Read(m, far, make([]byte, 8))
+	if m.Events(sim.CtrEPCFaultRead) != 1 {
+		t.Fatalf("far page fault count = %d", m.Events(sim.CtrEPCFaultRead))
+	}
+	// And it is now resident.
+	before := m.Events(sim.CtrEPCFaultRead)
+	s.Read(m, far, make([]byte, 8))
+	if m.Events(sim.CtrEPCFaultRead) != before {
+		t.Fatal("far page not resident after fault")
+	}
+}
+
+func TestWildAddressPanics(t *testing.T) {
+	s := newSpace(1 << 20)
+	m := sim.NewMeter(s.Model())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wild address must panic")
+		}
+	}()
+	s.Read(m, Addr(12345), make([]byte, 1)) // below EnclaveBase
+}
+
+func TestRegionExhaustionPanics(t *testing.T) {
+	s := newSpace(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("region exhaustion must panic")
+		}
+	}()
+	for i := 0; i < 70; i++ {
+		s.Alloc(Untrusted, 1<<30) // 70 GiB total > 64 GiB cap
+	}
+}

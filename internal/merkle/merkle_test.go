@@ -1,0 +1,198 @@
+package merkle
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"shieldstore/internal/cmac"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sim"
+)
+
+func newTree(t *testing.T, leaves int) (*Tree, *sim.Meter) {
+	t.Helper()
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	mac, err := cmac.New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(space, mac, leaves), sim.NewMeter(space.Model())
+}
+
+func digest(b byte) Digest {
+	var d Digest
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestEmptyTreeVerifies(t *testing.T) {
+	tr, m := newTree(t, 100)
+	for _, i := range []int{0, 1, 50, 99} {
+		if err := tr.VerifyLeaf(m, i, Digest{}); err != nil {
+			t.Fatalf("empty leaf %d: %v", i, err)
+		}
+	}
+	// Non-empty digest against an empty tree fails.
+	if err := tr.VerifyLeaf(m, 3, digest(1)); !errors.Is(err, ErrIntegrity) {
+		t.Fatal("forged leaf accepted by empty tree")
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	tr, m := newTree(t, 37) // non-power-of-two
+	if tr.Cap() != 64 || tr.Levels() != 7 {
+		t.Fatalf("cap=%d levels=%d", tr.Cap(), tr.Levels())
+	}
+	for i := 0; i < 37; i++ {
+		tr.UpdateLeaf(m, i, digest(byte(i+1)))
+	}
+	for i := 0; i < 37; i++ {
+		if err := tr.VerifyLeaf(m, i, digest(byte(i+1))); err != nil {
+			t.Fatalf("leaf %d: %v", i, err)
+		}
+		if err := tr.VerifyLeaf(m, i, digest(byte(i+2))); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("leaf %d accepted wrong digest", i)
+		}
+	}
+}
+
+func TestUpdateIsolated(t *testing.T) {
+	// Updating one leaf must not break any other leaf's proof.
+	tr, m := newTree(t, 16)
+	for i := 0; i < 16; i++ {
+		tr.UpdateLeaf(m, i, digest(byte(i+1)))
+	}
+	tr.UpdateLeaf(m, 5, digest(0xEE))
+	for i := 0; i < 16; i++ {
+		want := digest(byte(i + 1))
+		if i == 5 {
+			want = digest(0xEE)
+		}
+		if err := tr.VerifyLeaf(m, i, want); err != nil {
+			t.Fatalf("leaf %d after neighbor update: %v", i, err)
+		}
+	}
+}
+
+func TestTamperedPathDetected(t *testing.T) {
+	tr, m := newTree(t, 8)
+	for i := 0; i < 8; i++ {
+		tr.UpdateLeaf(m, i, digest(byte(i+1)))
+	}
+	// Verification recomputes a leaf's ancestors from the leaf digest and
+	// reads only *siblings*, so tampering node 5 (which covers leaves
+	// 2-3) is detected by the leaves that use it as a sibling: 0 and 1.
+	tr.TamperNode(5, digest(0xAA))
+	for _, leaf := range []int{0, 1} {
+		if err := tr.VerifyLeaf(m, leaf, digest(byte(leaf+1))); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("leaf %d: tampered sibling node went undetected", leaf)
+		}
+	}
+	// Leaves 2-3 recompute over the tampered ancestor and still verify —
+	// their proofs never read node 5.
+	for _, leaf := range []int{2, 3, 6} {
+		if err := tr.VerifyLeaf(m, leaf, digest(byte(leaf+1))); err != nil {
+			t.Fatalf("leaf %d broken by non-sibling tamper: %v", leaf, err)
+		}
+	}
+}
+
+func TestZeroingNodeIsDetected(t *testing.T) {
+	// A host zeroing a node resets it to the level default, which cannot
+	// match real content.
+	tr, m := newTree(t, 8)
+	for i := 0; i < 8; i++ {
+		tr.UpdateLeaf(m, i, digest(byte(i+1)))
+	}
+	// Zero leaf 5's slot: verification of leaf 4 reads it as a sibling
+	// and substitutes the empty default, which cannot match the root.
+	tr.TamperNode(tr.Cap()+5, Digest{})
+	if err := tr.VerifyLeaf(m, 4, digest(5)); !errors.Is(err, ErrIntegrity) {
+		t.Fatal("zeroed sibling went undetected")
+	}
+}
+
+func TestReplayOldLeafDetected(t *testing.T) {
+	tr, m := newTree(t, 8)
+	tr.UpdateLeaf(m, 3, digest(0x11))
+	old := tr.LeafDigest(m, 3)
+	// Snapshot the old path nodes.
+	var oldPath []Digest
+	idx := tr.Cap() + 3
+	for i := idx; i >= 1; i /= 2 {
+		var d Digest
+		tr.space.Peek(tr.nodeAddr(i), d[:])
+		oldPath = append(oldPath, d)
+	}
+	tr.UpdateLeaf(m, 3, digest(0x22))
+	// Replay the old leaf and its whole untrusted path.
+	j := 0
+	for i := idx; i >= 1; i /= 2 {
+		tr.TamperNode(i, oldPath[j])
+		j++
+	}
+	// The enclave root was updated, so the replay fails.
+	if err := tr.VerifyLeaf(m, 3, old); !errors.Is(err, ErrIntegrity) {
+		t.Fatal("full-path replay went undetected: root not authoritative")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	tr, m := newTree(t, 4)
+	if err := tr.VerifyLeaf(m, -1, Digest{}); err == nil {
+		t.Fatal("negative leaf accepted")
+	}
+	if err := tr.VerifyLeaf(m, 4, Digest{}); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UpdateLeaf out of range must panic")
+		}
+	}()
+	tr.UpdateLeaf(m, 4, Digest{})
+}
+
+func TestCostScalesWithHeight(t *testing.T) {
+	// The §4.3 complaint: taller trees cost more per verification.
+	costFor := func(leaves int) uint64 {
+		tr, m := newTree(t, leaves)
+		tr.UpdateLeaf(m, 0, digest(1))
+		m.Reset()
+		if err := tr.VerifyLeaf(m, 0, digest(1)); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles()
+	}
+	small := costFor(8)       // 4 levels
+	large := costFor(1 << 16) // 17 levels
+	if large <= small {
+		t.Fatalf("verification cost must grow with height: %d vs %d", small, large)
+	}
+	if ratio := float64(large) / float64(small); ratio < 2 {
+		t.Fatalf("height scaling too weak: %.1fx", ratio)
+	}
+}
+
+func TestRandomizedAgainstShadow(t *testing.T) {
+	tr, m := newTree(t, 64)
+	shadow := map[int]Digest{}
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(64)
+		if rng.Intn(2) == 0 {
+			var d Digest
+			rng.Read(d[:])
+			tr.UpdateLeaf(m, i, d)
+			shadow[i] = d
+		} else {
+			want := shadow[i] // zero Digest when never written
+			if err := tr.VerifyLeaf(m, i, want); err != nil {
+				t.Fatalf("step %d: leaf %d: %v", step, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package persist implements ShieldStore's snapshot persistence (§4.4,
+// Algorithm 1, evaluated in §6.5).
+//
+// A snapshot has two parts. The *data* file holds the untrusted hash
+// table's entries exactly as they sit in memory — already encrypted and
+// MACed, so no re-encryption is needed (the design's key persistence
+// advantage). The *metadata* file holds everything that lives inside the
+// enclave — cipher keys, the MAC hash array, the configuration and a
+// snapshot version — sealed with the enclave sealing key. The version is
+// bound to an SGX monotonic counter, so restoring a stale (rolled-back)
+// snapshot is detected.
+//
+// Two snapshot modes mirror the paper:
+//
+//   - Naive: request processing blocks for the entire snapshot write.
+//   - Optimized (Algorithm 1): only metadata sealing blocks; the entry
+//     stream is written by a forked child (a background virtual-time
+//     track here), while the parent serves requests against a temporary
+//     table that is merged back when the child finishes.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/entry"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Errors.
+var (
+	// ErrRollback reports a snapshot whose sealed version does not match
+	// the platform monotonic counter — a rollback/replay of old state.
+	ErrRollback = errors.New("persist: snapshot version mismatch (rollback attack?)")
+	// ErrCorrupt reports an unreadable snapshot.
+	ErrCorrupt = errors.New("persist: snapshot corrupt")
+)
+
+// Mode selects the §6.5 persistence flavor.
+type Mode int
+
+// Snapshot modes.
+const (
+	// Naive blocks request processing for the whole snapshot.
+	Naive Mode = iota
+	// Optimized implements Algorithm 1 (fork + temporary table).
+	Optimized
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Optimized {
+		return "optimized"
+	}
+	return "naive"
+}
+
+const (
+	metaFile = "snapshot.meta"
+	dataFile = "snapshot.data"
+)
+
+// Store wraps a core.Store with snapshot persistence. Like the underlying
+// store it is single-owner (one partition, one thread).
+type Store struct {
+	main    *core.Store
+	enclave *sgx.Enclave
+	model   *sim.CostModel
+	dir     string
+	mode    Mode
+	counter uint32
+
+	// Snapshot-in-progress state (Algorithm 1).
+	temp       *core.Store
+	tombstones map[string]bool
+	childEnd   uint64 // virtual completion time of the forked writer
+	childCost  uint64 // cycles the last child spent (reporting)
+}
+
+// New wraps store with persistence writing into dir. The rollback-defense
+// monotonic counter id is derived from dir, so a restarted enclave
+// reattaches to the same platform counter.
+func New(store *core.Store, dir string, mode Mode) *Store {
+	id := CounterIDFor(dir)
+	store.Enclave().EnsureMonotonicCounter(id)
+	return &Store{
+		main:    store,
+		enclave: store.Enclave(),
+		model:   store.Enclave().Model(),
+		dir:     dir,
+		mode:    mode,
+		counter: id,
+	}
+}
+
+// CounterIDFor maps a snapshot directory to its platform counter id
+// (FNV-32a over the path).
+func CounterIDFor(dir string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(dir); i++ {
+		h ^= uint32(dir[i])
+		h *= 16777619
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Main exposes the wrapped store.
+func (p *Store) Main() *core.Store { return p.main }
+
+// Mode returns the configured snapshot mode.
+func (p *Store) Mode() Mode { return p.mode }
+
+// ChildCycles reports the background writer cost of the last snapshot.
+func (p *Store) ChildCycles() uint64 { return p.childCost }
+
+// InSnapshot reports whether an optimized snapshot is still draining.
+func (p *Store) InSnapshot() bool { return p.temp != nil }
+
+// Snapshot writes a snapshot. The caller's meter m advances by the
+// *blocking* portion only; in Optimized mode the entry stream runs on a
+// background virtual track that finishes at m.Cycles()+childCost.
+func (p *Store) Snapshot(m *sim.Meter) error {
+	if p.temp != nil {
+		// Previous snapshot still draining: finish it first.
+		p.finishSnapshot(m)
+	}
+	m.Count(sim.CtrSnapshot)
+
+	// Step 1 (blocking): bump the monotonic counter and seal metadata.
+	version, err := p.enclave.IncrementMonotonicCounter(m, p.counter)
+	if err != nil {
+		return err
+	}
+	meta := p.encodeMeta(version)
+	sealed := p.enclave.Seal(m, meta)
+	if err := os.WriteFile(filepath.Join(p.dir, metaFile), sealed, 0o600); err != nil {
+		return err
+	}
+	m.Charge(p.model.StorageWrite(len(sealed)))
+
+	// Step 2: stream the (already encrypted) entries. The bytes are
+	// captured now — the paper's fork gives the child a copy-on-write
+	// view of exactly this moment.
+	data, totalBytes, err := p.encodeData()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(p.dir, dataFile), data, 0o600); err != nil {
+		return err
+	}
+	streamCost := p.model.MemCopy(totalBytes) + p.model.StorageWrite(totalBytes)
+
+	if p.mode == Naive {
+		// Blocking: the serving thread eats the whole write.
+		m.Charge(streamCost)
+		return nil
+	}
+
+	// Optimized: the child runs in background virtual time; the parent
+	// switches writes to a temporary table until the child finishes.
+	p.childCost = streamCost
+	p.childEnd = m.Cycles() + streamCost
+	tempOpts := p.main.Options()
+	tempOpts.Buckets = max(16, tempOpts.Buckets/8)
+	tempOpts.MACHashes = tempOpts.Buckets
+	p.temp = core.New(p.enclave, p.main.Cipher(), tempOpts)
+	p.tombstones = map[string]bool{}
+	return nil
+}
+
+// finishSnapshot merges the temporary table back into the main table
+// (Algorithm 1 line 11) once the child is done.
+func (p *Store) finishSnapshot(m *sim.Meter) {
+	if m.Cycles() < p.childEnd {
+		m.SetCycles(p.childEnd) // parent waits for the child
+	}
+	temp := p.temp
+	p.temp = nil
+	for key := range p.tombstones {
+		_ = p.main.Delete(m, []byte(key))
+	}
+	_ = temp.ForEachDecrypt(m, func(k, v []byte) error {
+		return p.main.Set(m, k, v)
+	})
+	p.tombstones = nil
+}
+
+// maybeFinish completes a draining snapshot whose child has finished by
+// the caller's current virtual time.
+func (p *Store) maybeFinish(m *sim.Meter) {
+	if p.temp != nil && m.Cycles() >= p.childEnd {
+		p.finishSnapshot(m)
+	}
+}
+
+// Get reads through the temporary table during snapshots.
+func (p *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
+	p.maybeFinish(m)
+	if p.temp != nil {
+		if p.tombstones[string(key)] {
+			return nil, core.ErrNotFound
+		}
+		if v, err := p.temp.Get(m, key); err == nil {
+			return v, nil
+		} else if !errors.Is(err, core.ErrNotFound) {
+			return nil, err
+		}
+	}
+	return p.main.Get(m, key)
+}
+
+// Set writes to the temporary table during snapshots.
+func (p *Store) Set(m *sim.Meter, key, value []byte) error {
+	p.maybeFinish(m)
+	if p.temp != nil {
+		delete(p.tombstones, string(key))
+		return p.temp.Set(m, key, value)
+	}
+	return p.main.Set(m, key, value)
+}
+
+// Append implements read-modify-write through the snapshot window.
+func (p *Store) Append(m *sim.Meter, key, suffix []byte) error {
+	p.maybeFinish(m)
+	if p.temp == nil {
+		return p.main.Append(m, key, suffix)
+	}
+	old, err := p.Get(m, key)
+	if err != nil && !errors.Is(err, core.ErrNotFound) {
+		return err
+	}
+	return p.Set(m, key, append(append([]byte{}, old...), suffix...))
+}
+
+// Delete removes a key, tombstoning it during snapshots.
+func (p *Store) Delete(m *sim.Meter, key []byte) error {
+	p.maybeFinish(m)
+	if p.temp == nil {
+		return p.main.Delete(m, key)
+	}
+	if _, err := p.Get(m, key); err != nil {
+		return err
+	}
+	_ = p.temp.Delete(m, key) // may or may not exist in temp
+	p.tombstones[string(key)] = true
+	return nil
+}
+
+// Drain forces completion of any in-progress snapshot (shutdown).
+func (p *Store) Drain(m *sim.Meter) {
+	if p.temp != nil {
+		p.finishSnapshot(m)
+	}
+}
+
+// encodeMeta serializes enclave-side state: version, options, key count,
+// cipher keys, MAC hashes.
+func (p *Store) encodeMeta(version uint64) []byte {
+	opts := p.main.Options()
+	keys := p.main.Cipher().ExportKeys()
+	hashes := p.main.ExportMACHashes()
+
+	buf := make([]byte, 0, 64+len(hashes))
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(version)
+	put(uint64(opts.Buckets))
+	put(uint64(opts.MACHashes))
+	put(uint64(opts.MACBucketCap))
+	flags := uint64(0)
+	if opts.KeyHint {
+		flags |= 1
+	}
+	if opts.MACBucket {
+		flags |= 2
+	}
+	if opts.ExtraHeap {
+		flags |= 4
+	}
+	if opts.RangeIndex {
+		flags |= 8
+	}
+	if opts.MerkleTree {
+		flags |= 16
+	}
+	put(flags)
+	put(uint64(p.main.Keys()))
+	buf = append(buf, keys.Data[:]...)
+	buf = append(buf, keys.MAC[:]...)
+	buf = append(buf, keys.Bucket[:]...)
+	buf = append(buf, keys.Hint[:]...)
+	put(uint64(len(hashes)))
+	buf = append(buf, hashes...)
+	return buf
+}
+
+// decodeMeta parses the sealed metadata.
+type metaBlob struct {
+	version uint64
+	opts    core.Options
+	keys    entry.Keys
+	keyN    int
+	hashes  []byte
+}
+
+func decodeMeta(buf []byte) (*metaBlob, error) {
+	if len(buf) < 48+64+8 {
+		return nil, ErrCorrupt
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(buf[off:]) }
+	mb := &metaBlob{version: get(0)}
+	mb.opts.Buckets = int(get(8))
+	mb.opts.MACHashes = int(get(16))
+	mb.opts.MACBucketCap = int(get(24))
+	flags := get(32)
+	mb.opts.KeyHint = flags&1 != 0
+	mb.opts.MACBucket = flags&2 != 0
+	mb.opts.ExtraHeap = flags&4 != 0
+	mb.opts.RangeIndex = flags&8 != 0
+	mb.opts.MerkleTree = flags&16 != 0
+	mb.keyN = int(get(40))
+	off := 48
+	copy(mb.keys.Data[:], buf[off:])
+	copy(mb.keys.MAC[:], buf[off+16:])
+	copy(mb.keys.Bucket[:], buf[off+32:])
+	copy(mb.keys.Hint[:], buf[off+48:])
+	off += 64
+	hlen := int(get(off))
+	off += 8
+	if off+hlen != len(buf) {
+		return nil, ErrCorrupt
+	}
+	mb.hashes = append([]byte(nil), buf[off:]...)
+	return mb, nil
+}
+
+// encodeData serializes every bucket's raw entries:
+// repeat { bucket u32, nEntries u32, repeat { len u32, bytes } }.
+func (p *Store) encodeData() ([]byte, int, error) {
+	var out []byte
+	total := 0
+	var tmp [4]byte
+	err := p.main.ForEachBucketRaw(func(b int, entries [][]byte) error {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(b))
+		out = append(out, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(entries)))
+		out = append(out, tmp[:]...)
+		for _, raw := range entries {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(len(raw)))
+			out = append(out, tmp[:]...)
+			out = append(out, raw...)
+			total += len(raw)
+		}
+		return nil
+	})
+	return out, total, err
+}
+
+// Restore loads the latest snapshot from dir into a fresh store on the
+// given enclave, verifying integrity and rollback protection. The
+// counterID must be the same platform counter the snapshots used.
+func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.Store, error) {
+	sealed, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := e.Unseal(m, sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	mb, err := decodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	// Rollback defense: sealed version must match the platform counter.
+	cur, err := e.ReadMonotonicCounter(counterID)
+	if err != nil {
+		return nil, err
+	}
+	if mb.version != cur {
+		return nil, fmt.Errorf("%w: sealed v%d, platform v%d", ErrRollback, mb.version, cur)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, dataFile))
+	if err != nil {
+		return nil, err
+	}
+	s := core.New(e, entry.NewCipherFromKeys(e, mb.keys), mb.opts)
+	if err := restoreData(s, m, data); err != nil {
+		return nil, err
+	}
+	if err := s.ImportMACHashes(m, mb.hashes); err != nil {
+		return nil, err
+	}
+	if err := s.VerifyAll(m); err != nil {
+		return nil, fmt.Errorf("restored snapshot failed verification: %w", err)
+	}
+	if s.Keys() != mb.keyN {
+		return nil, fmt.Errorf("%w: key count %d != sealed %d", ErrCorrupt, s.Keys(), mb.keyN)
+	}
+	return s, nil
+}
+
+func restoreData(s *core.Store, m *sim.Meter, data []byte) error {
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	for off < len(data) {
+		b, ok := u32()
+		if !ok {
+			return ErrCorrupt
+		}
+		n, ok := u32()
+		if !ok {
+			return ErrCorrupt
+		}
+		entries := make([][]byte, 0, n)
+		for i := uint32(0); i < n; i++ {
+			l, ok := u32()
+			if !ok || off+int(l) > len(data) {
+				return ErrCorrupt
+			}
+			entries = append(entries, data[off:off+int(l)])
+			off += int(l)
+		}
+		if int(b) >= s.Options().Buckets {
+			return ErrCorrupt
+		}
+		if err := s.RestoreBucket(m, int(b), entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

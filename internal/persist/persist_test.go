@@ -1,0 +1,393 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave() *sgx.Enclave {
+	space := mem.NewSpace(mem.Config{EPCBytes: 16 << 20})
+	return sgx.New(sgx.Config{Space: space, Seed: 41})
+}
+
+func setup(t *testing.T, mode Mode) (*Store, *sim.Meter) {
+	t.Helper()
+	e := newEnclave()
+	s := core.New(e, nil, core.Defaults(32))
+	p := New(s, t.TempDir(), mode)
+	return p, sim.NewMeter(e.Model())
+}
+
+func fill(t *testing.T, p *Store, m *sim.Meter, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{Naive, Optimized} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, m := setup(t, mode)
+			fill(t, p, m, 100)
+			if err := p.Snapshot(m); err != nil {
+				t.Fatal(err)
+			}
+			p.Drain(m)
+
+			m2 := sim.NewMeter(p.enclave.Model())
+			restored, err := Restore(p.enclave, p.dir, p.counter, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Keys() != 100 {
+				t.Fatalf("restored keys = %d", restored.Keys())
+			}
+			for i := 0; i < 100; i++ {
+				got, err := restored.Get(m2, []byte(fmt.Sprintf("k%04d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != fmt.Sprintf("v%04d", i) {
+					t.Fatalf("key %d = %q", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotDataIsEncrypted(t *testing.T) {
+	p, m := setup(t, Naive)
+	secret := []byte("super-secret-value-bytes")
+	if err := p.Set(m, []byte("secretkey0000001"), secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(p.dir, dataFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, secret) || bytes.Contains(data, []byte("secretkey0000001")) {
+		t.Fatal("snapshot leaks plaintext")
+	}
+	meta, err := os.ReadFile(filepath.Join(p.dir, metaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := p.main.Cipher().ExportKeys()
+	if bytes.Contains(meta, keys.Data[:]) {
+		t.Fatal("sealed metadata leaks the data key")
+	}
+}
+
+func TestRollbackDetected(t *testing.T) {
+	p, m := setup(t, Naive)
+	fill(t, p, m, 20)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	// Save the old snapshot, take a new one, restore the old (rollback).
+	oldMeta, _ := os.ReadFile(filepath.Join(p.dir, metaFile))
+	oldData, _ := os.ReadFile(filepath.Join(p.dir, dataFile))
+	if err := p.Set(m, []byte("k0000"), []byte("vNEW")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(p.dir, metaFile), oldMeta, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(p.dir, dataFile), oldData, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Restore(p.enclave, p.dir, p.counter, m)
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("rollback not detected: %v", err)
+	}
+}
+
+func TestTamperedSnapshotDetected(t *testing.T) {
+	p, m := setup(t, Naive)
+	fill(t, p, m, 20)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(p.dir, dataFile)
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x80
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(p.enclave, p.dir, p.counter, m); err == nil {
+		t.Fatal("tampered snapshot restored")
+	}
+	// Tampered metadata too.
+	p2, m2 := setup(t, Naive)
+	fill(t, p2, m2, 5)
+	if err := p2.Snapshot(m2); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(p2.dir, metaFile)
+	meta, _ := os.ReadFile(mpath)
+	meta[10] ^= 1
+	if err := os.WriteFile(mpath, meta, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(p2.enclave, p2.dir, p2.counter, m2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered metadata: %v", err)
+	}
+}
+
+func TestOptimizedServesDuringSnapshot(t *testing.T) {
+	p, m := setup(t, Optimized)
+	fill(t, p, m, 50)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if !p.InSnapshot() {
+		t.Fatal("optimized snapshot should leave a draining child")
+	}
+	// Reads and writes work against the temp table.
+	got, err := p.Get(m, []byte("k0001"))
+	if err != nil || string(got) != "v0001" {
+		t.Fatalf("read during snapshot: %q %v", got, err)
+	}
+	if err := p.Set(m, []byte("k0001"), []byte("vXXXX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set(m, []byte("newkey"), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete(m, []byte("k0002")); err != nil {
+		t.Fatal(err)
+	}
+	// All visible through the wrapper mid-snapshot.
+	got, _ = p.Get(m, []byte("k0001"))
+	if string(got) != "vXXXX" {
+		t.Fatalf("update invisible during snapshot: %q", got)
+	}
+	if _, err := p.Get(m, []byte("k0002")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("tombstone invisible: %v", err)
+	}
+	got, _ = p.Get(m, []byte("newkey"))
+	if string(got) != "fresh" {
+		t.Fatalf("insert invisible during snapshot: %q", got)
+	}
+
+	// Drain and check everything merged into main.
+	p.Drain(m)
+	if p.InSnapshot() {
+		t.Fatal("Drain left snapshot open")
+	}
+	got, err = p.main.Get(m, []byte("k0001"))
+	if err != nil || string(got) != "vXXXX" {
+		t.Fatalf("merge lost update: %q %v", got, err)
+	}
+	if _, err := p.main.Get(m, []byte("k0002")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatal("merge lost delete")
+	}
+	got, err = p.main.Get(m, []byte("newkey"))
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("merge lost insert: %q %v", got, err)
+	}
+	mm := sim.NewMeter(p.enclave.Model())
+	if err := p.main.VerifyAll(mm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotCapturesPreForkState(t *testing.T) {
+	// Writes during the snapshot window must NOT appear in the snapshot
+	// (the child sees the fork-time copy), but survive in memory.
+	p, m := setup(t, Optimized)
+	fill(t, p, m, 30)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set(m, []byte("k0000"), []byte("post-fork!")); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain(m)
+
+	m2 := sim.NewMeter(p.enclave.Model())
+	restored, err := Restore(p.enclave, p.dir, p.counter, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Get(m2, []byte("k0000"))
+	if err != nil || string(got) != "v0000" {
+		t.Fatalf("snapshot should hold pre-fork value: %q %v", got, err)
+	}
+	// The live store holds the post-fork value.
+	live, err := p.Get(m, []byte("k0000"))
+	if err != nil || string(live) != "post-fork!" {
+		t.Fatalf("live store lost post-fork write: %q %v", live, err)
+	}
+}
+
+func TestNaiveBlocksLongerThanOptimized(t *testing.T) {
+	// §6.5: the naive mode charges the serving thread the whole stream;
+	// optimized charges only sealing.
+	blockCost := func(mode Mode) uint64 {
+		p, m := setup(t, mode)
+		fill(t, p, m, 300)
+		before := m.Cycles()
+		if err := p.Snapshot(m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles() - before
+	}
+	naive := blockCost(Naive)
+	opt := blockCost(Optimized)
+	if opt >= naive {
+		t.Fatalf("optimized blocking (%d) not cheaper than naive (%d)", opt, naive)
+	}
+}
+
+func TestAppendDuringSnapshot(t *testing.T) {
+	p, m := setup(t, Optimized)
+	fill(t, p, m, 10)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(m, []byte("k0003"), []byte("+tail")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(m, []byte("k0003"))
+	if string(got) != "v0003+tail" {
+		t.Fatalf("append during snapshot: %q", got)
+	}
+	p.Drain(m)
+	got, _ = p.main.Get(m, []byte("k0003"))
+	if string(got) != "v0003+tail" {
+		t.Fatalf("append lost in merge: %q", got)
+	}
+}
+
+func TestBackToBackSnapshots(t *testing.T) {
+	p, m := setup(t, Optimized)
+	fill(t, p, m, 20)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set(m, []byte("mid"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Second snapshot while the first is draining: must finish the first.
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain(m)
+	m2 := sim.NewMeter(p.enclave.Model())
+	restored, err := Restore(p.enclave, p.dir, p.counter, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Get(m2, []byte("mid"))
+	if err != nil || string(got) != "1" {
+		t.Fatalf("second snapshot missing merged write: %q %v", got, err)
+	}
+}
+
+func TestMonotonicCounterChargesSnapshot(t *testing.T) {
+	p, m := setup(t, Optimized)
+	fill(t, p, m, 5)
+	before := m.Events(sim.CtrMonotonicInc)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Events(sim.CtrMonotonicInc) != before+1 {
+		t.Fatal("snapshot must bump the monotonic counter")
+	}
+}
+
+func TestSnapshotPreservesFeatureFlags(t *testing.T) {
+	e := newEnclave()
+	opts := core.Defaults(32)
+	opts.RangeIndex = true
+	s := core.New(e, nil, opts)
+	p := New(s, t.TempDir(), Naive)
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 20; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(e, p.dir, p.counter, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Options().RangeIndex {
+		t.Fatal("RangeIndex flag lost through snapshot")
+	}
+	kvs, err := restored.Range(m, []byte("k05"), []byte("k10"), 0)
+	if err != nil || len(kvs) != 5 {
+		t.Fatalf("restored range: %d, %v", len(kvs), err)
+	}
+}
+
+func TestSnapshotRestoreMerkleMode(t *testing.T) {
+	e := newEnclave()
+	opts := core.Defaults(32)
+	opts.MerkleTree = true
+	s := core.New(e, nil, opts)
+	p := New(s, t.TempDir(), Naive)
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 30; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(e, p.dir, p.counter, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Options().MerkleTree {
+		t.Fatal("MerkleTree flag lost through snapshot")
+	}
+	got, err := restored.Get(m, []byte("k07"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("restored merkle store: %q %v", got, err)
+	}
+	// Tampered data under Merkle restore is detected via root mismatch.
+	p2dir := t.TempDir()
+	s2 := core.New(e, nil, opts)
+	p2 := New(s2, p2dir, Naive)
+	for i := 0; i < 10; i++ {
+		if err := p2.Set(m, []byte(fmt.Sprintf("x%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p2.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(p2dir, dataFile)
+	data, _ := os.ReadFile(path)
+	data[len(data)-3] ^= 0x20
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(e, p2dir, p2.counter, m); err == nil {
+		t.Fatal("tampered merkle snapshot restored")
+	}
+}

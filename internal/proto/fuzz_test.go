@@ -1,0 +1,66 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest hardens the request parser against arbitrary bytes —
+// the server decodes attacker-reachable (post-channel) payloads with it.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(&Request{Cmd: CmdSet, Key: []byte("k"), Value: []byte("v")}))
+	f.Add(EncodeRequest(&Request{Cmd: CmdGet, Key: []byte("key")}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to an equivalent request.
+		rt, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if rt.Cmd != req.Cmd || !bytes.Equal(rt.Key, req.Key) ||
+			!bytes.Equal(rt.Value, req.Value) || rt.Delta != req.Delta {
+			t.Fatal("round trip not idempotent")
+		}
+	})
+}
+
+// FuzzDecodeResponse does the same for the client-side parser.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(&Response{Status: StatusOK, Value: []byte("v"), Num: 7}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		rt, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil || rt.Status != resp.Status || rt.Num != resp.Num ||
+			!bytes.Equal(rt.Value, resp.Value) {
+			t.Fatal("round trip not idempotent")
+		}
+	})
+}
+
+// FuzzDecodeList hardens the MGet batch parser.
+func FuzzDecodeList(f *testing.F) {
+	f.Add(EncodeList([][]byte{{1}, nil, {2, 3}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeList(data)
+		if err != nil {
+			return
+		}
+		rt, err := DecodeList(EncodeList(items))
+		if err != nil || len(rt) != len(items) {
+			t.Fatal("round trip failed")
+		}
+	})
+}

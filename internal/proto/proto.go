@@ -1,0 +1,405 @@
+// Package proto implements ShieldStore's client/server wire protocol and
+// the secure session establishment of §3.2:
+//
+//  1. the client remote-attests the server enclave (a quote over the
+//     handshake transcript, checked against the expected measurement),
+//  2. both sides run X25519 and derive an AES-GCM session key, and
+//  3. every subsequent request/response travels encrypted and
+//     authenticated with monotonically increasing nonces (no replay).
+//
+// Frames are length-prefixed; requests and responses use a compact binary
+// encoding. A plaintext mode exists only for the paper's "without network
+// security" ablation in §6.4.
+package proto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Command identifies a request type.
+type Command uint8
+
+// Commands.
+const (
+	CmdGet Command = iota + 1
+	CmdSet
+	CmdDelete
+	CmdAppend
+	CmdIncr
+	CmdPing
+	CmdMGet
+	CmdStats
+)
+
+// Status codes.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusError
+	StatusIntegrityViolation
+)
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds limit")
+	ErrBadMessage    = errors.New("proto: malformed message")
+	ErrReplay        = errors.New("proto: bad sequence (replayed or dropped frame)")
+	ErrHandshake     = errors.New("proto: handshake failed")
+)
+
+// MaxFrame bounds a single frame (64 MiB).
+const MaxFrame = 64 << 20
+
+// Request is a client command.
+type Request struct {
+	Cmd   Command
+	Key   []byte
+	Value []byte
+	Delta int64
+}
+
+// Response is a server reply.
+type Response struct {
+	Status uint8
+	Value  []byte
+	Num    int64
+}
+
+// EncodeRequest renders a request:
+// cmd(1) keyLen(4) valLen(4) delta(8) key val.
+func EncodeRequest(r *Request) []byte {
+	buf := make([]byte, 17+len(r.Key)+len(r.Value))
+	buf[0] = byte(r.Cmd)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(r.Value)))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(r.Delta))
+	copy(buf[17:], r.Key)
+	copy(buf[17+len(r.Key):], r.Value)
+	return buf
+}
+
+// DecodeRequest parses an encoded request.
+func DecodeRequest(buf []byte) (*Request, error) {
+	if len(buf) < 17 {
+		return nil, ErrBadMessage
+	}
+	kl := int(binary.LittleEndian.Uint32(buf[1:]))
+	vl := int(binary.LittleEndian.Uint32(buf[5:]))
+	if kl < 0 || vl < 0 || 17+kl+vl != len(buf) {
+		return nil, ErrBadMessage
+	}
+	r := &Request{
+		Cmd:   Command(buf[0]),
+		Delta: int64(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	if kl > 0 {
+		r.Key = append([]byte(nil), buf[17:17+kl]...)
+	}
+	if vl > 0 {
+		r.Value = append([]byte(nil), buf[17+kl:]...)
+	}
+	return r, nil
+}
+
+// EncodeResponse renders a response: status(1) num(8) valLen(4) val.
+func EncodeResponse(r *Response) []byte {
+	buf := make([]byte, 13+len(r.Value))
+	buf[0] = r.Status
+	binary.LittleEndian.PutUint64(buf[1:], uint64(r.Num))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(r.Value)))
+	copy(buf[13:], r.Value)
+	return buf
+}
+
+// DecodeResponse parses an encoded response.
+func DecodeResponse(buf []byte) (*Response, error) {
+	if len(buf) < 13 {
+		return nil, ErrBadMessage
+	}
+	vl := int(binary.LittleEndian.Uint32(buf[9:]))
+	if vl < 0 || 13+vl != len(buf) {
+		return nil, ErrBadMessage
+	}
+	r := &Response{
+		Status: buf[0],
+		Num:    int64(binary.LittleEndian.Uint64(buf[1:])),
+	}
+	if vl > 0 {
+		r.Value = append([]byte(nil), buf[13:]...)
+	}
+	return r, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Channel protects one direction-pair of a session. A nil *Channel means
+// plaintext (the §6.4 no-network-security ablation).
+type Channel struct {
+	aead    cipher.AEAD
+	sendSeq uint64
+	recvSeq uint64
+	sendDir byte
+	recvDir byte
+}
+
+// newChannel builds a channel from a 16-byte session key. The dir byte
+// separates client→server and server→client nonce spaces.
+func newChannel(key []byte, client bool) (*Channel, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	c := &Channel{aead: aead}
+	if client {
+		c.sendDir, c.recvDir = 1, 2
+	} else {
+		c.sendDir, c.recvDir = 2, 1
+	}
+	return c, nil
+}
+
+func nonceFor(dir byte, seq uint64) []byte {
+	n := make([]byte, 12)
+	n[0] = dir
+	binary.LittleEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// Seal encrypts a payload with the next send nonce.
+func (c *Channel) Seal(plain []byte) []byte {
+	n := nonceFor(c.sendDir, c.sendSeq)
+	c.sendSeq++
+	return c.aead.Seal(nil, n, plain, nil)
+}
+
+// Open authenticates and decrypts the next received frame. Sequence
+// numbers are implicit, so replayed, reordered or dropped frames fail.
+func (c *Channel) Open(ct []byte) ([]byte, error) {
+	n := nonceFor(c.recvDir, c.recvSeq)
+	pt, err := c.aead.Open(nil, n, ct, nil)
+	if err != nil {
+		return nil, ErrReplay
+	}
+	c.recvSeq++
+	return pt, nil
+}
+
+// Overhead returns the ciphertext expansion per frame.
+func (c *Channel) Overhead() int { return c.aead.Overhead() }
+
+// QuoteVerifier abstracts the attestation service: it validates a quote
+// and returns the attested report data. *sgx.Enclave implements it.
+type QuoteVerifier interface {
+	VerifyQuote(quote []byte, expectMeasurement [32]byte) ([]byte, error)
+}
+
+// Quoter abstracts quote generation inside the server enclave.
+type Quoter interface {
+	Quote(reportData []byte) []byte
+}
+
+// handshake message layout: pub(32) nonce(16) for hello; quote for reply.
+
+// ClientHandshake attests the server and derives the session channel,
+// drawing client entropy from crypto/rand.
+func ClientHandshake(rw io.ReadWriter, verifier QuoteVerifier, expect [32]byte) (*Channel, error) {
+	return ClientHandshakeSeeded(rw, verifier, expect, rand.Reader)
+}
+
+// ClientHandshakeSeeded is ClientHandshake with caller-supplied entropy
+// (deterministic tests and simulations).
+func ClientHandshakeSeeded(rw io.ReadWriter, verifier QuoteVerifier, expect [32]byte, entropy io.Reader) (*Channel, error) {
+	priv, err := ecdh.X25519().GenerateKey(entropy)
+	if err != nil {
+		return nil, err
+	}
+	return clientHandshakeWithKey(rw, verifier, expect, priv)
+}
+
+func clientHandshakeWithKey(rw io.ReadWriter, verifier QuoteVerifier, expect [32]byte, priv *ecdh.PrivateKey) (*Channel, error) {
+	nonce := make([]byte, 16)
+	// Derive the nonce from the public key: unique per session key.
+	sum := sha256.Sum256(priv.PublicKey().Bytes())
+	copy(nonce, sum[:16])
+
+	hello := append(append([]byte{}, priv.PublicKey().Bytes()...), nonce...)
+	if err := WriteFrame(rw, hello); err != nil {
+		return nil, err
+	}
+	reply, err := ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < 32 {
+		return nil, ErrHandshake
+	}
+	// Reply: serverPub(32) || quote(...)
+	serverPubBytes := reply[:32]
+	quote := reply[32:]
+	report, err := verifier.VerifyQuote(quote, expect)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	// The quote must bind this session's transcript.
+	want := transcript(hello, serverPubBytes)
+	if !hmac.Equal(report, want) {
+		return nil, fmt.Errorf("%w: transcript mismatch", ErrHandshake)
+	}
+	serverPub, err := ecdh.X25519().NewPublicKey(serverPubBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(serverPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return newChannel(sessionKey(shared, nonce), true)
+}
+
+// ServerHandshake answers a client hello, producing the server channel.
+// entropy supplies the server's ephemeral key material (the enclave DRBG).
+func ServerHandshake(rw io.ReadWriter, quoter Quoter, entropy io.Reader) (*Channel, error) {
+	hello, err := ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(hello) != 48 {
+		return nil, ErrHandshake
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(hello[:32])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	nonce := hello[32:48]
+
+	priv, err := ecdh.X25519().GenerateKey(entropy)
+	if err != nil {
+		return nil, err
+	}
+	pub := priv.PublicKey().Bytes()
+	quote := quoter.Quote(transcript(hello, pub))
+	if err := WriteFrame(rw, append(append([]byte{}, pub...), quote...)); err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(clientPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return newChannel(sessionKey(shared, nonce), false)
+}
+
+// EncodeList renders a list of byte strings: n(4) then n x (len(4) bytes).
+// A nil element is encoded with length 0xFFFFFFFF (MGet "missing" marker).
+func EncodeList(items [][]byte) []byte {
+	size := 4
+	for _, it := range items {
+		size += 4 + len(it)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(items)))
+	buf = append(buf, tmp[:]...)
+	for _, it := range items {
+		if it == nil {
+			binary.LittleEndian.PutUint32(tmp[:], 0xFFFFFFFF)
+			buf = append(buf, tmp[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(it)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, it...)
+	}
+	return buf
+}
+
+// DecodeList parses an EncodeList buffer.
+func DecodeList(buf []byte) ([][]byte, error) {
+	if len(buf) < 4 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || n > 1<<20 {
+		return nil, ErrBadMessage
+	}
+	off := 4
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(buf) {
+			return nil, ErrBadMessage
+		}
+		l := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		if l == 0xFFFFFFFF {
+			out = append(out, nil)
+			continue
+		}
+		if off+int(l) > len(buf) {
+			return nil, ErrBadMessage
+		}
+		out = append(out, append([]byte(nil), buf[off:off+int(l)]...))
+		off += int(l)
+	}
+	if off != len(buf) {
+		return nil, ErrBadMessage
+	}
+	return out, nil
+}
+
+// transcript binds both handshake flights into the attested report data.
+func transcript(hello, serverPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("shieldstore-handshake-v1"))
+	h.Write(hello)
+	h.Write(serverPub)
+	return h.Sum(nil)
+}
+
+// sessionKey derives the 16-byte AES key from the ECDH secret and nonce.
+func sessionKey(shared, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, shared)
+	mac.Write([]byte("shieldstore-session-v1"))
+	mac.Write(nonce)
+	return mac.Sum(nil)[:16]
+}

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"shieldstore/internal/baseline"
+	"shieldstore/internal/client"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave() *sgx.Enclave {
+	space := mem.NewSpace(mem.Config{EPCBytes: 16 << 20})
+	return sgx.New(sgx.Config{Space: space, Seed: 31, Measurement: [32]byte{0xAB}})
+}
+
+// startServer spins up a TCP server on loopback with the given config.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Logf = t.Logf
+	s := Serve(ln, cfg)
+	t.Cleanup(s.Close)
+	return s, ln.Addr().String()
+}
+
+func coreServer(t *testing.T, e *sgx.Enclave, secure, hotcalls bool) (*Server, string, *core.Partitioned) {
+	t.Helper()
+	p := core.NewPartitioned(e, 2, core.Defaults(64))
+	p.Start()
+	t.Cleanup(p.Stop)
+	s, addr := startServer(t, Config{
+		Engine:   CoreEngine{p},
+		Enclave:  e,
+		Secure:   secure,
+		HotCalls: hotcalls,
+	})
+	return s, addr, p
+}
+
+func TestSecureEndToEnd(t *testing.T) {
+	e := newEnclave()
+	_, addr, _ := coreServer(t, e, true, true)
+
+	c, err := client.Dial(addr, client.Options{
+		Verifier:    e,
+		Measurement: e.Measurement(),
+		Secure:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("got %q", got)
+	}
+	if err := c.Append([]byte("hello"), []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Get([]byte("hello"))
+	if string(got) != "world!" {
+		t.Fatalf("append: %q", got)
+	}
+	n, err := c.Incr([]byte("ctr"), 7)
+	if err != nil || n != 7 {
+		t.Fatalf("incr: %d, %v", n, err)
+	}
+	if err := c.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("hello")); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestPlaintextMode(t *testing.T) {
+	e := newEnclave()
+	_, addr, _ := coreServer(t, e, false, false)
+	c, err := client.Dial(addr, client.Options{Secure: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("plaintext round trip: %q, %v", got, err)
+	}
+}
+
+func TestWrongMeasurementRejected(t *testing.T) {
+	e := newEnclave()
+	_, addr, _ := coreServer(t, e, true, false)
+	_, err := client.Dial(addr, client.Options{
+		Verifier:    e,
+		Measurement: [32]byte{0xFF},
+		Secure:      true,
+	})
+	if err == nil {
+		t.Fatal("client accepted wrong enclave measurement")
+	}
+}
+
+func TestBaselineEngine(t *testing.T) {
+	e := newEnclave()
+	bs := baseline.New(e, baseline.Options{Buckets: 32, Variant: baseline.NaiveSGX})
+	_, addr := startServer(t, Config{Engine: BaselineEngine{bs}, Enclave: e, Secure: true})
+
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get([]byte("a"))
+	if err != nil || string(got) != "1" {
+		t.Fatalf("baseline engine: %q, %v", got, err)
+	}
+	if _, err := c.Incr([]byte("a"), 1); !errors.Is(err, client.ErrServer) {
+		t.Fatalf("baseline incr should be unsupported: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	e := newEnclave()
+	_, addr, p := coreServer(t, e, true, true)
+
+	const clients = 6
+	const opsPer = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < opsPer; j++ {
+				k := []byte(fmt.Sprintf("c%d-%03d", id, j))
+				if err := c.Set(k, []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Get(k)
+				if err != nil || !bytes.Equal(got, []byte("v")) {
+					errs <- fmt.Errorf("get %s: %q %v", k, got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.Keys() != clients*opsPer {
+		t.Fatalf("Keys = %d, want %d", p.Keys(), clients*opsPer)
+	}
+}
+
+func TestHotCallsCheaperThanOCalls(t *testing.T) {
+	statsFor := func(hotcalls bool) sim.Stats {
+		e := newEnclave()
+		s, addr, _ := coreServer(t, e, true, hotcalls)
+		c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 50; i++ {
+			if err := c.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.NetworkStats()
+	}
+	hot := statsFor(true)
+	cold := statsFor(false)
+	if hot.Events[sim.CtrHotCall] == 0 || hot.Events[sim.CtrOCall] != 0 {
+		t.Fatalf("hotcalls config not using hotcalls: %+v", hot.Events)
+	}
+	if cold.Events[sim.CtrOCall] == 0 || cold.Events[sim.CtrHotCall] != 0 {
+		t.Fatalf("ocall config not using ocalls: %+v", cold.Events)
+	}
+	if hot.Cycles >= cold.Cycles {
+		t.Fatalf("hotcalls front-end not cheaper: %d >= %d", hot.Cycles, cold.Cycles)
+	}
+}
+
+func TestMalformedRequestHandled(t *testing.T) {
+	e := newEnclave()
+	_, addr, _ := coreServer(t, e, false, false)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A 3-byte garbage frame must produce StatusError, not kill the conn.
+	if _, err := conn.Write([]byte{3, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := readFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	buf := make([]byte, n)
+	if _, err := readFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 { // proto.StatusError
+		t.Fatalf("status = %d, want StatusError", buf[0])
+	}
+}
+
+func readFull(c net.Conn, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := c.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestNoSGXServerPath(t *testing.T) {
+	// Insecure-engine servers (the NoSGX rows of Figure 18) skip enclave
+	// boundary costs: no OCALLs or HotCalls in the front-end meters.
+	e := newEnclave()
+	bs := baseline.New(e, baseline.Options{Buckets: 16, Variant: baseline.Insecure})
+	s, addr := startServer(t, Config{Engine: BaselineEngine{bs}, Enclave: e, NoSGX: true})
+
+	c, err := client.Dial(addr, client.Options{Secure: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if err := c.Set([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.NetworkStats()
+	if st.Events[sim.CtrOCall] != 0 || st.Events[sim.CtrHotCall] != 0 {
+		t.Fatalf("NoSGX server crossed the boundary: %d/%d",
+			st.Events[sim.CtrOCall], st.Events[sim.CtrHotCall])
+	}
+	if st.Events[sim.CtrSyscall] == 0 {
+		t.Fatal("NoSGX server made no syscalls?")
+	}
+}
+
+func TestServerSurvivesClientDisconnects(t *testing.T) {
+	e := newEnclave()
+	_, addr, p := coreServer(t, e, true, true)
+	// Abruptly drop several connections mid-handshake and mid-session.
+	for i := 0; i < 5; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close() // before handshake
+	}
+	for i := 0; i < 3; i++ {
+		c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set([]byte("x"), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+		c.Close() // mid-session
+	}
+	// Server still healthy.
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Keys() != 1 {
+		t.Fatalf("Keys = %d", p.Keys())
+	}
+}
+
+func TestIntegrityViolationSurfacesOverNetwork(t *testing.T) {
+	// A host-tampered entry must surface to the remote client as an
+	// integrity status, not a generic failure or silent wrong data.
+	e := newEnclave()
+	p := core.NewPartitioned(e, 1, core.Defaults(8))
+	p.Start()
+	t.Cleanup(p.Stop)
+	_, addr := startServer(t, Config{Engine: CoreEngine{p}, Enclave: e, Secure: true})
+
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set([]byte("victim"), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: flip a byte somewhere in the untrusted region holding the
+	// entry ciphertext. Find it by scanning for... simpler: corrupt via
+	// the store's own test hook is internal; instead overwrite the whole
+	// untrusted region tail where the entry was just written.
+	space := e.Space()
+	used := space.UsedBytes(mem.Untrusted)
+	// The freshly written entry sits near the high-water mark; flip a
+	// byte in the last 256 bytes.
+	space.Tamper(mem.UntrustedBase+mem.Addr(used-100), []byte{0xFF})
+
+	_, err = c.Get([]byte("victim"))
+	if err == nil {
+		// The flipped byte may have landed in allocator slack; accept
+		// success only if the value is intact.
+		v, _ := c.Get([]byte("victim"))
+		if string(v) != "payload" {
+			t.Fatal("silent corruption served to client")
+		}
+		t.Skip("tamper landed in slack space")
+	}
+	if !errors.Is(err, client.ErrIntegrity) && !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}

@@ -1,0 +1,258 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sim"
+)
+
+func newEnclave() *Enclave {
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	return New(Config{Space: space, Seed: 1})
+}
+
+func TestTransitionsChargeAndCount(t *testing.T) {
+	e := newEnclave()
+	c := e.Model()
+	m := sim.NewMeter(c)
+
+	e.ECall(m)
+	if m.Events(sim.CtrECall) != 1 || m.Cycles() != c.EnclaveCrossing {
+		t.Fatalf("ECall: cycles=%d events=%d", m.Cycles(), m.Events(sim.CtrECall))
+	}
+	m.Reset()
+	e.OCall(m)
+	if m.Events(sim.CtrOCall) != 1 || m.Cycles() != c.EnclaveCrossing {
+		t.Fatalf("OCall wrong")
+	}
+	m.Reset()
+	e.HotCall(m)
+	if m.Events(sim.CtrHotCall) != 1 || m.Cycles() != c.HotCall {
+		t.Fatalf("HotCall wrong")
+	}
+}
+
+func TestSyscallPaths(t *testing.T) {
+	e := newEnclave()
+	c := e.Model()
+
+	slow := sim.NewMeter(c)
+	e.Syscall(slow, false)
+	fast := sim.NewMeter(c)
+	e.Syscall(fast, true)
+
+	if slow.Cycles() != c.EnclaveCrossing+c.Syscall {
+		t.Errorf("OCALL syscall = %d", slow.Cycles())
+	}
+	if fast.Cycles() != c.HotCall+c.Syscall {
+		t.Errorf("HotCall syscall = %d", fast.Cycles())
+	}
+	if fast.Cycles() >= slow.Cycles() {
+		t.Error("HotCalls must be cheaper than OCALLs")
+	}
+}
+
+func TestSbrkUntrusted(t *testing.T) {
+	e := newEnclave()
+	m := sim.NewMeter(e.Model())
+	a := e.SbrkUntrusted(m, 1<<20)
+	if mem.RegionOf(a) != mem.Untrusted {
+		t.Fatal("sbrk returned non-untrusted memory")
+	}
+	if m.Events(sim.CtrOCall) != 1 || m.Events(sim.CtrSyscall) != 1 {
+		t.Fatalf("sbrk must cost one OCALL + one syscall, got %d/%d",
+			m.Events(sim.CtrOCall), m.Events(sim.CtrSyscall))
+	}
+}
+
+func TestAllocTrusted(t *testing.T) {
+	e := newEnclave()
+	m := sim.NewMeter(e.Model())
+	a := e.AllocTrusted(m, 64)
+	if mem.RegionOf(a) != mem.Enclave {
+		t.Fatal("trusted alloc not in enclave region")
+	}
+	if m.Events(sim.CtrOCall) != 0 {
+		t.Fatal("trusted alloc must not exit the enclave")
+	}
+}
+
+func TestReadRandDeterministicPerSeed(t *testing.T) {
+	e1 := New(Config{Space: mem.NewSpace(mem.Config{EPCBytes: 1 << 20}), Seed: 7})
+	e2 := New(Config{Space: mem.NewSpace(mem.Config{EPCBytes: 1 << 20}), Seed: 7})
+	e3 := New(Config{Space: mem.NewSpace(mem.Config{EPCBytes: 1 << 20}), Seed: 8})
+
+	a, b, c := make([]byte, 32), make([]byte, 32), make([]byte, 32)
+	e1.ReadRand(nil, a)
+	e2.ReadRand(nil, b)
+	e3.ReadRand(nil, c)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must give same DRBG stream")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds must give different streams")
+	}
+	// Stream advances.
+	d := make([]byte, 32)
+	e1.ReadRand(nil, d)
+	if bytes.Equal(a, d) {
+		t.Error("DRBG repeated output")
+	}
+	var zero [32]byte
+	if bytes.Equal(a, zero[:]) {
+		t.Error("DRBG produced zeros")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := newEnclave()
+	m := sim.NewMeter(e.Model())
+	secret := []byte("MAC hashes + master keys")
+	blob := e.Seal(m, secret)
+	if bytes.Contains(blob, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := e.Unseal(m, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestUnsealRejectsTampering(t *testing.T) {
+	e := newEnclave()
+	blob := e.Seal(nil, []byte("metadata"))
+	for i := 0; i < len(blob); i += 3 {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, err := e.Unseal(nil, bad); err == nil {
+			t.Fatalf("tampered blob at byte %d accepted", i)
+		}
+	}
+	if _, err := e.Unseal(nil, blob[:10]); !errors.Is(err, ErrSealCorrupt) {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestSealBindsMeasurement(t *testing.T) {
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	good := New(Config{Space: space, Seed: 5, Measurement: [32]byte{1}})
+	evil := New(Config{Space: space, Seed: 5, Measurement: [32]byte{2}})
+	blob := good.Seal(nil, []byte("secret"))
+	if _, err := evil.Unseal(nil, blob); err == nil {
+		t.Fatal("enclave with different measurement unsealed the blob")
+	}
+}
+
+func TestSealNoncesUnique(t *testing.T) {
+	e := newEnclave()
+	a := e.Seal(nil, []byte("x"))
+	b := e.Seal(nil, []byte("x"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of identical plaintext produced identical blobs")
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	e := newEnclave()
+	m := sim.NewMeter(e.Model())
+	id := e.CreateMonotonicCounter()
+
+	v, err := e.ReadMonotonicCounter(id)
+	if err != nil || v != 0 {
+		t.Fatalf("fresh counter = %d, %v", v, err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		v, err = e.IncrementMonotonicCounter(m, id)
+		if err != nil || v != want {
+			t.Fatalf("increment -> %d, %v; want %d", v, err, want)
+		}
+	}
+	if m.Events(sim.CtrMonotonicInc) != 3 {
+		t.Fatal("increments not counted")
+	}
+	// Increments are expensive — that is the §7 point.
+	if m.Cycles() < 3*e.Model().MonotonicCounterInc {
+		t.Fatal("monotonic increments must be slow")
+	}
+	if _, err := e.IncrementMonotonicCounter(m, 999); !errors.Is(err, ErrCounterWrongID) {
+		t.Fatal("unknown counter id accepted")
+	}
+	if _, err := e.ReadMonotonicCounter(999); !errors.Is(err, ErrCounterWrongID) {
+		t.Fatal("unknown counter id accepted by read")
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	e := newEnclave()
+	report := []byte("client-nonce||server-pubkey")
+	quote := e.Quote(report)
+
+	got, err := e.VerifyQuote(quote, e.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, report) {
+		t.Fatal("report data mismatch")
+	}
+
+	// Wrong expected measurement fails.
+	var wrong [32]byte
+	wrong[0] = 0xFF
+	if _, err := e.VerifyQuote(quote, wrong); err == nil {
+		t.Fatal("quote accepted for wrong measurement")
+	}
+	// Tampered report data fails.
+	bad := append([]byte(nil), quote...)
+	bad[len(bad)-1] ^= 1
+	if _, err := e.VerifyQuote(bad, e.Measurement()); err == nil {
+		t.Fatal("tampered quote accepted")
+	}
+	// Truncated quote fails.
+	if _, err := e.VerifyQuote(quote[:32], e.Measurement()); err == nil {
+		t.Fatal("truncated quote accepted")
+	}
+}
+
+// Property: seal/unseal round-trips arbitrary payloads.
+func TestSealProperty(t *testing.T) {
+	e := newEnclave()
+	f := func(data []byte) bool {
+		got, err := e.Unseal(nil, e.Seal(nil, data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicCounterSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nvram.bin")
+	space := mem.NewSpace(mem.Config{EPCBytes: 1 << 20})
+	e1 := New(Config{Space: space, Seed: 1, CounterPath: path})
+	const id = 0xC0FFEE
+	if v := e1.EnsureMonotonicCounter(id); v != 0 {
+		t.Fatalf("fresh counter = %d", v)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e1.IncrementMonotonicCounter(nil, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Restart": fresh enclave instance, same platform storage.
+	e2 := New(Config{Space: space, Seed: 1, CounterPath: path})
+	if v := e2.EnsureMonotonicCounter(id); v != 3 {
+		t.Fatalf("counter after restart = %d, want 3", v)
+	}
+	v, err := e2.ReadMonotonicCounter(id)
+	if err != nil || v != 3 {
+		t.Fatalf("counter after restart = %d, %v; want 3", v, err)
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter identifies one event class tracked by a Meter.
+type Counter int
+
+// Event counters. These back the per-experiment statistics the paper
+// reports (OCALL counts in Figure 6, decryption counts in Figure 9, page
+// faults behind Figures 2/3/13/15, ...).
+const (
+	CtrEPCFaultRead Counter = iota
+	CtrEPCFaultWrite
+	CtrECall
+	CtrOCall
+	CtrHotCall
+	CtrSyscall
+	CtrDecrypt
+	CtrEncrypt
+	CtrCMAC
+	CtrBucketHash
+	CtrCacheHit
+	CtrCacheMiss
+	CtrEntryVisited
+	CtrNetMessage
+	CtrSnapshot
+	CtrMonotonicInc
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"epc_fault_read",
+	"epc_fault_write",
+	"ecall",
+	"ocall",
+	"hotcall",
+	"syscall",
+	"decrypt",
+	"encrypt",
+	"cmac",
+	"bucket_hash",
+	"cache_hit",
+	"cache_miss",
+	"entry_visited",
+	"net_message",
+	"snapshot",
+	"monotonic_inc",
+}
+
+// String returns the counter's snake_case name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// Meter is a per-thread virtual clock plus event counters. A Meter is the
+// analogue of one hardware thread: operations executed "on" a meter advance
+// its private cycle count. Meters are not safe for concurrent use; each
+// simulated thread owns exactly one.
+type Meter struct {
+	cycles uint64
+	events [numCounters]uint64
+	model  *CostModel
+}
+
+// NewMeter returns a meter attached to the given cost model.
+func NewMeter(model *CostModel) *Meter {
+	return &Meter{model: model}
+}
+
+// Model returns the meter's cost model.
+func (m *Meter) Model() *CostModel { return m.model }
+
+// Charge advances the virtual clock by the given number of cycles.
+func (m *Meter) Charge(cycles uint64) { m.cycles += cycles }
+
+// Count increments an event counter without advancing the clock.
+func (m *Meter) Count(c Counter) { m.events[c]++ }
+
+// CountN adds n to an event counter.
+func (m *Meter) CountN(c Counter, n uint64) { m.events[c] += n }
+
+// Cycles returns the current virtual clock value.
+func (m *Meter) Cycles() uint64 { return m.cycles }
+
+// SetCycles overwrites the virtual clock; used by the paging serialization
+// model, which may push a thread's clock forward to a globally ordered
+// completion time.
+func (m *Meter) SetCycles(v uint64) { m.cycles = v }
+
+// Events returns the value of one event counter.
+func (m *Meter) Events(c Counter) uint64 { return m.events[c] }
+
+// Seconds returns the virtual elapsed time in seconds.
+func (m *Meter) Seconds() float64 { return m.model.Seconds(m.cycles) }
+
+// Reset zeroes the clock and all counters.
+func (m *Meter) Reset() {
+	m.cycles = 0
+	m.events = [numCounters]uint64{}
+}
+
+// Snapshot captures the meter's current state.
+func (m *Meter) Snapshot() Stats {
+	s := Stats{Cycles: m.cycles}
+	copy(s.Events[:], m.events[:])
+	return s
+}
+
+// Add merges another meter's counters (not its clock) into this one.
+// Used when aggregating per-thread event counts for reporting.
+func (m *Meter) Add(other *Meter) {
+	for i := range m.events {
+		m.events[i] += other.events[i]
+	}
+}
+
+// Stats is an immutable snapshot of a Meter.
+type Stats struct {
+	Cycles uint64
+	Events [numCounters]uint64
+}
+
+// Sub returns the delta between two snapshots (s - earlier).
+func (s Stats) Sub(earlier Stats) Stats {
+	d := Stats{Cycles: s.Cycles - earlier.Cycles}
+	for i := range s.Events {
+		d.Events[i] = s.Events[i] - earlier.Events[i]
+	}
+	return d
+}
+
+// String renders the non-zero counters, sorted by name, for debugging.
+func (s Stats) String() string {
+	var parts []string
+	for i, v := range s.Events {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", Counter(i), v))
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("cycles=%d %s", s.Cycles, strings.Join(parts, " "))
+}
+
+// SharedClock models a resource whose use is serialized machine-wide, such
+// as the kernel's EPC paging path: concurrent faulting threads queue behind
+// one another. Acquire pushes the caller's virtual clock to at least the
+// end of the previous holder's occupancy, occupies the resource for `hold`
+// cycles, and returns the caller's new clock value.
+//
+// SharedClock is safe for concurrent use by multiple meters.
+type SharedClock struct {
+	end atomic.Uint64
+}
+
+// Acquire serializes `hold` cycles of work starting no earlier than the
+// meter's current time, advancing the meter past contention and hold time.
+func (g *SharedClock) Acquire(m *Meter, hold uint64) {
+	for {
+		cur := g.end.Load()
+		start := m.cycles
+		if cur > start {
+			start = cur
+		}
+		end := start + hold
+		if g.end.CompareAndSwap(cur, end) {
+			m.cycles = end
+			return
+		}
+	}
+}
+
+// Now returns the current end-of-occupancy time.
+func (g *SharedClock) Now() uint64 { return g.end.Load() }
+
+// Reset clears the shared clock.
+func (g *SharedClock) Reset() { g.end.Store(0) }
+
+// Throughput computes operations per second given total ops and the maximum
+// per-thread virtual time (threads run in parallel, so the slowest thread
+// defines completion).
+func Throughput(model *CostModel, ops uint64, maxCycles uint64) float64 {
+	if maxCycles == 0 {
+		return 0
+	}
+	return float64(ops) / model.Seconds(maxCycles)
+}
+
+// KopsPerSec converts an ops/sec figure to the paper's Kop/s unit.
+func KopsPerSec(opsPerSec float64) float64 { return opsPerSec / 1e3 }

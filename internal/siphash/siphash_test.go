@@ -1,0 +1,121 @@
+package siphash
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// referenceVectors are the first 16 of the 64 official SipHash-2-4 test
+// vectors from the reference implementation (key 000102...0f, input
+// 00, 0001, 000102, ...).
+var referenceVectors = []uint64{
+	0x726fdb47dd0e0e31, 0x74f839c593dc67fd, 0x0d6c8009d9a94f5a, 0x85676696d7fb7e2d,
+	0xcf2794e0277187b7, 0x18765564cd99a68d, 0xcbc9466e58fee3ce, 0xab0200f58b01d137,
+	0x93f5f5799a932462, 0x9e0082df0ba9e4b0, 0x7a5dbbc594ddb9f3, 0xf4b32f46226bada7,
+	0x751e8fbc860ee5fb, 0x14ea5627c0843d90, 0xf723ca908e7af2ee, 0xa129ca6149be45e5,
+}
+
+func refKey() []byte {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return key
+}
+
+func TestReferenceVectors(t *testing.T) {
+	h := New(refKey())
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for n, want := range referenceVectors {
+		if got := h.Sum64(msg[:n]); got != want {
+			t.Errorf("vector %d: got %#016x, want %#016x", n, got, want)
+		}
+	}
+}
+
+// Vector 8 exercises exactly one full 8-byte word; vector 15 straddles.
+func TestWordBoundary(t *testing.T) {
+	h := New(refKey())
+	msg := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := h.Sum64(msg); got != referenceVectors[8] {
+		t.Errorf("8-byte message: got %#016x, want %#016x", got, referenceVectors[8])
+	}
+}
+
+func TestBadKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short key must panic")
+		}
+	}()
+	New(make([]byte, 8))
+}
+
+func TestKeyedness(t *testing.T) {
+	k1 := refKey()
+	k2 := refKey()
+	k2[0] ^= 1
+	msg := []byte("shieldstore bucket key")
+	if New(k1).Sum64(msg) == New(k2).Sum64(msg) {
+		t.Fatal("different keys produced identical hashes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	h := New(refKey())
+	msg := []byte("determinism")
+	if h.Sum64(msg) != h.Sum64(msg) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+// Property: flipping any single bit of a message changes the hash.
+func TestAvalancheProperty(t *testing.T) {
+	h := New(refKey())
+	f := func(msg []byte, bitIdx uint16) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		orig := h.Sum64(msg)
+		i := int(bitIdx) % (len(msg) * 8)
+		mut := append([]byte(nil), msg...)
+		mut[i/8] ^= 1 << (i % 8)
+		return h.Sum64(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucket assignment is roughly uniform (chi-square sanity bound).
+func TestBucketUniformity(t *testing.T) {
+	h := New(refKey())
+	const buckets = 64
+	const keys = 64 * 1000
+	var counts [buckets]int
+	var kb [8]byte
+	for i := 0; i < keys; i++ {
+		binary.LittleEndian.PutUint64(kb[:], uint64(i))
+		counts[h.Sum64(kb[:])%buckets]++
+	}
+	mean := keys / buckets
+	for b, c := range counts {
+		if c < mean*8/10 || c > mean*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from mean %d", b, c, mean)
+		}
+	}
+}
+
+func BenchmarkSipHash16(b *testing.B) {
+	h := New(refKey())
+	msg := make([]byte, 16)
+	b.SetBytes(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Sum64(msg)
+	}
+}

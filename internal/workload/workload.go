@@ -1,0 +1,291 @@
+// Package workload generates the YCSB-style request streams of the
+// paper's evaluation (§6.1, Tables 2 and 3): uniform and zipfian (0.99)
+// key distributions, a "latest" distribution for RD95_L, read/update
+// mixes from 50:50 to 100:0, read-modify-write, and the append mixes of
+// Figure 12. Generators are deterministic given a seed.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind is an operation type.
+type Kind int
+
+// Operation kinds.
+const (
+	Read Kind = iota
+	Update
+	Insert
+	Append
+	ReadModifyWrite
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Append:
+		return "append"
+	case ReadModifyWrite:
+		return "rmw"
+	default:
+		return "op(?)"
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind Kind
+	Key  uint64
+}
+
+// Distribution selects the key popularity model.
+type Distribution int
+
+// Key distributions from Table 2.
+const (
+	Uniform Distribution = iota
+	Zipf99               // zipfian, theta = 0.99 (YCSB default)
+	Zipf50               // zipfian, theta = 0.50 (Figure 12)
+	Latest               // skewed toward recently inserted keys
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf99:
+		return "zipfian(0.99)"
+	case Zipf50:
+		return "zipfian(0.5)"
+	case Latest:
+		return "latest"
+	default:
+		return "dist(?)"
+	}
+}
+
+// Spec describes one workload configuration.
+type Spec struct {
+	// Name is the paper's label (RD50_Z etc).
+	Name string
+	// ReadPct, AppendPct and RMWPct are percentages; the remainder is
+	// Update (or Insert under the Latest distribution, matching YCSB D).
+	ReadPct   int
+	AppendPct int
+	RMWPct    int
+	// Dist is the key distribution.
+	Dist Distribution
+}
+
+// Table2 reproduces the paper's workload table.
+var Table2 = []Spec{
+	{Name: "RD50_U", ReadPct: 50, Dist: Uniform},
+	{Name: "RD95_U", ReadPct: 95, Dist: Uniform},
+	{Name: "RD100_U", ReadPct: 100, Dist: Uniform},
+	{Name: "RD50_Z", ReadPct: 50, Dist: Zipf99},
+	{Name: "RD95_Z", ReadPct: 95, Dist: Zipf99},
+	{Name: "RD100_Z", ReadPct: 100, Dist: Zipf99},
+	{Name: "RD95_L", ReadPct: 95, Dist: Latest},
+	{Name: "RMW50_Z", ReadPct: 50, RMWPct: 50, Dist: Zipf99},
+}
+
+// ByName returns the Table 2 spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Table2 {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// AppendSpecs are the Figure 12 mixes (read : append).
+var AppendSpecs = []Spec{
+	{Name: "RD95AP5_Z99", ReadPct: 95, AppendPct: 5, Dist: Zipf99},
+	{Name: "RD95AP5_Z50", ReadPct: 95, AppendPct: 5, Dist: Zipf50},
+	{Name: "RD95AP5_U", ReadPct: 95, AppendPct: 5, Dist: Uniform},
+	{Name: "RD50AP50_U", ReadPct: 50, AppendPct: 50, Dist: Uniform},
+}
+
+// DataSet is a key/value size configuration (Table 3).
+type DataSet struct {
+	Name    string
+	KeySize int
+	ValSize int
+}
+
+// Table3 reproduces the paper's data size table.
+var Table3 = []DataSet{
+	{Name: "Small", KeySize: 16, ValSize: 16},
+	{Name: "Medium", KeySize: 16, ValSize: 128},
+	{Name: "Large", KeySize: 16, ValSize: 512},
+}
+
+// FormatKey renders key id as the fixed-width 16-byte key the paper's
+// data sets use.
+func FormatKey(id uint64) []byte {
+	return []byte(fmt.Sprintf("user%012d", id%1e12))
+}
+
+// MakeValue builds a deterministic value of the given size for key id.
+func MakeValue(size int, id uint64) []byte {
+	v := make([]byte, size)
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], id)
+	for i := range v {
+		v[i] = seed[i%8] ^ byte(i*131)
+	}
+	return v
+}
+
+// Gen produces a deterministic op stream for a Spec over n preloaded keys.
+type Gen struct {
+	spec Spec
+	n    uint64 // current key-space size (grows under Latest inserts)
+	rng  *rand.Rand
+	zipf *zipfian
+}
+
+// NewGen creates a generator for spec over an initial key space of n keys.
+func NewGen(spec Spec, n uint64, seed int64) *Gen {
+	if n == 0 {
+		panic("workload: empty key space")
+	}
+	g := &Gen{spec: spec, n: n, rng: rand.New(rand.NewSource(seed))}
+	switch spec.Dist {
+	case Zipf99:
+		g.zipf = newZipfian(n, 0.99, g.rng)
+	case Zipf50:
+		g.zipf = newZipfian(n, 0.50, g.rng)
+	case Latest:
+		g.zipf = newZipfian(n, 0.99, g.rng)
+	}
+	return g
+}
+
+// KeySpace returns the current number of keys (grows under Latest).
+func (g *Gen) KeySpace() uint64 { return g.n }
+
+// Next returns the next operation.
+func (g *Gen) Next() Op {
+	p := g.rng.Intn(100)
+	var kind Kind
+	switch {
+	case p < g.spec.ReadPct:
+		kind = Read
+	case p < g.spec.ReadPct+g.spec.AppendPct:
+		kind = Append
+	case p < g.spec.ReadPct+g.spec.AppendPct+g.spec.RMWPct:
+		kind = ReadModifyWrite
+	default:
+		if g.spec.Dist == Latest {
+			kind = Insert
+		} else {
+			kind = Update
+		}
+	}
+	if kind == Insert {
+		id := g.n
+		g.n++
+		g.zipf.grow(g.n)
+		return Op{Kind: Insert, Key: id}
+	}
+	return Op{Kind: kind, Key: g.pick()}
+}
+
+// pick draws a key id under the spec's distribution.
+func (g *Gen) pick() uint64 {
+	switch g.spec.Dist {
+	case Uniform:
+		return uint64(g.rng.Int63n(int64(g.n)))
+	case Latest:
+		// Skew toward the most recently inserted keys.
+		off := g.zipf.next()
+		return g.n - 1 - off
+	default:
+		// Scrambled zipfian: hash the zipf rank so hot keys are spread
+		// across the key space (YCSB's ScrambledZipfianGenerator).
+		rank := g.zipf.next()
+		return fnv64(rank) % g.n
+	}
+}
+
+// zipfian is YCSB's bounded zipfian generator (Gray et al.).
+type zipfian struct {
+	n      uint64
+	theta  float64
+	alpha  float64
+	zetan  float64
+	zeta2  float64
+	eta    float64
+	rng    *rand.Rand
+	grownN uint64 // lazily re-zeta when the space grows a lot
+}
+
+func newZipfian(n uint64, theta float64, rng *rand.Rand) *zipfian {
+	z := &zipfian{n: n, theta: theta, rng: rng, grownN: n}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = z.etaFor(n)
+	return z
+}
+
+func (z *zipfian) etaFor(n uint64) float64 {
+	return (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// grow extends the key space; zetan is recomputed incrementally.
+func (z *zipfian) grow(n uint64) {
+	if n <= z.grownN {
+		return
+	}
+	for i := z.grownN + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.grownN = n
+	z.n = n
+	z.eta = z.etaFor(n)
+}
+
+// next draws a rank in [0, n).
+func (z *zipfian) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}

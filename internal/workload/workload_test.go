@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestTable2Complete(t *testing.T) {
+	want := []string{"RD50_U", "RD95_U", "RD100_U", "RD50_Z", "RD95_Z", "RD100_Z", "RD95_L", "RMW50_Z"}
+	if len(Table2) != len(want) {
+		t.Fatalf("Table2 has %d specs, want %d", len(Table2), len(want))
+	}
+	for i, name := range want {
+		if Table2[i].Name != name {
+			t.Errorf("Table2[%d] = %s, want %s", i, Table2[i].Name, name)
+		}
+	}
+	for _, name := range want {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%s) missing", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestTable3Sizes(t *testing.T) {
+	want := map[string]int{"Small": 16, "Medium": 128, "Large": 512}
+	for _, ds := range Table3 {
+		if ds.KeySize != 16 {
+			t.Errorf("%s key size = %d, want 16", ds.Name, ds.KeySize)
+		}
+		if ds.ValSize != want[ds.Name] {
+			t.Errorf("%s val size = %d, want %d", ds.Name, ds.ValSize, want[ds.Name])
+		}
+	}
+}
+
+func TestFormatKey(t *testing.T) {
+	k := FormatKey(42)
+	if len(k) != 16 {
+		t.Fatalf("key length = %d, want 16", len(k))
+	}
+	if string(k) != "user000000000042" {
+		t.Fatalf("key = %q", k)
+	}
+	if string(FormatKey(1)) == string(FormatKey(2)) {
+		t.Fatal("distinct ids must format distinctly")
+	}
+}
+
+func TestMakeValueDeterministic(t *testing.T) {
+	a, b := MakeValue(128, 7), MakeValue(128, 7)
+	if string(a) != string(b) {
+		t.Fatal("MakeValue not deterministic")
+	}
+	if len(a) != 128 {
+		t.Fatalf("len = %d", len(a))
+	}
+	c := MakeValue(128, 8)
+	if string(a) == string(c) {
+		t.Fatal("different ids must differ")
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	for _, spec := range Table2 {
+		g := NewGen(spec, 10_000, 1)
+		counts := map[Kind]int{}
+		const n = 50_000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Kind]++
+		}
+		gotRead := 100 * counts[Read] / n
+		if d := gotRead - spec.ReadPct; d < -2 || d > 2 {
+			t.Errorf("%s: read%% = %d, want %d", spec.Name, gotRead, spec.ReadPct)
+		}
+		gotRMW := 100 * counts[ReadModifyWrite] / n
+		if d := gotRMW - spec.RMWPct; d < -2 || d > 2 {
+			t.Errorf("%s: rmw%% = %d, want %d", spec.Name, gotRMW, spec.RMWPct)
+		}
+		if spec.Dist == Latest {
+			if counts[Update] != 0 {
+				t.Errorf("%s: latest must insert, not update", spec.Name)
+			}
+		} else if counts[Insert] != 0 {
+			t.Errorf("%s: unexpected inserts", spec.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGen(Table2[3], 1000, 42)
+	g2 := NewGen(Table2[3], 1000, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, spec := range Table2 {
+		g := NewGen(spec, 5000, 3)
+		for i := 0; i < 20_000; i++ {
+			op := g.Next()
+			if op.Key >= g.KeySpace() {
+				t.Fatalf("%s: key %d out of range %d", spec.Name, op.Key, g.KeySpace())
+			}
+		}
+	}
+}
+
+func TestZipfSkewness(t *testing.T) {
+	// theta=0.99 must be much more skewed than uniform and than theta=0.5.
+	top1Share := func(dist Distribution) float64 {
+		spec := Spec{Name: "x", ReadPct: 100, Dist: dist}
+		g := NewGen(spec, 10_000, 9)
+		counts := map[uint64]int{}
+		const n = 100_000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Key]++
+		}
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		top := 0
+		for i := 0; i < len(freqs) && i < 100; i++ { // top 1% of 10k keys
+			top += freqs[i]
+		}
+		return float64(top) / n
+	}
+	u, z50, z99 := top1Share(Uniform), top1Share(Zipf50), top1Share(Zipf99)
+	if !(z99 > z50 && z50 > u) {
+		t.Fatalf("skew ordering broken: z99=%.3f z50=%.3f uniform=%.3f", z99, z50, u)
+	}
+	if z99 < 0.3 {
+		t.Fatalf("zipf(0.99) top-1%% share = %.3f, want > 0.3", z99)
+	}
+	if u > 0.05 {
+		t.Fatalf("uniform top-1%% share = %.3f, want ~0.01", u)
+	}
+}
+
+func TestLatestPrefersRecentKeys(t *testing.T) {
+	spec, _ := ByName("RD95_L")
+	g := NewGen(spec, 10_000, 5)
+	recent, total := 0, 0
+	for i := 0; i < 50_000; i++ {
+		op := g.Next()
+		if op.Kind != Read {
+			continue
+		}
+		total++
+		if op.Key >= g.KeySpace()-g.KeySpace()/10 {
+			recent++
+		}
+	}
+	share := float64(recent) / float64(total)
+	if share < 0.5 {
+		t.Fatalf("latest: only %.2f of reads hit the newest 10%%", share)
+	}
+}
+
+func TestLatestInsertsGrowKeySpace(t *testing.T) {
+	spec, _ := ByName("RD95_L")
+	g := NewGen(spec, 1000, 7)
+	start := g.KeySpace()
+	inserts := uint64(0)
+	for i := 0; i < 10_000; i++ {
+		if op := g.Next(); op.Kind == Insert {
+			if op.Key != start+inserts {
+				t.Fatalf("insert key %d, want %d", op.Key, start+inserts)
+			}
+			inserts++
+		}
+	}
+	if g.KeySpace() != start+inserts {
+		t.Fatalf("key space %d, want %d", g.KeySpace(), start+inserts)
+	}
+	if inserts == 0 {
+		t.Fatal("no inserts generated")
+	}
+}
+
+func TestZipfTheoreticalHead(t *testing.T) {
+	// P(rank 0) for zipf(theta) over n keys is 1/zeta_n(theta); check the
+	// generator's head probability against theory within noise.
+	n := uint64(1000)
+	z := newZipfian(n, 0.99, NewGen(Spec{ReadPct: 100, Dist: Uniform}, 1, 1).rng)
+	const draws = 200_000
+	zero := 0
+	for i := 0; i < draws; i++ {
+		if z.next() == 0 {
+			zero++
+		}
+	}
+	want := 1 / zetaStatic(n, 0.99)
+	got := float64(zero) / draws
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("head probability %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestEmptyKeySpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	NewGen(Table2[0], 0, 1)
+}
+
+func TestStringers(t *testing.T) {
+	for _, k := range []Kind{Read, Update, Insert, Append, ReadModifyWrite} {
+		if k.String() == "op(?)" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	for _, d := range []Distribution{Uniform, Zipf99, Zipf50, Latest} {
+		if d.String() == "dist(?)" {
+			t.Errorf("dist %d unnamed", d)
+		}
+	}
+}
+
+func TestAppendSpecs(t *testing.T) {
+	if len(AppendSpecs) != 4 {
+		t.Fatalf("AppendSpecs = %d entries, want 4 (Figure 12)", len(AppendSpecs))
+	}
+	for _, spec := range AppendSpecs {
+		g := NewGen(spec, 1000, 2)
+		counts := map[Kind]int{}
+		const n = 20000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Kind]++
+		}
+		gotAppend := 100 * counts[Append] / n
+		if d := gotAppend - spec.AppendPct; d < -2 || d > 2 {
+			t.Errorf("%s: append%% = %d, want %d", spec.Name, gotAppend, spec.AppendPct)
+		}
+		if counts[Insert] != 0 {
+			t.Errorf("%s: unexpected inserts", spec.Name)
+		}
+	}
+}
+
+func TestZipfGrowIncremental(t *testing.T) {
+	// Latest-distribution inserts grow the zipf support incrementally;
+	// the incremental zeta must match a fresh computation.
+	rng1 := NewGen(Spec{Name: "x", ReadPct: 100, Dist: Zipf99}, 1, 1).rng
+	z := newZipfian(1000, 0.99, rng1)
+	z.grow(1500)
+	fresh := zetaStatic(1500, 0.99)
+	if diff := z.zetan - fresh; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("incremental zeta %.12f != fresh %.12f", z.zetan, fresh)
+	}
+	// Shrinking grow is a no-op.
+	before := z.zetan
+	z.grow(1200)
+	if z.zetan != before {
+		t.Fatal("grow to smaller n changed state")
+	}
+}
