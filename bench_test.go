@@ -147,6 +147,54 @@ func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
 func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
 func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
 
+// BenchmarkBatchExp regenerates the batch-amortization table (the full
+// sweep prints via `go run ./cmd/shieldstore-bench -run batch`).
+func BenchmarkBatchExp(b *testing.B) { benchExperiment(b, "batch") }
+
+// BenchmarkBatch sweeps DB.Batch size under uniform and zipfian set
+// streams over the preloaded key space. batch=1 is the plain per-op
+// loop; compare virtual-Kop/s across sub-benchmarks.
+func BenchmarkBatch(b *testing.B) {
+	for _, dist := range []struct {
+		name string
+		d    workload.Distribution
+	}{{"uniform", workload.Uniform}, {"zipf99", workload.Zipf99}} {
+		for _, size := range []int{1, 8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/batch%d", dist.name, size), func(b *testing.B) {
+				db := benchDB(b, 128)
+				defer db.Close()
+				gen := workload.NewGen(workload.Spec{Name: "SET100", ReadPct: 0, Dist: dist.d}, 4096, 42)
+				val := workload.MakeValue(128, 9)
+				before := db.Stats().VirtualSeconds
+				b.ReportAllocs()
+				b.ResetTimer()
+				if size == 1 {
+					for i := 0; i < b.N; i++ {
+						if err := db.Set(workload.FormatKey(gen.Next().Key), val); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					ops := make([]BatchOp, size)
+					for i := 0; i < b.N; i += size {
+						n := min(size, b.N-i)
+						for j := 0; j < n; j++ {
+							ops[j] = BatchOp{Kind: BatchSet, Key: workload.FormatKey(gen.Next().Key), Value: val}
+						}
+						for _, r := range db.Batch(ops[:n]) {
+							if r.Err != nil {
+								b.Fatal(r.Err)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				reportVirtualKops(b, db, before, b.N)
+			})
+		}
+	}
+}
+
 // --- ablation benchmarks ---
 
 // ablationStore builds a single-partition engine on a fresh machine.

@@ -1,0 +1,109 @@
+// The batch-amortization experiment: not a paper figure, but the
+// measurement behind this repo's batched execution pipeline (DESIGN.md,
+// "Batch amortization"). It sweeps batch size under uniform and zipfian
+// 100%-set streams and compares metered cycles per operation against the
+// per-op loop.
+package bench
+
+import (
+	"fmt"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/workload"
+)
+
+// BatchExp regenerates the batch-size sweep: per-op loop vs ApplyBatch at
+// batch = 1/8/32/128 under uniform and zipfian (theta 0.99) set streams.
+func BatchExp(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "batch",
+		Title:  "batched execution amortization (100% set, 128B values, 512-key hot working set)",
+		Header: []string{"dist", "batch", "per-op cyc/op", "batched cyc/op", "speedup"},
+		Notes: []string{
+			"one request overhead and one MAC-hash recompute per touched bucket set per batch",
+			"zipfian batches concentrate on hot sets, so amortization grows with skew",
+		},
+	}
+	const valSize = 128
+	// Batching pays off on hot working sets, where a batch revisits bucket
+	// sets: cap the keyspace so a 32-op zipfian batch actually collides.
+	// Bucket count and MAC-hash ratio keep the paper's proportions
+	// (1.25 keys/bucket, MACHashes = Buckets/2).
+	nKeys := min(cfg.keys(), 512)
+	buckets := max(64, nKeys*8/10)
+	macHashes := max(32, buckets/2)
+	ops := cfg.Ops
+
+	for _, d := range []struct {
+		name string
+		dist workload.Distribution
+	}{
+		{"uniform", workload.Uniform},
+		{"zipf99", workload.Zipf99},
+	} {
+		spec := workload.Spec{Name: "SET100", ReadPct: 0, Dist: d.dist}
+		perOp := runBatchStream(cfg, spec, nKeys, buckets, macHashes, valSize, ops, 1)
+		for _, batch := range []int{1, 8, 32, 128} {
+			cyc := perOp
+			if batch > 1 {
+				cyc = runBatchStream(cfg, spec, nKeys, buckets, macHashes, valSize, ops, batch)
+			}
+			res.Rows = append(res.Rows, []string{
+				d.name,
+				fmt.Sprintf("%d", batch),
+				f1(perOp),
+				f1(cyc),
+				f2s(perOp / cyc),
+			})
+		}
+	}
+	return res
+}
+
+// runBatchStream replays a set stream on a fresh single-partition machine,
+// grouped into batches of the given size (1 = the plain per-op loop), and
+// returns metered cycles per operation.
+func runBatchStream(cfg Config, spec workload.Spec, nKeys, buckets, macHashes, valSize, ops, batch int) float64 {
+	m := cfg.newMachine()
+	p := buildShield(m, 1, buckets, macHashes)
+	if err := preloadShield(p, nKeys, valSize); err != nil {
+		panic(err)
+	}
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	s, meter := p.Part(0), p.Meter(0)
+
+	if batch <= 1 {
+		for i := 0; i < ops; i++ {
+			op := gen.Next()
+			_ = s.Set(meter, workload.FormatKey(op.Key), workload.MakeValue(valSize, op.Key))
+		}
+		return float64(meter.Cycles()) / float64(ops)
+	}
+
+	buf := make([]core.BatchOp, 0, batch)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		for _, r := range s.ApplyBatch(meter, buf) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+		buf = buf[:0]
+	}
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		buf = append(buf, core.BatchOp{
+			Kind:  core.BatchSet,
+			Key:   workload.FormatKey(op.Key),
+			Value: workload.MakeValue(valSize, op.Key),
+		})
+		if len(buf) == batch {
+			flush()
+		}
+	}
+	flush()
+	return float64(meter.Cycles()) / float64(ops)
+}

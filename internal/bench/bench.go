@@ -12,7 +12,6 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"shieldstore/internal/baseline"
@@ -59,9 +58,9 @@ func (c Config) Defaults() Config {
 }
 
 // keys/buckets/macHashes return paper constants divided by scale.
-func (c Config) keys() int      { return maxi(256, paperKeys/c.Scale) }
-func (c Config) buckets() int   { return maxi(64, paperBuckets/c.Scale) }
-func (c Config) macHashes() int { return maxi(32, paperMACHashes/c.Scale) }
+func (c Config) keys() int      { return max(256, paperKeys/c.Scale) }
+func (c Config) buckets() int   { return max(64, paperBuckets/c.Scale) }
+func (c Config) macHashes() int { return max(32, paperMACHashes/c.Scale) }
 func (c Config) epcBytes() int64 {
 	e := paperEPC / int64(c.Scale)
 	if e < 64<<10 {
@@ -424,21 +423,4 @@ func fmtBytes(n int64) string {
 	default:
 		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
 	}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// sortedKeys returns a map's keys sorted (stable table output).
-func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

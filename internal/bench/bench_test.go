@@ -75,7 +75,8 @@ func TestResultFormat(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"}
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"batch"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}
@@ -405,6 +406,43 @@ func TestShapeFig14(t *testing.T) {
 	}
 	if longGain < 2*shortGain {
 		t.Errorf("long-chain gain (%.1fx) should dwarf short-chain gain (%.1fx)", longGain, shortGain)
+	}
+}
+
+func TestShapeBatch(t *testing.T) {
+	r := BatchExp(quick())
+	sp := colIndex(t, r, "speedup")
+	var z32, z128, u32 float64
+	for i := range r.Rows {
+		dist, batch := r.Rows[i][0], r.Rows[i][1]
+		s := cell(t, r, i, sp)
+		if batch == "1" && s != 1.00 {
+			t.Errorf("%s batch=1 speedup = %.2f, want 1.00", dist, s)
+		}
+		if batch != "1" && s <= 1.0 {
+			t.Errorf("%s batch=%s: batching slower than per-op (%.2fx)", dist, batch, s)
+		}
+		switch {
+		case dist == "zipf99" && batch == "32":
+			z32 = s
+		case dist == "zipf99" && batch == "128":
+			z128 = s
+		case dist == "uniform" && batch == "32":
+			u32 = s
+		}
+	}
+	// The acceptance bar: batch=32 zipfian sets at least 1.5x over the
+	// per-op loop.
+	if z32 < 1.5 {
+		t.Errorf("zipf99 batch=32 speedup = %.2f, want >= 1.5", z32)
+	}
+	// Skew concentrates batches on hot sets, so zipfian beats uniform, and
+	// bigger batches amortize more.
+	if z32 <= u32 {
+		t.Errorf("zipf99 batch=32 (%.2fx) should beat uniform (%.2fx)", z32, u32)
+	}
+	if z128 <= z32 {
+		t.Errorf("speedup should grow with batch: 32 -> %.2fx, 128 -> %.2fx", z32, z128)
 	}
 }
 

@@ -108,7 +108,7 @@ func memLatency(m *machine, region mem.Region, ws int, write bool, seed int64) f
 	if region == mem.Enclave {
 		m.space.ResetEPC()
 	}
-	pages := maxi(1, ws/m.model.PageSize)
+	pages := max(1, ws/m.model.PageSize)
 	// Warm the working set once (steady state, as in the paper).
 	warm := sim.NewMeter(m.model)
 	buf := make([]byte, 8)
@@ -148,13 +148,13 @@ func Fig3(cfg Config) Result {
 	sizesMB := []int{16, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096}
 	for _, szMB := range sizesMB {
 		bytes := int64(szMB) << 20 / int64(cfg.Scale)
-		nKeys := maxi(64, int(bytes/int64(entryBytes)))
+		nKeys := max(64, int(bytes/int64(entryBytes)))
 		ops := cfg.Ops / 4
 		row := []string{fmt.Sprintf("%dMB", szMB)}
 		var vals []float64
 		for _, variant := range []baseline.Variant{baseline.Insecure, baseline.NaiveSGX} {
 			m := cfg.newMachine()
-			s := buildBaseline(m, variant, maxi(64, nKeys)) // ~1 entry/bucket like a sized table
+			s := buildBaseline(m, variant, max(64, nKeys)) // ~1 entry/bucket like a sized table
 			if err := preloadBaseline(s, m, nKeys, valSize); err != nil {
 				panic(err)
 			}
@@ -185,7 +185,7 @@ func Fig6(cfg Config) Result {
 		},
 	}
 	for _, chunkMB := range []int{1, 2, 4, 8, 16, 32} {
-		chunk := maxi(4096, chunkMB<<20/cfg.Scale)
+		chunk := max(4096, chunkMB<<20/cfg.Scale)
 		m := cfg.newMachine()
 		p := buildShield(m, 1, cfg.buckets(), cfg.macHashes(), func(o *core.Options) {
 			o.HeapChunk = chunk
@@ -229,11 +229,11 @@ func Fig9(cfg Config) Result {
 		},
 	}
 	for _, bucketsM := range []int{1, 8} {
-		buckets := maxi(64, bucketsM*1_000_000/cfg.Scale)
+		buckets := max(64, bucketsM*1_000_000/cfg.Scale)
 		var vals []uint64
 		for _, hint := range []bool{false, true} {
 			m := cfg.newMachine()
-			p := buildShield(m, 1, buckets, maxi(32, buckets/2), func(o *core.Options) {
+			p := buildShield(m, 1, buckets, max(32, buckets/2), func(o *core.Options) {
 				o.KeyHint = hint
 			})
 			if err := preloadShield(p, nKeys, ds.ValSize); err != nil {
@@ -246,15 +246,8 @@ func Fig9(cfg Config) Result {
 			fmt.Sprintf("%dM", bucketsM),
 			fmt.Sprintf("%d", vals[0]),
 			fmt.Sprintf("%d", vals[1]),
-			f1(float64(vals[0]) / float64(maxu(1, vals[1]))),
+			f1(float64(vals[0]) / float64(max(1, vals[1]))),
 		})
 	}
 	return res
-}
-
-func maxu(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -81,7 +81,7 @@ func buildSystem(cfg Config, sys system, threads, nKeys, valSize int) sysRunner 
 
 // avgOverWorkloads runs every Table 2 workload and averages Kop/s.
 func (r sysRunner) avgOverWorkloads(ops int, nc netCost) float64 {
-	per := maxi(500, ops/len(workload.Table2))
+	per := max(500, ops/len(workload.Table2))
 	total := 0.0
 	for _, spec := range workload.Table2 {
 		kops, _ := r.run(spec, per, nc)
@@ -267,13 +267,13 @@ func Fig14(cfg Config) Result {
 	}
 	specs := []string{"RD50_Z", "RD95_Z", "RD100_Z"}
 	for _, cc := range configs {
-		buckets := maxi(64, int(cc.bucketsM*1e6)/cfg.Scale)
-		entries := maxi(128, int(cc.entriesM*1e6)/cfg.Scale)
+		buckets := max(64, int(cc.bucketsM*1e6)/cfg.Scale)
+		entries := max(128, int(cc.entriesM*1e6)/cfg.Scale)
 		// One build+preload per variant, reused across the 3 workloads.
 		kops := map[string]map[string]float64{}
 		for _, v := range variants {
 			m := cfg.newMachine()
-			p := buildShield(m, 1, buckets, maxi(32, buckets/2), v.mods...)
+			p := buildShield(m, 1, buckets, max(32, buckets/2), v.mods...)
 			if err := preloadShield(p, entries, ds.ValSize); err != nil {
 				panic(err)
 			}
@@ -313,9 +313,9 @@ func Fig15(cfg Config) Result {
 			"paper: rising 1M->4M (+5-14%), collapsing at 8M (128MB > EPC)",
 		},
 	}
-	buckets := maxi(64, 8_000_000/cfg.Scale)
+	buckets := max(64, 8_000_000/cfg.Scale)
 	for _, hashesM := range []int{1, 2, 4, 8} {
-		hashes := maxi(32, hashesM*1_000_000/cfg.Scale)
+		hashes := max(32, hashesM*1_000_000/cfg.Scale)
 		if hashes > buckets {
 			hashes = buckets
 		}

@@ -34,14 +34,14 @@ func Fig16(cfg Config) Result {
 
 	for _, valSize := range []int{16, 512, 1024, 4096} {
 		entryBytes := 16 + valSize + 16
-		nKeys := maxi(128, wsBytes/entryBytes)
+		nKeys := max(128, wsBytes/entryBytes)
 		ops := cfg.Ops / 2
 
 		// Eleos: 4 KB default paging granularity, EPC-sized page cache.
 		mE := cfg.newMachine()
 		cache := mE.model.EPCBytes * 7 / 10
 		eleosKops, ok := runEleos(cfg, mE, 4096, cfg.eleosPool(), cache,
-			maxi(64, cfg.buckets()), nKeys, valSize, ops)
+			max(64, cfg.buckets()), nKeys, valSize, ops)
 		eleosStr := f1(eleosKops)
 		if !ok {
 			eleosStr = "fail"
@@ -85,9 +85,9 @@ func Fig17(cfg Config) Result {
 
 	for _, wsMB := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
 		wsBytes := (wsMB << 20) / cfg.Scale
-		nKeys := maxi(64, wsBytes/entryBytes)
+		nKeys := max(64, wsBytes/entryBytes)
 		ops := cfg.Ops / 3
-		buckets := maxi(64, nKeys) // sized table, chains ~1
+		buckets := max(64, nKeys) // sized table, chains ~1
 
 		mE := cfg.newMachine()
 		cache := mE.model.EPCBytes * 7 / 10
@@ -100,7 +100,7 @@ func Fig17(cfg Config) Result {
 
 		run := func(cacheBytes int64) float64 {
 			m := cfg.newMachine()
-			p := buildShield(m, 1, buckets, maxi(32, buckets/2), func(o *core.Options) {
+			p := buildShield(m, 1, buckets, max(32, buckets/2), func(o *core.Options) {
 				o.CacheBytes = cacheBytes
 			})
 			if err := preloadShield(p, nKeys, valSize); err != nil {
@@ -111,7 +111,7 @@ func Fig17(cfg Config) Result {
 		}
 		plain := run(0)
 		// +cache: spend the EPC left after MAC hashes on plaintext entries.
-		macBytes := int64(maxi(32, buckets/2)) * 16
+		macBytes := int64(max(32, buckets/2)) * 16
 		budget := cfg.epcBytes() - macBytes
 		if budget < 0 {
 			budget = 0
@@ -210,7 +210,7 @@ func Fig19(cfg Config) Result {
 				// monotonic-counter increment is fixed hardware cost, so
 				// it must scale with the period to preserve the paper's
 				// counter-to-period ratio (~0.1%).
-				m.model.MonotonicCounterInc = maxu(1, m.model.MonotonicCounterInc/uint64(cfg.Scale))
+				m.model.MonotonicCounterInc = max(1, m.model.MonotonicCounterInc/uint64(cfg.Scale))
 				opts := core.Defaults(cfg.buckets())
 				opts.MACHashes = cfg.macHashes()
 				s := core.New(m.enclave, nil, opts)
@@ -326,6 +326,7 @@ var All = []Experiment{
 	{"fig17", "vs Eleos: working sets", Fig17},
 	{"fig18", "networked evaluation", Fig18},
 	{"fig19", "snapshot persistence", Fig19},
+	{"batch", "batched execution amortization", BatchExp},
 }
 
 // ByID finds an experiment.

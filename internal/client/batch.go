@@ -1,0 +1,183 @@
+// Client-side batching: a Batch call packs N heterogeneous operations
+// into one CmdBatch frame (one network round trip, one server-side
+// request overhead), and a Pipeline queues ordinary requests and flushes
+// them back-to-back so the wire carries many frames per round trip.
+package client
+
+import (
+	"bytes"
+
+	"shieldstore/internal/proto"
+)
+
+// Op is one operation of a client batch. Use the Get/Set/Del/Append/Incr
+// constructors rather than filling the wire struct by hand.
+type Op = proto.BatchOp
+
+// GetOp builds a batch Get.
+func GetOp(key []byte) Op { return Op{Cmd: proto.CmdGet, Key: key} }
+
+// SetOp builds a batch Set.
+func SetOp(key, value []byte) Op { return Op{Cmd: proto.CmdSet, Key: key, Value: value} }
+
+// DelOp builds a batch Delete.
+func DelOp(key []byte) Op { return Op{Cmd: proto.CmdDelete, Key: key} }
+
+// AppendOp builds a batch Append.
+func AppendOp(key, suffix []byte) Op { return Op{Cmd: proto.CmdAppend, Key: key, Value: suffix} }
+
+// IncrOp builds a batch Incr.
+func IncrOp(key []byte, delta int64) Op { return Op{Cmd: proto.CmdIncr, Key: key, Delta: delta} }
+
+// Result is one per-op outcome of a Batch. Err isolates that op's failure
+// (ErrNotFound, ErrIntegrity, ErrServer); the other ops of the batch are
+// unaffected.
+type Result struct {
+	Value []byte
+	Num   int64
+	Err   error
+}
+
+// Batch executes ops in one round trip and returns one result per op, in
+// submission order. The call itself only fails on transport or framing
+// errors; per-op failures land in the individual results.
+func (c *Client) Batch(ops ...Op) ([]Result, error) {
+	payload, err := proto.EncodeBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdBatch, Value: payload})
+	if err != nil {
+		return nil, err
+	}
+	wire, err := proto.DecodeBatchResults(resp.Value)
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) != len(ops) {
+		return nil, proto.ErrBadMessage
+	}
+	out := make([]Result, len(wire))
+	for i := range wire {
+		out[i] = Result{Value: wire[i].Value, Num: wire[i].Num, Err: statusErr(wire[i].Status)}
+	}
+	return out, nil
+}
+
+// MSet stores keys[i] = values[i] for all i in one round trip. The first
+// per-op failure (if any) is returned.
+func (c *Client) MSet(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return proto.ErrBadMessage
+	}
+	ops := make([]Op, len(keys))
+	for i := range keys {
+		ops[i] = SetOp(keys[i], values[i])
+	}
+	rs, err := c.Batch(ops...)
+	if err != nil {
+		return err
+	}
+	for i := range rs {
+		if rs[i].Err != nil {
+			return rs[i].Err
+		}
+	}
+	return nil
+}
+
+// statusErr maps a wire status to the client error vocabulary (nil on OK).
+func statusErr(status uint8) error {
+	switch status {
+	case proto.StatusOK:
+		return nil
+	case proto.StatusNotFound:
+		return ErrNotFound
+	case proto.StatusIntegrityViolation:
+		return ErrIntegrity
+	default:
+		return ErrServer
+	}
+}
+
+// Pipeline queues ordinary single-op requests and sends them back-to-back
+// on Flush, overlapping N requests on the wire instead of paying one
+// round-trip latency each. Frames are sealed at queue time (the channel
+// nonce sequence is the queue order), so a Pipeline must not interleave
+// with other calls on the same Client until flushed. Not concurrency-safe.
+type Pipeline struct {
+	c   *Client
+	buf bytes.Buffer
+	n   int
+}
+
+// Pipeline starts an empty pipeline on this connection.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Len returns the number of queued requests.
+func (p *Pipeline) Len() int { return p.n }
+
+// Get queues a get.
+func (p *Pipeline) Get(key []byte) { p.push(&proto.Request{Cmd: proto.CmdGet, Key: key}) }
+
+// Set queues a set.
+func (p *Pipeline) Set(key, value []byte) {
+	p.push(&proto.Request{Cmd: proto.CmdSet, Key: key, Value: value})
+}
+
+// Delete queues a delete.
+func (p *Pipeline) Delete(key []byte) { p.push(&proto.Request{Cmd: proto.CmdDelete, Key: key}) }
+
+// Append queues an append.
+func (p *Pipeline) Append(key, suffix []byte) {
+	p.push(&proto.Request{Cmd: proto.CmdAppend, Key: key, Value: suffix})
+}
+
+// Incr queues an increment.
+func (p *Pipeline) Incr(key []byte, delta int64) {
+	p.push(&proto.Request{Cmd: proto.CmdIncr, Key: key, Delta: delta})
+}
+
+func (p *Pipeline) push(req *proto.Request) {
+	payload := proto.EncodeRequest(req)
+	if p.c.ch != nil {
+		payload = p.c.ch.Seal(payload)
+	}
+	// Buffered WriteFrame cannot fail.
+	_ = proto.WriteFrame(&p.buf, payload)
+	p.n++
+}
+
+// Flush writes every queued frame in one burst, then reads the replies in
+// order. Results follow queue order; per-op failures are isolated in the
+// individual results. The pipeline is reset and reusable afterwards.
+func (p *Pipeline) Flush() ([]Result, error) {
+	n := p.n
+	if n == 0 {
+		return nil, nil
+	}
+	if _, err := p.c.conn.Write(p.buf.Bytes()); err != nil {
+		return nil, err
+	}
+	p.buf.Reset()
+	p.n = 0
+	out := make([]Result, n)
+	for i := 0; i < n; i++ {
+		frame, err := proto.ReadFrame(p.c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if p.c.ch != nil {
+			frame, err = p.c.ch.Open(frame)
+			if err != nil {
+				return nil, err
+			}
+		}
+		resp, err := proto.DecodeResponse(frame)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Result{Value: resp.Value, Num: resp.Num, Err: statusErr(resp.Status)}
+	}
+	return out, nil
+}

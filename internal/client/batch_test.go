@@ -1,0 +1,153 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/proto"
+)
+
+func dialTest(t *testing.T) *Client {
+	t.Helper()
+	e, addr := testServer(t, true)
+	c, err := Dial(addr, Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBatchMixedRoundTrip(t *testing.T) {
+	c := dialTest(t)
+	rs, err := c.Batch(
+		SetOp([]byte("a"), []byte("1")),
+		GetOp([]byte("a")),
+		AppendOp([]byte("a"), []byte("2")),
+		GetOp([]byte("a")),
+		IncrOp([]byte("n"), 7),
+		GetOp([]byte("missing")),
+		DelOp([]byte("a")),
+		GetOp([]byte("a")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for _, i := range []int{0, 1, 2, 3, 4, 6} {
+		if rs[i].Err != nil {
+			t.Fatalf("op %d: %v", i, rs[i].Err)
+		}
+	}
+	if string(rs[1].Value) != "1" || string(rs[3].Value) != "12" {
+		t.Fatalf("get values = %q, %q", rs[1].Value, rs[3].Value)
+	}
+	if rs[4].Num != 7 {
+		t.Fatalf("incr = %d, want 7", rs[4].Num)
+	}
+	// Per-op isolation: the two misses fail alone.
+	if !errors.Is(rs[5].Err, ErrNotFound) || !errors.Is(rs[7].Err, ErrNotFound) {
+		t.Fatalf("miss errs = %v, %v, want ErrNotFound", rs[5].Err, rs[7].Err)
+	}
+}
+
+func TestBatchEmptyAndOversized(t *testing.T) {
+	c := dialTest(t)
+	rs, err := c.Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("empty batch: %d results", len(rs))
+	}
+	// One past the op limit is rejected client-side before any frame is
+	// written.
+	big := make([]Op, proto.MaxBatchOps+1)
+	for i := range big {
+		big[i] = GetOp([]byte("k"))
+	}
+	if _, err := c.Batch(big...); !errors.Is(err, proto.ErrBatchTooLarge) {
+		t.Fatalf("oversized batch: err = %v, want ErrBatchTooLarge", err)
+	}
+	// The connection is still usable afterwards.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after rejected batch: %v", err)
+	}
+}
+
+func TestMSet(t *testing.T) {
+	c := dialTest(t)
+	var keys, vals [][]byte
+	for i := 0; i < 20; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("k%02d", i)))
+		vals = append(vals, []byte(fmt.Sprintf("v%02d", i)))
+	}
+	if err := c.MSet(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !bytes.Equal(got[i], vals[i]) {
+			t.Fatalf("MGet[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	if err := c.MSet(keys[:2], vals[:1]); err == nil {
+		t.Fatal("mismatched MSet lengths accepted")
+	}
+}
+
+func TestPipelineFlush(t *testing.T) {
+	c := dialTest(t)
+	p := c.Pipeline()
+	const n = 50
+	for i := 0; i < n; i++ {
+		p.Set([]byte(fmt.Sprintf("p%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	p.Get([]byte("p07"))
+	p.Incr([]byte("cnt"), 3)
+	p.Get([]byte("nope"))
+	if p.Len() != n+3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	rs, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != n+3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i := 0; i < n; i++ {
+		if rs[i].Err != nil {
+			t.Fatalf("set %d: %v", i, rs[i].Err)
+		}
+	}
+	if string(rs[n].Value) != "v07" {
+		t.Fatalf("pipelined get = %q", rs[n].Value)
+	}
+	if rs[n+1].Num != 3 {
+		t.Fatalf("pipelined incr = %d", rs[n+1].Num)
+	}
+	if !errors.Is(rs[n+2].Err, ErrNotFound) {
+		t.Fatalf("pipelined miss: %v", rs[n+2].Err)
+	}
+
+	// The pipeline resets and the plain API still works on the same
+	// channel (nonces stayed in sync).
+	if p.Len() != 0 {
+		t.Fatalf("Len after flush = %d", p.Len())
+	}
+	v, err := c.Get([]byte("p00"))
+	if err != nil || string(v) != "v00" {
+		t.Fatalf("get after pipeline: %q, %v", v, err)
+	}
+	if rs, err := p.Flush(); err != nil || rs != nil {
+		t.Fatalf("empty flush: %v, %v", rs, err)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shieldstore/internal/sim"
+)
+
+func TestApplyBatchMixedCommands(t *testing.T) {
+	for name, opts := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s, m := newTestStore(opts)
+			must(t, s.Set(m, []byte("seed"), []byte("old")))
+			must(t, s.Set(m, []byte("gone"), []byte("x")))
+
+			rs := s.ApplyBatch(m, []BatchOp{
+				{Kind: BatchSet, Key: []byte("a"), Value: []byte("1")},
+				{Kind: BatchGet, Key: []byte("a")},
+				{Kind: BatchAppend, Key: []byte("a"), Value: []byte("23")},
+				{Kind: BatchGet, Key: []byte("a")},
+				{Kind: BatchIncr, Key: []byte("ctr"), Delta: 5},
+				{Kind: BatchIncr, Key: []byte("ctr"), Delta: -2},
+				{Kind: BatchDelete, Key: []byte("gone")},
+				{Kind: BatchGet, Key: []byte("gone")},
+				{Kind: BatchGet, Key: []byte("seed")},
+			})
+			for i := range rs[:7] {
+				must(t, rs[i].Err)
+			}
+			// Ops on the same key observe submission order.
+			if string(rs[1].Val) != "1" {
+				t.Fatalf("get after set = %q, want %q", rs[1].Val, "1")
+			}
+			if string(rs[3].Val) != "123" {
+				t.Fatalf("get after append = %q, want %q", rs[3].Val, "123")
+			}
+			if rs[4].Num != 5 || rs[5].Num != 3 {
+				t.Fatalf("incr results = %d, %d, want 5, 3", rs[4].Num, rs[5].Num)
+			}
+			if !errors.Is(rs[7].Err, ErrNotFound) {
+				t.Fatalf("get after delete: err = %v, want ErrNotFound", rs[7].Err)
+			}
+			if string(rs[8].Val) != "old" {
+				t.Fatalf("untouched key = %q, want %q", rs[8].Val, "old")
+			}
+
+			// The committed state is visible to single-op reads.
+			v, err := s.Get(m, []byte("a"))
+			must(t, err)
+			if string(v) != "123" {
+				t.Fatalf("post-batch Get = %q, want %q", v, "123")
+			}
+			if err := s.VerifyAll(m); err != nil {
+				t.Fatalf("VerifyAll after batch: %v", err)
+			}
+		})
+	}
+}
+
+func TestApplyBatchEmptyAndUnknownKind(t *testing.T) {
+	s, m := newTestStore(Defaults(16))
+	if rs := s.ApplyBatch(m, nil); len(rs) != 0 {
+		t.Fatalf("empty batch returned %d results", len(rs))
+	}
+	rs := s.ApplyBatch(m, []BatchOp{
+		{Kind: BatchKind(0xFF), Key: []byte("k")},
+		{Kind: BatchSet, Key: []byte("k"), Value: []byte("v")},
+	})
+	if !errors.Is(rs[0].Err, ErrBadBatchOp) {
+		t.Fatalf("unknown kind: err = %v, want ErrBadBatchOp", rs[0].Err)
+	}
+	// The bad op is isolated: the set beside it still lands.
+	must(t, rs[1].Err)
+	v, err := s.Get(m, []byte("k"))
+	must(t, err)
+	if string(v) != "v" {
+		t.Fatalf("Get = %q, want %q", v, "v")
+	}
+}
+
+func TestApplyBatchErrorIsolation(t *testing.T) {
+	// One miss (and one bad Incr) must not fail the rest of the batch.
+	for name, opts := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s, m := newTestStore(opts)
+			must(t, s.Set(m, []byte("text"), []byte("not-a-number")))
+			rs := s.ApplyBatch(m, []BatchOp{
+				{Kind: BatchGet, Key: []byte("missing-1")},
+				{Kind: BatchSet, Key: []byte("w"), Value: []byte("1")},
+				{Kind: BatchIncr, Key: []byte("text"), Delta: 1},
+				{Kind: BatchDelete, Key: []byte("missing-2")},
+				{Kind: BatchGet, Key: []byte("w")},
+			})
+			if !errors.Is(rs[0].Err, ErrNotFound) {
+				t.Fatalf("miss: err = %v, want ErrNotFound", rs[0].Err)
+			}
+			must(t, rs[1].Err)
+			if !errors.Is(rs[2].Err, ErrNotNumeric) {
+				t.Fatalf("incr on text: err = %v, want ErrNotNumeric", rs[2].Err)
+			}
+			if !errors.Is(rs[3].Err, ErrNotFound) {
+				t.Fatalf("delete miss: err = %v, want ErrNotFound", rs[3].Err)
+			}
+			must(t, rs[4].Err)
+			if string(rs[4].Val) != "1" {
+				t.Fatalf("get w = %q, want %q", rs[4].Val, "1")
+			}
+		})
+	}
+}
+
+// TestApplyBatchStateEquivalence drives identical random op streams
+// through ApplyBatch on one store and the single-op API on another and
+// requires bit-identical end state.
+func TestApplyBatchStateEquivalence(t *testing.T) {
+	for name, opts := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			sb, mb := newTestStore(opts)
+			ss, ms := newTestStore(opts)
+			rng := rand.New(rand.NewSource(7))
+			const rounds, batch, keySpace = 30, 16, 40
+
+			for r := 0; r < rounds; r++ {
+				ops := make([]BatchOp, batch)
+				for i := range ops {
+					key := []byte(fmt.Sprintf("k%02d", rng.Intn(keySpace)))
+					switch rng.Intn(5) {
+					case 0:
+						ops[i] = BatchOp{Kind: BatchGet, Key: key}
+					case 1:
+						ops[i] = BatchOp{Kind: BatchSet, Key: key, Value: []byte(fmt.Sprintf("v%d", rng.Intn(1000)))}
+					case 2:
+						ops[i] = BatchOp{Kind: BatchDelete, Key: key}
+					case 3:
+						ops[i] = BatchOp{Kind: BatchAppend, Key: key, Value: []byte("+")}
+					default:
+						ops[i] = BatchOp{Kind: BatchIncr, Key: []byte(fmt.Sprintf("n%02d", rng.Intn(8))), Delta: int64(rng.Intn(9) - 4)}
+					}
+				}
+				brs := sb.ApplyBatch(mb, ops)
+				for i := range ops {
+					op := &ops[i]
+					var sr BatchResult
+					switch op.Kind {
+					case BatchGet:
+						sr.Val, sr.Err = ss.Get(ms, op.Key)
+					case BatchSet:
+						sr.Err = ss.Set(ms, op.Key, op.Value)
+					case BatchDelete:
+						sr.Err = ss.Delete(ms, op.Key)
+					case BatchAppend:
+						sr.Err = ss.Append(ms, op.Key, op.Value)
+					case BatchIncr:
+						sr.Num, sr.Err = ss.Incr(ms, op.Key, op.Delta)
+					}
+					if !errors.Is(brs[i].Err, sr.Err) && !errors.Is(sr.Err, brs[i].Err) {
+						t.Fatalf("round %d op %d: batch err %v, single err %v", r, i, brs[i].Err, sr.Err)
+					}
+					if !bytes.Equal(brs[i].Val, sr.Val) || brs[i].Num != sr.Num {
+						t.Fatalf("round %d op %d: batch (%q,%d), single (%q,%d)",
+							r, i, brs[i].Val, brs[i].Num, sr.Val, sr.Num)
+					}
+				}
+			}
+			if sb.Keys() != ss.Keys() {
+				t.Fatalf("Keys: batch %d, single %d", sb.Keys(), ss.Keys())
+			}
+			if err := sb.VerifyAll(mb); err != nil {
+				t.Fatalf("VerifyAll (batch store): %v", err)
+			}
+			err := ss.ForEachDecrypt(ms, func(k, v []byte) error {
+				got, gerr := sb.Get(mb, k)
+				if gerr != nil {
+					return fmt.Errorf("batch store missing %q: %w", k, gerr)
+				}
+				if !bytes.Equal(got, v) {
+					return fmt.Errorf("key %q: batch %q, single %q", k, got, v)
+				}
+				return nil
+			})
+			must(t, err)
+		})
+	}
+}
+
+// TestApplyBatchIntegrityIsolation tampers one bucket's sidecar MAC and
+// checks that exactly the ops touching that bucket set report the
+// violation while the rest of the batch proceeds. With the default
+// MACHashes == Buckets a set is a single bucket, so "the set" is exactly
+// the victim's bucket.
+func TestApplyBatchIntegrityIsolation(t *testing.T) {
+	opts := Defaults(64)
+	s, m := newTestStore(opts)
+	for i := 0; i < 50; i++ {
+		must(t, s.Set(m, []byte(fmt.Sprintf("k%03d", i)), bytes.Repeat([]byte{byte(i)}, 16)))
+	}
+	victim := []byte("k025")
+	vb := s.bucketOf(m, victim)
+	res, err := s.search(m, vb, victim)
+	must(t, err)
+	addr, err := s.sidecarSlotAddr(m, vb, int(res.hdr.Slot))
+	must(t, err)
+	s.space.Tamper(addr, []byte{0xAA, 0xBB})
+
+	// Build a batch over the victim plus keys from other buckets.
+	ops := []BatchOp{{Kind: BatchGet, Key: victim}, {Kind: BatchSet, Key: victim, Value: []byte("z")}}
+	var clean []int
+	for i := 0; i < 50 && len(clean) < 6; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		if s.setGroupID(s.bucketOf(m, key)) == s.setGroupID(vb) {
+			continue
+		}
+		clean = append(clean, len(ops))
+		ops = append(ops, BatchOp{Kind: BatchGet, Key: key})
+	}
+	if len(clean) == 0 {
+		t.Fatal("no clean-bucket keys found")
+	}
+
+	rs := s.ApplyBatch(m, ops)
+	for _, i := range []int{0, 1} {
+		if !errors.Is(rs[i].Err, ErrIntegrity) {
+			t.Fatalf("victim op %d: err = %v, want ErrIntegrity", i, rs[i].Err)
+		}
+	}
+	for _, i := range clean {
+		if rs[i].Err != nil {
+			t.Fatalf("clean op %d: err = %v, want nil", i, rs[i].Err)
+		}
+	}
+}
+
+// TestApplyBatchAmortizesCycles checks the point of the tentpole: N ops
+// landing in one bucket set cost fewer virtual cycles as one batch than as
+// N single-op requests.
+func TestApplyBatchAmortizesCycles(t *testing.T) {
+	build := func() (*Store, *sim.Meter, []BatchOp) {
+		opts := Defaults(4) // few buckets: ops share sets
+		opts.MACHashes = 2
+		s, m := newTestStore(opts)
+		for i := 0; i < 32; i++ {
+			must(t, s.Set(m, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte{1}, 32)))
+		}
+		m.Reset()
+		ops := make([]BatchOp, 32)
+		for i := range ops {
+			ops[i] = BatchOp{Kind: BatchSet, Key: []byte(fmt.Sprintf("k%02d", i)), Value: bytes.Repeat([]byte{2}, 32)}
+		}
+		return s, m, ops
+	}
+
+	sb, mb, ops := build()
+	sb.ApplyBatch(mb, ops)
+	batched := mb.Cycles()
+
+	ss, ms, _ := build()
+	for i := range ops {
+		must(t, ss.Set(ms, ops[i].Key, ops[i].Value))
+	}
+	single := ms.Cycles()
+
+	if batched >= single {
+		t.Fatalf("batched %d cycles >= single-op %d cycles", batched, single)
+	}
+	t.Logf("batch=32 same-set Sets: %d cycles batched vs %d single (%.2fx)",
+		batched, single, float64(single)/float64(batched))
+}

@@ -170,6 +170,7 @@ func (s *Store) Range(m *sim.Meter, start, end []byte, limit int) ([]KV, error) 
 		return nil, ErrNoRangeIndex
 	}
 	m.Charge(s.model.RequestOverhead)
+	m.Count(sim.CtrRequest)
 	var keys []string
 	s.ordered.scan(m, start, end, func(key string) bool {
 		keys = append(keys, key)

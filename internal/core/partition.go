@@ -206,11 +206,73 @@ func (p *Partitioned) Delete(routeM *sim.Meter, key []byte) error {
 	return err
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// ExecBatch routes a heterogeneous batch through the worker pool with one
+// task per *involved partition* — not one channel round trip per key.
+// Each partition executes its sub-batch via ApplyBatch (amortized
+// integrity updates); the per-partition results are scattered back into
+// submission order. Start must have been called.
+func (p *Partitioned) ExecBatch(routeM *sim.Meter, ops []BatchOp) []BatchResult {
+	results := make([]BatchResult, len(ops))
+	if len(ops) == 0 {
+		return results
 	}
-	return b
+	// Group submission indices by owning partition.
+	idxs := make([][]int, len(p.parts))
+	for i := range ops {
+		part := p.Route(routeM, ops[i].Key)
+		idxs[part] = append(idxs[part], i)
+	}
+	waits := make([]func(), 0, len(p.parts))
+	for part, list := range idxs {
+		if len(list) == 0 {
+			continue
+		}
+		list := list
+		sub := make([]BatchOp, len(list))
+		for j, i := range list {
+			sub[j] = ops[i]
+		}
+		done := make(chan struct{})
+		p.workers[part] <- func(s *Store, m *sim.Meter) {
+			// Each goroutine writes disjoint result slots.
+			rs := s.ApplyBatch(m, sub)
+			for j, i := range list {
+				results[i] = rs[j]
+			}
+			close(done)
+		}
+		waits = append(waits, func() { <-done })
+	}
+	for _, wait := range waits {
+		wait()
+	}
+	return results
+}
+
+// GetMulti fetches keys with at most Parts() worker round trips. The
+// result has one slot per key; missing keys are nil. Any error other than
+// a miss fails the call.
+func (p *Partitioned) GetMulti(routeM *sim.Meter, keys [][]byte) ([][]byte, error) {
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BatchOp{Kind: BatchGet, Key: k}
+	}
+	rs := p.ExecBatch(routeM, ops)
+	vals := make([][]byte, len(keys))
+	for i, r := range rs {
+		switch {
+		case r.Err == nil:
+			vals[i] = r.Val
+			if vals[i] == nil {
+				vals[i] = []byte{}
+			}
+		case errors.Is(r.Err, ErrNotFound):
+			vals[i] = nil
+		default:
+			return nil, r.Err
+		}
+	}
+	return vals, nil
 }
 
 // Repartition rebuilds the store across a new partition count — the

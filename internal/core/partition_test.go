@@ -236,3 +236,117 @@ func TestRepartition(t *testing.T) {
 		t.Fatal("repartition with running workers must fail")
 	}
 }
+
+func TestPartitionedExecBatch(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	// Mixed batch spanning every partition, with misses interleaved.
+	var ops []BatchOp
+	for i := 0; i < 64; i++ {
+		ops = append(ops, BatchOp{Kind: BatchSet, Key: []byte(fmt.Sprintf("k%03d", i)), Value: []byte(fmt.Sprintf("v%03d", i))})
+	}
+	for i := 0; i < 64; i++ {
+		ops = append(ops, BatchOp{Kind: BatchGet, Key: []byte(fmt.Sprintf("k%03d", i))})
+	}
+	ops = append(ops, BatchOp{Kind: BatchGet, Key: []byte("missing")})
+	rs := p.ExecBatch(m, ops)
+	if len(rs) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(rs), len(ops))
+	}
+	for i := 0; i < 64; i++ {
+		if rs[i].Err != nil {
+			t.Fatalf("set %d: %v", i, rs[i].Err)
+		}
+		if rs[64+i].Err != nil || string(rs[64+i].Val) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("get %d: val %q err %v", i, rs[64+i].Val, rs[64+i].Err)
+		}
+	}
+	if !errors.Is(rs[128].Err, ErrNotFound) {
+		t.Fatalf("miss: err = %v, want ErrNotFound", rs[128].Err)
+	}
+	if p.Keys() != 64 {
+		t.Fatalf("Keys = %d, want 64", p.Keys())
+	}
+}
+
+func TestPartitionedGetMulti(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 3, Defaults(48))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	for i := 0; i < 40; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := [][]byte{[]byte("k05"), []byte("absent"), []byte("k39"), []byte("k00")}
+	vals, err := p.GetMulti(m, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"v05", "", "v39", "v00"}
+	for i := range keys {
+		if i == 1 {
+			if vals[i] != nil {
+				t.Fatalf("absent key: got %q, want nil", vals[i])
+			}
+			continue
+		}
+		if string(vals[i]) != want[i] {
+			t.Fatalf("vals[%d] = %q, want %q", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestPartitionedExecBatchConcurrent(t *testing.T) {
+	// Many goroutines issuing overlapping batches: exercises the
+	// disjoint-slot result scatter under the race detector.
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	p.Start()
+	defer p.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := sim.NewMeter(e.Model())
+			for r := 0; r < 20; r++ {
+				ops := make([]BatchOp, 16)
+				for i := range ops {
+					key := []byte(fmt.Sprintf("g%dk%02d", g, i))
+					if r%2 == 0 {
+						ops[i] = BatchOp{Kind: BatchSet, Key: key, Value: []byte(fmt.Sprintf("r%02d", r))}
+					} else {
+						ops[i] = BatchOp{Kind: BatchGet, Key: key}
+					}
+				}
+				rs := p.ExecBatch(m, ops)
+				for i := range rs {
+					if rs[i].Err != nil {
+						t.Errorf("g%d r%d op %d: %v", g, r, i, rs[i].Err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := sim.NewMeter(e.Model())
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 16; i++ {
+			v, err := p.Get(m, []byte(fmt.Sprintf("g%dk%02d", g, i)))
+			if err != nil || !bytes.Equal(v, []byte("r18")) {
+				t.Fatalf("g%dk%02d = %q, %v", g, i, v, err)
+			}
+		}
+	}
+}

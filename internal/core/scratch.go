@@ -1,0 +1,30 @@
+package core
+
+import "sync"
+
+// scratchPool recycles the transient []byte buffers of the crypto hot
+// path — ciphertext staging in searches and mutations, entry
+// serialization, integrity re-checks. These buffers never escape an
+// operation, so pooling them removes the dominant per-op heap churn
+// (store.go previously allocated fresh slices for each of them). The pool
+// holds *[]byte to keep Put itself allocation-free.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// getScratch returns a pooled buffer resized to length n.
+func getScratch(n int) *[]byte {
+	p := scratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putScratch returns a buffer to the pool. The caller must not retain any
+// slice of it.
+func putScratch(p *[]byte) { scratchPool.Put(p) }

@@ -304,20 +304,26 @@ func (s *Store) walk(m *sim.Meter, b int, key []byte, useHint bool, hint byte) (
 		}
 		tryDecrypt := !useHint || hdr.KeyHint == hint
 		if tryDecrypt && int(hdr.KeySize) == len(key) {
-			ct := make([]byte, hdr.CTLen())
+			ctp := getScratch(hdr.CTLen())
+			ct := *ctp
 			s.space.Read(m, cur+entry.HeaderSize, ct)
-			pt := make([]byte, len(ct))
+			ptp := getScratch(len(ct))
+			pt := *ptp
 			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
+			putScratch(ctp)
 			if string(pt[:hdr.KeySize]) == string(key) {
 				res.found = true
 				res.addr = cur
 				res.prevLink = link
 				res.hdr = hdr
+				// The value escapes to the caller, so this one plaintext
+				// buffer is not returned to the pool.
 				res.val = pt[hdr.KeySize:]
 				res.chainIdx = idx
 				res.chainLen = idx + 1
 				return res, nil
 			}
+			putScratch(ptp)
 		}
 		link = cur + entry.OffNext
 		cur = hdr.Next
@@ -570,7 +576,9 @@ func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
 	// Reconstruct ciphertext from the decrypted plaintext we already hold
 	// (cheaper than re-reading untrusted memory; the plaintext is in the
 	// enclave). Encryption cost is not re-charged: this is the same pass.
-	ct := make([]byte, res.hdr.CTLen())
+	ctp := getScratch(res.hdr.CTLen())
+	defer putScratch(ctp)
+	ct := *ctp
 	s.space.Peek(res.addr+entry.HeaderSize, ct)
 	if !s.cipher.VerifyEntryMAC(m, &res.hdr, ct, authoritative) {
 		return ErrIntegrity
@@ -581,6 +589,7 @@ func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
 // Get returns the value stored under key.
 func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
 	m.Charge(s.model.RequestOverhead)
+	m.Count(sim.CtrRequest)
 	b := s.bucketOf(m, key)
 
 	if s.cache != nil {
@@ -589,10 +598,6 @@ func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
 		}
 	}
 
-	res, err := s.search(m, b, key)
-	if err != nil {
-		return nil, err
-	}
 	v, err := s.collectSet(m, b)
 	if err != nil {
 		return nil, err
@@ -600,13 +605,23 @@ func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
 	if err := s.verifySet(m, &v); err != nil {
 		return nil, err
 	}
+	return s.getInView(m, &v, b, key)
+}
+
+// getInView serves a Get against an already collected and verified bucket
+// set. Shared by the single-op path and ApplyBatch.
+func (s *Store) getInView(m *sim.Meter, v *setView, b int, key []byte) ([]byte, error) {
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return nil, err
+	}
 	if !res.found {
-		if err := s.verifyMissChain(m, &v, b); err != nil {
+		if err := s.verifyMissChain(m, v, b); err != nil {
 			return nil, err
 		}
 		return nil, ErrNotFound
 	}
-	if err := s.verifyEntry(m, &v, &res); err != nil {
+	if err := s.verifyEntry(m, v, &res); err != nil {
 		return nil, err
 	}
 	if s.cache != nil {
@@ -618,6 +633,7 @@ func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
 // Set stores value under key, inserting or updating in place.
 func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 	m.Charge(s.model.RequestOverhead)
+	m.Count(sim.CtrRequest)
 	return s.mutate(m, key, func(_ []byte, _ bool) ([]byte, error) {
 		return value, nil
 	})
@@ -628,7 +644,14 @@ func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 // Redis APPEND semantics.
 func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
 	m.Charge(s.model.RequestOverhead)
-	return s.mutate(m, key, func(old []byte, found bool) ([]byte, error) {
+	m.Count(sim.CtrRequest)
+	return s.mutate(m, key, appendMutator(suffix))
+}
+
+// appendMutator builds the Append value transform (shared with the batch
+// path).
+func appendMutator(suffix []byte) func(old []byte, found bool) ([]byte, error) {
+	return func(old []byte, found bool) ([]byte, error) {
 		if !found {
 			return suffix, nil
 		}
@@ -636,15 +659,23 @@ func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
 		nv = append(nv, old...)
 		nv = append(nv, suffix...)
 		return nv, nil
-	})
+	}
 }
 
 // Incr adds delta to a decimal-encoded value, creating it at delta when
 // missing, and returns the new number.
 func (s *Store) Incr(m *sim.Meter, key []byte, delta int64) (int64, error) {
 	m.Charge(s.model.RequestOverhead)
+	m.Count(sim.CtrRequest)
 	var out int64
-	err := s.mutate(m, key, func(old []byte, found bool) ([]byte, error) {
+	err := s.mutate(m, key, incrMutator(delta, &out))
+	return out, err
+}
+
+// incrMutator builds the Incr value transform, writing the post-increment
+// number to out (shared with the batch path).
+func incrMutator(delta int64, out *int64) func(old []byte, found bool) ([]byte, error) {
+	return func(old []byte, found bool) ([]byte, error) {
 		cur := int64(0)
 		if found {
 			n, err := strconv.ParseInt(string(old), 10, 64)
@@ -653,20 +684,16 @@ func (s *Store) Incr(m *sim.Meter, key []byte, delta int64) (int64, error) {
 			}
 			cur = n
 		}
-		out = cur + delta
-		return strconv.AppendInt(nil, out, 10), nil
-	})
-	return out, err
+		*out = cur + delta
+		return strconv.AppendInt(nil, *out, 10), nil
+	}
 }
 
 // Delete removes key, returning ErrNotFound when absent.
 func (s *Store) Delete(m *sim.Meter, key []byte) error {
 	m.Charge(s.model.RequestOverhead)
+	m.Count(sim.CtrRequest)
 	b := s.bucketOf(m, key)
-	res, err := s.search(m, b, key)
-	if err != nil {
-		return err
-	}
 	v, err := s.collectSet(m, b)
 	if err != nil {
 		return err
@@ -674,13 +701,28 @@ func (s *Store) Delete(m *sim.Meter, key []byte) error {
 	if err := s.verifySet(m, &v); err != nil {
 		return err
 	}
+	if err := s.deleteInView(m, &v, b, key); err != nil {
+		return err
+	}
+	s.writeSetHash(m, &v)
+	return nil
+}
+
+// deleteInView removes key from an already verified bucket set, updating
+// the view in place. The caller commits the view with writeSetHash;
+// batches do so once per set after all of the set's deletions.
+func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error {
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return err
+	}
 	if !res.found {
-		if err := s.verifyMissChain(m, &v, b); err != nil {
+		if err := s.verifyMissChain(m, v, b); err != nil {
 			return err
 		}
 		return ErrNotFound
 	}
-	if err := s.verifyEntry(m, &v, &res); err != nil {
+	if err := s.verifyEntry(m, v, &res); err != nil {
 		return err
 	}
 
@@ -688,7 +730,7 @@ func (s *Store) Delete(m *sim.Meter, key []byte) error {
 	s.space.WriteU64(m, res.prevLink, uint64(res.hdr.Next))
 
 	// Remove the MAC from the set view (and sidecar).
-	p, err := s.positionOf(&v, &res)
+	p, err := s.positionOf(v, &res)
 	if err != nil {
 		return err
 	}
@@ -709,8 +751,7 @@ func (s *Store) Delete(m *sim.Meter, key []byte) error {
 	} else {
 		v.macs = spliceOut(v.macs, p)
 	}
-	s.shiftCounts(&v, res.bucket, -1)
-	s.writeSetHash(m, &v)
+	s.shiftCounts(v, res.bucket, -1)
 
 	if s.cache != nil {
 		s.cache.invalidate(m, key)
@@ -727,10 +768,6 @@ func (s *Store) Delete(m *sim.Meter, key []byte) error {
 // replace (size change), or insert at the chain head.
 func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) ([]byte, error)) error {
 	b := s.bucketOf(m, key)
-	res, err := s.search(m, b, key)
-	if err != nil {
-		return err
-	}
 	v, err := s.collectSet(m, b)
 	if err != nil {
 		return err
@@ -738,11 +775,28 @@ func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) 
 	if err := s.verifySet(m, &v); err != nil {
 		return err
 	}
+	if err := s.mutateInView(m, &v, b, key, f); err != nil {
+		return err
+	}
+	s.writeSetHash(m, &v)
+	return nil
+}
+
+// mutateInView applies one set/append/incr against an already verified
+// bucket set, updating the view in place without committing it. The
+// caller runs writeSetHash — once per op on the single-op path, once per
+// touched set per batch in ApplyBatch (the amortization this layering
+// exists for).
+func (s *Store) mutateInView(m *sim.Meter, v *setView, b int, key []byte, f func(old []byte, found bool) ([]byte, error)) error {
+	res, err := s.search(m, b, key)
+	if err != nil {
+		return err
+	}
 	if res.found {
-		if err := s.verifyEntry(m, &v, &res); err != nil {
+		if err := s.verifyEntry(m, v, &res); err != nil {
 			return err
 		}
-	} else if err := s.verifyMissChain(m, &v, b); err != nil {
+	} else if err := s.verifyMissChain(m, v, b); err != nil {
 		return err
 	}
 
@@ -756,11 +810,11 @@ func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) 
 	}
 
 	if !res.found {
-		err = s.insert(m, &v, b, key, newVal)
+		err = s.insert(m, v, b, key, newVal)
 	} else if len(newVal) == len(oldVal) {
-		err = s.updateInPlace(m, &v, &res, key, newVal)
+		err = s.updateInPlace(m, v, &res, key, newVal)
 	} else {
-		err = s.replace(m, &v, &res, key, newVal)
+		err = s.replace(m, v, &res, key, newVal)
 	}
 	if err != nil {
 		return err
@@ -790,7 +844,9 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 	}
 	s.cipher.NewIV(m, &hdr.IV)
 
-	ct := make([]byte, len(key)+len(val))
+	ctp := getScratch(len(key) + len(val))
+	defer putScratch(ctp)
+	ct := *ctp
 	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
 	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
 
@@ -809,7 +865,6 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 		v.macs = spliceIn(v.macs, off, hdr.MAC[:])
 	}
 	s.shiftCounts(v, b, +1)
-	s.writeSetHash(m, v)
 	if s.ordered != nil {
 		s.ordered.insert(m, key)
 	}
@@ -822,7 +877,9 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
 	hdr := res.hdr
 	hdr.BumpIV()
-	ct := make([]byte, hdr.CTLen())
+	ctp := getScratch(hdr.CTLen())
+	defer putScratch(ctp)
+	ct := *ctp
 	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
 	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
 
@@ -836,7 +893,6 @@ func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []
 	if s.opts.MACBucket {
 		s.writeSidecarSlot(m, res.bucket, int(hdr.Slot), hdr.MAC[:])
 	}
-	s.writeSetHash(m, v)
 	return nil
 }
 
@@ -851,7 +907,9 @@ func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) 
 		ValSize: uint32(len(val)),
 	}
 	s.cipher.NewIV(m, &hdr.IV)
-	ct := make([]byte, hdr.CTLen())
+	ctp := getScratch(hdr.CTLen())
+	defer putScratch(ctp)
+	ct := *ctp
 	s.cipher.EncryptKV(m, &hdr.IV, key, val, ct)
 	hdr.MAC = s.cipher.EntryMAC(m, &hdr, ct)
 
@@ -868,13 +926,14 @@ func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) 
 	if s.opts.MACBucket {
 		s.writeSidecarSlot(m, res.bucket, int(hdr.Slot), hdr.MAC[:])
 	}
-	s.writeSetHash(m, v)
 	return nil
 }
 
 // writeEntry serializes header+ciphertext into untrusted memory.
 func (s *Store) writeEntry(m *sim.Meter, addr mem.Addr, hdr *entry.Header, ct []byte) {
-	buf := make([]byte, entry.HeaderSize+len(ct))
+	bp := getScratch(entry.HeaderSize + len(ct))
+	defer putScratch(bp)
+	buf := *bp
 	hdr.Marshal(buf)
 	copy(buf[entry.HeaderSize:], ct)
 	s.space.Write(m, addr, buf)
@@ -1055,9 +1114,12 @@ func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
 			return err
 		}
 		authoritative := v.macs[off+pos*entry.MACSize : off+(pos+1)*entry.MACSize]
-		ct := make([]byte, hdr.CTLen())
+		ctp := getScratch(hdr.CTLen())
+		ct := *ctp
 		s.space.Read(m, cur+entry.HeaderSize, ct)
-		if !s.cipher.VerifyEntryMAC(m, &hdr, ct, authoritative) {
+		ok := s.cipher.VerifyEntryMAC(m, &hdr, ct, authoritative)
+		putScratch(ctp)
+		if !ok {
 			return ErrIntegrity
 		}
 		if s.opts.MACBucket && string(hdr.MAC[:]) != string(authoritative) {

@@ -24,6 +24,7 @@ import (
 	"crypto/cipher"
 	"crypto/subtle"
 	"encoding/binary"
+	"sync"
 
 	"shieldstore/internal/cmac"
 	"shieldstore/internal/mem"
@@ -203,16 +204,29 @@ func macInput(h *Header, ct []byte, buf []byte) []byte {
 	return buf
 }
 
+// macInputPool recycles the MAC input staging buffer: EntryMAC runs once
+// or twice on every store operation, and the assembled input never
+// outlives the Tag call.
+var macInputPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // EntryMAC computes the entry MAC over the header's authenticated fields
 // and the ciphertext.
 func (c *Cipher) EntryMAC(m *sim.Meter, h *Header, ct []byte) [MACSize]byte {
-	buf := make([]byte, 0, len(ct)+32)
-	input := macInput(h, ct, buf)
+	bp := macInputPool.Get().(*[]byte)
+	input := macInput(h, ct, (*bp)[:0])
 	if m != nil {
 		m.Charge(c.model.CMAC(len(input)))
 		m.Count(sim.CtrCMAC)
 	}
-	return c.mac.Tag(input)
+	tag := c.mac.Tag(input)
+	*bp = input[:0]
+	macInputPool.Put(bp)
+	return tag
 }
 
 // VerifyEntryMAC checks an entry's MAC in constant time.

@@ -449,10 +449,3 @@ func restoreData(s *core.Store, m *sim.Meter, data []byte) error {
 	}
 	return nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

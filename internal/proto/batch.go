@@ -1,0 +1,173 @@
+// Batch frame encoding: one CmdBatch request carries N heterogeneous
+// operations and its response carries N per-op results, so a pipelined
+// client pays one network round trip — and the server one enclave
+// transition — per batch instead of per key.
+//
+// A batch op reuses the single-request layout (cmd, key, value, delta),
+// making a batch literally a vector of mini-requests; results mirror the
+// single-response layout with a 0xFFFFFFFF length marking a nil value
+// (the same "missing" marker EncodeList uses).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxBatchOps bounds the operations of a single batch frame. It is far
+// below what MaxFrame admits for empty-payload ops, keeping a hostile
+// count field from driving a huge allocation.
+const MaxBatchOps = 1 << 16
+
+// ErrBatchTooLarge reports a batch whose op count exceeds MaxBatchOps.
+var ErrBatchTooLarge = errors.New("proto: batch exceeds op limit")
+
+// BatchOp is one operation of a CmdBatch request. Cmd must be one of
+// CmdGet, CmdSet, CmdDelete, CmdAppend, CmdIncr; Value carries the Set
+// value or Append suffix, Delta the Incr amount.
+type BatchOp struct {
+	Cmd   Command
+	Key   []byte
+	Value []byte
+	Delta int64
+}
+
+// BatchResult is one per-op outcome of a CmdBatch response. Value is nil
+// for ops that produce no value (and for misses).
+type BatchResult struct {
+	Status uint8
+	Num    int64
+	Value  []byte
+}
+
+// EncodeBatch renders a batch payload:
+// n(4) then n x (cmd(1) keyLen(4) valLen(4) delta(8) key val).
+func EncodeBatch(ops []BatchOp) ([]byte, error) {
+	if len(ops) > MaxBatchOps {
+		return nil, ErrBatchTooLarge
+	}
+	size := 4
+	for i := range ops {
+		size += 17 + len(ops[i].Key) + len(ops[i].Value)
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(ops)))
+	var hdr [17]byte
+	for i := range ops {
+		op := &ops[i]
+		hdr[0] = byte(op.Cmd)
+		binary.LittleEndian.PutUint32(hdr[1:], uint32(len(op.Key)))
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(op.Value)))
+		binary.LittleEndian.PutUint64(hdr[9:], uint64(op.Delta))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, op.Key...)
+		buf = append(buf, op.Value...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses an EncodeBatch payload. The count and every length
+// field are validated against the buffer; trailing bytes are rejected.
+func DecodeBatch(buf []byte) ([]BatchOp, error) {
+	if len(buf) < 4 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || n > MaxBatchOps {
+		return nil, ErrBadMessage
+	}
+	off := 4
+	ops := make([]BatchOp, 0, n)
+	for i := 0; i < n; i++ {
+		if off+17 > len(buf) {
+			return nil, ErrBadMessage
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[off+1:]))
+		vl := int(binary.LittleEndian.Uint32(buf[off+5:]))
+		op := BatchOp{
+			Cmd:   Command(buf[off]),
+			Delta: int64(binary.LittleEndian.Uint64(buf[off+9:])),
+		}
+		off += 17
+		if kl < 0 || vl < 0 || off+kl+vl > len(buf) {
+			return nil, ErrBadMessage
+		}
+		if kl > 0 {
+			op.Key = append([]byte(nil), buf[off:off+kl]...)
+		}
+		off += kl
+		if vl > 0 {
+			op.Value = append([]byte(nil), buf[off:off+vl]...)
+		}
+		off += vl
+		ops = append(ops, op)
+	}
+	if off != len(buf) {
+		return nil, ErrBadMessage
+	}
+	return ops, nil
+}
+
+// EncodeBatchResults renders a batch response payload:
+// n(4) then n x (status(1) num(8) valLen(4) val), valLen 0xFFFFFFFF
+// marking a nil value.
+func EncodeBatchResults(rs []BatchResult) []byte {
+	size := 4 + 13*len(rs)
+	for i := range rs {
+		size += len(rs[i].Value)
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(rs)))
+	var hdr [13]byte
+	for i := range rs {
+		r := &rs[i]
+		hdr[0] = r.Status
+		binary.LittleEndian.PutUint64(hdr[1:], uint64(r.Num))
+		if r.Value == nil {
+			binary.LittleEndian.PutUint32(hdr[9:], 0xFFFFFFFF)
+			buf = append(buf, hdr[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, r.Value...)
+	}
+	return buf
+}
+
+// DecodeBatchResults parses an EncodeBatchResults payload.
+func DecodeBatchResults(buf []byte) ([]BatchResult, error) {
+	if len(buf) < 4 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || n > MaxBatchOps {
+		return nil, ErrBadMessage
+	}
+	off := 4
+	rs := make([]BatchResult, 0, n)
+	for i := 0; i < n; i++ {
+		if off+13 > len(buf) {
+			return nil, ErrBadMessage
+		}
+		r := BatchResult{
+			Status: buf[off],
+			Num:    int64(binary.LittleEndian.Uint64(buf[off+1:])),
+		}
+		vl := binary.LittleEndian.Uint32(buf[off+9:])
+		off += 13
+		if vl != 0xFFFFFFFF {
+			if off+int(vl) > len(buf) {
+				return nil, ErrBadMessage
+			}
+			// Keep empty distinct from the nil marker.
+			r.Value = append(make([]byte, 0, vl), buf[off:off+int(vl)]...)
+			off += int(vl)
+		}
+		rs = append(rs, r)
+	}
+	if off != len(buf) {
+		return nil, ErrBadMessage
+	}
+	return rs, nil
+}

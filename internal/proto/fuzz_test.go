@@ -64,3 +64,102 @@ func FuzzDecodeList(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch hardens the CmdBatch op-vector parser: it decodes an
+// attacker-reachable payload, so arbitrary bytes must never panic, and
+// anything that decodes must survive a re-encode round trip.
+func FuzzDecodeBatch(f *testing.F) {
+	seed, _ := EncodeBatch([]BatchOp{
+		{Cmd: CmdSet, Key: []byte("k"), Value: []byte("v")},
+		{Cmd: CmdGet, Key: []byte("k2")},
+		{Cmd: CmdIncr, Key: []byte("n"), Delta: -9},
+	})
+	f.Add(seed)
+	empty, _ := EncodeBatch(nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x01}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if len(ops) > MaxBatchOps {
+			t.Fatalf("decoded %d ops past MaxBatchOps", len(ops))
+		}
+		enc, err := EncodeBatch(ops)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		rt, err := DecodeBatch(enc)
+		if err != nil || len(rt) != len(ops) {
+			t.Fatalf("re-decode failed: %v (%d ops)", err, len(rt))
+		}
+		for i := range ops {
+			if rt[i].Cmd != ops[i].Cmd || !bytes.Equal(rt[i].Key, ops[i].Key) ||
+				!bytes.Equal(rt[i].Value, ops[i].Value) || rt[i].Delta != ops[i].Delta {
+				t.Fatal("round trip not idempotent")
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatchResults does the same for the client-side result parser,
+// additionally checking that the nil-value marker survives round trips
+// (nil stays nil, empty stays empty).
+func FuzzDecodeBatchResults(f *testing.F) {
+	f.Add(EncodeBatchResults([]BatchResult{
+		{Status: StatusOK, Value: []byte("v"), Num: 3},
+		{Status: StatusNotFound, Value: nil},
+		{Status: StatusOK, Value: []byte{}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := DecodeBatchResults(data)
+		if err != nil {
+			return
+		}
+		rt, err := DecodeBatchResults(EncodeBatchResults(rs))
+		if err != nil || len(rt) != len(rs) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range rs {
+			if rt[i].Status != rs[i].Status || rt[i].Num != rs[i].Num ||
+				!bytes.Equal(rt[i].Value, rs[i].Value) {
+				t.Fatal("round trip not idempotent")
+			}
+			if (rs[i].Value == nil) != (rt[i].Value == nil) {
+				t.Fatal("nil marker lost in round trip")
+			}
+		}
+	})
+}
+
+// FuzzDecodeListNilMarkers extends the list fuzzer with an explicit
+// nil-marker preservation check: a nil element must stay nil (not become
+// empty) and vice versa across encode/decode.
+func FuzzDecodeListNilMarkers(f *testing.F) {
+	f.Add(EncodeList([][]byte{nil, {}, []byte("x"), nil}))
+	f.Add(EncodeList(nil))
+	f.Add([]byte{2, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeList(data)
+		if err != nil {
+			return
+		}
+		rt, err := DecodeList(EncodeList(items))
+		if err != nil || len(rt) != len(items) {
+			t.Fatal("round trip failed")
+		}
+		for i := range items {
+			if (items[i] == nil) != (rt[i] == nil) {
+				t.Fatalf("element %d nil marker lost", i)
+			}
+			if !bytes.Equal(items[i], rt[i]) {
+				t.Fatalf("element %d content changed", i)
+			}
+		}
+	})
+}

@@ -38,6 +38,7 @@ const (
 	CmdPing
 	CmdMGet
 	CmdStats
+	CmdBatch
 )
 
 // Status codes.

@@ -32,9 +32,23 @@ type Engine interface {
 	Incr(m *sim.Meter, key []byte, delta int64) (int64, error)
 }
 
+// BatchEngine is an optional Engine extension: engines that can execute a
+// heterogeneous batch natively (amortizing per-request and per-bucket-set
+// costs) implement it; the front-end falls back to a per-op loop for the
+// rest.
+type BatchEngine interface {
+	ExecBatch(m *sim.Meter, ops []core.BatchOp) []core.BatchResult
+}
+
 // CoreEngine adapts core.Partitioned to Engine. The partitioned store's
 // worker pool must be Started.
 type CoreEngine struct{ P *core.Partitioned }
+
+// ExecBatch implements BatchEngine: one worker round trip per involved
+// partition, amortized integrity updates inside each.
+func (e CoreEngine) ExecBatch(m *sim.Meter, ops []core.BatchOp) []core.BatchResult {
+	return e.P.ExecBatch(m, ops)
+}
 
 // Get implements Engine.
 func (e CoreEngine) Get(m *sim.Meter, key []byte) ([]byte, error) { return e.P.Get(m, key) }
@@ -291,22 +305,37 @@ func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 		if err != nil {
 			return &proto.Response{Status: proto.StatusError}
 		}
-		vals := make([][]byte, len(keys))
+		// MGet rides the batch path: grouped per partition, so a 32-key
+		// MGet costs at most Parts() worker round trips instead of 32.
+		ops := make([]proto.BatchOp, len(keys))
 		for i, k := range keys {
-			v, err := eng.Get(m, k)
-			switch {
-			case err == nil:
-				vals[i] = v
+			ops[i] = proto.BatchOp{Cmd: proto.CmdGet, Key: k}
+		}
+		rs := s.runBatch(m, ops)
+		vals := make([][]byte, len(keys))
+		for i := range rs {
+			switch rs[i].Status {
+			case proto.StatusOK:
+				vals[i] = rs[i].Value
 				if vals[i] == nil {
 					vals[i] = []byte{}
 				}
-			case errors.Is(err, core.ErrNotFound), errors.Is(err, baseline.ErrNotFound):
+			case proto.StatusNotFound:
 				vals[i] = nil
 			default:
-				return errResponse(err)
+				return &proto.Response{Status: rs[i].Status}
 			}
 		}
 		return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(vals)}
+	case proto.CmdBatch:
+		ops, err := proto.DecodeBatch(req.Value)
+		if err != nil {
+			return &proto.Response{Status: proto.StatusError}
+		}
+		return &proto.Response{
+			Status: proto.StatusOK,
+			Value:  proto.EncodeBatchResults(s.runBatch(m, ops)),
+		}
 	case proto.CmdIncr:
 		n, err := eng.Incr(m, req.Key, req.Delta)
 		if err != nil {
@@ -318,15 +347,102 @@ func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 	}
 }
 
-func errResponse(err error) *proto.Response {
-	switch {
-	case errors.Is(err, core.ErrNotFound), errors.Is(err, baseline.ErrNotFound):
-		return &proto.Response{Status: proto.StatusNotFound}
-	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer):
-		return &proto.Response{Status: proto.StatusIntegrityViolation}
-	default:
-		return &proto.Response{Status: proto.StatusError}
+// runBatch executes a decoded batch: natively when the engine implements
+// BatchEngine, via a per-op loop otherwise, and maps the results back to
+// wire form. Per-op errors are isolated into per-op statuses — one miss
+// never fails the rest of the batch.
+func (s *Server) runBatch(m *sim.Meter, ops []proto.BatchOp) []proto.BatchResult {
+	coreOps := make([]core.BatchOp, len(ops))
+	for i := range ops {
+		coreOps[i] = core.BatchOp{
+			Kind:  batchKind(ops[i].Cmd),
+			Key:   ops[i].Key,
+			Value: ops[i].Value,
+			Delta: ops[i].Delta,
+		}
 	}
+	var rs []core.BatchResult
+	if be, ok := s.cfg.Engine.(BatchEngine); ok {
+		rs = be.ExecBatch(m, coreOps)
+	} else {
+		rs = fallbackBatch(m, s.cfg.Engine, coreOps)
+	}
+	out := make([]proto.BatchResult, len(rs))
+	for i := range rs {
+		out[i].Status = statusFor(rs[i].Err)
+		if rs[i].Err != nil {
+			continue
+		}
+		out[i].Num = rs[i].Num
+		if coreOps[i].Kind == core.BatchGet {
+			out[i].Value = rs[i].Val
+			if out[i].Value == nil {
+				out[i].Value = []byte{}
+			}
+		}
+	}
+	return out
+}
+
+// batchKind maps a wire command to a core batch kind; unknown commands map
+// to an invalid kind that the engine rejects per-op with ErrBadBatchOp.
+func batchKind(c proto.Command) core.BatchKind {
+	switch c {
+	case proto.CmdGet:
+		return core.BatchGet
+	case proto.CmdSet:
+		return core.BatchSet
+	case proto.CmdDelete:
+		return core.BatchDelete
+	case proto.CmdAppend:
+		return core.BatchAppend
+	case proto.CmdIncr:
+		return core.BatchIncr
+	default:
+		return core.BatchKind(0xFF)
+	}
+}
+
+// fallbackBatch runs a batch op-by-op for engines without native batch
+// support (baselines): same semantics, none of the amortization.
+func fallbackBatch(m *sim.Meter, eng Engine, ops []core.BatchOp) []core.BatchResult {
+	rs := make([]core.BatchResult, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case core.BatchGet:
+			rs[i].Val, rs[i].Err = eng.Get(m, op.Key)
+		case core.BatchSet:
+			rs[i].Err = eng.Set(m, op.Key, op.Value)
+		case core.BatchDelete:
+			rs[i].Err = eng.Delete(m, op.Key)
+		case core.BatchAppend:
+			rs[i].Err = eng.Append(m, op.Key, op.Value)
+		case core.BatchIncr:
+			rs[i].Num, rs[i].Err = eng.Incr(m, op.Key, op.Delta)
+		default:
+			rs[i].Err = core.ErrBadBatchOp
+		}
+	}
+	return rs
+}
+
+// statusFor maps an engine error to a wire status.
+func statusFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return proto.StatusOK
+	case errors.Is(err, core.ErrNotFound), errors.Is(err, baseline.ErrNotFound):
+		return proto.StatusNotFound
+	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer):
+		return proto.StatusIntegrityViolation
+	default:
+		return proto.StatusError
+	}
+}
+
+func errResponse(err error) *proto.Response {
+	return &proto.Response{Status: statusFor(err)}
 }
 
 // drbg adapts the enclave DRBG to io.Reader for handshake entropy.

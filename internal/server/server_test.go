@@ -358,3 +358,117 @@ func TestIntegrityViolationSurfacesOverNetwork(t *testing.T) {
 		t.Fatalf("unexpected error class: %v", err)
 	}
 }
+
+func TestBatchOverNetwork(t *testing.T) {
+	// CmdBatch end to end against the native BatchEngine path.
+	e := newEnclave()
+	_, addr, p := coreServer(t, e, true, false)
+	_ = p
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var ops []client.Op
+	for i := 0; i < 48; i++ {
+		ops = append(ops, client.SetOp([]byte(fmt.Sprintf("b%03d", i)), bytes.Repeat([]byte{byte(i)}, 24)))
+	}
+	ops = append(ops, client.GetOp([]byte("b010")), client.GetOp([]byte("missing")))
+	rs, err := c.Batch(ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		if rs[i].Err != nil {
+			t.Fatalf("set %d: %v", i, rs[i].Err)
+		}
+	}
+	if !bytes.Equal(rs[48].Value, bytes.Repeat([]byte{10}, 24)) {
+		t.Fatalf("batched get = %q", rs[48].Value)
+	}
+	if !errors.Is(rs[49].Err, client.ErrNotFound) {
+		t.Fatalf("batched miss: %v", rs[49].Err)
+	}
+	if p.Keys() != 48 {
+		t.Fatalf("Keys = %d", p.Keys())
+	}
+}
+
+func TestBatchFallbackEngine(t *testing.T) {
+	// BaselineEngine has no native batch support; the front-end's per-op
+	// fallback must provide identical semantics.
+	e := newEnclave()
+	s := baseline.New(e, baseline.Options{Buckets: 64, Variant: baseline.Insecure})
+	_, addr := startServer(t, Config{Engine: BaselineEngine{s}, Enclave: e, Secure: true})
+
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.Batch(
+		client.SetOp([]byte("x"), []byte("1")),
+		client.GetOp([]byte("x")),
+		client.GetOp([]byte("missing")),
+		client.IncrOp([]byte("x"), 1), // baseline: unsupported
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Err != nil || string(rs[1].Value) != "1" {
+		t.Fatalf("set/get: %v, %q", rs[0].Err, rs[1].Value)
+	}
+	if !errors.Is(rs[2].Err, client.ErrNotFound) {
+		t.Fatalf("miss: %v", rs[2].Err)
+	}
+	if !errors.Is(rs[3].Err, client.ErrServer) {
+		t.Fatalf("unsupported incr: %v", rs[3].Err)
+	}
+}
+
+func TestMGetGroupedRoundTrips(t *testing.T) {
+	// A 32-key MGet must reach the partitions in at most Parts() worker
+	// round trips — i.e. one ApplyBatch (one RequestOverhead charge) per
+	// involved partition, not one per key.
+	e := newEnclave()
+	p := core.NewPartitioned(e, 2, core.Defaults(64))
+	p.Start()
+	t.Cleanup(p.Stop)
+	_, addr := startServer(t, Config{Engine: CoreEngine{p}, Enclave: e, Secure: true})
+
+	c, err := client.Dial(addr, client.Options{Verifier: e, Measurement: e.Measurement(), Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var keys [][]byte
+	for i := 0; i < 32; i++ {
+		k := []byte(fmt.Sprintf("m%03d", i))
+		keys = append(keys, k)
+		if err := c.Set(k, []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	beforeReq := uint64(0)
+	for i := 0; i < p.Parts(); i++ {
+		beforeReq += p.Meter(i).Events(sim.CtrRequest)
+	}
+	vals, err := c.MGet(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if string(vals[i]) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("vals[%d] = %q", i, vals[i])
+		}
+	}
+	afterReq := uint64(0)
+	for i := 0; i < p.Parts(); i++ {
+		afterReq += p.Meter(i).Events(sim.CtrRequest)
+	}
+	if got := afterReq - beforeReq; got > uint64(p.Parts()) {
+		t.Fatalf("MGet charged %d engine requests, want <= %d", got, p.Parts())
+	}
+}

@@ -30,6 +30,7 @@ const (
 	CtrNetMessage
 	CtrSnapshot
 	CtrMonotonicInc
+	CtrRequest
 	numCounters
 )
 
@@ -50,6 +51,7 @@ var counterNames = [numCounters]string{
 	"net_message",
 	"snapshot",
 	"monotonic_inc",
+	"request",
 }
 
 // String returns the counter's snake_case name.

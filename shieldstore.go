@@ -166,8 +166,8 @@ func Open(cfg Config) (*DB, error) {
 // storeOptions converts Config into per-partition core options.
 func (db *DB) storeOptions() core.Options {
 	cfg := db.cfg
-	opts := core.Defaults(maxInt(1, cfg.Buckets/cfg.Partitions))
-	opts.MACHashes = maxInt(1, cfg.MACHashes/cfg.Partitions)
+	opts := core.Defaults(max(1, cfg.Buckets/cfg.Partitions))
+	opts.MACHashes = max(1, cfg.MACHashes/cfg.Partitions)
 	opts.KeyHint = !cfg.DisableKeyHint
 	opts.MACBucket = !cfg.DisableMACBucket
 	opts.ExtraHeap = !cfg.DisableExtraHeap
@@ -286,8 +286,13 @@ func (db *DB) Incr(key []byte, delta int64) (int64, error) {
 	i, p, m := db.route(key)
 	db.locks[i].Lock()
 	defer db.locks[i].Unlock()
-	// persist.Store does not wrap Incr directly; route through the main
-	// store when no snapshot is draining, else emulate via Get+Set.
+	return db.incrLocked(p, m, key, delta)
+}
+
+// incrLocked runs Incr with the partition lock held. persist.Store does
+// not wrap Incr directly; route through the main store when no snapshot is
+// draining, else emulate via Get+Set.
+func (db *DB) incrLocked(p *persist.Store, m *sim.Meter, key []byte, delta int64) (int64, error) {
 	if !p.InSnapshot() {
 		return p.Main().Incr(m, key, delta)
 	}
@@ -305,6 +310,110 @@ func (db *DB) Incr(key []byte, delta int64) (int64, error) {
 	}
 	cur += delta
 	return cur, p.Set(m, key, []byte(fmt.Sprintf("%d", cur)))
+}
+
+// BatchOp is one operation of a DB.Batch call; BatchResult its per-op
+// outcome. Both are re-exported from the core engine.
+type (
+	BatchOp     = core.BatchOp
+	BatchResult = core.BatchResult
+)
+
+// Batch operation kinds, re-exported for BatchOp construction.
+const (
+	BatchGet    = core.BatchGet
+	BatchSet    = core.BatchSet
+	BatchDelete = core.BatchDelete
+	BatchAppend = core.BatchAppend
+	BatchIncr   = core.BatchIncr
+)
+
+// Batch executes a heterogeneous batch of operations, grouped by
+// partition: each involved partition is locked once and applies its
+// sub-batch with one bucket-set verification and one MAC-hash recompute
+// per touched set (see DESIGN.md, "Batch amortization"). Results follow
+// submission order; errors are isolated per op — a missing key taints only
+// its own result, never the rest of the batch.
+func (db *DB) Batch(ops []BatchOp) []BatchResult {
+	results := make([]BatchResult, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+	idxs := make([][]int, len(db.parts))
+	for i := range ops {
+		h := db.cipher.BucketHash(nil, ops[i].Key)
+		part := int(h % uint64(len(db.parts)))
+		idxs[part] = append(idxs[part], i)
+	}
+	for part, list := range idxs {
+		if len(list) == 0 {
+			continue
+		}
+		sub := make([]BatchOp, len(list))
+		for j, i := range list {
+			sub[j] = ops[i]
+		}
+		db.locks[part].Lock()
+		p, m := db.parts[part], db.meters[part]
+		before := m.Cycles()
+		var rs []BatchResult
+		if !p.InSnapshot() {
+			rs = p.Main().ApplyBatch(m, sub)
+		} else {
+			// A snapshot is draining: the persist wrapper must see every
+			// mutation, so fall back to per-op application.
+			rs = db.snapshotBatch(p, m, sub)
+		}
+		db.lats[part].Record(m.Cycles() - before)
+		db.locks[part].Unlock()
+		for j, i := range list {
+			results[i] = rs[j]
+		}
+	}
+	return results
+}
+
+// snapshotBatch applies a partition's sub-batch op-by-op through the
+// persistence wrapper (correct during snapshot drain, none of the
+// amortization). The partition lock is held.
+func (db *DB) snapshotBatch(p *persist.Store, m *sim.Meter, ops []BatchOp) []BatchResult {
+	rs := make([]BatchResult, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case core.BatchGet:
+			rs[i].Val, rs[i].Err = p.Get(m, op.Key)
+		case core.BatchSet:
+			rs[i].Err = p.Set(m, op.Key, op.Value)
+		case core.BatchDelete:
+			rs[i].Err = p.Delete(m, op.Key)
+		case core.BatchAppend:
+			rs[i].Err = p.Append(m, op.Key, op.Value)
+		case core.BatchIncr:
+			rs[i].Num, rs[i].Err = db.incrLocked(p, m, op.Key, op.Delta)
+		default:
+			rs[i].Err = core.ErrBadBatchOp
+		}
+	}
+	return rs
+}
+
+// MSet stores keys[i] = values[i] for all i in one batched call and
+// returns the first per-op failure, if any.
+func (db *DB) MSet(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return errors.New("shieldstore: MSet keys/values length mismatch")
+	}
+	ops := make([]BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = BatchOp{Kind: BatchSet, Key: keys[i], Value: values[i]}
+	}
+	for _, r := range db.Batch(ops) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // KV is one key-value pair returned by Range.
@@ -487,6 +596,9 @@ func (e dbEngine) Append(_ *sim.Meter, key, suffix []byte) error {
 func (e dbEngine) Incr(_ *sim.Meter, key []byte, delta int64) (int64, error) {
 	return e.db.Incr(key, delta)
 }
+func (e dbEngine) ExecBatch(_ *sim.Meter, ops []core.BatchOp) []core.BatchResult {
+	return e.db.Batch(ops)
+}
 
 // Enclave exposes the simulated enclave (attestation verification in
 // examples and tests plays the role of the attestation service).
@@ -531,9 +643,3 @@ func parseInt(b []byte) (int64, error) {
 	return n, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
