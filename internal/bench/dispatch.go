@@ -1,0 +1,132 @@
+// The exitless-dispatch experiment: not a paper figure, but the
+// measurement behind this repo's pooled call slots and batched partition
+// queues (DESIGN.md §9, "Exitless dispatch"). A pipelined client keeps
+// several independent single-op requests in flight; the partition worker
+// drains its queue and executes the drained calls as one combined batch,
+// paying one request-dispatch overhead per drain instead of per op. This
+// experiment replays that drain schedule deterministically — grouping a
+// mixed get/set stream into drains of fixed depth, exactly the combined
+// execution runDrain performs — and reports metered cycles per op plus
+// the request/dispatch counter ratio the amortization produces.
+package bench
+
+import (
+	"fmt"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+// DispatchExp regenerates the drain-depth sweep: per-op dispatch vs
+// drained batches of 4/16/64 in-flight requests under uniform and
+// zipfian 95%-get streams.
+func DispatchExp(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "dispatch",
+		Title:  "exitless dispatch amortization (95% get, 128B values, 512-key hot working set)",
+		Header: []string{"dist", "depth", "cyc/op", "requests", "dispatches", "speedup"},
+		Notes: []string{
+			"depth = in-flight requests drained per worker wakeup (pipelined clients)",
+			"one request overhead per drain; requests counts CtrRequest, dispatches CtrDispatch",
+		},
+	}
+	const valSize = 128
+	// Same hot working set as the batch experiment, so drained requests
+	// revisit bucket sets and the per-set verification amortizes too.
+	nKeys := min(cfg.keys(), 512)
+	buckets := max(64, nKeys*8/10)
+	macHashes := max(32, buckets/2)
+	ops := cfg.Ops
+
+	for _, d := range []struct {
+		name string
+		dist workload.Distribution
+	}{
+		{"uniform", workload.Uniform},
+		{"zipf99", workload.Zipf99},
+	} {
+		spec := workload.Spec{Name: "RD95", ReadPct: 95, Dist: d.dist}
+		var base float64
+		for _, depth := range []int{1, 4, 16, 64} {
+			cyc, reqs, disp := runDispatchStream(cfg, spec, nKeys, buckets, macHashes, valSize, ops, depth)
+			if depth == 1 {
+				base = cyc
+			}
+			res.Rows = append(res.Rows, []string{
+				d.name,
+				fmt.Sprintf("%d", depth),
+				f1(cyc),
+				fmt.Sprintf("%d", reqs),
+				fmt.Sprintf("%d", disp),
+				f2s(base / cyc),
+			})
+		}
+	}
+	return res
+}
+
+// runDispatchStream replays a mixed stream on a fresh single-partition
+// machine with the worker's drain execution at a fixed depth: depth 1 is
+// the synchronous per-op path (one request overhead each); depth > 1
+// executes each group of in-flight ops as one combined batch, exactly
+// what the partition worker does when it drains its queue. Returns
+// metered cycles per op and the CtrRequest/CtrDispatch event counts.
+func runDispatchStream(cfg Config, spec workload.Spec, nKeys, buckets, macHashes, valSize, ops, depth int) (float64, uint64, uint64) {
+	m := cfg.newMachine()
+	p := buildShield(m, 1, buckets, macHashes)
+	if err := preloadShield(p, nKeys, valSize); err != nil {
+		panic(err)
+	}
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	s, meter := p.Part(0), p.Meter(0)
+
+	if depth <= 1 {
+		for i := 0; i < ops; i++ {
+			op := gen.Next()
+			meter.Count(sim.CtrDispatch)
+			key := workload.FormatKey(op.Key)
+			switch op.Kind {
+			case workload.Read:
+				_, _ = s.Get(meter, key)
+			default:
+				_ = s.Set(meter, key, workload.MakeValue(valSize, op.Key))
+			}
+		}
+		return float64(meter.Cycles()) / float64(ops), meter.Events(sim.CtrRequest), meter.Events(sim.CtrDispatch)
+	}
+
+	buf := make([]core.BatchOp, 0, depth)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		meter.Count(sim.CtrDispatch)
+		for _, r := range s.ApplyBatch(meter, buf) {
+			if r.Err != nil && r.Err != core.ErrNotFound {
+				panic(r.Err)
+			}
+		}
+		buf = buf[:0]
+	}
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			buf = append(buf, core.BatchOp{Kind: core.BatchGet, Key: key})
+		default:
+			buf = append(buf, core.BatchOp{
+				Kind:  core.BatchSet,
+				Key:   key,
+				Value: workload.MakeValue(valSize, op.Key),
+			})
+		}
+		if len(buf) == depth {
+			flush()
+		}
+	}
+	flush()
+	return float64(meter.Cycles()) / float64(ops), meter.Events(sim.CtrRequest), meter.Events(sim.CtrDispatch)
+}

@@ -327,6 +327,7 @@ var All = []Experiment{
 	{"fig18", "networked evaluation", Fig18},
 	{"fig19", "snapshot persistence", Fig19},
 	{"batch", "batched execution amortization", BatchExp},
+	{"dispatch", "exitless dispatch amortization", DispatchExp},
 }
 
 // ByID finds an experiment.

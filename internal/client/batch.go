@@ -109,6 +109,12 @@ type Pipeline struct {
 	c   *Client
 	buf bytes.Buffer
 	n   int
+
+	// Reused per-frame scratch (encode + seal at queue time, frame read
+	// at flush time).
+	enc    []byte
+	sealed []byte
+	frame  []byte
 }
 
 // Pipeline starts an empty pipeline on this connection.
@@ -139,12 +145,14 @@ func (p *Pipeline) Incr(key []byte, delta int64) {
 }
 
 func (p *Pipeline) push(req *proto.Request) {
-	payload := proto.EncodeRequest(req)
+	p.enc = proto.AppendRequest(p.enc[:0], req)
+	wire := p.enc
 	if p.c.ch != nil {
-		payload = p.c.ch.Seal(payload)
+		p.sealed = p.c.ch.SealTo(p.sealed[:0], p.enc)
+		wire = p.sealed
 	}
 	// Buffered WriteFrame cannot fail.
-	_ = proto.WriteFrame(&p.buf, payload)
+	_ = proto.WriteFrame(&p.buf, wire)
 	p.n++
 }
 
@@ -163,12 +171,13 @@ func (p *Pipeline) Flush() ([]Result, error) {
 	p.n = 0
 	out := make([]Result, n)
 	for i := 0; i < n; i++ {
-		frame, err := proto.ReadFrame(p.c.conn)
+		frame, err := proto.ReadFrameInto(p.c.conn, p.frame[:0])
 		if err != nil {
 			return nil, err
 		}
+		p.frame = frame
 		if p.c.ch != nil {
-			frame, err = p.c.ch.Open(frame)
+			frame, err = p.c.ch.OpenInPlace(frame)
 			if err != nil {
 				return nil, err
 			}

@@ -33,10 +33,16 @@ type Options struct {
 	Secure bool
 }
 
-// Client is one connection to a ShieldStore server.
+// Client is one connection to a ShieldStore server. A Client is not safe
+// for concurrent use; open one connection per goroutine.
 type Client struct {
 	conn net.Conn
 	ch   *proto.Channel
+
+	// Reused request/response scratch (encode, seal, frame read).
+	enc    []byte
+	sealed []byte
+	frame  []byte
 }
 
 // Dial connects and (when Secure) attests + establishes the session.
@@ -69,21 +75,26 @@ func NewClient(conn net.Conn, opts Options) (*Client, error) {
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and decodes the reply.
+// roundTrip sends one request and decodes the reply. Encode, seal and
+// frame buffers are reused across calls (DecodeResponse copies the value
+// out before the scratch is recycled).
 func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
-	payload := proto.EncodeRequest(req)
+	c.enc = proto.AppendRequest(c.enc[:0], req)
+	wire := c.enc
 	if c.ch != nil {
-		payload = c.ch.Seal(payload)
+		c.sealed = c.ch.SealTo(c.sealed[:0], c.enc)
+		wire = c.sealed
 	}
-	if err := proto.WriteFrame(c.conn, payload); err != nil {
+	if err := proto.WriteFrame(c.conn, wire); err != nil {
 		return nil, err
 	}
-	frame, err := proto.ReadFrame(c.conn)
+	frame, err := proto.ReadFrameInto(c.conn, c.frame[:0])
 	if err != nil {
 		return nil, err
 	}
+	c.frame = frame
 	if c.ch != nil {
-		frame, err = c.ch.Open(frame)
+		frame, err = c.ch.OpenInPlace(frame)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"crypto/cipher"
 	"crypto/subtle"
 	"fmt"
+	"sync"
 )
 
 // Size is the MAC length in bytes (one AES block).
@@ -57,13 +58,25 @@ func dbl(dst, src *[BlockSize]byte) {
 	dst[BlockSize-1] ^= 0x87 & (0 - carry)
 }
 
+// sumState is the per-call working set of Sum. The blocks are pooled
+// rather than stack-allocated: passing a local array's slice to the
+// cipher.Block interface makes it escape, so a plain `var x [16]byte`
+// costs one heap allocation per block — per MAC — on the hottest path in
+// the store. The pool keeps Sum allocation-free at steady state.
+type sumState struct {
+	x, y, m, out [BlockSize]byte
+}
+
+var sumPool = sync.Pool{New: func() any { return new(sumState) }}
+
 // Sum writes the 16-byte tag of msg into out (which must be at least Size
 // bytes) and returns out[:Size].
 func (c *CMAC) Sum(out []byte, msg []byte) []byte {
 	if len(out) < Size {
 		panic("cmac: output buffer too small")
 	}
-	var x, y [BlockSize]byte
+	st := sumPool.Get().(*sumState)
+	st.x = [BlockSize]byte{}
 
 	n := len(msg)
 	full := n / BlockSize
@@ -76,28 +89,32 @@ func (c *CMAC) Sum(out []byte, msg []byte) []byte {
 		last = full - 1
 	}
 	for i := 0; i < last; i++ {
-		xorBlock(&y, &x, msg[i*BlockSize:])
-		c.block.Encrypt(x[:], y[:])
+		xorBlock(&st.y, &st.x, msg[i*BlockSize:])
+		c.block.Encrypt(st.x[:], st.y[:])
 	}
 
 	// Last block: XOR with K1 (complete) or pad and XOR with K2.
-	var m [BlockSize]byte
+	st.m = [BlockSize]byte{}
 	if complete {
-		copy(m[:], msg[last*BlockSize:])
+		copy(st.m[:], msg[last*BlockSize:])
 		for i := 0; i < BlockSize; i++ {
-			m[i] ^= c.k1[i]
+			st.m[i] ^= c.k1[i]
 		}
 	} else {
-		copy(m[:], msg[last*BlockSize:])
-		m[rem] = 0x80
+		copy(st.m[:], msg[last*BlockSize:])
+		st.m[rem] = 0x80
 		for i := 0; i < BlockSize; i++ {
-			m[i] ^= c.k2[i]
+			st.m[i] ^= c.k2[i]
 		}
 	}
 	for i := 0; i < BlockSize; i++ {
-		y[i] = x[i] ^ m[i]
+		st.y[i] = st.x[i] ^ st.m[i]
 	}
-	c.block.Encrypt(out[:Size], y[:])
+	// Encrypt into the pooled block and copy out, so `out` itself never
+	// escapes through the Block interface (callers pass stack arrays).
+	c.block.Encrypt(st.out[:], st.y[:])
+	copy(out[:Size], st.out[:])
+	sumPool.Put(st)
 	return out[:Size]
 }
 

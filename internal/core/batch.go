@@ -76,8 +76,16 @@ func (s *Store) setGroupID(b int) int {
 // slice has one result per op, in submission order.
 func (s *Store) ApplyBatch(m *sim.Meter, ops []BatchOp) []BatchResult {
 	results := make([]BatchResult, len(ops))
+	s.ApplyBatchInto(m, ops, results)
+	return results
+}
+
+// ApplyBatchInto is ApplyBatch writing into a caller-provided results
+// slice (len(results) must equal len(ops), zero-valued). Worker drains
+// reuse one results buffer across wakeups through this entry point.
+func (s *Store) ApplyBatchInto(m *sim.Meter, ops []BatchOp, results []BatchResult) {
 	if len(ops) == 0 {
-		return results
+		return
 	}
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
@@ -105,7 +113,6 @@ func (s *Store) ApplyBatch(m *sim.Meter, ops []BatchOp) []BatchResult {
 	for _, id := range order {
 		s.applySetGroup(m, groups[id], ops, results)
 	}
-	return results
 }
 
 // applySetGroup runs every op touching one bucket set: collect the set's

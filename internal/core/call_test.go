@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/sim"
+)
+
+// TestSubmitWaitRecycling exercises the pooled call-slot path directly:
+// many sequential Submit/Wait cycles reuse a handful of slots, and the
+// results must stay correct (a recycled slot leaking a previous op's
+// value or error would show up immediately).
+func TestSubmitWaitRecycling(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 2, Defaults(32))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i%50))
+		val := []byte(fmt.Sprintf("v%d", i))
+		if _, _, err := p.Submit(m, BatchSet, key, val, 0).Wait(); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		got, _, err := p.Submit(m, BatchGet, key, nil, 0).Wait()
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("get %d: %q, want %q", i, got, val)
+		}
+	}
+	// A miss through a recycled slot reports its own error, not a stale one.
+	if _, _, err := p.Submit(m, BatchGet, []byte("absent"), nil, 0).Wait(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss: %v", err)
+	}
+	if got, _, err := p.Submit(m, BatchGet, []byte("k001"), nil, 0).Wait(); err != nil || got == nil {
+		t.Fatalf("after miss: %q, %v", got, err)
+	}
+
+	// Incr results travel through the pooled slot's num field.
+	for want := int64(1); want <= 5; want++ {
+		n, err := p.Incr(m, []byte("ctr"), 1)
+		if err != nil || n != want {
+			t.Fatalf("incr: %d, %v (want %d)", n, err, want)
+		}
+	}
+}
+
+// TestSubmitBatchScatter checks that a cross-partition SubmitBatch
+// scatters results back to submission order.
+func TestSubmitBatchScatter(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 4, Defaults(64))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	const n = 40
+	ops := make([]BatchOp, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, BatchOp{
+			Kind:  BatchSet,
+			Key:   []byte(fmt.Sprintf("bk%03d", i)),
+			Value: []byte(fmt.Sprintf("bv%03d", i)),
+		})
+	}
+	for i := 0; i < n; i++ {
+		ops = append(ops, BatchOp{Kind: BatchGet, Key: []byte(fmt.Sprintf("bk%03d", i))})
+	}
+	rs := p.SubmitBatch(m, ops).Wait()
+	if len(rs) != 2*n {
+		t.Fatalf("%d results for %d ops", len(rs), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if rs[i].Err != nil {
+			t.Fatalf("set %d: %v", i, rs[i].Err)
+		}
+		g := rs[n+i]
+		if g.Err != nil || !bytes.Equal(g.Val, []byte(fmt.Sprintf("bv%03d", i))) {
+			t.Fatalf("get %d: %q, %v", i, g.Val, g.Err)
+		}
+	}
+}
+
+// TestDrainAmortization submits a burst of independent single-op calls
+// before waiting on any of them, so the partition workers can drain
+// several queued calls per wakeup. Every drain of more than one call
+// executes as a combined batch with ONE request overhead, so the total
+// CtrRequest count must never exceed the op count, and the CtrDispatch
+// count (one per drain) must not exceed CtrRequest. The exact split is
+// scheduling-dependent; the invariants are not.
+func TestDrainAmortization(t *testing.T) {
+	e := testEnclave(8 << 20)
+	p := NewPartitioned(e, 2, Defaults(32))
+	p.Start()
+	defer p.Stop()
+	m := sim.NewMeter(e.Model())
+
+	const ops = 400
+	calls := make([]*Call, 0, ops)
+	for i := 0; i < ops; i++ {
+		calls = append(calls, p.Submit(m, BatchSet,
+			[]byte(fmt.Sprintf("d%03d", i%40)),
+			[]byte(fmt.Sprintf("x%d", i)), 0))
+	}
+	for i, c := range calls {
+		if _, _, err := c.Wait(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+
+	var reqs, disp uint64
+	for i := 0; i < p.Parts(); i++ {
+		reqs += p.Meter(i).Events(sim.CtrRequest)
+		disp += p.Meter(i).Events(sim.CtrDispatch)
+	}
+	if reqs > ops {
+		t.Fatalf("%d request overheads for %d ops (drains must amortize, not inflate)", reqs, ops)
+	}
+	if disp == 0 || disp > reqs {
+		t.Fatalf("dispatch count %d out of range (requests %d)", disp, reqs)
+	}
+}

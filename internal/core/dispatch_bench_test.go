@@ -1,0 +1,63 @@
+// Allocation benchmarks for the worker-pool dispatch path: what one
+// Get/Set through Partitioned costs beyond the raw Store operation.
+//
+// Run with:
+//
+//	go test ./internal/core -run='^$' -bench=Dispatch -benchmem
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/sim"
+)
+
+func benchPartitioned(b *testing.B) (*Partitioned, *sim.Meter) {
+	b.Helper()
+	e := testEnclave(64 << 20)
+	p := NewPartitioned(e, 4, Defaults(4096))
+	p.Start()
+	b.Cleanup(p.Stop)
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 1024; i++ {
+		if err := p.Set(m, dispatchKey(i), dispatchVal(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p, m
+}
+
+func dispatchKey(i int) []byte { return []byte(fmt.Sprintf("dk-%05d", i%1024)) }
+
+func dispatchVal(i int) []byte {
+	v := make([]byte, 128)
+	for j := range v {
+		v[j] = byte(i + j)
+	}
+	return v
+}
+
+// BenchmarkDispatchGet measures one Get through the worker pool.
+func BenchmarkDispatchGet(b *testing.B) {
+	p, m := benchPartitioned(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(m, dispatchKey(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchSet measures one Set through the worker pool.
+func BenchmarkDispatchSet(b *testing.B) {
+	p, m := benchPartitioned(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Set(m, dispatchKey(i), dispatchVal(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

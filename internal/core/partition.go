@@ -20,12 +20,10 @@ type Partitioned struct {
 	parts   []*Store
 	meters  []*sim.Meter
 
-	workers []chan task
+	workers []chan *Call
 	wg      sync.WaitGroup
 	started bool
 }
-
-type task func(s *Store, m *sim.Meter)
 
 // NewPartitioned creates n partitions, splitting buckets, MAC hashes and
 // cache budget evenly. Mirroring the paper, the partition count is fixed
@@ -115,17 +113,50 @@ func (p *Partitioned) Start() {
 		return
 	}
 	p.started = true
-	p.workers = make([]chan task, len(p.parts))
+	p.workers = make([]chan *Call, len(p.parts))
 	for i := range p.parts {
-		ch := make(chan task, 256)
+		ch := make(chan *Call, 256)
 		p.workers[i] = ch
 		p.wg.Add(1)
-		go func(s *Store, m *sim.Meter, ch chan task) {
-			defer p.wg.Done()
-			for t := range ch {
-				t(s, m)
+		go p.worker(p.parts[i], p.meters[i], ch)
+	}
+}
+
+// worker owns one partition. Each wakeup drains up to drainBatch pending
+// calls from the queue and executes the whole drain at once; beyond one
+// call, the drain is combined into a single ApplyBatch so the fixed
+// request overhead and the per-set integrity work are paid once per drain
+// instead of once per op.
+func (p *Partitioned) worker(s *Store, m *sim.Meter, ch chan *Call) {
+	defer p.wg.Done()
+	calls := make([]*Call, 0, drainBatch)
+	var ops []BatchOp
+	var rs []BatchResult
+	for {
+		c, ok := <-ch
+		if !ok {
+			return
+		}
+		calls = append(calls[:0], c)
+		open := true
+	drain:
+		for len(calls) < drainBatch {
+			select {
+			case c2, ok2 := <-ch:
+				if !ok2 {
+					open = false
+					break drain
+				}
+				calls = append(calls, c2)
+			default:
+				break drain
 			}
-		}(p.parts[i], p.meters[i], ch)
+		}
+		m.Count(sim.CtrDispatch)
+		ops, rs = runDrain(s, m, calls, ops, rs)
+		if !open {
+			return
+		}
 	}
 }
 
@@ -142,111 +173,43 @@ func (p *Partitioned) Stop() {
 	p.workers = nil
 }
 
-// submit enqueues a task on key's partition worker and returns a function
-// that waits for its completion.
-func (p *Partitioned) submit(routeM *sim.Meter, key []byte, f task) func() {
-	i := p.Route(routeM, key)
-	done := make(chan struct{})
-	p.workers[i] <- func(s *Store, m *sim.Meter) {
-		f(s, m)
-		close(done)
-	}
-	return func() { <-done }
-}
-
 // Get fetches key through the worker pool (Start must have been called).
 func (p *Partitioned) Get(routeM *sim.Meter, key []byte) ([]byte, error) {
-	var val []byte
-	var err error
-	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
-		val, err = s.Get(m, key)
-	})
-	wait()
+	val, _, err := p.Submit(routeM, BatchGet, key, nil, 0).Wait()
 	return val, err
 }
 
 // Set stores key through the worker pool.
 func (p *Partitioned) Set(routeM *sim.Meter, key, value []byte) error {
-	var err error
-	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
-		err = s.Set(m, key, value)
-	})
-	wait()
+	_, _, err := p.Submit(routeM, BatchSet, key, value, 0).Wait()
 	return err
 }
 
 // Append appends through the worker pool.
 func (p *Partitioned) Append(routeM *sim.Meter, key, suffix []byte) error {
-	var err error
-	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
-		err = s.Append(m, key, suffix)
-	})
-	wait()
+	_, _, err := p.Submit(routeM, BatchAppend, key, suffix, 0).Wait()
 	return err
 }
 
 // Incr increments through the worker pool.
 func (p *Partitioned) Incr(routeM *sim.Meter, key []byte, delta int64) (int64, error) {
-	var out int64
-	var err error
-	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
-		out, err = s.Incr(m, key, delta)
-	})
-	wait()
-	return out, err
+	_, num, err := p.Submit(routeM, BatchIncr, key, nil, delta).Wait()
+	return num, err
 }
 
 // Delete removes through the worker pool.
 func (p *Partitioned) Delete(routeM *sim.Meter, key []byte) error {
-	var err error
-	wait := p.submit(routeM, key, func(s *Store, m *sim.Meter) {
-		err = s.Delete(m, key)
-	})
-	wait()
+	_, _, err := p.Submit(routeM, BatchDelete, key, nil, 0).Wait()
 	return err
 }
 
 // ExecBatch routes a heterogeneous batch through the worker pool with one
-// task per *involved partition* — not one channel round trip per key.
-// Each partition executes its sub-batch via ApplyBatch (amortized
+// call slot per *involved partition* — not one channel round trip per
+// key. Each partition executes its sub-batch via ApplyBatch (amortized
 // integrity updates); the per-partition results are scattered back into
 // submission order. Start must have been called.
 func (p *Partitioned) ExecBatch(routeM *sim.Meter, ops []BatchOp) []BatchResult {
-	results := make([]BatchResult, len(ops))
-	if len(ops) == 0 {
-		return results
-	}
-	// Group submission indices by owning partition.
-	idxs := make([][]int, len(p.parts))
-	for i := range ops {
-		part := p.Route(routeM, ops[i].Key)
-		idxs[part] = append(idxs[part], i)
-	}
-	waits := make([]func(), 0, len(p.parts))
-	for part, list := range idxs {
-		if len(list) == 0 {
-			continue
-		}
-		list := list
-		sub := make([]BatchOp, len(list))
-		for j, i := range list {
-			sub[j] = ops[i]
-		}
-		done := make(chan struct{})
-		p.workers[part] <- func(s *Store, m *sim.Meter) {
-			// Each goroutine writes disjoint result slots.
-			rs := s.ApplyBatch(m, sub)
-			for j, i := range list {
-				results[i] = rs[j]
-			}
-			close(done)
-		}
-		waits = append(waits, func() { <-done })
-	}
-	for _, wait := range waits {
-		wait()
-	}
-	return results
+	return p.SubmitBatch(routeM, ops).Wait()
 }
 
 // GetMulti fetches keys with at most Parts() worker round trips. The

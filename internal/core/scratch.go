@@ -28,3 +28,15 @@ func getScratch(n int) *[]byte {
 // putScratch returns a buffer to the pool. The caller must not retain any
 // slice of it.
 func putScratch(p *[]byte) { scratchPool.Put(p) }
+
+// growBytes extends b by n bytes (contents of the extension unspecified),
+// reallocating at most geometrically so repeated growth amortizes.
+func growBytes(b []byte, n int) []byte {
+	need := len(b) + n
+	if cap(b) < need {
+		nb := make([]byte, need, max(need, 2*cap(b)))
+		copy(nb, b)
+		return nb
+	}
+	return b[:need]
+}

@@ -133,6 +133,15 @@ type Store struct {
 	tree    *merkle.Tree  // non-nil when Options.MerkleTree
 
 	keys int // number of live entries
+
+	// Cached setView backings. The Store is single-owner (§5.3) and at
+	// most one view is live at a time, so collectSet reuses these across
+	// operations instead of reallocating the four slices per request.
+	// Regrown backings are written back in collectSet and writeSetHash.
+	viewMacs    []byte
+	viewBuckets []int
+	viewOffs    []int
+	viewCnts    []int
 }
 
 // New creates a store inside the given enclave. When cipher is nil a fresh
@@ -359,23 +368,39 @@ func (v *setView) bucketOffset(b int) (off, cnt int) {
 // reads); without it, every entry chain is pointer-chased and each entry's
 // MAC field read individually — the §5.2 overhead.
 func (s *Store) collectSet(m *sim.Meter, b int) (setView, error) {
+	v := setView{
+		macs:    s.viewMacs[:0],
+		buckets: s.viewBuckets[:0],
+		offs:    s.viewOffs[:0],
+		cnts:    s.viewCnts[:0],
+	}
+	err := s.collectSetInto(m, b, &v)
+	// Write the (possibly regrown) backings back so the next collection
+	// starts from the largest capacity seen.
+	s.viewMacs, s.viewBuckets, s.viewOffs, s.viewCnts = v.macs, v.buckets, v.offs, v.cnts
+	return v, err
+}
+
+func (s *Store) collectSetInto(m *sim.Meter, b int, v *setView) error {
 	if s.tree != nil {
 		// Merkle mode: every bucket is its own leaf.
-		v := setView{macIdx: b, buckets: []int{b}, offs: []int{0}}
+		v.macIdx = b
+		v.buckets = append(v.buckets, b)
+		v.offs = append(v.offs, 0)
 		var cnt int
 		var err error
 		if s.opts.MACBucket {
-			v.macs, cnt, err = s.readMACBucket(m, b, nil)
+			v.macs, cnt, err = s.readMACBucket(m, b, v.macs)
 		} else {
-			v.macs, cnt, err = s.readChainMACs(m, b, nil)
+			v.macs, cnt, err = s.readChainMACs(m, b, v.macs)
 		}
 		if err != nil {
-			return v, err
+			return err
 		}
-		v.cnts = []int{cnt}
-		return v, nil
+		v.cnts = append(v.cnts, cnt)
+		return nil
 	}
-	v := setView{macIdx: b % s.opts.MACHashes}
+	v.macIdx = b % s.opts.MACHashes
 	for bb := v.macIdx; bb < s.opts.Buckets; bb += s.opts.MACHashes {
 		v.buckets = append(v.buckets, bb)
 		v.offs = append(v.offs, len(v.macs))
@@ -387,11 +412,11 @@ func (s *Store) collectSet(m *sim.Meter, b int) (setView, error) {
 			v.macs, cnt, err = s.readChainMACs(m, bb, v.macs)
 		}
 		if err != nil {
-			return v, err
+			return err
 		}
 		v.cnts = append(v.cnts, cnt)
 	}
-	return v, nil
+	return nil
 }
 
 // readMACBucket appends bucket bb's sidecar MACs (slot order) to dst.
@@ -415,9 +440,11 @@ func (s *Store) readMACBucket(m *sim.Meter, bb int, dst []byte) ([]byte, int, er
 		if take > s.opts.MACBucketCap {
 			take = s.opts.MACBucketCap
 		}
-		buf := make([]byte, take*entry.MACSize)
-		s.space.Read(m, node+macNodeHdr, buf)
-		dst = append(dst, buf...)
+		// Grow dst and read the node's MACs straight into the tail —
+		// no per-node staging buffer.
+		off := len(dst)
+		dst = growBytes(dst, take*entry.MACSize)
+		s.space.Read(m, node+macNodeHdr, dst[off:])
 		remaining -= take
 		node, err = s.readPtr(m, node)
 		if err != nil {
@@ -483,6 +510,11 @@ func (s *Store) writeSetHash(m *sim.Meter, v *setView) {
 	var h [entry.MACSize]byte
 	if len(v.macs) > 0 {
 		h = s.cipher.SetMAC(m, v.macs)
+	}
+	// Mutations splice MACs in and out of the view; if that regrew the
+	// backing, keep the larger one for the next collectSet.
+	if cap(v.macs) > cap(s.viewMacs) {
+		s.viewMacs = v.macs
 	}
 	if s.tree != nil {
 		s.tree.UpdateLeaf(m, v.macIdx, h)

@@ -33,6 +33,11 @@ type Options struct {
 	// Connections is the number of concurrent client connections
 	// (default 8; the paper simulates 256 users).
 	Connections int
+	// Pipeline is the per-connection pipeline depth: operations are
+	// queued and flushed in bursts of this size, overlapping requests on
+	// the wire and in the server's partition workers. <= 1 issues one
+	// synchronous round trip per op (the default).
+	Pipeline int
 	// Preload fills the key space before measuring (default true when
 	// Keys > 0 and the caller does not disable it).
 	SkipPreload bool
@@ -129,6 +134,10 @@ func Run(o Options) (Result, error) {
 				return
 			}
 			defer c.Close()
+			if o.Pipeline > 1 {
+				res.failed = runPipelined(c, o, streams[ci], &res.lat, &res.errs, res.kinds)
+				return
+			}
 			for _, op := range streams[ci] {
 				key := workload.FormatKey(op.Key)
 				t0 := time.Now()
@@ -178,6 +187,55 @@ func Run(o Options) (Result, error) {
 	agg.P99Us = float64(lat.Quantile(0.99))
 	agg.MaxUs = float64(lat.Max())
 	return agg, nil
+}
+
+// runPipelined drives one connection's op stream through a client
+// Pipeline, flushing every o.Pipeline queued requests. Per-op latency is
+// the wall time of the flush the op rode in — what a pipelining client
+// observes. Read-modify-write is approximated by an independent Get and
+// Set in the same burst (the true data dependency would stall the
+// pipeline).
+func runPipelined(c *client.Client, o Options, stream []workload.Op, lat *histo.Histogram, errs *int, kinds map[string]int) error {
+	pl := c.Pipeline()
+	flush := func() error {
+		if pl.Len() == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		rs, err := pl.Flush()
+		if err != nil {
+			return err
+		}
+		us := uint64(time.Since(t0).Microseconds())
+		for i := range rs {
+			lat.Record(us)
+			if rs[i].Err != nil && rs[i].Err != client.ErrNotFound {
+				*errs++
+			}
+		}
+		return nil
+	}
+	for _, op := range stream {
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			pl.Get(key)
+		case workload.Update, workload.Insert:
+			pl.Set(key, workload.MakeValue(o.ValueSize, op.Key))
+		case workload.Append:
+			pl.Append(key, []byte("-app8byte"))
+		case workload.ReadModifyWrite:
+			pl.Get(key)
+			pl.Set(key, workload.MakeValue(o.ValueSize, op.Key))
+		}
+		kinds[op.Kind.String()]++
+		if pl.Len() >= o.Pipeline {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }
 
 // preload fills the key space over a handful of connections.

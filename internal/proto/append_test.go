@@ -1,0 +1,205 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The append-style encoders must produce byte-identical wire images to
+// their allocating counterparts — the pipelined server and client reuse
+// scratch buffers through them.
+
+func TestAppendRequestMatchesEncode(t *testing.T) {
+	reqs := []Request{
+		{Cmd: CmdGet, Key: []byte("k")},
+		{Cmd: CmdSet, Key: []byte("key"), Value: []byte("value")},
+		{Cmd: CmdIncr, Key: []byte("n"), Delta: -42},
+		{Cmd: CmdPing},
+	}
+	scratch := make([]byte, 0, 8)
+	for i := range reqs {
+		want := EncodeRequest(&reqs[i])
+		scratch = AppendRequest(scratch[:0], &reqs[i])
+		if !bytes.Equal(scratch, want) {
+			t.Fatalf("req %d: append %x != encode %x", i, scratch, want)
+		}
+	}
+}
+
+func TestAppendResponseMatchesEncode(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Value: []byte("payload")},
+		{Status: StatusNotFound},
+		{Status: StatusOK, Num: -7},
+	}
+	scratch := make([]byte, 0, 8)
+	for i := range resps {
+		want := EncodeResponse(&resps[i])
+		scratch = AppendResponse(scratch[:0], &resps[i])
+		if !bytes.Equal(scratch, want) {
+			t.Fatalf("resp %d: append %x != encode %x", i, scratch, want)
+		}
+	}
+}
+
+func TestAppendListMatchesEncode(t *testing.T) {
+	items := [][]byte{[]byte("a"), nil, []byte(""), []byte("longer-item")}
+	want := EncodeList(items)
+	got := AppendList(make([]byte, 0, 4), items)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("append %x != encode %x", got, want)
+	}
+	back, err := DecodeList(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(back), len(items))
+	}
+	if back[1] != nil {
+		t.Fatal("nil marker lost")
+	}
+}
+
+func TestAppendBatchResultsMatchesEncode(t *testing.T) {
+	rs := []BatchResult{
+		{Status: StatusOK, Value: []byte("v")},
+		{Status: StatusNotFound},            // nil value marker
+		{Status: StatusOK, Value: []byte{}}, // empty stays distinct from nil
+		{Status: StatusOK, Num: 99},
+	}
+	want := EncodeBatchResults(rs)
+	got := AppendBatchResults(make([]byte, 0, 4), rs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("append %x != encode %x", got, want)
+	}
+	back, err := DecodeBatchResults(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1].Value != nil || back[2].Value == nil {
+		t.Fatal("nil/empty distinction lost")
+	}
+}
+
+func TestDecodeBatchViewAliasesBuffer(t *testing.T) {
+	ops := []BatchOp{
+		{Cmd: CmdSet, Key: []byte("alpha"), Value: []byte("beta")},
+		{Cmd: CmdGet, Key: []byte("gamma")},
+		{Cmd: CmdIncr, Key: []byte("n"), Delta: 3},
+	}
+	buf, err := EncodeBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := DecodeBatchView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if !bytes.Equal(view[i].Key, full[i].Key) || !bytes.Equal(view[i].Value, full[i].Value) {
+			t.Fatalf("op %d: view differs from copy decode", i)
+		}
+	}
+	// The view must alias the buffer: mutating the frame shows through.
+	buf[4+17] ^= 0xFF // first byte of op 0's key
+	if bytes.Equal(view[0].Key, full[0].Key) {
+		t.Fatal("view did not alias the frame buffer")
+	}
+}
+
+func TestDecodeBatchViewRejectsMalformed(t *testing.T) {
+	ops := []BatchOp{{Cmd: CmdSet, Key: []byte("k"), Value: []byte("v")}}
+	buf, err := EncodeBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		buf[:3],                             // truncated count
+		buf[:len(buf)-1],                    // truncated value
+		append(append([]byte{}, buf...), 0), // trailing byte
+	} {
+		if _, err := DecodeBatchView(bad); err == nil {
+			t.Fatalf("malformed batch %x accepted", bad)
+		}
+	}
+}
+
+func TestReadFrameIntoReusesBuffer(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, []byte("first-frame")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&wire, []byte("2nd")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ReadFrameInto(&wire, make([]byte, 0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "first-frame" {
+		t.Fatalf("frame 1 = %q", buf)
+	}
+	p0 := &buf[:1][0]
+	buf, err = ReadFrameInto(&wire, buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "2nd" {
+		t.Fatalf("frame 2 = %q", buf)
+	}
+	if &buf[:1][0] != p0 {
+		t.Fatal("second read did not reuse the buffer backing")
+	}
+}
+
+func TestSealToOpenInPlaceInterop(t *testing.T) {
+	e := newTestEnclave(9)
+	cli, srv, err := handshakePair(t, e, e.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 0, 16)
+	for i, msg := range []string{"one", "a somewhat longer message", ""} {
+		scratch = cli.SealTo(scratch[:0], []byte(msg))
+		ct := append([]byte(nil), scratch...) // simulate the wire copy
+		plain, err := srv.OpenInPlace(ct)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if string(plain) != msg {
+			t.Fatalf("msg %d: got %q want %q", i, plain, msg)
+		}
+	}
+	// SealTo/Seal and Open/OpenInPlace share one nonce sequence: a plain
+	// Seal after SealTo must still open.
+	ct := cli.Seal([]byte("mixed"))
+	plain, err := srv.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "mixed" {
+		t.Fatalf("got %q", plain)
+	}
+}
+
+func TestDecodeRequestIntoAliasesBuffer(t *testing.T) {
+	req := Request{Cmd: CmdSet, Key: []byte("key"), Value: []byte("val")}
+	buf := EncodeRequest(&req)
+	var view Request
+	if err := DecodeRequestInto(&view, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(view.Key, req.Key) || !bytes.Equal(view.Value, req.Value) {
+		t.Fatal("view decode mismatch")
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if bytes.Equal(view.Value, req.Value) {
+		t.Fatal("DecodeRequestInto did not alias the buffer")
+	}
+}

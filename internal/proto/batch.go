@@ -66,6 +66,50 @@ func EncodeBatch(ops []BatchOp) ([]byte, error) {
 	return buf, nil
 }
 
+// DecodeBatchView parses an EncodeBatch payload without copying: every
+// op's Key and Value alias buf, so they are valid only while the caller
+// keeps the frame buffer alive and unmodified. Validation is identical to
+// DecodeBatch.
+func DecodeBatchView(buf []byte) ([]BatchOp, error) {
+	if len(buf) < 4 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || n > MaxBatchOps {
+		return nil, ErrBadMessage
+	}
+	off := 4
+	ops := make([]BatchOp, 0, n)
+	for i := 0; i < n; i++ {
+		if off+17 > len(buf) {
+			return nil, ErrBadMessage
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[off+1:]))
+		vl := int(binary.LittleEndian.Uint32(buf[off+5:]))
+		op := BatchOp{
+			Cmd:   Command(buf[off]),
+			Delta: int64(binary.LittleEndian.Uint64(buf[off+9:])),
+		}
+		off += 17
+		if kl < 0 || vl < 0 || off+kl+vl > len(buf) {
+			return nil, ErrBadMessage
+		}
+		if kl > 0 {
+			op.Key = buf[off : off+kl]
+		}
+		off += kl
+		if vl > 0 {
+			op.Value = buf[off : off+vl]
+		}
+		off += vl
+		ops = append(ops, op)
+	}
+	if off != len(buf) {
+		return nil, ErrBadMessage
+	}
+	return ops, nil
+}
+
 // DecodeBatch parses an EncodeBatch payload. The count and every length
 // field are validated against the buffer; trailing bytes are rejected.
 func DecodeBatch(buf []byte) ([]BatchOp, error) {
@@ -108,16 +152,13 @@ func DecodeBatch(buf []byte) ([]BatchOp, error) {
 	return ops, nil
 }
 
-// EncodeBatchResults renders a batch response payload:
+// AppendBatchResults appends a batch response payload to dst:
 // n(4) then n x (status(1) num(8) valLen(4) val), valLen 0xFFFFFFFF
 // marking a nil value.
-func EncodeBatchResults(rs []BatchResult) []byte {
-	size := 4 + 13*len(rs)
-	for i := range rs {
-		size += len(rs[i].Value)
-	}
-	buf := make([]byte, 4, size)
-	binary.LittleEndian.PutUint32(buf, uint32(len(rs)))
+func AppendBatchResults(dst []byte, rs []BatchResult) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(rs)))
+	dst = append(dst, tmp[:]...)
 	var hdr [13]byte
 	for i := range rs {
 		r := &rs[i]
@@ -125,14 +166,24 @@ func EncodeBatchResults(rs []BatchResult) []byte {
 		binary.LittleEndian.PutUint64(hdr[1:], uint64(r.Num))
 		if r.Value == nil {
 			binary.LittleEndian.PutUint32(hdr[9:], 0xFFFFFFFF)
-			buf = append(buf, hdr[:]...)
+			dst = append(dst, hdr[:]...)
 			continue
 		}
 		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, r.Value...)
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, r.Value...)
 	}
-	return buf
+	return dst
+}
+
+// EncodeBatchResults renders a batch response payload into a fresh
+// buffer.
+func EncodeBatchResults(rs []BatchResult) []byte {
+	size := 4 + 13*len(rs)
+	for i := range rs {
+		size += len(rs[i].Value)
+	}
+	return AppendBatchResults(make([]byte, 0, size), rs)
 }
 
 // DecodeBatchResults parses an EncodeBatchResults payload.

@@ -75,50 +75,78 @@ type Response struct {
 	Num    int64
 }
 
-// EncodeRequest renders a request:
+// AppendRequest appends a request encoding to dst:
 // cmd(1) keyLen(4) valLen(4) delta(8) key val.
-func EncodeRequest(r *Request) []byte {
-	buf := make([]byte, 17+len(r.Key)+len(r.Value))
-	buf[0] = byte(r.Cmd)
-	binary.LittleEndian.PutUint32(buf[1:], uint32(len(r.Key)))
-	binary.LittleEndian.PutUint32(buf[5:], uint32(len(r.Value)))
-	binary.LittleEndian.PutUint64(buf[9:], uint64(r.Delta))
-	copy(buf[17:], r.Key)
-	copy(buf[17+len(r.Key):], r.Value)
-	return buf
+func AppendRequest(dst []byte, r *Request) []byte {
+	var hdr [17]byte
+	hdr[0] = byte(r.Cmd)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(r.Value)))
+	binary.LittleEndian.PutUint64(hdr[9:], uint64(r.Delta))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Key...)
+	return append(dst, r.Value...)
 }
 
-// DecodeRequest parses an encoded request.
+// EncodeRequest renders a request into a fresh buffer.
+func EncodeRequest(r *Request) []byte {
+	return AppendRequest(make([]byte, 0, 17+len(r.Key)+len(r.Value)), r)
+}
+
+// DecodeRequest parses an encoded request, copying key and value out of
+// the frame buffer.
 func DecodeRequest(buf []byte) (*Request, error) {
-	if len(buf) < 17 {
-		return nil, ErrBadMessage
+	r := &Request{}
+	if err := DecodeRequestInto(r, buf); err != nil {
+		return nil, err
 	}
-	kl := int(binary.LittleEndian.Uint32(buf[1:]))
-	vl := int(binary.LittleEndian.Uint32(buf[5:]))
-	if kl < 0 || vl < 0 || 17+kl+vl != len(buf) {
-		return nil, ErrBadMessage
+	if r.Key != nil {
+		r.Key = append([]byte(nil), r.Key...)
 	}
-	r := &Request{
-		Cmd:   Command(buf[0]),
-		Delta: int64(binary.LittleEndian.Uint64(buf[9:])),
-	}
-	if kl > 0 {
-		r.Key = append([]byte(nil), buf[17:17+kl]...)
-	}
-	if vl > 0 {
-		r.Value = append([]byte(nil), buf[17+kl:]...)
+	if r.Value != nil {
+		r.Value = append([]byte(nil), r.Value...)
 	}
 	return r, nil
 }
 
-// EncodeResponse renders a response: status(1) num(8) valLen(4) val.
+// DecodeRequestInto parses an encoded request without copying: the
+// resulting Key and Value alias buf, so they are valid only while the
+// caller keeps the frame buffer alive and unmodified.
+func DecodeRequestInto(r *Request, buf []byte) error {
+	if len(buf) < 17 {
+		return ErrBadMessage
+	}
+	kl := int(binary.LittleEndian.Uint32(buf[1:]))
+	vl := int(binary.LittleEndian.Uint32(buf[5:]))
+	if kl < 0 || vl < 0 || 17+kl+vl != len(buf) {
+		return ErrBadMessage
+	}
+	r.Cmd = Command(buf[0])
+	r.Delta = int64(binary.LittleEndian.Uint64(buf[9:]))
+	r.Key, r.Value = nil, nil
+	if kl > 0 {
+		r.Key = buf[17 : 17+kl]
+	}
+	if vl > 0 {
+		r.Value = buf[17+kl:]
+	}
+	return nil
+}
+
+// AppendResponse appends a response encoding to dst:
+// status(1) num(8) valLen(4) val.
+func AppendResponse(dst []byte, r *Response) []byte {
+	var hdr [13]byte
+	hdr[0] = r.Status
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(r.Num))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Value...)
+}
+
+// EncodeResponse renders a response into a fresh buffer.
 func EncodeResponse(r *Response) []byte {
-	buf := make([]byte, 13+len(r.Value))
-	buf[0] = r.Status
-	binary.LittleEndian.PutUint64(buf[1:], uint64(r.Num))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(len(r.Value)))
-	copy(buf[13:], r.Value)
-	return buf
+	return AppendResponse(make([]byte, 0, 13+len(r.Value)), r)
 }
 
 // DecodeResponse parses an encoded response.
@@ -154,17 +182,29 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame into a fresh buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one length-prefixed frame into buf when its
+// capacity suffices, allocating only when the frame is larger. With a
+// pooled buffer this makes the server's frame reads allocation-free at
+// steady state.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -173,12 +213,19 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 
 // Channel protects one direction-pair of a session. A nil *Channel means
 // plaintext (the §6.4 no-network-security ablation).
+//
+// The send state (Seal/SealTo) and receive state (Open/OpenInPlace) are
+// disjoint, so one goroutine may seal while another opens — the pipelined
+// server's reader/writer split relies on this. Neither half is safe for
+// use by two goroutines at once.
 type Channel struct {
-	aead    cipher.AEAD
-	sendSeq uint64
-	recvSeq uint64
-	sendDir byte
-	recvDir byte
+	aead      cipher.AEAD
+	sendSeq   uint64
+	recvSeq   uint64
+	sendDir   byte
+	recvDir   byte
+	sendNonce [12]byte
+	recvNonce [12]byte
 }
 
 // newChannel builds a channel from a 16-byte session key. The dir byte
@@ -201,25 +248,41 @@ func newChannel(key []byte, client bool) (*Channel, error) {
 	return c, nil
 }
 
-func nonceFor(dir byte, seq uint64) []byte {
-	n := make([]byte, 12)
-	n[0] = dir
-	binary.LittleEndian.PutUint64(n[4:], seq)
-	return n
+// Seal encrypts a payload with the next send nonce into a fresh buffer.
+func (c *Channel) Seal(plain []byte) []byte {
+	return c.SealTo(nil, plain)
 }
 
-// Seal encrypts a payload with the next send nonce.
-func (c *Channel) Seal(plain []byte) []byte {
-	n := nonceFor(c.sendDir, c.sendSeq)
+// SealTo encrypts a payload with the next send nonce, appending the
+// ciphertext to dst (which may share capacity with a pooled buffer).
+func (c *Channel) SealTo(dst, plain []byte) []byte {
+	c.sendNonce[0] = c.sendDir
+	binary.LittleEndian.PutUint64(c.sendNonce[4:], c.sendSeq)
 	c.sendSeq++
-	return c.aead.Seal(nil, n, plain, nil)
+	return c.aead.Seal(dst, c.sendNonce[:], plain, nil)
 }
 
 // Open authenticates and decrypts the next received frame. Sequence
 // numbers are implicit, so replayed, reordered or dropped frames fail.
 func (c *Channel) Open(ct []byte) ([]byte, error) {
-	n := nonceFor(c.recvDir, c.recvSeq)
-	pt, err := c.aead.Open(nil, n, ct, nil)
+	c.recvNonce[0] = c.recvDir
+	binary.LittleEndian.PutUint64(c.recvNonce[4:], c.recvSeq)
+	pt, err := c.aead.Open(nil, c.recvNonce[:], ct, nil)
+	if err != nil {
+		return nil, ErrReplay
+	}
+	c.recvSeq++
+	return pt, nil
+}
+
+// OpenInPlace is Open decrypting into ct's own backing array (GCM
+// supports in-place opens), so a pooled frame buffer is both the
+// ciphertext source and the plaintext destination. On error ct's contents
+// are unspecified.
+func (c *Channel) OpenInPlace(ct []byte) ([]byte, error) {
+	c.recvNonce[0] = c.recvDir
+	binary.LittleEndian.PutUint64(c.recvNonce[4:], c.recvSeq)
+	pt, err := c.aead.Open(ct[:0], c.recvNonce[:], ct, nil)
 	if err != nil {
 		return nil, ErrReplay
 	}
@@ -331,28 +394,33 @@ func ServerHandshake(rw io.ReadWriter, quoter Quoter, entropy io.Reader) (*Chann
 	return newChannel(sessionKey(shared, nonce), false)
 }
 
-// EncodeList renders a list of byte strings: n(4) then n x (len(4) bytes).
-// A nil element is encoded with length 0xFFFFFFFF (MGet "missing" marker).
+// AppendList appends a list of byte strings to dst: n(4) then n x
+// (len(4) bytes). A nil element is encoded with length 0xFFFFFFFF (MGet
+// "missing" marker).
+func AppendList(dst []byte, items [][]byte) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(items)))
+	dst = append(dst, tmp[:]...)
+	for _, it := range items {
+		if it == nil {
+			binary.LittleEndian.PutUint32(tmp[:], 0xFFFFFFFF)
+			dst = append(dst, tmp[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(it)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, it...)
+	}
+	return dst
+}
+
+// EncodeList renders a list of byte strings into a fresh buffer.
 func EncodeList(items [][]byte) []byte {
 	size := 4
 	for _, it := range items {
 		size += 4 + len(it)
 	}
-	buf := make([]byte, 0, size)
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(items)))
-	buf = append(buf, tmp[:]...)
-	for _, it := range items {
-		if it == nil {
-			binary.LittleEndian.PutUint32(tmp[:], 0xFFFFFFFF)
-			buf = append(buf, tmp[:]...)
-			continue
-		}
-		binary.LittleEndian.PutUint32(tmp[:], uint32(len(it)))
-		buf = append(buf, tmp[:]...)
-		buf = append(buf, it...)
-	}
-	return buf
+	return AppendList(make([]byte, 0, size), items)
 }
 
 // DecodeList parses an EncodeList buffer.

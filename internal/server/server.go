@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"shieldstore/internal/baseline"
 	"shieldstore/internal/core"
@@ -40,6 +41,16 @@ type BatchEngine interface {
 	ExecBatch(m *sim.Meter, ops []core.BatchOp) []core.BatchResult
 }
 
+// AsyncEngine is an optional Engine extension: engines that can accept an
+// operation and complete it later let the front-end's reader submit work
+// and move on to decoding the next frame, so one connection's pipelined
+// requests execute concurrently across partitions. The submitted
+// key/value buffers must stay alive until the returned call is waited on.
+type AsyncEngine interface {
+	Submit(m *sim.Meter, kind core.BatchKind, key, value []byte, delta int64) *core.Call
+	SubmitBatch(m *sim.Meter, ops []core.BatchOp) *core.BatchCall
+}
+
 // CoreEngine adapts core.Partitioned to Engine. The partitioned store's
 // worker pool must be Started.
 type CoreEngine struct{ P *core.Partitioned }
@@ -48,6 +59,16 @@ type CoreEngine struct{ P *core.Partitioned }
 // partition, amortized integrity updates inside each.
 func (e CoreEngine) ExecBatch(m *sim.Meter, ops []core.BatchOp) []core.BatchResult {
 	return e.P.ExecBatch(m, ops)
+}
+
+// Submit implements AsyncEngine.
+func (e CoreEngine) Submit(m *sim.Meter, kind core.BatchKind, key, value []byte, delta int64) *core.Call {
+	return e.P.Submit(m, kind, key, value, delta)
+}
+
+// SubmitBatch implements AsyncEngine.
+func (e CoreEngine) SubmitBatch(m *sim.Meter, ops []core.BatchOp) *core.BatchCall {
+	return e.P.SubmitBatch(m, ops)
 }
 
 // Get implements Engine.
@@ -105,6 +126,12 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Stats, when set, answers CmdStats with "name=value" lines.
 	Stats func() []string
+	// PipelineDepth bounds how many requests per connection may be in
+	// flight between the reader and the in-order writer (default 32).
+	PipelineDepth int
+	// WriteBuffer sizes the per-connection coalescing write buffer in
+	// bytes (default 32 KiB).
+	WriteBuffer int
 }
 
 // Server is a running front-end.
@@ -113,9 +140,11 @@ type Server struct {
 	ln  net.Listener
 	wg  sync.WaitGroup
 
-	mu     sync.Mutex
-	meters []*sim.Meter
-	closed bool
+	mu         sync.Mutex
+	meters     []*sim.Meter // live connections (reader + writer meters)
+	retired    *sim.Meter   // accumulated counters of closed connections
+	retiredMax uint64       // slowest closed connection's cycles
+	closed     bool
 }
 
 // Serve starts accepting connections on ln. It returns immediately; Close
@@ -124,7 +153,7 @@ func Serve(ln net.Listener, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	s := &Server{cfg: cfg, ln: ln}
+	s := &Server{cfg: cfg, ln: ln, retired: sim.NewMeter(cfg.Enclave.Model())}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -142,13 +171,15 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// NetworkStats aggregates the connection handlers' meters (front-end
-// costs only; engine costs live in the engine's own meters).
+// NetworkStats aggregates the connection handlers' meters — live and
+// retired — (front-end costs only; engine costs live in the engine's own
+// meters).
 func (s *Server) NetworkStats() sim.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	agg := sim.NewMeter(s.cfg.Enclave.Model())
-	var maxC uint64
+	agg.Add(s.retired)
+	maxC := s.retiredMax
 	for _, m := range s.meters {
 		agg.Add(m)
 		if m.Cycles() > maxC {
@@ -160,29 +191,70 @@ func (s *Server) NetworkStats() sim.Stats {
 	return st
 }
 
+// addMeters registers a connection's meters while it is live.
+func (s *Server) addMeters(ms ...*sim.Meter) {
+	s.mu.Lock()
+	s.meters = append(s.meters, ms...)
+	s.mu.Unlock()
+}
+
+// retire folds a closed connection's meters into the retired-stats
+// accumulator, so Server.meters only ever holds live connections instead
+// of growing by one meter per connection forever.
+func (s *Server) retire(ms ...*sim.Meter) {
+	s.mu.Lock()
+	for _, m := range ms {
+		for i, x := range s.meters {
+			if x == m {
+				last := len(s.meters) - 1
+				s.meters[i] = s.meters[last]
+				s.meters[last] = nil
+				s.meters = s.meters[:last]
+				break
+			}
+		}
+		s.retired.Add(m)
+		if m.Cycles() > s.retiredMax {
+			s.retiredMax = m.Cycles()
+		}
+	}
+	s.mu.Unlock()
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed {
+			if closed || isClosed(err) {
 				return
 			}
-			s.cfg.Logf("shieldstore server: accept: %v", err)
-			return
+			// Transient failure (EMFILE, ECONNABORTED, ...): back off
+			// briefly and keep accepting rather than killing the server.
+			s.cfg.Logf("shieldstore server: accept: %v (retrying in %v)", err, backoff)
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
 		}
-		m := sim.NewMeter(s.cfg.Enclave.Model())
-		s.mu.Lock()
-		s.meters = append(s.meters, m)
-		s.mu.Unlock()
+		backoff = time.Millisecond
+		// One meter per direction: the reader and writer goroutines run
+		// concurrently and sim.Meter is single-owner.
+		rm := sim.NewMeter(s.cfg.Enclave.Model())
+		wm := sim.NewMeter(s.cfg.Enclave.Model())
+		s.addMeters(rm, wm)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			if err := s.handle(conn, m); err != nil && !errors.Is(err, io.EOF) && !isClosed(err) {
+			err := s.handle(conn, rm, wm)
+			s.retire(rm, wm)
+			if err != nil && !errors.Is(err, io.EOF) && !isClosed(err) {
 				s.cfg.Logf("shieldstore server: conn: %v", err)
 			}
 		}()
@@ -193,8 +265,10 @@ func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-// handle serves one connection.
-func (s *Server) handle(conn net.Conn, m *sim.Meter) error {
+// handle serves one connection: a reader goroutine (this one) decodes
+// and submits requests, a writer goroutine resolves and responds in
+// order. rm and wm meter the two directions separately.
+func (s *Server) handle(conn net.Conn, rm, wm *sim.Meter) error {
 	e := s.cfg.Enclave
 	model := e.Model()
 
@@ -207,44 +281,28 @@ func (s *Server) handle(conn net.Conn, m *sim.Meter) error {
 		}
 		// Handshake: two messages + asymmetric crypto (modeled as a few
 		// symmetric-op equivalents; session setup is off the hot path).
-		s.chargeNet(m, 48)
-		s.chargeNet(m, 96)
-		m.Charge(model.AES(2048))
+		s.chargeNet(rm, 48)
+		s.chargeNet(rm, 96)
+		rm.Charge(model.AES(2048))
 	}
 
-	for {
-		frame, err := proto.ReadFrame(conn)
-		if err != nil {
-			return err
-		}
-		s.chargeNet(m, len(frame))
-
-		payload := frame
-		if ch != nil {
-			payload, err = ch.Open(frame)
-			if err != nil {
-				return err
-			}
-			m.Charge(model.AES(len(frame)) + model.CMAC(len(frame)))
-		}
-		req, err := proto.DecodeRequest(payload)
-		var resp *proto.Response
-		if err != nil {
-			resp = &proto.Response{Status: proto.StatusError}
-		} else {
-			resp = s.execute(m, req)
-		}
-
-		out := proto.EncodeResponse(resp)
-		if ch != nil {
-			m.Charge(model.AES(len(out)) + model.CMAC(len(out)))
-			out = ch.Seal(out)
-		}
-		s.chargeNet(m, len(out))
-		if err := proto.WriteFrame(conn, out); err != nil {
-			return err
-		}
+	depth := s.cfg.PipelineDepth
+	if depth <= 0 {
+		depth = defaultPipelineDepth
 	}
+	wq := make(chan *pending, depth)
+	wdone := make(chan error, 1)
+	go func() { wdone <- s.connWriter(conn, ch, wq, wm) }()
+
+	rerr := s.connReader(conn, ch, wq, rm)
+	close(wq)
+	werr := <-wdone
+	if werr != nil {
+		// A write failure is the root cause; the reader's error is just
+		// the closed-connection fallout.
+		return werr
+	}
+	return rerr
 }
 
 // chargeNet accounts one message's network path: kernel socket call

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/core"
+	"shieldstore/internal/sgx"
+)
+
+// TestPipelinedStress drives many concurrent pipelined connections with a
+// mixed Get/Set/Batch/MGet load and asserts, per connection, that every
+// submitted request gets exactly one reply and that replies arrive in
+// submission order. Ordering is observed through a per-connection counter
+// key: only its own connection increments it, so the Incr results seen in
+// reply order must be exactly 1, 2, 3, ... — any reordering, duplication
+// or loss in the reader/writer pipeline breaks the sequence. Run under
+// -race this also exercises the reader, writer and partition-worker
+// goroutines of every connection concurrently.
+func TestPipelinedStress(t *testing.T) {
+	const (
+		conns  = 8
+		rounds = 25
+		depth  = 16
+	)
+	e := newEnclave()
+	p := core.NewPartitioned(e, 4, core.Defaults(256))
+	p.Start()
+	t.Cleanup(p.Stop)
+	_, addr := startServer(t, Config{
+		Engine:        CoreEngine{p},
+		Enclave:       e,
+		Secure:        true,
+		PipelineDepth: depth,
+	})
+
+	// Shared keys every connection reads and writes.
+	shared := make([][]byte, 8)
+	for i := range shared {
+		shared[i] = fmt.Appendf(nil, "shared-%d", i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			if err := stressConn(e, addr, ci, rounds, depth, shared); err != nil {
+				errs <- fmt.Errorf("conn %d: %w", ci, err)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// stressConn runs one connection's workload: pipelined bursts of
+// Incr/Get/Set, interleaved with Batch and MGet round trips.
+func stressConn(e *sgx.Enclave, addr string, ci, rounds, depth int, shared [][]byte) error {
+	c, err := client.Dial(addr, client.Options{
+		Verifier:    e,
+		Measurement: [32]byte{0xAB},
+		Secure:      true,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctrKey := fmt.Appendf(nil, "ctr-%d", ci)
+	ownKey := fmt.Appendf(nil, "own-%d", ci)
+	want := int64(0) // expected next counter value, in reply order
+
+	for r := 0; r < rounds; r++ {
+		// Pipelined burst: every op is an Incr of the private counter or
+		// a Get/Set of a shared key; remember which slots are Incrs.
+		pl := c.Pipeline()
+		incrSlot := make([]bool, 0, depth)
+		for i := 0; i < depth; i++ {
+			switch (r + i) % 4 {
+			case 0, 1:
+				pl.Incr(ctrKey, 1)
+				incrSlot = append(incrSlot, true)
+			case 2:
+				pl.Get(shared[(ci+i)%len(shared)])
+				incrSlot = append(incrSlot, false)
+			default:
+				pl.Set(shared[(ci+i)%len(shared)], fmt.Appendf(nil, "v-%d-%d", ci, r))
+				incrSlot = append(incrSlot, false)
+			}
+		}
+		rs, err := pl.Flush()
+		if err != nil {
+			return fmt.Errorf("round %d flush: %w", r, err)
+		}
+		if len(rs) != depth {
+			return fmt.Errorf("round %d: %d replies for %d requests", r, len(rs), depth)
+		}
+		for i, res := range rs {
+			if !incrSlot[i] {
+				if res.Err != nil && res.Err != client.ErrNotFound {
+					return fmt.Errorf("round %d slot %d: %w", r, i, res.Err)
+				}
+				continue
+			}
+			want++
+			if res.Err != nil {
+				return fmt.Errorf("round %d slot %d incr: %w", r, i, res.Err)
+			}
+			if res.Num != want {
+				return fmt.Errorf("round %d slot %d: incr returned %d, want %d (reply misordered or lost)", r, i, res.Num, want)
+			}
+		}
+
+		// Batch round trip: private set + get + incr; the incr extends the
+		// same per-connection sequence.
+		brs, err := c.Batch(
+			client.SetOp(ownKey, fmt.Appendf(nil, "own-%d-%d", ci, r)),
+			client.GetOp(ownKey),
+			client.IncrOp(ctrKey, 1),
+		)
+		if err != nil {
+			return fmt.Errorf("round %d batch: %w", r, err)
+		}
+		want++
+		if brs[0].Err != nil || brs[1].Err != nil || brs[2].Err != nil {
+			return fmt.Errorf("round %d batch results: %v %v %v", r, brs[0].Err, brs[1].Err, brs[2].Err)
+		}
+		if got := string(brs[1].Value); got != fmt.Sprintf("own-%d-%d", ci, r) {
+			return fmt.Errorf("round %d batch get: %q", r, got)
+		}
+		if brs[2].Num != want {
+			return fmt.Errorf("round %d batch incr: %d, want %d", r, brs[2].Num, want)
+		}
+
+		// MGet across shared keys plus the private key.
+		keys := append([][]byte{ownKey}, shared...)
+		vals, err := c.MGet(keys...)
+		if err != nil {
+			return fmt.Errorf("round %d mget: %w", r, err)
+		}
+		if len(vals) != len(keys) {
+			return fmt.Errorf("round %d mget: %d values for %d keys", r, len(vals), len(keys))
+		}
+		if got := string(vals[0]); got != fmt.Sprintf("own-%d-%d", ci, r) {
+			return fmt.Errorf("round %d mget own key: %q", r, got)
+		}
+	}
+	return nil
+}

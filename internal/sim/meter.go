@@ -31,6 +31,7 @@ const (
 	CtrSnapshot
 	CtrMonotonicInc
 	CtrRequest
+	CtrDispatch
 	numCounters
 )
 
@@ -52,6 +53,7 @@ var counterNames = [numCounters]string{
 	"snapshot",
 	"monotonic_inc",
 	"request",
+	"dispatch",
 }
 
 // String returns the counter's snake_case name.

@@ -547,16 +547,24 @@ type ServeOptions struct {
 	HotCalls bool
 	// Insecure disables session encryption (ablation only).
 	Insecure bool
+	// PipelineDepth bounds per-connection in-flight requests between the
+	// reader and writer goroutines (0 = server default).
+	PipelineDepth int
+	// WriteBuffer sizes the per-connection coalescing write buffer in
+	// bytes (0 = server default).
+	WriteBuffer int
 }
 
 // Serve starts the remote-attested TCP front-end on ln. Close the
 // returned server to stop. The DB remains usable locally.
 func (db *DB) Serve(ln net.Listener, opts ServeOptions) *Server {
 	s := server.Serve(ln, server.Config{
-		Engine:   dbEngine{db},
-		Enclave:  db.enclave,
-		HotCalls: opts.HotCalls,
-		Secure:   !opts.Insecure,
+		Engine:        dbEngine{db},
+		Enclave:       db.enclave,
+		HotCalls:      opts.HotCalls,
+		Secure:        !opts.Insecure,
+		PipelineDepth: opts.PipelineDepth,
+		WriteBuffer:   opts.WriteBuffer,
 		Stats: func() []string {
 			st := db.Stats()
 			return []string{
@@ -642,4 +650,3 @@ func parseInt(b []byte) (int64, error) {
 	}
 	return n, nil
 }
-
