@@ -19,6 +19,9 @@ var (
 	ErrIntegrity = errors.New("shieldstore client: server reported integrity violation")
 	// ErrServer reports any other server-side failure.
 	ErrServer = errors.New("shieldstore client: server error")
+	// ErrConnection wraps transport failures (dial, read, write). Only
+	// errors of this class are ever retried.
+	ErrConnection = errors.New("shieldstore client: connection failure")
 )
 
 // Options configures a client connection.
@@ -31,6 +34,13 @@ type Options struct {
 	// Secure enables attestation + channel encryption (the default
 	// deployment; disable only for the §6.4 plaintext ablation).
 	Secure bool
+	// Retry enables transparent reconnection and bounded retry of
+	// idempotent requests (Get, MGet, Ping, Stats) after transport
+	// failures. Mutations are never retried — a write whose response was
+	// lost may have been applied, and replaying it silently would be
+	// wrong — but a broken connection is still re-established before the
+	// next mutation is sent.
+	Retry RetryPolicy
 }
 
 // Client is one connection to a ShieldStore server. A Client is not safe
@@ -39,6 +49,11 @@ type Client struct {
 	conn net.Conn
 	ch   *proto.Channel
 
+	addr    string // reconnect target ("" when wrapping a raw conn)
+	opts    Options
+	broken  bool   // the connection (or its channel state) is unusable
+	retries uint64 // reconnect attempts performed (tests, stats)
+
 	// Reused request/response scratch (encode, seal, frame read).
 	enc    []byte
 	sealed []byte
@@ -46,17 +61,24 @@ type Client struct {
 }
 
 // Dial connects and (when Secure) attests + establishes the session.
+// The address is remembered: with Options.Retry enabled the client can
+// re-dial after a transport failure.
 func Dial(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConnection, err)
+	}
+	c, err := NewClient(conn, opts)
+	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, opts)
+	c.addr = addr
+	return c, nil
 }
 
 // NewClient wraps an existing connection (tests, in-memory pipes).
 func NewClient(conn net.Conn, opts Options) (*Client, error) {
-	c := &Client{conn: conn}
+	c := &Client{conn: conn, opts: opts}
 	if opts.Secure {
 		if opts.Verifier == nil {
 			conn.Close()
@@ -75,10 +97,25 @@ func NewClient(conn net.Conn, opts Options) (*Client, error) {
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and decodes the reply. Encode, seal and
-// frame buffers are reused across calls (DecodeResponse copies the value
-// out before the scratch is recycled).
+// roundTrip sends one non-idempotent request: a broken connection is
+// re-established first, but the request itself is never replayed.
 func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
+	return c.do(req, false)
+}
+
+// roundTripIdem sends a request that is safe to replay after a
+// transport failure.
+func (c *Client) roundTripIdem(req *proto.Request) (*proto.Response, error) {
+	return c.do(req, true)
+}
+
+// roundTripOnce sends one request on the current connection and decodes
+// the reply. Encode, seal and frame buffers are reused across calls
+// (DecodeResponse copies the value out before the scratch is recycled).
+// Transport failures come back wrapped in ErrConnection and poison the
+// connection; channel/protocol failures poison it too (the stream or
+// nonce sequence is unrecoverable) but are never retried.
+func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
 	c.enc = proto.AppendRequest(c.enc[:0], req)
 	wire := c.enc
 	if c.ch != nil {
@@ -86,21 +123,25 @@ func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
 		wire = c.sealed
 	}
 	if err := proto.WriteFrame(c.conn, wire); err != nil {
-		return nil, err
+		c.broken = true
+		return nil, fmt.Errorf("%w: %v", ErrConnection, err)
 	}
 	frame, err := proto.ReadFrameInto(c.conn, c.frame[:0])
 	if err != nil {
-		return nil, err
+		c.broken = true
+		return nil, fmt.Errorf("%w: %v", ErrConnection, err)
 	}
 	c.frame = frame
 	if c.ch != nil {
 		frame, err = c.ch.OpenInPlace(frame)
 		if err != nil {
+			c.broken = true
 			return nil, err
 		}
 	}
 	resp, err := proto.DecodeResponse(frame)
 	if err != nil {
+		c.broken = true
 		return nil, err
 	}
 	switch resp.Status {
@@ -117,7 +158,7 @@ func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
 
 // Get fetches a value.
 func (c *Client) Get(key []byte) ([]byte, error) {
-	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdGet, Key: key})
+	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +195,7 @@ func (c *Client) Incr(key []byte, delta int64) (int64, error) {
 // MGet fetches several keys in one round trip. The result has one slot
 // per requested key; missing keys are nil.
 func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
-	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdMGet, Value: proto.EncodeList(keys)})
+	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdMGet, Value: proto.EncodeList(keys)})
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +211,7 @@ func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
 
 // Stats fetches the server's "name=value" statistics lines.
 func (c *Client) Stats() ([]string, error) {
-	resp, err := c.roundTrip(&proto.Request{Cmd: proto.CmdStats})
+	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdStats})
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +228,6 @@ func (c *Client) Stats() ([]string, error) {
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(&proto.Request{Cmd: proto.CmdPing})
+	_, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdPing})
 	return err
 }

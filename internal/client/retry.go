@@ -1,0 +1,133 @@
+// Reconnection and bounded retry. The policy is deliberately narrow:
+// only transport failures (ErrConnection) are retried, only idempotent
+// requests are replayed, and attempts are capped with exponential
+// backoff — a dead server costs a bounded delay, not a hang, and a
+// flapping one is ridden out. Server-reported errors (misses, integrity
+// violations, quarantine) always surface immediately: retrying them
+// would at best hide a fault the caller must know about.
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"shieldstore/internal/proto"
+)
+
+// RetryPolicy bounds transparent reconnect/retry. The zero value
+// disables it.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (first
+	// attempt included). <= 1 disables retry.
+	MaxAttempts int
+	// Backoff is the delay before the first retry (default 1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+func (p RetryPolicy) initial() time.Duration {
+	if p.Backoff > 0 {
+		return p.Backoff
+	}
+	return time.Millisecond
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 100 * time.Millisecond
+}
+
+// Retries reports how many reconnect attempts this client has made.
+func (c *Client) Retries() uint64 { return c.retries }
+
+// do routes one request through the retry policy. A connection marked
+// broken by an earlier failure is re-dialed before sending anything —
+// that part is safe even for mutations, since nothing is in flight.
+// Replaying the request after a mid-flight failure is reserved for
+// idempotent ops.
+func (c *Client) do(req *proto.Request, idempotent bool) (*proto.Response, error) {
+	pol := c.opts.Retry
+	if c.broken {
+		if !pol.enabled() || c.addr == "" {
+			return nil, fmt.Errorf("%w: connection is broken", ErrConnection)
+		}
+		if err := c.redial(pol); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.roundTripOnce(req)
+	if err == nil || !idempotent || !pol.enabled() || c.addr == "" {
+		return resp, err
+	}
+	backoff := pol.initial()
+	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
+		if !c.broken {
+			// Typed server/protocol error: retrying cannot help.
+			return resp, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > pol.cap() {
+			backoff = pol.cap()
+		}
+		if rerr := c.reconnectOnce(); rerr != nil {
+			err = rerr
+			continue
+		}
+		resp, err = c.roundTripOnce(req)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return nil, err
+}
+
+// redial re-establishes a broken connection (with backoff) without
+// sending any request — used before mutations, which must not replay.
+func (c *Client) redial(pol RetryPolicy) error {
+	backoff := pol.initial()
+	var err error
+	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
+		if err = c.reconnectOnce(); err == nil {
+			return nil
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > pol.cap() {
+			backoff = pol.cap()
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("%w: connection is broken", ErrConnection)
+	}
+	return err
+}
+
+// reconnectOnce dials and re-handshakes a single time, replacing the
+// client's connection and channel state on success.
+func (c *Client) reconnectOnce() error {
+	c.retries++
+	c.conn.Close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrConnection, err)
+	}
+	var ch *proto.Channel
+	if c.opts.Secure {
+		ch, err = proto.ClientHandshake(conn, c.opts.Verifier, c.opts.Measurement)
+		if err != nil {
+			conn.Close()
+			// The handshake rides the same socket; its failure during a
+			// flap is a transport-class event.
+			return fmt.Errorf("%w: handshake: %v", ErrConnection, err)
+		}
+	}
+	c.conn = conn
+	c.ch = ch
+	c.broken = false
+	return nil
+}

@@ -1,0 +1,240 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/server"
+	"shieldstore/internal/sgx"
+)
+
+// restartableServer can be stopped and brought back on the same address,
+// keeping the engine (and its data) alive across the outage.
+type restartableServer struct {
+	t      *testing.T
+	e      *sgx.Enclave
+	p      *core.Partitioned
+	secure bool
+	addr   string
+	srv    *server.Server
+}
+
+func newRestartable(t *testing.T, secure bool) *restartableServer {
+	t.Helper()
+	space := mem.NewSpace(mem.Config{EPCBytes: 16 << 20})
+	e := sgx.New(sgx.Config{Space: space, Seed: 61, Measurement: [32]byte{0x42}})
+	p := core.NewPartitioned(e, 2, core.Defaults(64))
+	p.Start()
+	t.Cleanup(p.Stop)
+	rs := &restartableServer{t: t, e: e, p: p, secure: secure}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.addr = ln.Addr().String()
+	rs.serve(ln)
+	t.Cleanup(func() { rs.stop() })
+	return rs
+}
+
+func (rs *restartableServer) serve(ln net.Listener) {
+	rs.srv = server.Serve(ln, server.Config{
+		Engine:  server.CoreEngine{P: rs.p},
+		Enclave: rs.e,
+		Secure:  rs.secure,
+		Logf:    rs.t.Logf,
+		// stop() is called while clients are connected; the bounded
+		// drain force-closes them instead of hanging Close.
+		DrainTimeout: 50 * time.Millisecond,
+	})
+}
+
+func (rs *restartableServer) stop() {
+	if rs.srv != nil {
+		rs.srv.Close()
+		rs.srv = nil
+	}
+}
+
+// restart rebinds the same address (retrying briefly — the kernel may
+// lag releasing the port) and serves again.
+func (rs *restartableServer) restart() {
+	rs.t.Helper()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", rs.addr); err == nil {
+			rs.serve(ln)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rs.t.Fatalf("rebind %s: %v", rs.addr, err)
+}
+
+func (rs *restartableServer) dial(pol RetryPolicy) *Client {
+	rs.t.Helper()
+	opts := Options{Retry: pol}
+	if rs.secure {
+		opts.Secure = true
+		opts.Verifier = rs.e
+		opts.Measurement = rs.e.Measurement()
+	}
+	c, err := Dial(rs.addr, opts)
+	if err != nil {
+		rs.t.Fatal(err)
+	}
+	rs.t.Cleanup(func() { c.Close() })
+	return c
+}
+
+var testPolicy = RetryPolicy{MaxAttempts: 8, Backoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+
+func TestIdempotentRetryAcrossRestart(t *testing.T) {
+	for _, secure := range []bool{false, true} {
+		t.Run(map[bool]string{false: "plain", true: "secure"}[secure], func(t *testing.T) {
+			rs := newRestartable(t, secure)
+			c := rs.dial(testPolicy)
+			if err := c.Set([]byte("k"), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			rs.stop()
+			rs.restart()
+			// The old connection is dead; the Get must transparently
+			// reconnect (re-handshaking when secure) and replay.
+			got, err := c.Get([]byte("k"))
+			if err != nil {
+				t.Fatalf("get across restart: %v", err)
+			}
+			if string(got) != "v" {
+				t.Fatalf("got %q", got)
+			}
+			if c.Retries() == 0 {
+				t.Fatal("no reconnect recorded")
+			}
+		})
+	}
+}
+
+func TestMutationReconnectsButNeverReplays(t *testing.T) {
+	rs := newRestartable(t, false)
+	c := rs.dial(testPolicy)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	rs.stop()
+	rs.restart()
+	// The first mutation on the dead connection fails — it must NOT be
+	// silently replayed, because the client cannot know whether it was
+	// applied.
+	err := c.Set([]byte("m"), []byte("1"))
+	if !errors.Is(err, ErrConnection) {
+		t.Fatalf("mutation on dead connection: %v, want ErrConnection", err)
+	}
+	// But the broken connection is re-established before the *next*
+	// mutation, which the caller knowingly re-issues.
+	if err := c.Set([]byte("m"), []byte("1")); err != nil {
+		t.Fatalf("re-issued mutation: %v", err)
+	}
+	got, err := c.Get([]byte("m"))
+	if err != nil || string(got) != "1" {
+		t.Fatalf("get after re-issue: %q/%v", got, err)
+	}
+}
+
+func TestRetryDisabledFailsFast(t *testing.T) {
+	rs := newRestartable(t, false)
+	c := rs.dial(RetryPolicy{})
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	rs.stop()
+	rs.restart()
+	if _, err := c.Get([]byte("k")); !errors.Is(err, ErrConnection) {
+		t.Fatalf("get without retry policy: %v, want ErrConnection", err)
+	}
+	// Still broken: no policy means no transparent recovery, ever.
+	if err := c.Ping(); !errors.Is(err, ErrConnection) {
+		t.Fatalf("second op without retry policy: %v, want ErrConnection", err)
+	}
+}
+
+func TestFlappingListenerRiddenOut(t *testing.T) {
+	// The server is up but its accept path drops the first connections
+	// (deterministically, via the fault plane): backoff + reconnect must
+	// ride the flap out without surfacing an error.
+	for _, secure := range []bool{false, true} {
+		t.Run(map[bool]string{false: "plain", true: "secure"}[secure], func(t *testing.T) {
+			space := mem.NewSpace(mem.Config{EPCBytes: 16 << 20})
+			e := sgx.New(sgx.Config{Space: space, Seed: 61, Measurement: [32]byte{0x42}})
+			p := core.NewPartitioned(e, 2, core.Defaults(64))
+			p.Start()
+			t.Cleanup(p.Stop)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane := fault.New(11)
+			srv := server.Serve(fault.WrapListener(ln, plane), server.Config{
+				Engine:       server.CoreEngine{P: p},
+				Enclave:      e,
+				Secure:       secure,
+				Logf:         t.Logf,
+				DrainTimeout: 50 * time.Millisecond,
+			})
+			t.Cleanup(srv.Close)
+
+			opts := Options{Retry: testPolicy}
+			if secure {
+				opts.Secure = true
+				opts.Verifier = e
+				opts.Measurement = e.Measurement()
+			}
+			// Arm AFTER the client's initial dial would complicate secure
+			// handshakes; instead arm first and let Dial itself land in the
+			// flap window for the plain case, where the handshake-free Dial
+			// succeeds and the first request eats the drop.
+			plane.Arm(fault.PointAccept, fault.Spec{Count: 2})
+			var c *Client
+			if secure {
+				// The secure Dial handshakes eagerly, so the flap hits it
+				// before NewClient returns; ride it with a dial loop like a
+				// CLI would.
+				var derr error
+				for i := 0; i < 8; i++ {
+					if c, derr = Dial(ln.Addr().String(), opts); derr == nil {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if derr != nil {
+					t.Fatal(derr)
+				}
+			} else {
+				if c, err = Dial(ln.Addr().String(), opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Cleanup(func() { c.Close() })
+			// Ping is idempotent: it eats the remaining drops via retry.
+			// Only then mutate, on a connection known to be healthy.
+			if err := c.Ping(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Set([]byte("f"), []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := c.Get([]byte("f")); err != nil || string(got) != "1" {
+				t.Fatalf("get through flap: %q/%v", got, err)
+			}
+			if plane.Fired(fault.PointAccept) != 2 {
+				t.Fatalf("accept point fired %d times, want 2", plane.Fired(fault.PointAccept))
+			}
+		})
+	}
+}

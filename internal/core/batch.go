@@ -111,6 +111,14 @@ func (s *Store) ApplyBatchInto(m *sim.Meter, ops []BatchOp, results []BatchResul
 		groups[id] = append(groups[id], batchPos{idx: i, bucket: b})
 	}
 	for _, id := range order {
+		if s.quarantined.Load() {
+			// The partition isolated itself (either before this batch or
+			// from an earlier group in it): fail the remaining groups fast.
+			for _, g := range groups[id] {
+				results[g.idx].Err = ErrQuarantined
+			}
+			continue
+		}
 		s.applySetGroup(m, groups[id], ops, results)
 	}
 }
@@ -130,6 +138,7 @@ func (s *Store) applySetGroup(m *sim.Meter, group []batchPos, ops []BatchOp, res
 	if err != nil {
 		// The whole set failed authentication: every op that needed this
 		// set is affected — and only those.
+		s.noteErr(m, err)
 		for _, g := range group {
 			results[g.idx].Err = err
 		}
@@ -166,6 +175,7 @@ func (s *Store) applySetGroup(m *sim.Meter, group []batchPos, ops []BatchOp, res
 		default:
 			r.Err = ErrBadBatchOp
 		}
+		s.noteErr(m, r.Err)
 		if errors.Is(r.Err, ErrCorruptPointer) {
 			// A corrupt untrusted pointer can surface mid-mutation, so the
 			// chain may be half-rewritten; applying further ops to this

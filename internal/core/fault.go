@@ -1,0 +1,173 @@
+// Fault-plane threading and per-partition quarantine.
+//
+// Injection happens where the §4.3 protocol starts — just before a
+// bucket set's MAC material is collected — so every armed corruption is
+// in place for the very verification pass that must catch it. Reactions
+// follow DESIGN.md §10: a detected ErrIntegrity/ErrCorruptPointer
+// optionally trips the partition's quarantine latch (Options.Quarantine),
+// after which the partition fails its own requests with ErrQuarantined
+// while sibling partitions keep serving.
+package core
+
+import (
+	"errors"
+
+	"shieldstore/internal/entry"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sim"
+)
+
+// ErrQuarantined reports an operation rejected because this partition
+// previously detected tampering and isolated itself (Options.Quarantine).
+var ErrQuarantined = errors.New("shieldstore: partition quarantined after integrity failure")
+
+// SetFaultPlane attaches a fault-injection plane (nil detaches). Test
+// and experiment use only; the plane's points fire inside this store's
+// operation paths.
+func (s *Store) SetFaultPlane(p *fault.Plane) { s.faults = p }
+
+// Quarantined reports whether the partition has isolated itself. Safe to
+// call from any goroutine (health checks read it while the owning worker
+// serves).
+func (s *Store) Quarantined() bool { return s.quarantined.Load() }
+
+// Unquarantine clears the latch (operator override after repair).
+func (s *Store) Unquarantine() { s.quarantined.Store(false) }
+
+// guard rejects operations on a quarantined partition.
+func (s *Store) guard() error {
+	if s.quarantined.Load() {
+		return ErrQuarantined
+	}
+	return nil
+}
+
+// noteErr records an operation's outcome: integrity-class failures bump
+// CtrIntegrityFail and, when Options.Quarantine is set, trip the latch
+// (CtrQuarantine counts the transition, not repeat detections).
+func (s *Store) noteErr(m *sim.Meter, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ErrIntegrity) || errors.Is(err, ErrCorruptPointer) {
+		m.Count(sim.CtrIntegrityFail)
+		if s.opts.Quarantine && s.quarantined.CompareAndSwap(false, true) {
+			m.Count(sim.CtrQuarantine)
+		}
+	}
+}
+
+// injectFaults fires any armed untrusted-memory corruptions against
+// bucket b. Called at the top of set collection: the damage is in place
+// before the MAC material is gathered, exactly as a host attacking
+// between requests would leave it. Corruption uses Peek/Tamper (host
+// actions cost the enclave nothing and never touch its meters).
+func (s *Store) injectFaults(m *sim.Meter, b int) {
+	p := s.faults
+	if p == nil {
+		return
+	}
+	if p.Hit(fault.PointChainSplice) {
+		var zero [8]byte
+		s.space.Tamper(s.headAddr(b), zero[:])
+		m.Count(sim.CtrFaultInjected)
+	}
+	if p.Hit(fault.PointEntryFlip) {
+		s.injectEntryFlip(p, b)
+		m.Count(sim.CtrFaultInjected)
+	}
+	if p.Hit(fault.PointMACSidecar) {
+		s.injectSidecarCorrupt(p, b)
+		m.Count(sim.CtrFaultInjected)
+	}
+	if p.Hit(fault.PointMerkleLeaf) {
+		s.injectMerkleTamper(p, b)
+		m.Count(sim.CtrFaultInjected)
+	}
+}
+
+// flipByte XORs one deterministic bit into the byte at a.
+func (s *Store) flipByte(p *fault.Plane, a mem.Addr) {
+	var bb [1]byte
+	s.space.Peek(a, bb[:])
+	bb[0] ^= 1 << p.Pick(8)
+	s.space.Tamper(a, bb[:])
+}
+
+// injectEntryFlip flips one ciphertext bit of bucket b's head entry. An
+// empty bucket absorbs the fault harmlessly (the arm still counts as
+// fired — the host "attacked" nothing).
+func (s *Store) injectEntryFlip(p *fault.Plane, b int) {
+	var head [8]byte
+	s.space.Peek(s.headAddr(b), head[:])
+	cur := mem.Addr(leU64(head[:]))
+	if cur == 0 {
+		return
+	}
+	var hdrBuf [entry.HeaderSize]byte
+	s.space.Peek(cur, hdrBuf[:])
+	hdr := entry.ParseHeader(hdrBuf[:])
+	if hdr.CTLen() <= 0 || hdr.CTLen() > 64<<20 {
+		return
+	}
+	s.flipByte(p, cur+entry.HeaderSize+mem.Addr(p.Pick(hdr.CTLen())))
+}
+
+// injectSidecarCorrupt flips one byte of bucket b's MAC-bucket sidecar
+// (no-op without MAC bucketing or for an empty sidecar).
+func (s *Store) injectSidecarCorrupt(p *fault.Plane, b int) {
+	if !s.opts.MACBucket {
+		return
+	}
+	var head [8]byte
+	s.space.Peek(s.macHeadAddr(b), head[:])
+	node := mem.Addr(leU64(head[:]))
+	if node == 0 {
+		return
+	}
+	var cntBuf [4]byte
+	s.space.Peek(node+8, cntBuf[:])
+	cnt := int(leU32(cntBuf[:]))
+	if cnt <= 0 {
+		return
+	}
+	if cnt > s.opts.MACBucketCap {
+		cnt = s.opts.MACBucketCap
+	}
+	s.flipByte(p, node+macNodeHdr+mem.Addr(p.Pick(cnt*entry.MACSize)))
+}
+
+// injectMerkleTamper corrupts the untrusted Merkle node on bucket b's
+// verification path (the leaf's sibling — VerifyLeaf reads siblings, not
+// the leaf's own stored digest), so the very next op on b fails the root
+// check. No-op outside MerkleTree mode.
+func (s *Store) injectMerkleTamper(p *fault.Plane, b int) {
+	if s.tree == nil {
+		return
+	}
+	var d [16]byte
+	for i := range d {
+		d[i] = byte(1 + p.Pick(255))
+	}
+	s.tree.TamperNode((s.tree.Cap()+b)^1, d)
+}
+
+// QuarantinedParts lists the indices of partitions that have isolated
+// themselves. Safe for concurrent use.
+func (p *Partitioned) QuarantinedParts() []int {
+	var out []int
+	for i, s := range p.parts {
+		if s.Quarantined() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SetFaultPlane attaches one plane to every partition.
+func (p *Partitioned) SetFaultPlane(pl *fault.Plane) {
+	for _, s := range p.parts {
+		s.SetFaultPlane(pl)
+	}
+}

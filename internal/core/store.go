@@ -16,9 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"shieldstore/internal/alloc"
 	"shieldstore/internal/entry"
+	"shieldstore/internal/fault"
 	"shieldstore/internal/mem"
 	"shieldstore/internal/merkle"
 	"shieldstore/internal/sgx"
@@ -70,6 +72,12 @@ type Options struct {
 	// skiplist over plaintext keys (the §7 future-work extension). Costs
 	// EPC proportional to the key set; see internal/core/ordered.go.
 	RangeIndex bool
+	// Quarantine makes the partition isolate itself after the first
+	// detected integrity violation: subsequent operations fail fast with
+	// ErrQuarantined while sibling partitions keep serving (DESIGN.md
+	// §10). Off by default — corruption tests probe a tampered store
+	// repeatedly.
+	Quarantine bool
 	// MerkleTree replaces the flattened in-enclave MAC hashes (§4.3) with
 	// the full Merkle tree the paper rejects: one leaf per bucket,
 	// internal nodes in untrusted memory, only the 16-byte root in the
@@ -133,6 +141,9 @@ type Store struct {
 	tree    *merkle.Tree  // non-nil when Options.MerkleTree
 
 	keys int // number of live entries
+
+	faults      *fault.Plane // optional injection plane (tests/experiments)
+	quarantined atomic.Bool  // isolation latch (Options.Quarantine)
 
 	// Cached setView backings. The Store is single-owner (§5.3) and at
 	// most one view is live at a time, so collectSet reuses these across
@@ -337,6 +348,11 @@ func (s *Store) walk(m *sim.Meter, b int, key []byte, useHint bool, hint byte) (
 		link = cur + entry.OffNext
 		cur = hdr.Next
 		idx++
+		if idx > s.keys {
+			// No chain can hold more than every live entry: a longer walk
+			// means the host spliced a cycle or grafted foreign nodes.
+			return res, ErrIntegrity
+		}
 	}
 	res.chainLen = idx
 	return res, nil
@@ -354,13 +370,15 @@ type setView struct {
 }
 
 // bucketOffset returns the offset and count of bucket b inside the view.
-func (v *setView) bucketOffset(b int) (off, cnt int) {
+// ok is false when b is not covered by the view — a state only tampered
+// metadata can produce, so callers surface it as ErrIntegrity.
+func (v *setView) bucketOffset(b int) (off, cnt int, ok bool) {
 	for i, bb := range v.buckets {
 		if bb == b {
-			return v.offs[i], v.cnts[i]
+			return v.offs[i], v.cnts[i], true
 		}
 	}
-	panic("core: bucket not in set view")
+	return 0, 0, false
 }
 
 // collectSet gathers the MACs of every bucket covered by b's MAC hash
@@ -382,6 +400,7 @@ func (s *Store) collectSet(m *sim.Meter, b int) (setView, error) {
 }
 
 func (s *Store) collectSetInto(m *sim.Meter, b int, v *setView) error {
+	s.injectFaults(m, b)
 	if s.tree != nil {
 		// Merkle mode: every bucket is its own leaf.
 		v.macIdx = b
@@ -441,7 +460,11 @@ func (s *Store) readMACBucket(m *sim.Meter, bb int, dst []byte) ([]byte, int, er
 			take = s.opts.MACBucketCap
 		}
 		// Grow dst and read the node's MACs straight into the tail —
-		// no per-node staging buffer.
+		// no per-node staging buffer. A tampered node pointer may land on
+		// an allocation too small for a full MAC area.
+		if err := s.checkSpan(node+macNodeHdr, take*entry.MACSize); err != nil {
+			return dst, 0, err
+		}
 		off := len(dst)
 		dst = growBytes(dst, take*entry.MACSize)
 		s.space.Read(m, node+macNodeHdr, dst[off:])
@@ -474,7 +497,7 @@ func (s *Store) readChainMACs(m *sim.Meter, bb int, dst []byte) ([]byte, int, er
 		if err != nil {
 			return dst, 0, err
 		}
-		if cnt > 1<<24 {
+		if cnt > s.keys {
 			return dst, 0, ErrIntegrity // cycle in tampered chain
 		}
 	}
@@ -539,7 +562,10 @@ func (s *Store) verifyLeafMerkle(m *sim.Meter, v *setView) error {
 // positionOf returns the byte offset of the entry's MAC inside the view:
 // slot order under MAC bucketing, chain order otherwise.
 func (s *Store) positionOf(v *setView, res *lookup) (int, error) {
-	off, cnt := v.bucketOffset(res.bucket)
+	off, cnt, ok := v.bucketOffset(res.bucket)
+	if !ok {
+		return 0, ErrIntegrity
+	}
 	pos := res.chainIdx
 	if s.opts.MACBucket {
 		pos = int(res.hdr.Slot)
@@ -563,7 +589,10 @@ func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
 	if !s.opts.MACBucket {
 		return nil
 	}
-	off, cnt := v.bucketOffset(b)
+	off, cnt, ok := v.bucketOffset(b)
+	if !ok {
+		return ErrIntegrity
+	}
 	seen := make([]bool, cnt)
 	cur, err := s.readPtr(m, s.headAddr(b))
 	if err != nil {
@@ -584,6 +613,9 @@ func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
 		seen[slot] = true
 		n++
 		if err := mem.CheckUntrusted(hdr.Next); err != nil {
+			return ErrCorruptPointer
+		}
+		if hdr.Next != 0 && !s.space.InAllocated(hdr.Next, entry.HeaderSize) {
 			return ErrCorruptPointer
 		}
 		cur = hdr.Next
@@ -619,7 +651,11 @@ func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
 }
 
 // Get returns the value stored under key.
-func (s *Store) Get(m *sim.Meter, key []byte) ([]byte, error) {
+func (s *Store) Get(m *sim.Meter, key []byte) (val []byte, err error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	defer func() { s.noteErr(m, err) }()
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
 	b := s.bucketOf(m, key)
@@ -648,7 +684,7 @@ func (s *Store) getInView(m *sim.Meter, v *setView, b int, key []byte) ([]byte, 
 		return nil, err
 	}
 	if !res.found {
-		if err := s.verifyMissChain(m, v, b); err != nil {
+		if err := s.verifyMiss(m, v, b); err != nil {
 			return nil, err
 		}
 		return nil, ErrNotFound
@@ -660,6 +696,22 @@ func (s *Store) getInView(m *sim.Meter, v *setView, b int, key []byte) ([]byte, 
 		s.cache.put(m, key, res.val)
 	}
 	return res.val, nil
+}
+
+// verifyMiss authenticates a not-found result before it is *reported*.
+// Structural cross-checking (verifyMissChain) alone leaves a phantom-miss
+// gap: corrupting an entry's ciphertext garbles its decrypted key without
+// touching the MACs the set hash covers, turning a present key into a
+// structurally clean miss. Reported misses therefore also re-authenticate
+// every entry's content against the verified MAC material. Insert misses
+// skip this (mutateInView): nothing is reported to the client, and the
+// corruption is still caught by the first read or scrub that touches the
+// bucket — the lazy-detection tradeoff documented in DESIGN.md §10.
+func (s *Store) verifyMiss(m *sim.Meter, v *setView, b int) error {
+	if err := s.verifyMissChain(m, v, b); err != nil {
+		return err
+	}
+	return s.verifyBucketEntries(m, v, b)
 }
 
 // Set stores value under key, inserting or updating in place.
@@ -722,7 +774,11 @@ func incrMutator(delta int64, out *int64) func(old []byte, found bool) ([]byte, 
 }
 
 // Delete removes key, returning ErrNotFound when absent.
-func (s *Store) Delete(m *sim.Meter, key []byte) error {
+func (s *Store) Delete(m *sim.Meter, key []byte) (err error) {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	defer func() { s.noteErr(m, err) }()
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
 	b := s.bucketOf(m, key)
@@ -749,7 +805,7 @@ func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error 
 		return err
 	}
 	if !res.found {
-		if err := s.verifyMissChain(m, v, b); err != nil {
+		if err := s.verifyMiss(m, v, b); err != nil {
 			return err
 		}
 		return ErrNotFound
@@ -766,7 +822,10 @@ func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error 
 	if err != nil {
 		return err
 	}
-	off, cnt := v.bucketOffset(res.bucket)
+	off, cnt, ok := v.bucketOffset(res.bucket)
+	if !ok {
+		return ErrIntegrity
+	}
 	if s.opts.MACBucket {
 		last := off + (cnt-1)*entry.MACSize
 		if p != last {
@@ -798,7 +857,11 @@ func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error 
 
 // mutate implements set/append/incr: search, verify, then update in place,
 // replace (size change), or insert at the chain head.
-func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) ([]byte, error)) error {
+func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) ([]byte, error)) (err error) {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	defer func() { s.noteErr(m, err) }()
 	b := s.bucketOf(m, key)
 	v, err := s.collectSet(m, b)
 	if err != nil {
@@ -863,7 +926,10 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 	if err != nil {
 		return err
 	}
-	off, cnt := v.bucketOffset(b)
+	off, cnt, ok := v.bucketOffset(b)
+	if !ok {
+		return ErrIntegrity
+	}
 
 	hdr := entry.Header{
 		Next:    oldHead,
@@ -1015,7 +1081,7 @@ func (s *Store) sidecarSlotAddr(m *sim.Meter, b, idx int) (mem.Addr, error) {
 // writeSidecarSlot overwrites one sidecar MAC.
 func (s *Store) writeSidecarSlot(m *sim.Meter, b, idx int, mac []byte) {
 	a, err := s.sidecarSlotAddr(m, b, idx)
-	if err != nil || a == 0 {
+	if err != nil || a == 0 || s.checkSpan(a, len(mac)) != nil {
 		return // corrupt sidecar surfaces as ErrIntegrity on next verify
 	}
 	s.space.Write(m, a, mac)
@@ -1045,7 +1111,11 @@ func (s *Store) appendSidecar(m *sim.Meter, b, idx int, mac []byte) error {
 		}
 		node = next
 	}
-	s.space.Write(m, node+mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize), mac)
+	slot := node + mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize)
+	if err := s.checkSpan(slot, len(mac)); err != nil {
+		return err
+	}
+	s.space.Write(m, slot, mac)
 	s.setSidecarCount(m, b, idx+1)
 	return nil
 }
@@ -1077,6 +1147,7 @@ func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
 		return err
 	}
 	var hdrBuf [entry.HeaderSize]byte
+	n := 0
 	for cur != 0 {
 		s.space.Read(m, cur, hdrBuf[:])
 		hdr := entry.ParseHeader(hdrBuf[:])
@@ -1089,7 +1160,13 @@ func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
 		if err := mem.CheckUntrusted(hdr.Next); err != nil {
 			return ErrCorruptPointer
 		}
+		if hdr.Next != 0 && !s.space.InAllocated(hdr.Next, entry.HeaderSize) {
+			return ErrCorruptPointer
+		}
 		cur = hdr.Next
+		if n++; n > s.keys {
+			return ErrIntegrity // cycle spliced into tampered chain
+		}
 	}
 	return ErrIntegrity
 }
@@ -1101,7 +1178,8 @@ func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
 // authenticated against its covered MAC, and under MAC bucketing the data
 // chains are cross-checked against the sidecars. Used after snapshot
 // restore and as a defense-in-depth scrub.
-func (s *Store) VerifyAll(m *sim.Meter) error {
+func (s *Store) VerifyAll(m *sim.Meter) (err error) {
+	defer func() { s.noteErr(m, err) }()
 	for idx := 0; idx < s.opts.MACHashes; idx++ {
 		v, err := s.collectSet(m, idx)
 		if err != nil {
@@ -1122,7 +1200,10 @@ func (s *Store) VerifyAll(m *sim.Meter) error {
 // verifyBucketEntries authenticates every entry in bucket b against the
 // collected (already set-hash-verified) MAC material.
 func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
-	off, cnt := v.bucketOffset(b)
+	off, cnt, ok := v.bucketOffset(b)
+	if !ok {
+		return ErrIntegrity
+	}
 	cur, err := s.readPtr(m, s.headAddr(b))
 	if err != nil {
 		return err
@@ -1160,6 +1241,9 @@ func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
 		if err := mem.CheckUntrusted(hdr.Next); err != nil {
 			return ErrCorruptPointer
 		}
+		if hdr.Next != 0 && !s.space.InAllocated(hdr.Next, entry.HeaderSize) {
+			return ErrCorruptPointer
+		}
 		cur = hdr.Next
 		i++
 	}
@@ -1180,9 +1264,23 @@ func (s *Store) ForEachBucketRaw(f func(bucket int, entries [][]byte) error) err
 		cur := mem.Addr(leU64(head[:]))
 		var list [][]byte
 		for cur != 0 {
+			// Same pointer/size sanitization as the hot path: a snapshot
+			// of tampered memory must fail typed, not fault or OOM.
+			if err := mem.CheckUntrusted(cur); err != nil {
+				return ErrCorruptPointer
+			}
+			if !s.space.InAllocated(cur, entry.HeaderSize) {
+				return ErrCorruptPointer
+			}
 			var hdrBuf [entry.HeaderSize]byte
 			s.space.Peek(cur, hdrBuf[:])
 			hdr := entry.ParseHeader(hdrBuf[:])
+			if hdr.CTLen() > 64<<20 || len(list) >= s.keys+1 {
+				return ErrIntegrity
+			}
+			if err := s.checkSpan(cur, hdr.TotalLen()); err != nil {
+				return err
+			}
 			raw := make([]byte, hdr.TotalLen())
 			s.space.Peek(cur, raw)
 			list = append(list, raw)
@@ -1284,7 +1382,11 @@ func (s *Store) appendSidecarAt(m *sim.Meter, b, idx int, mac []byte) error {
 		}
 		node = next
 	}
-	s.space.Write(m, node+mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize), mac)
+	slot := node + mem.Addr(macNodeHdr+(idx%s.opts.MACBucketCap)*entry.MACSize)
+	if err := s.checkSpan(slot, len(mac)); err != nil {
+		return err
+	}
+	s.space.Write(m, slot, mac)
 	return nil
 }
 

@@ -1,0 +1,96 @@
+// Fault-injecting net.Conn wrapper: the network slice of the fault
+// plane. Wrapping either end of a connection lets tests fail, truncate
+// or stall I/O at deterministic operation counts — the torn-frame and
+// dropped-connection cases the server's deadline/drain logic and the
+// client's reconnect path must degrade through.
+package fault
+
+import (
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with armed read/write faults. The zero plane
+// (nil) passes everything through.
+type Conn struct {
+	net.Conn
+	plane *Plane
+	// readPoint/writePoint are the plane points consulted on each
+	// Read/Write (defaults PointConnRead / PointConnWrite).
+	readPoint  string
+	writePoint string
+}
+
+// WrapConn wraps c so reads and writes consult plane at the given point
+// names. Empty names use the package defaults.
+func WrapConn(c net.Conn, plane *Plane, readPoint, writePoint string) *Conn {
+	if readPoint == "" {
+		readPoint = PointConnRead
+	}
+	if writePoint == "" {
+		writePoint = PointConnWrite
+	}
+	return &Conn{Conn: c, plane: plane, readPoint: readPoint, writePoint: writePoint}
+}
+
+// Read fails with ErrInjected (closing the underlying connection, as a
+// reset peer would) when the read point fires.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.plane.Hit(c.readPoint) {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}
+
+// Write delivers a deterministic prefix of p and then fails when the
+// write point fires — the peer sees a torn frame followed by a close.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.plane.Hit(c.writePoint) {
+		n := 0
+		if len(p) > 1 {
+			n, _ = c.Conn.Write(p[:c.plane.Pick(len(p))])
+		}
+		c.Conn.Close()
+		return n, ErrInjected
+	}
+	return c.Conn.Write(p)
+}
+
+// FlakyListener wraps a listener so the first Flaps accepted
+// connections are closed immediately — a deterministic "server came up
+// but drops you" window for exercising client reconnect/backoff.
+type FlakyListener struct {
+	net.Listener
+	plane *Plane
+	point string
+}
+
+// PointAccept is the FlakyListener injection point.
+const PointAccept = "net.listener.accept"
+
+// WrapListener wraps ln; arm PointAccept on plane to drop connections.
+func WrapListener(ln net.Listener, plane *Plane) *FlakyListener {
+	return &FlakyListener{Listener: ln, plane: plane, point: PointAccept}
+}
+
+// Accept drops the connection (closes it right after the TCP accept)
+// whenever the accept point fires, then keeps listening.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.plane.Hit(l.point) {
+			// Linger a moment so the client's connect completes before
+			// the reset; keeps the failure on its first I/O, not Dial.
+			go func(c net.Conn) {
+				time.Sleep(time.Millisecond)
+				c.Close()
+			}(c)
+			continue
+		}
+		return c, nil
+	}
+}

@@ -1,0 +1,219 @@
+// Package fault is ShieldStore's deterministic fault-injection plane.
+//
+// The repo's threat model (§3) assumes an adversary who controls every
+// byte of untrusted memory and the whole persistence path, yet ad-hoc
+// corruption tests only ever exercise the handful of attacks someone
+// thought to write down. The fault plane turns "what does the store do
+// when X breaks" into a first-class, seeded, repeatable experiment:
+// subsystems register *named injection points* (an entry read in core, a
+// WAL append in persist, a socket write in the server) and a test arms a
+// point with a Spec; when execution reaches the point, the fault fires —
+// a bit-flip in untrusted memory, a torn file write, a dropped
+// connection — and the harness asserts the outcome is one of the three
+// allowed reactions: detected (typed error), recovered (replay /
+// reconnect), or isolated (quarantine / timeout). Never a panic, a hang,
+// or a silently wrong value. See DESIGN.md §10.
+//
+// Determinism: all randomness (which bit to flip, where to tear a
+// write) comes from a splitmix64 stream seeded at construction, so a
+// failing matrix cell replays exactly.
+//
+// A nil *Plane is valid and inert: every method is nil-receiver safe, so
+// instrumented code calls Hit/Pick unconditionally and pays one nil
+// check on the hot path when injection is disabled.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is returned by operations aborted by an injected fault
+// (e.g. a torn WAL append simulating a crash mid-write).
+var ErrInjected = errors.New("fault: injected failure")
+
+// Injection point names. Subsystems fire these; tests arm them.
+const (
+	// PointEntryFlip flips one ciphertext bit of a chained entry in
+	// untrusted memory before a bucket-set collection (core).
+	PointEntryFlip = "core.entry.flip"
+	// PointMACSidecar corrupts one byte of a MAC-bucket sidecar node
+	// before collection (core, MACBucket mode).
+	PointMACSidecar = "core.mac.sidecar"
+	// PointMerkleLeaf overwrites the target bucket's Merkle leaf node in
+	// untrusted memory (core, MerkleTree mode).
+	PointMerkleLeaf = "core.merkle.leaf"
+	// PointChainSplice unlinks a bucket's whole entry chain by zeroing
+	// its head pointer (core).
+	PointChainSplice = "core.chain.splice"
+	// PointWALTear tears a WAL append mid-frame: a prefix of the sealed
+	// record reaches the file, then the "machine crashes" (persist).
+	PointWALTear = "persist.wal.tear"
+	// PointSnapshotTear truncates the snapshot data stream mid-write
+	// after the sealed metadata is already durable (persist).
+	PointSnapshotTear = "persist.snapshot.tear"
+	// PointConnRead / PointConnWrite fail a wrapped connection's Nth
+	// read/write (fault.Conn).
+	PointConnRead  = "net.conn.read"
+	PointConnWrite = "net.conn.write"
+)
+
+// Spec arms one injection point.
+type Spec struct {
+	// Skip passes over the first Skip hits before firing (0 = fire on
+	// the first hit).
+	Skip int
+	// Count is how many hits fire once triggered; 0 means 1, negative
+	// means every subsequent hit.
+	Count int
+}
+
+// Plane is a registry of armed injection points plus the deterministic
+// randomness stream they draw from. Safe for concurrent use: partition
+// workers, connection handlers and the arming test all share one Plane.
+type Plane struct {
+	mu    sync.Mutex
+	rng   uint64
+	arms  map[string]*arm
+	fired map[string]int
+}
+
+type arm struct {
+	skip  int
+	count int // remaining fires; negative = unlimited
+}
+
+// New creates a plane seeded for a reproducible fault schedule.
+func New(seed uint64) *Plane {
+	return &Plane{
+		rng:   seed*0x9E3779B97F4A7C15 + 0x1234567,
+		arms:  make(map[string]*arm),
+		fired: make(map[string]int),
+	}
+}
+
+// Arm schedules point to fire per spec, replacing any previous arming.
+func (p *Plane) Arm(point string, s Spec) {
+	if p == nil {
+		return
+	}
+	count := s.Count
+	if count == 0 {
+		count = 1
+	}
+	p.mu.Lock()
+	p.arms[point] = &arm{skip: s.Skip, count: count}
+	p.mu.Unlock()
+}
+
+// Disarm removes point's arming (fired counts are kept).
+func (p *Plane) Disarm(point string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.arms, point)
+	p.mu.Unlock()
+}
+
+// Armed reports whether point could still fire. Instrumented code uses
+// it to skip expensive fault preparation (e.g. locating a victim entry)
+// on the common path.
+func (p *Plane) Armed(point string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.arms[point]
+	return ok
+}
+
+// Hit registers one arrival at point and reports whether the armed
+// fault fires now. Unarmed points always return false.
+func (p *Plane) Hit(point string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.arms[point]
+	if !ok {
+		return false
+	}
+	if a.skip > 0 {
+		a.skip--
+		return false
+	}
+	if a.count > 0 {
+		a.count--
+		if a.count == 0 {
+			delete(p.arms, point)
+		}
+	}
+	p.fired[point]++
+	return true
+}
+
+// Fired returns how many times point has fired.
+func (p *Plane) Fired(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[point]
+}
+
+// TotalFired returns the number of faults fired across all points.
+func (p *Plane) TotalFired() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, n := range p.fired {
+		total += n
+	}
+	return total
+}
+
+// Pick returns a deterministic value in [0, n) from the plane's seeded
+// stream (n <= 0 returns 0). Fault sites use it to choose which byte to
+// corrupt or where to tear a write.
+func (p *Plane) Pick(n int) int {
+	if p == nil || n <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.next() % uint64(n))
+}
+
+// next advances the splitmix64 stream. Caller holds mu.
+func (p *Plane) next() uint64 {
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Report renders "point=count" lines for every point that fired, sorted
+// by name (experiment logs, server Stats).
+func (p *Plane) Report() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.fired))
+	for point, n := range p.fired {
+		out = append(out, fmt.Sprintf("%s=%d", point, n))
+	}
+	sort.Strings(out)
+	return out
+}

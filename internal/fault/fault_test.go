@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNilPlaneInert(t *testing.T) {
+	var p *Plane
+	p.Arm(PointEntryFlip, Spec{})
+	p.Disarm(PointEntryFlip)
+	if p.Armed(PointEntryFlip) || p.Hit(PointEntryFlip) {
+		t.Fatal("nil plane fired")
+	}
+	if p.Fired(PointEntryFlip) != 0 || p.TotalFired() != 0 {
+		t.Fatal("nil plane counted")
+	}
+	if p.Pick(10) != 0 {
+		t.Fatal("nil plane picked nonzero")
+	}
+	if p.Report() != nil {
+		t.Fatal("nil plane reported")
+	}
+}
+
+func TestSkipCountSemantics(t *testing.T) {
+	p := New(1)
+	p.Arm(PointWALTear, Spec{Skip: 2, Count: 2})
+	want := []bool{false, false, true, true, false, false}
+	for i, w := range want {
+		if got := p.Hit(PointWALTear); got != w {
+			t.Fatalf("hit %d: got %v want %v", i, got, w)
+		}
+	}
+	if p.Fired(PointWALTear) != 2 {
+		t.Fatalf("fired = %d, want 2", p.Fired(PointWALTear))
+	}
+	if p.Armed(PointWALTear) {
+		t.Fatal("point still armed after count exhausted")
+	}
+
+	// Count 0 means one fire; negative means unlimited.
+	p.Arm(PointEntryFlip, Spec{})
+	if !p.Hit(PointEntryFlip) || p.Hit(PointEntryFlip) {
+		t.Fatal("Count=0 should fire exactly once")
+	}
+	p.Arm(PointConnRead, Spec{Count: -1})
+	for i := 0; i < 10; i++ {
+		if !p.Hit(PointConnRead) {
+			t.Fatalf("unlimited arm stopped firing at hit %d", i)
+		}
+	}
+	if p.TotalFired() != 13 {
+		t.Fatalf("TotalFired = %d, want 13", p.TotalFired())
+	}
+}
+
+func TestPickDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Pick(1000), b.Pick(1000); x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Pick(1000) != c.Pick(1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if New(7).Pick(0) != 0 || New(7).Pick(-3) != 0 {
+		t.Fatal("Pick must return 0 for n <= 0")
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := New(9)
+	p.Arm(PointWALTear, Spec{Count: 2})
+	p.Arm(PointEntryFlip, Spec{})
+	p.Hit(PointWALTear)
+	p.Hit(PointWALTear)
+	p.Hit(PointEntryFlip)
+	got := p.Report()
+	want := []string{"core.entry.flip=1", "persist.wal.tear=2"}
+	if len(got) != len(want) {
+		t.Fatalf("report = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("report[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// pipeConns returns a connected TCP pair so deadline/close semantics
+// match the real server paths.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cli.Close(); r.c.Close() })
+	return cli, r.c
+}
+
+func TestConnReadFault(t *testing.T) {
+	cli, srv := pipeConns(t)
+	p := New(3)
+	p.Arm(PointConnRead, Spec{Skip: 1})
+	fc := WrapConn(cli, p, "", "")
+
+	if _, err := srv.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read: got %v, want ErrInjected", err)
+	}
+	// The underlying connection was closed by the fault.
+	if _, err := cli.Read(buf); err == nil {
+		t.Fatal("underlying conn still open after injected read failure")
+	}
+}
+
+func TestConnWritePartial(t *testing.T) {
+	cli, srv := pipeConns(t)
+	p := New(5)
+	p.Arm(PointConnWrite, Spec{})
+	fc := WrapConn(cli, p, "", "")
+
+	msg := []byte("0123456789abcdef")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: got %v, want ErrInjected", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("torn write delivered %d of %d bytes", n, len(msg))
+	}
+	// Peer observes the prefix then EOF.
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	got, _ := io.ReadAll(srv)
+	if len(got) != n {
+		t.Fatalf("peer saw %d bytes, fault reported %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != msg[i] {
+			t.Fatalf("torn prefix corrupted at byte %d", i)
+		}
+	}
+}
+
+func TestFlakyListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(11)
+	p.Arm(PointAccept, Spec{Count: 2})
+	fl := WrapListener(ln, p)
+	defer fl.Close()
+
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				close(accepted)
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	// First two dials connect at the TCP level but get dropped; the
+	// third is handed to the accept loop.
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving connection never accepted")
+	}
+	if p.Fired(PointAccept) != 2 {
+		t.Fatalf("accept faults fired %d times, want 2", p.Fired(PointAccept))
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"shieldstore/internal/core"
 	"shieldstore/internal/entry"
+	"shieldstore/internal/fault"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
 )
@@ -80,7 +81,12 @@ type Store struct {
 	tombstones map[string]bool
 	childEnd   uint64 // virtual completion time of the forked writer
 	childCost  uint64 // cycles the last child spent (reporting)
+
+	faults *fault.Plane // optional crash-injection plane (tests)
 }
+
+// SetFaultPlane attaches a fault-injection plane (nil detaches).
+func (p *Store) SetFaultPlane(pl *fault.Plane) { p.faults = pl }
 
 // New wraps store with persistence writing into dir. The rollback-defense
 // monotonic counter id is derived from dir, so a restarted enclave
@@ -152,6 +158,16 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	data, totalBytes, err := p.encodeData()
 	if err != nil {
 		return err
+	}
+	if p.faults.Hit(fault.PointSnapshotTear) {
+		// Crash mid-stream: the sealed metadata (new version) is already
+		// durable but the data file is a torn prefix. Restore must reject
+		// the pair — the version check passes but the data fails
+		// verification — and the previous snapshot stays usable only if
+		// the operator kept it; this models the paper's single-directory
+		// layout honestly.
+		os.WriteFile(filepath.Join(p.dir, dataFile), data[:p.faults.Pick(len(data))], 0o600)
+		return fault.ErrInjected
 	}
 	if err := os.WriteFile(filepath.Join(p.dir, dataFile), data, 0o600); err != nil {
 		return err

@@ -1,0 +1,166 @@
+// Crash-consistent WAL recovery: replay-to-last-valid-prefix.
+//
+// ReplayWAL treats any malformed byte as fatal — correct for an intact
+// log, but a *crash mid-append* legitimately leaves a torn frame at the
+// tail (see WAL.append's tear injection point). RecoverWAL distinguishes
+// the two: sealed records are replayed while they parse, authenticate
+// and stay sequence-dense; the first invalid byte ends the valid prefix
+// and everything after it is discarded (and truncated off the file), with
+// the discard reported. Security is unchanged — an attacker "tearing" the
+// log deliberately can only shorten it, and a prefix shorter than the
+// platform counter's pinned history still fails with ErrRollback exactly
+// as in ReplayWAL.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/sim"
+)
+
+// RecoveryReport summarizes a crash recovery.
+type RecoveryReport struct {
+	// Applied is the number of log records replayed into the store.
+	Applied uint64
+	// DiscardedBytes is the size of the invalid tail truncated off the
+	// log (0 for a clean log).
+	DiscardedBytes int
+	// TailErr is what was wrong with the discarded tail (nil when the
+	// log was clean).
+	TailErr error
+}
+
+// String renders the report for logs.
+func (r *RecoveryReport) String() string {
+	if r.TailErr == nil {
+		return fmt.Sprintf("recovered: %d records, clean tail", r.Applied)
+	}
+	return fmt.Sprintf("recovered: %d records, %d tail bytes discarded (%v)",
+		r.Applied, r.DiscardedBytes, r.TailErr)
+}
+
+// RecoverWAL rebuilds state from the log in dir, tolerating a torn tail:
+// the longest valid record prefix is replayed into store, the rest is
+// truncated off the file. The rollback defense is preserved — a prefix
+// shorter than the platform counter's pinned history returns ErrRollback.
+// On success the returned WAL continues appending after the last valid
+// record.
+func RecoverWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*WAL, *RecoveryReport, error) {
+	if batchEvery <= 0 {
+		batchEvery = 64
+	}
+	id := CounterIDFor(dir + "/wal")
+	pinned := store.Enclave().EnsureMonotonicCounter(id)
+
+	path := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+
+	rep := &RecoveryReport{}
+	seq := uint64(0)
+	off := 0      // scan position
+	valid := 0    // end of the last fully applied record
+	for off < len(data) {
+		rec, next, terr := parseSealedRecord(store, m, data, off, seq)
+		if terr != nil {
+			rep.TailErr = terr
+			break
+		}
+		// Apply before advancing: a store-level failure here is real
+		// (tampered memory, not a torn log) and aborts recovery.
+		if err := applyRecord(store, m, rec); err != nil {
+			return nil, nil, err
+		}
+		off = next
+		valid = next
+		seq++
+	}
+	rep.Applied = seq
+	rep.DiscardedBytes = len(data) - valid
+
+	// Rollback defense, identical to ReplayWAL: the valid prefix must
+	// still cover the batches the platform counter pinned. A host that
+	// "tears" away acknowledged, pinned records is rolling back.
+	if pinned > 0 && seq < minSeqRequired(pinned, uint64(batchEvery)) {
+		return nil, nil, fmt.Errorf("%w: log has %d valid records but platform counter pins >= %d",
+			ErrRollback, seq, minSeqRequired(pinned, uint64(batchEvery)))
+	}
+
+	// Make the repair durable: the discarded tail must not resurrect on
+	// the next recovery.
+	if rep.DiscardedBytes > 0 {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WAL{
+		main:       store,
+		dir:        dir,
+		counter:    id,
+		f:          f,
+		seq:        seq,
+		batchEvery: uint64(batchEvery),
+		pinnedSeq:  seq,
+	}, rep, nil
+}
+
+// parseSealedRecord reads, unseals and validates the record at off,
+// returning the plaintext record and the offset past it. Any defect —
+// short frame, bad seal, wrong sequence, inconsistent lengths — comes
+// back as a typed ErrLogCorrupt describing the tail.
+func parseSealedRecord(store *core.Store, m *sim.Meter, data []byte, off int, wantSeq uint64) (rec []byte, next int, err error) {
+	if off+4 > len(data) {
+		return nil, 0, fmt.Errorf("%w: truncated frame header", ErrLogCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if n <= 0 || off+n > len(data) {
+		return nil, 0, fmt.Errorf("%w: truncated record", ErrLogCorrupt)
+	}
+	rec, uerr := store.Enclave().Unseal(m, data[off:off+n])
+	if uerr != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrLogCorrupt, uerr)
+	}
+	if len(rec) < 17 {
+		return nil, 0, fmt.Errorf("%w: short record", ErrLogCorrupt)
+	}
+	gotSeq := binary.LittleEndian.Uint64(rec[0:])
+	if gotSeq != wantSeq {
+		return nil, 0, fmt.Errorf("%w: sequence %d, want %d (reordered or dropped)", ErrLogCorrupt, gotSeq, wantSeq)
+	}
+	kl := int(binary.LittleEndian.Uint32(rec[9:]))
+	vl := int(binary.LittleEndian.Uint32(rec[13:]))
+	if 17+kl+vl != len(rec) {
+		return nil, 0, fmt.Errorf("%w: bad lengths", ErrLogCorrupt)
+	}
+	if op := rec[8]; op != walSet && op != walDelete {
+		return nil, 0, fmt.Errorf("%w: unknown op %d", ErrLogCorrupt, op)
+	}
+	return rec, off + n, nil
+}
+
+// applyRecord replays one validated plaintext record into the store.
+func applyRecord(store *core.Store, m *sim.Meter, rec []byte) error {
+	kl := int(binary.LittleEndian.Uint32(rec[9:]))
+	key := rec[17 : 17+kl]
+	val := rec[17+kl:]
+	if rec[8] == walDelete {
+		if err := store.Delete(m, key); err != nil && !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+		return nil
+	}
+	return store.Set(m, key, val)
+}

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 
 	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
 	"shieldstore/internal/sim"
 )
 
@@ -56,7 +57,12 @@ type WAL struct {
 	// increment (the ROTE-style amortization).
 	batchEvery uint64
 	pinnedSeq  uint64 // highest sequence covered by the platform counter
+
+	faults *fault.Plane // optional crash-injection plane (tests)
 }
+
+// SetFaultPlane attaches a fault-injection plane (nil detaches).
+func (w *WAL) SetFaultPlane(p *fault.Plane) { w.faults = p }
 
 // NewWAL creates a write-ahead-logged store writing into dir. batchEvery
 // bounds the rollback-unprotected tail (default 64).
@@ -104,6 +110,15 @@ func (w *WAL) append(m *sim.Meter, op byte, key, val []byte) error {
 	sealed := w.main.Enclave().Seal(m, rec)
 	var frame [4]byte
 	binary.LittleEndian.PutUint32(frame[:], uint32(len(sealed)))
+	if w.faults.Hit(fault.PointWALTear) {
+		// Crash mid-append: a deterministic prefix of frame+record reaches
+		// the file, the rest never does. The sequence number is NOT
+		// advanced — the operation was never acknowledged, so recovery must
+		// treat the tail as garbage, not as a lost record.
+		torn := append(append([]byte(nil), frame[:]...), sealed...)
+		w.f.Write(torn[:w.faults.Pick(len(torn))])
+		return fault.ErrInjected
+	}
 	if _, err := w.f.Write(frame[:]); err != nil {
 		return err
 	}

@@ -21,7 +21,7 @@ func walEnclave(dir string) *sgx.Enclave {
 	return sgx.New(sgx.Config{Space: space, Seed: 51, CounterPath: filepath.Join(dir, "nvram.bin")})
 }
 
-func newWAL(t *testing.T, dir string, batch int) (*WAL, *sim.Meter) {
+func newWAL(t testing.TB, dir string, batch int) (*WAL, *sim.Meter) {
 	t.Helper()
 	e := walEnclave(dir)
 	s := core.New(e, nil, core.Defaults(64))

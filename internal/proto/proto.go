@@ -192,14 +192,32 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // pooled buffer this makes the server's frame reads allocation-free at
 // steady state.
 func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	n, err := ReadFrameHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadFramePayloadInto(r, n, buf)
+}
+
+// ReadFrameHeader reads a frame's 4-byte length prefix and validates the
+// announced size. Split from ReadFramePayloadInto so callers can apply
+// different I/O deadlines to "waiting for a request" (idle) and "reading
+// a request that already started" (stall).
+func ReadFrameHeader(r io.Reader) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return 0, err
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
+	return n, nil
+}
+
+// ReadFramePayloadInto reads the n-byte payload announced by
+// ReadFrameHeader, reusing buf's capacity when it suffices.
+func ReadFramePayloadInto(r io.Reader, n int, buf []byte) ([]byte, error) {
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	} else {

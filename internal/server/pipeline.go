@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 
 	"shieldstore/internal/core"
 	"shieldstore/internal/proto"
@@ -62,8 +63,22 @@ func (s *Server) connReader(conn net.Conn, ch *proto.Channel, wq chan<- *pending
 	ae, _ := s.cfg.Engine.(AsyncEngine)
 	var req proto.Request
 	for {
+		// Waiting for the next request runs under the idle deadline;
+		// once a frame header arrives, the payload must follow within the
+		// (typically much shorter) read deadline — a client dribbling one
+		// byte at a time cannot pin this goroutine.
+		if t := s.cfg.IdleTimeout; t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		n, err := proto.ReadFrameHeader(conn)
+		if err != nil {
+			return err
+		}
+		if t := s.cfg.ReadTimeout; t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
 		fp := framePool.Get().(*[]byte)
-		frame, err := proto.ReadFrameInto(conn, (*fp)[:0])
+		frame, err := proto.ReadFramePayloadInto(conn, n, (*fp)[:0])
 		if err != nil {
 			framePool.Put(fp)
 			return err
@@ -180,6 +195,9 @@ func (s *Server) connWriter(conn net.Conn, ch *proto.Channel, wq <-chan *pending
 				wire = sc.sealed
 			}
 			s.chargeNet(m, len(wire))
+			if t := s.cfg.WriteTimeout; t > 0 {
+				conn.SetWriteDeadline(time.Now().Add(t))
+			}
 			if err := proto.WriteFrame(bw, wire); err != nil {
 				werr = err
 			} else if len(wq) == 0 {
@@ -193,6 +211,9 @@ func (s *Server) connWriter(conn net.Conn, ch *proto.Channel, wq <-chan *pending
 		releasePending(pd)
 	}
 	if werr == nil {
+		if t := s.cfg.WriteTimeout; t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
+		}
 		werr = bw.Flush()
 	}
 	return werr

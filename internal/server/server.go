@@ -132,6 +132,26 @@ type Config struct {
 	// WriteBuffer sizes the per-connection coalescing write buffer in
 	// bytes (default 32 KiB).
 	WriteBuffer int
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (waiting for the next frame header, or for the handshake) before
+	// the server closes it. 0 means no limit.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one frame's payload once its header has
+	// arrived, so a byte-dripping client cannot hold a reader goroutine
+	// hostage. 0 means no limit.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write/flush; a client that stops
+	// reading is disconnected rather than wedging the writer. 0 means no
+	// limit.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent connections; accepts beyond the cap are
+	// closed immediately, shielding established clients from a
+	// connection flood. 0 means unlimited.
+	MaxConns int
+	// DrainTimeout bounds how long Close waits for in-flight connections
+	// before force-closing them. 0 means wait indefinitely.
+	DrainTimeout time.Duration
 }
 
 // Server is a running front-end.
@@ -142,8 +162,10 @@ type Server struct {
 
 	mu         sync.Mutex
 	meters     []*sim.Meter // live connections (reader + writer meters)
-	retired    *sim.Meter   // accumulated counters of closed connections
-	retiredMax uint64       // slowest closed connection's cycles
+	conns      map[net.Conn]struct{}
+	retired    *sim.Meter // accumulated counters of closed connections
+	retiredMax uint64     // slowest closed connection's cycles
+	rejected   uint64     // accepts refused by the MaxConns cap
 	closed     bool
 }
 
@@ -153,7 +175,12 @@ func Serve(ln net.Listener, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	s := &Server{cfg: cfg, ln: ln, retired: sim.NewMeter(cfg.Enclave.Model())}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		retired: sim.NewMeter(cfg.Enclave.Model()),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -162,13 +189,44 @@ func Serve(ln net.Listener, cfg Config) *Server {
 // Addr returns the listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting and waits for handlers to drain.
+// Close stops accepting and waits for handlers to drain. With
+// DrainTimeout set the wait is bounded: connections still alive when it
+// expires are force-closed, so one wedged client cannot make shutdown
+// hang.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.ln.Close()
+	if d := s.cfg.DrainTimeout; d > 0 {
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+			return
+		case <-time.After(d):
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+		}
+	}
 	s.wg.Wait()
+}
+
+// LiveConns reports how many connections are currently being served.
+func (s *Server) LiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Rejected reports how many accepts the MaxConns cap refused.
+func (s *Server) Rejected() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
 }
 
 // NetworkStats aggregates the connection handlers' meters — live and
@@ -243,6 +301,17 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		backoff = time.Millisecond
+		s.mu.Lock()
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			// Over the cap: shed this connection instead of degrading the
+			// ones already established.
+			s.rejected++
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		// One meter per direction: the reader and writer goroutines run
 		// concurrently and sim.Meter is single-owner.
 		rm := sim.NewMeter(s.cfg.Enclave.Model())
@@ -251,7 +320,12 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			err := s.handle(conn, rm, wm)
 			s.retire(rm, wm)
 			if err != nil && !errors.Is(err, io.EOF) && !isClosed(err) {
@@ -274,11 +348,17 @@ func (s *Server) handle(conn net.Conn, rm, wm *sim.Meter) error {
 
 	var ch *proto.Channel
 	if s.cfg.Secure {
+		// The handshake runs under the idle deadline: a client that
+		// connects and never completes it is shed like any idle one.
+		if t := s.handshakeTimeout(); t > 0 {
+			conn.SetDeadline(time.Now().Add(t))
+		}
 		var err error
 		ch, err = proto.ServerHandshake(conn, e, drbg{e})
 		if err != nil {
 			return err
 		}
+		conn.SetDeadline(time.Time{}) // per-frame deadlines take over
 		// Handshake: two messages + asymmetric crypto (modeled as a few
 		// symmetric-op equivalents; session setup is off the hot path).
 		s.chargeNet(rm, 48)
@@ -303,6 +383,15 @@ func (s *Server) handle(conn net.Conn, rm, wm *sim.Meter) error {
 		return werr
 	}
 	return rerr
+}
+
+// handshakeTimeout picks the deadline for session setup: the idle
+// timeout when configured, else the read timeout.
+func (s *Server) handshakeTimeout() time.Duration {
+	if s.cfg.IdleTimeout > 0 {
+		return s.cfg.IdleTimeout
+	}
+	return s.cfg.ReadTimeout
 }
 
 // chargeNet accounts one message's network path: kernel socket call
@@ -492,7 +581,8 @@ func statusFor(err error) uint8 {
 		return proto.StatusOK
 	case errors.Is(err, core.ErrNotFound), errors.Is(err, baseline.ErrNotFound):
 		return proto.StatusNotFound
-	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer):
+	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer),
+		errors.Is(err, core.ErrQuarantined):
 		return proto.StatusIntegrityViolation
 	default:
 		return proto.StatusError

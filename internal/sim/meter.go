@@ -32,6 +32,9 @@ const (
 	CtrMonotonicInc
 	CtrRequest
 	CtrDispatch
+	CtrFaultInjected
+	CtrIntegrityFail
+	CtrQuarantine
 	numCounters
 )
 
@@ -54,6 +57,9 @@ var counterNames = [numCounters]string{
 	"monotonic_inc",
 	"request",
 	"dispatch",
+	"fault_injected",
+	"integrity_fail",
+	"quarantine",
 }
 
 // String returns the counter's snake_case name.
