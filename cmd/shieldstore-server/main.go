@@ -6,6 +6,8 @@
 //	    -snapshot-dir /var/lib/shieldstore -snapshot-every 60s
 //
 // Clients connect with cmd/shieldstore-cli or the internal/client package.
+//
+//ss:host(process entry point; the modeled enclave lives behind server.Serve)
 package main
 
 import (

@@ -8,6 +8,8 @@
 // Or fully self-contained:
 //
 //	shieldstore-ycsb -selfhost -workload RD50_U -conns 16
+//
+//ss:host(benchmark driver; plays the remote client, entirely outside the enclave)
 package main
 
 import (

@@ -1,0 +1,98 @@
+// Command shieldvet runs the ShieldStore enclave-boundary static analyzer
+// over the module: trustedmem, nopanic, boundarycost, and partition (see
+// DESIGN.md section 11).
+//
+// Usage:
+//
+//	go run ./cmd/shieldvet ./...
+//	go run ./cmd/shieldvet -json ./...
+//	go run ./cmd/shieldvet -checkers nopanic,trustedmem ./...
+//
+// Findings print one per line as file:line:col: [checker] message (or as a
+// JSON array with -json). Exit status: 0 clean, 1 findings, 2 load error.
+//
+//ss:host(analyzer tool; runs outside the simulated machine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shieldstore/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	checkers := flag.String("checkers", "", "comma-separated checker subset (default: all)")
+	dir := flag.String("C", "", "module directory to analyze (default: module root of the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shieldvet [-json] [-checkers a,b] [-C dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "analyzes the whole module; a ./... argument is accepted for familiarity\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shieldvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: root})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shieldvet:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *checkers != "" {
+		for _, n := range strings.Split(*checkers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	findings, err := analysis.Run(prog, names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shieldvet:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "shieldvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.WriteText(os.Stdout, findings)
+		fmt.Fprintf(os.Stderr, "shieldvet: %d package(s), %d finding(s)\n", len(prog.Packages), len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

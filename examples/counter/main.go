@@ -8,6 +8,8 @@
 // per-user counters on a ShieldStore server over the attested channel.
 //
 //	go run ./examples/counter
+//
+//ss:host(example program; plays the remote client)
 package main
 
 import (

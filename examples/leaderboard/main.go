@@ -7,6 +7,8 @@
 // buckets with Range, and survives a crash via WAL replay.
 //
 //	go run ./examples/leaderboard
+//
+//ss:host(example program; plays the remote client)
 package main
 
 import (

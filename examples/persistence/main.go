@@ -4,6 +4,8 @@
 // a malicious host cannot roll the store back to an older state.
 //
 //	go run ./examples/persistence
+//
+//ss:host(example program driving the embedded store from the host side)
 package main
 
 import (

@@ -1,0 +1,46 @@
+package analysis
+
+import "fmt"
+
+// Checker is one invariant pass over a loaded program.
+type Checker interface {
+	Name() string
+	Check(p *Program) []Finding
+}
+
+// Checkers returns the full shieldvet suite in stable order.
+func Checkers() []Checker {
+	return []Checker{
+		trustedMemChecker{},
+		noPanicChecker{},
+		boundaryCostChecker{},
+		partitionChecker{},
+	}
+}
+
+// Run executes the named checkers (all of them when names is empty) and
+// returns the merged, sorted findings.
+func Run(p *Program, names ...string) ([]Finding, error) {
+	suite := Checkers()
+	selected := suite
+	if len(names) > 0 {
+		byName := map[string]Checker{}
+		for _, c := range suite {
+			byName[c.Name()] = c
+		}
+		selected = selected[:0]
+		for _, name := range names {
+			c, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("analysis: unknown checker %q", name)
+			}
+			selected = append(selected, c)
+		}
+	}
+	var findings []Finding
+	for _, c := range selected {
+		findings = append(findings, c.Check(p)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation directive names. Directives are comment lines of the form
+// //ss:name or //ss:name(free-form reason), attached to the package doc,
+// a declaration doc, or a struct field.
+const (
+	// DirTrusted marks a package or named type whose values carry enclave
+	// secrets (plaintext buffers, key material, integrity roots).
+	DirTrusted = "trusted"
+	// DirUntrusted marks the package modeling host-visible memory.
+	DirUntrusted = "untrusted"
+	// DirSink marks a function whose final slice parameter is written into
+	// simulated memory (host-visible unless the caller proves otherwise).
+	DirSink = "sink"
+	// DirSeals marks a function (or whole package) audited to pass only
+	// sealed/MACed/non-secret bytes into sinks, and to be a legitimate
+	// handler of DirTrusted values.
+	DirSeals = "seals"
+	// DirEnclaveWrite marks a function whose sink writes target
+	// enclave-region addresses, where plaintext is allowed.
+	DirEnclaveWrite = "enclave-write"
+	// DirAttacker marks an attacker-reachable entry point: a nopanic root.
+	DirAttacker = "attacker"
+	// DirNoPanicOK exempts a function from the nopanic checker.
+	DirNoPanicOK = "nopanic-ok"
+	// DirOCall / DirECall mark boundary-crossing functions that must charge
+	// the sim cost model.
+	DirOCall = "ocall"
+	DirECall = "ecall"
+	// DirCharges marks the crossing-cost primitives themselves.
+	DirCharges = "charges"
+	// DirHost marks a function or package that runs host-side (outside the
+	// enclave and outside the measured window), exempting its raw I/O.
+	DirHost = "host"
+	// DirPartitioned marks a struct field holding per-partition mutable
+	// state that only the dispatch plane may index.
+	DirPartitioned = "partitioned"
+	// DirXPart marks control-plane functions allowed to access
+	// DirPartitioned fields across partitions.
+	DirXPart = "xpart"
+)
+
+const directivePrefix = "//ss:"
+
+// Annotations indexes every //ss: directive in a program by the object it
+// annotates.
+type Annotations struct {
+	Funcs  map[*types.Func]map[string]string
+	Types  map[*types.TypeName]map[string]string
+	Fields map[*types.Var]map[string]string
+	Pkgs   map[*types.Package]map[string]string
+}
+
+func parseDirectiveLine(line string) (name, arg string, ok bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), directivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	// The name is a lowercase-kebab identifier; anything after it — a
+	// parenthesized argument or free prose after a dash — is the reason.
+	i := 0
+	for i < len(rest) && (rest[i] == '-' || ('a' <= rest[i] && rest[i] <= 'z')) {
+		i++
+	}
+	name, rest = rest[:i], strings.TrimSpace(rest[i:])
+	if name == "" {
+		return "", "", false
+	}
+	if strings.HasPrefix(rest, "(") && strings.HasSuffix(rest, ")") {
+		return name, rest[1 : len(rest)-1], true
+	}
+	return name, strings.TrimLeft(rest, "—- "), true
+}
+
+func directivesOf(groups ...*ast.CommentGroup) map[string]string {
+	var out map[string]string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if name, arg, ok := parseDirectiveLine(c.Text); ok && name != "" {
+				if out == nil {
+					out = map[string]string{}
+				}
+				out[name] = arg
+			}
+		}
+	}
+	return out
+}
+
+func mergeInto(dst, src map[string]string) map[string]string {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = map[string]string{}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// collectAnnotations walks every package's syntax, binding directives to
+// type-checker objects.
+func collectAnnotations(pkgs []*Package) *Annotations {
+	a := &Annotations{
+		Funcs:  map[*types.Func]map[string]string{},
+		Types:  map[*types.TypeName]map[string]string{},
+		Fields: map[*types.Var]map[string]string{},
+		Pkgs:   map[*types.Package]map[string]string{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			if d := directivesOf(file.Doc); d != nil {
+				a.Pkgs[pkg.Types] = mergeInto(a.Pkgs[pkg.Types], d)
+			}
+			for _, decl := range file.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					if d := directivesOf(decl.Doc); d != nil {
+						if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+							a.Funcs[fn] = mergeInto(a.Funcs[fn], d)
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range decl.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if d := directivesOf(decl.Doc, ts.Doc, ts.Comment); d != nil {
+							if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+								a.Types[tn] = mergeInto(a.Types[tn], d)
+							}
+						}
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							a.collectFields(pkg, st)
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (a *Annotations) collectFields(pkg *Package, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		d := directivesOf(field.Doc, field.Comment)
+		if d == nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				a.Fields[v] = mergeInto(a.Fields[v], d)
+			}
+		}
+	}
+}
+
+// FuncHas reports whether fn itself carries the directive.
+func (a *Annotations) FuncHas(fn *types.Func, name string) bool {
+	_, ok := a.Funcs[fn][name]
+	return ok
+}
+
+// FuncArg returns a directive's argument text.
+func (a *Annotations) FuncArg(fn *types.Func, name string) string {
+	return a.Funcs[fn][name]
+}
+
+// PkgHas reports whether a package doc carries the directive.
+func (a *Annotations) PkgHas(pkg *types.Package, name string) bool {
+	_, ok := a.Pkgs[pkg][name]
+	return ok
+}
+
+// FuncOrPkgHas reports whether fn or its defining package carries the
+// directive (package-level directives apply to every function within).
+func (a *Annotations) FuncOrPkgHas(fn *types.Func, name string) bool {
+	if a.FuncHas(fn, name) {
+		return true
+	}
+	return fn.Pkg() != nil && a.PkgHas(fn.Pkg(), name)
+}
+
+// TypeHas reports whether a named type's declaration carries the directive.
+func (a *Annotations) TypeHas(tn *types.TypeName, name string) bool {
+	_, ok := a.Types[tn][name]
+	return ok
+}
+
+// FieldHas reports whether a struct field carries the directive.
+func (a *Annotations) FieldHas(v *types.Var, name string) bool {
+	_, ok := a.Fields[v][name]
+	return ok
+}

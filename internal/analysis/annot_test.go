@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestParseDirectiveLine(t *testing.T) {
+	cases := []struct {
+		in        string
+		name, arg string
+		ok        bool
+	}{
+		{"//ss:trusted", "trusted", "", true},
+		{"//ss:nopanic-ok(bounds checked by caller)", "nopanic-ok", "bounds checked by caller", true},
+		{"//ss:host(analyzer tool; runs outside)", "host", "analyzer tool; runs outside", true},
+		{"//ss:attacker — parses adversary-controlled bytes.", "attacker", "parses adversary-controlled bytes.", true},
+		{"//ss:xpart — constructor; workers do not exist yet.", "xpart", "constructor; workers do not exist yet.", true},
+		{"//ss:enclave-write", "enclave-write", "", true},
+		{"// not a directive", "", "", false},
+		{"//ss:", "", "", false},
+		{"// ss:trusted", "", "", false}, // space breaks the directive form
+	}
+	for _, c := range cases {
+		name, arg, ok := parseDirectiveLine(c.in)
+		if name != c.name || arg != c.arg || ok != c.ok {
+			t.Errorf("parseDirectiveLine(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, name, arg, ok, c.name, c.arg, c.ok)
+		}
+	}
+}

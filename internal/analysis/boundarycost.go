@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// boundaryCostChecker keeps the simulator's benchmark numbers honest:
+// every enclave boundary crossing must be charged to the cost model.
+//
+//  1. A function annotated //ss:ocall or //ss:ecall must reach a
+//     //ss:charges primitive (sgx.ECall/OCall/HotCall/Syscall) — or
+//     delegate to another annotated crossing — within two call hops.
+//     A crossing that forgets to charge makes every derived Kop/s figure
+//     silently optimistic.
+//  2. Any direct use of host I/O (the os and net packages) must be
+//     annotated //ss:ocall, //ss:ecall, or //ss:host: enclave code cannot
+//     touch the OS without a transition, so unannotated I/O is either an
+//     unmodeled crossing or host-side code that must declare itself.
+type boundaryCostChecker struct{}
+
+func (boundaryCostChecker) Name() string { return "boundarycost" }
+
+// benignHostCalls are os/net functions with no syscall-shaped cost worth
+// modeling (environment lookups, pure string/address helpers).
+var benignHostCalls = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"IsNotExist": true, "IsExist": true, "IsTimeout": true,
+	"TempDir": true, "UserHomeDir": true, "Exit": true,
+	"JoinHostPort": true, "SplitHostPort": true, "ParseIP": true,
+}
+
+func (boundaryCostChecker) Check(p *Program) []Finding {
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		dir := ""
+		switch {
+		case p.Annot.FuncHas(fd.Fn, DirOCall):
+			dir = DirOCall
+		case p.Annot.FuncHas(fd.Fn, DirECall):
+			dir = DirECall
+		}
+		if dir != "" && !chargesCrossing(p, fd.Fn, 2) {
+			findings = append(findings, p.newFinding("boundarycost", fd.Decl.Pos(),
+				"%s is annotated //ss:%s but never charges an enclave crossing (no //ss:charges primitive within two calls)",
+				fd.Fn.Name(), dir))
+		}
+		if dir == "" && !p.Annot.FuncOrPkgHas(fd.Fn, DirHost) {
+			findings = append(findings, checkHostIO(p, fd)...)
+		}
+	}
+	return findings
+}
+
+// chargesCrossing reports whether fn calls a //ss:charges primitive or
+// another annotated crossing within the given call depth.
+func chargesCrossing(p *Program, fn *types.Func, depth int) bool {
+	fd, ok := p.Decls[fn]
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(fd.Pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if p.Annot.FuncHas(callee, DirCharges) ||
+			p.Annot.FuncHas(callee, DirOCall) || p.Annot.FuncHas(callee, DirECall) {
+			found = true
+			return false
+		}
+		if depth > 1 && chargesCrossing(p, callee, depth-1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func checkHostIO(p *Program, fd *FuncDecl) []Finding {
+	var findings []Finding
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(fd.Pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		path := callee.Pkg().Path()
+		if path != "os" && path != "net" {
+			return true
+		}
+		if benignHostCalls[callee.Name()] {
+			return true
+		}
+		findings = append(findings, p.newFinding("boundarycost", call.Pos(),
+			"%s calls %s without //ss:ocall, //ss:ecall, or //ss:host annotation — host I/O from enclave code must charge a modeled crossing",
+			fd.Fn.Name(), callee.FullName()))
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one invariant violation reported by a checker.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// String renders the greppable file:line:col: [checker] message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Checker, f.Message)
+}
+
+// newFinding builds a Finding at pos, with the file path made relative to
+// the program root for stable output across machines.
+func (p *Program) newFinding(checker string, pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Dir, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Checker: checker,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// sortFindings orders findings by file, line, column, checker.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Checker < b.Checker
+	})
+}
+
+// WriteText prints one finding per line in listing form.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the findings as a JSON array (machine-readable CI mode).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

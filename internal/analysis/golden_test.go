@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden corpus under testdata/src holds one miniature module per
+// checker. Offending lines carry analysistest-style expectations:
+//
+//	badCode() // want `regex matching the finding message`
+//
+// Every finding must match exactly one expectation on its file:line, and
+// every expectation must be hit — so the corpus documents both that each
+// rule fires and that each escape hatch (//ss:seals, //ss:nopanic-ok,
+// //ss:host, //ss:xpart, len() guards, comma-ok, sync.Pool) silences it.
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	file    string // slash path relative to the corpus root
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every corpus source file for want expectations.
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", rel, line, m[1], err)
+			}
+			wants = append(wants, &expectation{file: filepath.ToSlash(rel), line: line, re: re})
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runGolden loads one corpus, runs one checker, and diffs findings
+// against the want expectations.
+func runGolden(t *testing.T, checker string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", checker)
+	prog, err := Load(LoadConfig{Dir: root, ModulePath: "corpus"})
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	findings, err := Run(prog, checker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatalf("corpus %s has no want expectations", checker)
+	}
+	for _, f := range findings {
+		hit := false
+		for _, w := range wants {
+			if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenTrustedMem(t *testing.T)   { runGolden(t, "trustedmem") }
+func TestGoldenNoPanic(t *testing.T)      { runGolden(t, "nopanic") }
+func TestGoldenBoundaryCost(t *testing.T) { runGolden(t, "boundarycost") }
+func TestGoldenPartition(t *testing.T)    { runGolden(t, "partition") }
+
+// TestAnalyzeSelf is the invariant the CI job enforces: the real module
+// carries a complete annotation audit and every checker is clean.
+func TestAnalyzeSelf(t *testing.T) {
+	prog, err := Load(LoadConfig{Dir: filepath.Join("..", "..")})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("module not clean: %s", f)
+	}
+}

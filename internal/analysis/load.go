@@ -1,0 +1,313 @@
+// Package analysis implements shieldvet, a stdlib-only static analyzer
+// that mechanizes ShieldStore's enclave-boundary trust invariants:
+//
+//   - trustedmem: plaintext and key material never reach untrusted memory
+//     except through audited seal/MAC paths (//ss:seals, //ss:enclave-write),
+//   - nopanic: no panic, unchecked type assertion, or unguarded computed
+//     indexing is reachable from attacker-facing entry points (//ss:attacker),
+//   - boundarycost: every enclave boundary crossing (//ss:ocall, //ss:ecall)
+//     charges the sim cost model, and no host I/O happens unannotated,
+//   - partition: partition-worker code never touches another partition's
+//     mutable state (//ss:partitioned fields) outside the dispatch plane.
+//
+// The analyzer is built exclusively on go/parser, go/ast, go/types and
+// go/importer — no module dependencies — so it can run as a blocking CI
+// job anywhere the repo builds. See DESIGN.md section 11 for the full
+// annotation vocabulary and checker semantics.
+//
+//ss:host(developer tool; runs outside the simulated machine)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	Path   string // import path
+	Dir    string // absolute directory
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// LoadConfig parameterizes Load. Dir is the module root (or any corpus
+// root); ModulePath overrides the module path when no go.mod is present
+// (golden-corpus trees).
+type LoadConfig struct {
+	Dir        string
+	ModulePath string
+}
+
+// Load parses and type-checks every non-test package under cfg.Dir,
+// resolving intra-module imports from source and standard-library imports
+// through the compiler's export data (falling back to source).
+func Load(cfg LoadConfig) (*Program, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath := cfg.ModulePath
+	if modPath == "" {
+		modPath, err = modulePath(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	parsed := map[string]*rawPkg{} // import path -> files
+	for _, dir := range dirs {
+		rp, err := parseDir(fset, root, dir, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if rp != nil {
+			parsed[rp.path] = rp
+		}
+	}
+
+	order, err := topoSort(parsed, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &loader{
+		fset:    fset,
+		modPath: modPath,
+		checked: map[string]*types.Package{},
+		std:     importer.Default(),
+	}
+	prog := &Program{Fset: fset, ModulePath: modPath, Dir: root}
+	for _, path := range order {
+		rp := parsed[path]
+		pkg, err := ld.check(rp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	prog.init()
+	return prog, nil
+}
+
+// modulePath reads the module directive from go.mod under root.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: cannot determine module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// packageDirs walks root collecting directories that contain buildable Go
+// files, skipping testdata, hidden, and underscore-prefixed trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+type rawPkg struct {
+	path    string
+	dir     string
+	name    string
+	files   []*ast.File
+	imports []string // intra-module imports only
+}
+
+func parseDir(fset *token.FileSet, root, dir, modPath string) (*rawPkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	rp := &rawPkg{path: path, dir: dir}
+	seen := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if rp.name == "" {
+			rp.name = f.Name.Name
+		}
+		rp.files = append(rp.files, f)
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				rp.imports = append(rp.imports, p)
+			}
+		}
+	}
+	return rp, nil
+}
+
+// topoSort orders packages so every intra-module import is checked before
+// its importers.
+func topoSort(pkgs map[string]*rawPkg, modPath string) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		case 2:
+			return nil
+		}
+		rp, ok := pkgs[path]
+		if !ok {
+			return fmt.Errorf("analysis: missing module package %q", path)
+		}
+		state[path] = 1
+		for _, imp := range rp.imports {
+			if err := visit(imp, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var roots []string
+	for path := range pkgs {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// loader type-checks packages in dependency order, serving module imports
+// from its own cache and delegating the rest to the standard importers.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	checked map[string]*types.Package
+	std     types.Importer
+	source  types.Importer
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, ok := ld.checked[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: module package %q not yet checked (import cycle?)", path)
+		}
+		return pkg, nil
+	}
+	pkg, err := ld.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// Fall back to type-checking the standard library from source — the
+	// compiler export data may be absent on freshly installed toolchains.
+	if ld.source == nil {
+		ld.source = importer.ForCompiler(ld.fset, "source", nil)
+	}
+	return ld.source.Import(path)
+}
+
+func (ld *loader) check(rp *rawPkg) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(rp.path, ld.fset, rp.files, info)
+	if len(terrs) > 0 {
+		msgs := make([]string, 0, len(terrs))
+		for i, e := range terrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(terrs)-8))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", rp.path, strings.Join(msgs, "\n  "))
+	}
+	ld.checked[rp.path] = tpkg
+	return &Package{Path: rp.path, Dir: rp.dir, Syntax: rp.files, Types: tpkg, Info: info}, nil
+}

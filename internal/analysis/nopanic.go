@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noPanicChecker mechanizes the attacker-reachable panic audit: starting
+// from //ss:attacker entry points (protocol decoders, server handlers,
+// store operations on untrusted views, recovery paths), it walks the call
+// graph and flags, in every reachable function:
+//
+//   - explicit panic() calls,
+//   - type assertions without the comma-ok form,
+//   - computed (arithmetic) indexing into slices/strings with no len()
+//     guard anywhere in the function.
+//
+// A malicious host controls every byte in untrusted memory and on the
+// wire, so any of these is a denial-of-service primitive. Functions whose
+// panics are unreachable-by-construction carry //ss:nopanic-ok(reason).
+type noPanicChecker struct{}
+
+func (noPanicChecker) Name() string { return "nopanic" }
+
+func (noPanicChecker) Check(p *Program) []Finding {
+	roots := p.Roots(DirAttacker)
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := p.Reachable(roots)
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		root, ok := reach[fd.Fn]
+		if !ok || p.Annot.FuncOrPkgHas(fd.Fn, DirNoPanicOK) {
+			continue
+		}
+		findings = append(findings, checkPanicSites(p, fd, root)...)
+	}
+	return findings
+}
+
+func checkPanicSites(p *Program, fd *FuncDecl, root *types.Func) []Finding {
+	info := fd.Pkg.Info
+	okAsserts := commaOKAsserts(fd.Decl.Body)
+	guards := lenGuards(fd.Decl.Body)
+	var findings []Finding
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(info, n, "panic") {
+				findings = append(findings, p.newFinding("nopanic", n.Pos(),
+					"panic in %s is reachable from attacker entry %s; return a typed error or annotate //ss:nopanic-ok(reason)",
+					fd.Fn.Name(), root.Name()))
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type != nil && !okAsserts[n] && !isPoolGetAssert(info, n) {
+				findings = append(findings, p.newFinding("nopanic", n.Pos(),
+					"unchecked type assertion in %s is reachable from attacker entry %s; use the comma-ok form",
+					fd.Fn.Name(), root.Name()))
+			}
+		case *ast.IndexExpr:
+			if unguardedIndex(info, guards, n.X, n.Index) {
+				findings = append(findings, p.newFinding("nopanic", n.Pos(),
+					"computed index without len() guard in %s is reachable from attacker entry %s",
+					fd.Fn.Name(), root.Name()))
+			}
+		case *ast.SliceExpr:
+			if unguardedIndex(info, guards, n.X, n.Low, n.High, n.Max) {
+				findings = append(findings, p.newFinding("nopanic", n.Pos(),
+					"computed slice bounds without len() guard in %s are reachable from attacker entry %s",
+					fd.Fn.Name(), root.Name()))
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isPoolGetAssert recognizes the idiomatic pool.Get().(*T) pattern: a
+// sync.Pool is type-homogeneous by construction, so the assertion cannot
+// fail on attacker input and flagging it would only push a meaningless
+// comma-ok branch into every pooled hot path.
+func isPoolGetAssert(info *types.Info, ta *ast.TypeAssertExpr) bool {
+	call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := calleeOf(info, call)
+	if callee == nil || callee.Name() != "Get" || callee.Pkg() == nil {
+		return false
+	}
+	recv := callee.Type().(*types.Signature).Recv()
+	return callee.Pkg().Path() == "sync" && recv != nil
+}
+
+// commaOKAsserts collects the type assertions consumed in two-value form.
+func commaOKAsserts(body *ast.BlockStmt) map[*ast.TypeAssertExpr]bool {
+	ok := map[*ast.TypeAssertExpr]bool{}
+	record := func(lhs int, rhs []ast.Expr) {
+		if lhs == 2 && len(rhs) == 1 {
+			if ta, is := ast.Unparen(rhs[0]).(*ast.TypeAssertExpr); is {
+				ok[ta] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			record(len(n.Lhs), n.Rhs)
+		case *ast.ValueSpec:
+			record(len(n.Names), n.Values)
+		}
+		return true
+	})
+	return ok
+}
+
+// lenGuards collects the textual form of every expression that appears
+// under len(...) anywhere in the function: an indexing of e is considered
+// guarded when len(e) is consulted somewhere in the same function.
+func lenGuards(body *ast.BlockStmt) map[string]bool {
+	guards := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+			guards[types.ExprString(ast.Unparen(call.Args[0]))] = true
+		}
+		return true
+	})
+	return guards
+}
+
+// unguardedIndex reports whether indexing base with any of the given
+// bound expressions is an unguarded computed access: the base is a
+// slice/array/string, at least one bound is non-constant arithmetic, and
+// no len(base) appears in the function.
+func unguardedIndex(info *types.Info, guards map[string]bool, base ast.Expr, bounds ...ast.Expr) bool {
+	tv, ok := info.Types[base]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	case *types.Pointer:
+		if _, isArr := t.Elem().Underlying().(*types.Array); !isArr {
+			return false
+		}
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return false
+		}
+	default:
+		return false // maps never panic on lookup; type params excluded
+	}
+	computed := false
+	for _, b := range bounds {
+		if b == nil {
+			continue
+		}
+		if tv, ok := info.Types[b]; ok && tv.Value != nil {
+			continue // constant-folded
+		}
+		if containsArithmetic(b) {
+			computed = true
+		}
+	}
+	if !computed {
+		return false
+	}
+	return !guards[types.ExprString(ast.Unparen(base))]
+}
+
+// containsArithmetic reports whether the expression contains an arithmetic
+// or shift operator — the signature of an offset computation that can
+// overflow or run past a tampered length field.
+func containsArithmetic(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+				token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

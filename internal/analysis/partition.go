@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// partitionChecker verifies the §5.3 no-sharing discipline: struct fields
+// annotated //ss:partitioned hold per-partition mutable state that only
+// the dispatch/control plane (//ss:xpart functions) may index, range
+// over, alias, or reassign. Worker code owns exactly one partition and
+// must receive it by handoff, never by reaching into a sibling's slot —
+// the property that lets the data path run with zero synchronization.
+type partitionChecker struct{}
+
+func (partitionChecker) Name() string { return "partition" }
+
+func (partitionChecker) Check(p *Program) []Finding {
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		if p.Annot.FuncOrPkgHas(fd.Fn, DirXPart) {
+			continue
+		}
+		findings = append(findings, checkPartitionAccess(p, fd)...)
+	}
+	return findings
+}
+
+// partitionedField resolves a selector to a //ss:partitioned struct field.
+func partitionedField(p *Program, info *types.Info, se *ast.SelectorExpr) *types.Var {
+	sel, ok := info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := sel.Obj().(*types.Var)
+	if !ok || !p.Annot.FieldHas(field, DirPartitioned) {
+		return nil
+	}
+	return field
+}
+
+func checkPartitionAccess(p *Program, fd *FuncDecl) []Finding {
+	info := fd.Pkg.Info
+	var findings []Finding
+	var stack []ast.Node
+	report := func(n ast.Node, field *types.Var, verb string) {
+		findings = append(findings, p.newFinding("partition", n.Pos(),
+			"%s %s //ss:partitioned field %s outside the dispatch plane (missing //ss:xpart)",
+			fd.Fn.Name(), verb, field.Name()))
+	}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := partitionedField(p, info, se)
+		if field == nil || len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.IndexExpr:
+			if parent.X == se {
+				report(parent, field, "indexes")
+			}
+		case *ast.RangeStmt:
+			if parent.X == se {
+				report(parent, field, "ranges over")
+			}
+		case *ast.SliceExpr:
+			if parent.X == se {
+				report(parent, field, "slices")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if ast.Unparen(lhs) == se {
+					report(parent, field, "reassigns")
+				}
+			}
+		case *ast.CallExpr:
+			if parent.Fun == se {
+				return true
+			}
+			if isBuiltinCall(info, parent, "len") || isBuiltinCall(info, parent, "cap") {
+				return true
+			}
+			report(parent, field, "aliases")
+		}
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Program is a loaded, type-checked module plus the derived indexes the
+// checkers share: annotations, declared functions, and the call graph.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Dir        string
+	Packages   []*Package
+
+	Annot *Annotations
+
+	// Decls maps every module-declared function or method to its
+	// declaration site.
+	Decls map[*types.Func]*FuncDecl
+
+	// impls maps interface methods to the module methods implementing
+	// them, for conservative devirtualization in the call graph.
+	impls map[*types.Func][]*types.Func
+}
+
+// FuncDecl pairs a function object with its syntax and package.
+type FuncDecl struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+func (p *Program) init() {
+	p.Annot = collectAnnotations(p.Packages)
+	p.Decls = map[*types.Func]*FuncDecl{}
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.Decls[fn] = &FuncDecl{Fn: fn, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	p.buildImpls()
+}
+
+// buildImpls records, for every interface method invoked anywhere in the
+// module, which module-declared concrete methods may stand behind it.
+func (p *Program) buildImpls() {
+	p.impls = map[*types.Func][]*types.Func{}
+
+	// All named non-interface types declared in the module.
+	var concrete []types.Type
+	for _, pkg := range p.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+
+	// All interfaces declared in the module (methods of external
+	// interfaces like io.Reader lead out of the module; their module
+	// implementations are still found below because we index by the
+	// interface method object the call site resolves to).
+	seen := map[*types.Interface]bool{}
+	var record func(iface *types.Interface)
+	record = func(iface *types.Interface) {
+		if iface == nil || seen[iface] {
+			return
+		}
+		seen[iface] = true
+		for i := 0; i < iface.NumMethods(); i++ {
+			im := iface.Method(i)
+			for _, ct := range concrete {
+				ptr := types.NewPointer(ct)
+				if !types.Implements(ct, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, im.Pkg(), im.Name())
+				if cm, ok := obj.(*types.Func); ok {
+					if _, declared := p.Decls[cm]; declared {
+						p.impls[im] = append(p.impls[im], cm)
+					}
+				}
+			}
+		}
+	}
+	for _, pkg := range p.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+					record(iface)
+				}
+			}
+		}
+	}
+}
+
+// Callees returns the module-declared functions a call expression may
+// invoke: the static callee when resolvable, or every module
+// implementation when the call goes through an interface method.
+func (p *Program) Callees(pkg *Package, call *ast.CallExpr) []*types.Func {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if recv := fn.Signature().Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return p.impls[fn]
+	}
+	if _, ok := p.Decls[fn]; ok {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// CalleeObject resolves the called function object (module or not), or nil
+// for builtins, conversions, and calls through function values.
+func CalleeObject(info *types.Info, call *ast.CallExpr) *types.Func {
+	return calleeOf(info, call)
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// Reachable computes the set of module functions reachable from the given
+// roots through the call graph (direct calls, devirtualized interface
+// calls, and calls inside function literals, which are attributed to the
+// enclosing declaration). The returned map gives, for each reachable
+// function, the root it was first reached from.
+func (p *Program) Reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	from := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := from[r]; !ok {
+			from[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd, ok := p.Decls[fn]
+		if !ok {
+			continue
+		}
+		root := from[fn]
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range p.Callees(fd.Pkg, call) {
+				if _, seen := from[callee]; !seen {
+					from[callee] = root
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return from
+}
+
+// Roots returns every function annotated with the given directive, in
+// deterministic order.
+func (p *Program) Roots(directive string) []*types.Func {
+	var roots []*types.Func
+	for fn := range p.Decls {
+		if p.Annot.FuncHas(fn, directive) {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	return roots
+}
+
+// Position resolves a node position against the program's file set.
+func (p *Program) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

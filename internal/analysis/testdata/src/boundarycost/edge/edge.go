@@ -1,0 +1,53 @@
+// Package edge exercises the boundarycost checker: annotated crossings
+// must charge a //ss:charges primitive within two hops, and raw os/net
+// use must be annotated //ss:ocall, //ss:ecall or //ss:host.
+package edge
+
+import (
+	"net"
+	"os"
+
+	"corpus/sgxsim"
+)
+
+// Flush is a modeled OCALL that charges the crossing directly.
+//
+//ss:ocall
+func Flush() {
+	sgxsim.Charge()
+}
+
+// FlushIndirect charges through one intermediate hop, still within the
+// checker's two-hop budget.
+//
+//ss:ocall
+func FlushIndirect() {
+	doFlush()
+}
+
+func doFlush() {
+	sgxsim.Charge()
+}
+
+// Forgot is a crossing that never reaches the cost model.
+//
+//ss:ocall
+func Forgot() { // want `Forgot is annotated //ss:ocall but never charges an enclave crossing`
+}
+
+// ReadState does host I/O without declaring any crossing.
+func ReadState(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `ReadState calls os.ReadFile without //ss:ocall, //ss:ecall, or //ss:host annotation`
+}
+
+// Dial is declared host-side, so raw net use is exempt.
+//
+//ss:host(corpus: runs outside the simulated enclave)
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// Env uses an allowlisted benign call — no syscall-shaped cost to model.
+func Env() string {
+	return os.Getenv("CORPUS")
+}

@@ -1,0 +1,7 @@
+// Package sgxsim provides the corpus crossing-cost primitive.
+package sgxsim
+
+// Charge models charging one enclave crossing to the cost model.
+//
+//ss:charges
+func Charge() {}

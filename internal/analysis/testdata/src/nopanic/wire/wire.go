@@ -1,0 +1,70 @@
+// Package wire exercises the nopanic checker: panics, unchecked type
+// assertions and unguarded computed indexing reachable from //ss:attacker
+// roots are findings; comma-ok forms, len() guards, sync.Pool asserts and
+// //ss:nopanic-ok exemptions are not.
+package wire
+
+import "sync"
+
+// Decode is the attacker-facing entry point.
+//
+//ss:attacker
+func Decode(b []byte) int {
+	if len(b) < 4 {
+		return 0
+	}
+	n := helperPanic(b)
+	n += helperAssert(n)
+	n += helperIndex(b, n)
+	n += helperOK(b)
+	n += pooled()
+	n += int(audited(b, 0))
+	return n
+}
+
+func helperPanic(b []byte) int {
+	if b[0] == 0xff {
+		panic("bad frame") // want `panic in helperPanic is reachable from attacker entry Decode`
+	}
+	return int(b[0])
+}
+
+func helperAssert(n int) int {
+	var v any = n
+	return v.(int) // want `unchecked type assertion in helperAssert is reachable from attacker entry Decode`
+}
+
+func helperIndex(b []byte, n int) int {
+	return int(b[n*2]) // want `computed index without len\(\) guard in helperIndex is reachable from attacker entry Decode`
+}
+
+// helperOK shows the approved forms: comma-ok asserts and len guards.
+func helperOK(b []byte) int {
+	var v any = 1
+	if n, ok := v.(int); ok && len(b) > n+1 {
+		return int(b[n+1])
+	}
+	return 0
+}
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 16); return &b }}
+
+// pooled shows the sync.Pool Get exemption: pools are type-homogeneous
+// by construction, so the assertion cannot fail on attacker input.
+func pooled() int {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	return len(*bp)
+}
+
+// unreachable panics but no attacker root reaches it — no finding.
+func unreachable() {
+	panic("constructor contract")
+}
+
+// audited is reachable but carries an audited exemption.
+//
+//ss:nopanic-ok(corpus: bounds are validated by the caller)
+func audited(b []byte, n int) byte {
+	return b[n+1]
+}

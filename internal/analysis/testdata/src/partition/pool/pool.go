@@ -1,0 +1,56 @@
+// Package pool exercises the partition no-sharing discipline:
+// //ss:partitioned fields may only be indexed, ranged, reassigned or
+// aliased from //ss:xpart control-plane functions.
+package pool
+
+// Pool is the corpus stand-in for the partitioned deployment.
+type Pool struct {
+	//ss:partitioned
+	parts []int // per-worker state; each worker owns exactly one slot
+	name  string
+}
+
+// Start hands each worker its slot from the dispatch plane.
+//
+//ss:xpart — corpus control plane.
+func (p *Pool) Start() {
+	for i := range p.parts {
+		p.parts[i] = i
+	}
+}
+
+// Steal reaches into a sibling partition from worker code.
+func (p *Pool) Steal(i int) int {
+	return p.parts[i] // want `Steal indexes //ss:partitioned field parts outside the dispatch plane`
+}
+
+// Sweep iterates every partition outside the dispatch plane.
+func (p *Pool) Sweep() int {
+	total := 0
+	for _, v := range p.parts { // want `Sweep ranges over //ss:partitioned field parts outside the dispatch plane`
+		total += v
+	}
+	return total
+}
+
+// Reset replaces the partition set outside the dispatch plane.
+func (p *Pool) Reset() {
+	p.parts = nil // want `Reset reassigns //ss:partitioned field parts outside the dispatch plane`
+}
+
+// Share leaks the whole partition slice to an arbitrary callee.
+func (p *Pool) Share() {
+	consume(p.parts) // want `Share aliases //ss:partitioned field parts outside the dispatch plane`
+}
+
+func consume([]int) {}
+
+// Size only takes len, which is allowed anywhere.
+func (p *Pool) Size() int {
+	return len(p.parts)
+}
+
+// Name touches a non-partitioned field freely.
+func (p *Pool) Name() string {
+	return p.name
+}

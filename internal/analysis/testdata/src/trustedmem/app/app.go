@@ -1,0 +1,52 @@
+// Package app is untrusted glue code exercising the trustedmem rules.
+package app
+
+import (
+	"corpus/keys"
+	"corpus/memsim"
+)
+
+// Leak writes unsealed bytes into host-visible memory with no audit.
+func Leak(b []byte) {
+	memsim.Write(64, b) // want `Leak writes into simulated memory via sink corpus/memsim.Write`
+}
+
+// StoreSealed is an audited seal path, so the sink call is approved.
+//
+//ss:seals — corpus: writes MACed bytes only.
+func StoreSealed(b []byte) {
+	memsim.Write(64, b)
+}
+
+// StoreEnclave targets enclave-region addresses, where plaintext is fine.
+//
+//ss:enclave-write
+func StoreEnclave(b []byte) {
+	memsim.Write(0, b)
+}
+
+// Peek opens trusted key material outside a seal path.
+func Peek(k keys.Keys) byte {
+	return k.Data[0] // want `Peek opens field Data of //ss:trusted type`
+}
+
+// Give hands trusted keys to an unapproved function.
+func Give(k keys.Keys) {
+	use(k) // want `Give passes a //ss:trusted value to corpus/app.use`
+}
+
+func use(keys.Keys) {}
+
+// Export serializes keys on the audited seal path — no findings.
+//
+//ss:seals — corpus: the designated serializer.
+func Export(k keys.Keys) []byte {
+	out := make([]byte, 16)
+	copy(out, k.Data[:])
+	return out
+}
+
+// Forward passes keys into the trusted package, which is allowed.
+func Forward(k *keys.Keys) {
+	keys.Wipe(k)
+}

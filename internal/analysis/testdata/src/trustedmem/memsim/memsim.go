@@ -1,0 +1,11 @@
+// Package memsim is the corpus stand-in for host-visible simulated memory.
+package memsim
+
+// Write copies b into simulated memory at addr.
+//
+//ss:sink
+func Write(addr uint64, b []byte) {}
+
+// fill exercises the own-package exemption: a sink package's internals
+// are the sink implementation and may call it freely.
+func fill() { Write(0, nil) }

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// trustedMemChecker enforces ShieldStore's confidentiality boundary:
+//
+//  1. Calls to //ss:sink functions (writes into simulated memory, which is
+//     host-visible unless proven otherwise) are only allowed from functions
+//     audited as //ss:seals (writes sealed/MACed/non-secret bytes) or
+//     //ss:enclave-write (target address is enclave-region memory).
+//  2. Values of //ss:trusted types (key material, integrity roots) may only
+//     be opened up — field access, indexing, conversion — inside trusted
+//     packages or //ss:seals functions, and may only be passed to callees
+//     declared in trusted packages or themselves annotated //ss:seals.
+type trustedMemChecker struct{}
+
+func (trustedMemChecker) Name() string { return "trustedmem" }
+
+func (trustedMemChecker) Check(p *Program) []Finding {
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		findings = append(findings, checkSinkCalls(p, fd)...)
+		findings = append(findings, checkTrustedUses(p, fd)...)
+	}
+	return findings
+}
+
+// mayWriteSinks reports whether fn is audited to call sink functions.
+func mayWriteSinks(p *Program, fn *types.Func) bool {
+	return p.Annot.FuncOrPkgHas(fn, DirSeals) || p.Annot.FuncOrPkgHas(fn, DirEnclaveWrite)
+}
+
+// mayHandleTrusted reports whether fn may open up trusted values.
+func mayHandleTrusted(p *Program, fn *types.Func) bool {
+	if p.Annot.FuncOrPkgHas(fn, DirSeals) {
+		return true
+	}
+	return fn.Pkg() != nil && p.Annot.PkgHas(fn.Pkg(), DirTrusted)
+}
+
+func checkSinkCalls(p *Program, fd *FuncDecl) []Finding {
+	if mayWriteSinks(p, fd.Fn) {
+		return nil
+	}
+	var findings []Finding
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(fd.Pkg.Info, call)
+		if callee == nil || !p.Annot.FuncHas(callee, DirSink) {
+			return true
+		}
+		// A sink package's own internals are the sink implementation.
+		if callee.Pkg() == fd.Fn.Pkg() {
+			return true
+		}
+		findings = append(findings, p.newFinding("trustedmem", call.Pos(),
+			"%s writes into simulated memory via sink %s without //ss:seals or //ss:enclave-write audit",
+			fd.Fn.Name(), callee.FullName()))
+		return true
+	})
+	return findings
+}
+
+// isTrustedType unwraps pointers and reports whether the named type's
+// declaration carries //ss:trusted.
+func isTrustedType(p *Program, t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return p.Annot.TypeHas(named.Obj(), DirTrusted)
+}
+
+// calleeAcceptsTrusted reports whether passing a trusted value to this
+// call is approved: the callee lives in a //ss:trusted package or is an
+// audited //ss:seals function.
+func calleeAcceptsTrusted(p *Program, info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	if p.Annot.FuncOrPkgHas(callee, DirSeals) {
+		return true
+	}
+	return callee.Pkg() != nil && p.Annot.PkgHas(callee.Pkg(), DirTrusted)
+}
+
+func checkTrustedUses(p *Program, fd *FuncDecl) []Finding {
+	if mayHandleTrusted(p, fd.Fn) {
+		return nil
+	}
+	info := fd.Pkg.Info
+	var findings []Finding
+	var stack []ast.Node
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[expr]
+		if !ok || !tv.IsValue() || !isTrustedType(p, tv.Type) {
+			return true
+		}
+		if len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.SelectorExpr:
+			if parent.X != expr {
+				return true
+			}
+			if sel, ok := info.Selections[parent]; ok && sel.Kind() != types.FieldVal {
+				return true // method call; the callee check below applies to it
+			}
+			findings = append(findings, p.newFinding("trustedmem", parent.Pos(),
+				"%s opens field %s of //ss:trusted type outside a seal path",
+				fd.Fn.Name(), parent.Sel.Name))
+		case *ast.IndexExpr:
+			if parent.X == expr {
+				findings = append(findings, p.newFinding("trustedmem", parent.Pos(),
+					"%s indexes a //ss:trusted value outside a seal path", fd.Fn.Name()))
+			}
+		case *ast.SliceExpr:
+			if parent.X == expr {
+				findings = append(findings, p.newFinding("trustedmem", parent.Pos(),
+					"%s slices a //ss:trusted value outside a seal path", fd.Fn.Name()))
+			}
+		case *ast.CallExpr:
+			if parent.Fun == expr {
+				return true
+			}
+			if funTV, ok := info.Types[parent.Fun]; ok && funTV.IsType() {
+				findings = append(findings, p.newFinding("trustedmem", parent.Pos(),
+					"%s converts a //ss:trusted value outside a seal path", fd.Fn.Name()))
+				return true
+			}
+			if isBuiltinCall(info, parent, "len") || isBuiltinCall(info, parent, "cap") {
+				return true
+			}
+			if !calleeAcceptsTrusted(p, info, parent) {
+				name := "a function value"
+				if callee := calleeOf(info, parent); callee != nil {
+					name = callee.FullName()
+				}
+				findings = append(findings, p.newFinding("trustedmem", parent.Pos(),
+					"%s passes a //ss:trusted value to %s, which is not an approved seal path",
+					fd.Fn.Name(), name))
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// sortedDecls returns the module's function declarations in deterministic
+// source order.
+func sortedDecls(p *Program) []*FuncDecl {
+	var out []*FuncDecl
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if d := p.Decls[fn]; d != nil {
+						out = append(out, d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

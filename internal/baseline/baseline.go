@@ -18,6 +18,10 @@
 // modeled in virtual time by a sim.SharedClock — and, when enclave-hosted,
 // additionally serialize on the machine-wide EPC paging path, which is
 // what flattens their scalability curves in Figure 13.
+//
+// in-enclave variants keep data EPC-resident — neither models ShieldStore's sealed format)
+//
+//ss:seals(comparison systems: the NoSGX variants make no confidentiality claim and the
 package baseline
 
 import (
@@ -292,6 +296,7 @@ func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 	return nil
 }
 
+//ss:nopanic-ok(buf is locally allocated to exactly hdrSize+len(key)+len(value))
 func (s *Store) setLocked(m *sim.Meter, key, value []byte) {
 	b := s.bucketOf(m, key)
 	f, ok := s.find(m, b, key)

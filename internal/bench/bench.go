@@ -8,6 +8,9 @@
 // effective EPC are divided by Config.Scale together, preserving every
 // working-set/EPC ratio, so scaled runs land on the same crossover points.
 // Scale=1 reproduces paper-sized runs.
+//
+//ss:host(experiment harness; drives the simulator from outside the measured machine)
+//ss:seals(harness probes write synthetic, non-secret payloads into scratch regions)
 package bench
 
 import (

@@ -1,6 +1,8 @@
 // Package client implements the remote ShieldStore client: it dials the
 // server, remote-attests the enclave, establishes the encrypted session
 // of §3.2, and issues get/set/delete/append/incr requests.
+//
+//ss:host(the client is the remote, untrusted peer; it crosses no enclave boundary)
 package client
 
 import (

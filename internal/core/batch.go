@@ -74,6 +74,8 @@ func (s *Store) setGroupID(b int) int {
 // grouped by bucket set in first-touch order; ops on the same key always
 // share a set, so per-key ordering follows submission order. The returned
 // slice has one result per op, in submission order.
+//
+//ss:attacker — batch ops arrive from the wire.
 func (s *Store) ApplyBatch(m *sim.Meter, ops []BatchOp) []BatchResult {
 	results := make([]BatchResult, len(ops))
 	s.ApplyBatchInto(m, ops, results)
@@ -83,6 +85,8 @@ func (s *Store) ApplyBatch(m *sim.Meter, ops []BatchOp) []BatchResult {
 // ApplyBatchInto is ApplyBatch writing into a caller-provided results
 // slice (len(results) must equal len(ops), zero-valued). Worker drains
 // reuse one results buffer across wakeups through this entry point.
+//
+//ss:attacker — batch ops arrive from the wire.
 func (s *Store) ApplyBatchInto(m *sim.Meter, ops []BatchOp, results []BatchResult) {
 	if len(ops) == 0 {
 		return

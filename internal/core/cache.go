@@ -150,6 +150,7 @@ func (c *epcCache) store(m *sim.Meter, it *cacheItem, val []byte) {
 	c.storeVal(m, it, val)
 }
 
+//ss:enclave-write — cache slabs are EPC-resident.
 func (c *epcCache) storeVal(m *sim.Meter, it *cacheItem, val []byte) {
 	it.val = append(it.val[:0], val...)
 	// Touch the enclave slab so residency and cost are modeled.

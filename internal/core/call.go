@@ -68,6 +68,8 @@ func putCall(c *Call) {
 // value or Append suffix, delta the Incr amount. The caller must keep key
 // and value alive and unmodified until Wait returns. Start must have been
 // called.
+//
+//ss:xpart — the dispatch plane routes into a partition's queue; the worker behind it owns the Store.
 func (p *Partitioned) Submit(routeM *sim.Meter, kind BatchKind, key, value []byte, delta int64) *Call {
 	c := getCall()
 	c.op = kind
@@ -97,6 +99,8 @@ type BatchCall struct {
 // SubmitBatch routes ops to their partition workers (one call slot per
 // involved partition, as ExecBatch always did) without waiting. The
 // caller must keep the ops' key/value buffers alive until Wait returns.
+//
+//ss:xpart — dispatch-plane routing across partition queues.
 func (p *Partitioned) SubmitBatch(routeM *sim.Meter, ops []BatchOp) *BatchCall {
 	bc := &BatchCall{results: make([]BatchResult, len(ops))}
 	if len(ops) == 0 {

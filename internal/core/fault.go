@@ -63,6 +63,8 @@ func (s *Store) noteErr(m *sim.Meter, err error) {
 // before the MAC material is gathered, exactly as a host attacking
 // between requests would leave it. Corruption uses Peek/Tamper (host
 // actions cost the enclave nothing and never touch its meters).
+//
+//ss:seals — emulates host corruption via Tamper; writes no enclave secrets.
 func (s *Store) injectFaults(m *sim.Meter, b int) {
 	p := s.faults
 	if p == nil {
@@ -88,6 +90,8 @@ func (s *Store) injectFaults(m *sim.Meter, b int) {
 }
 
 // flipByte XORs one deterministic bit into the byte at a.
+//
+//ss:seals — flips attacker-visible bytes only.
 func (s *Store) flipByte(p *fault.Plane, a mem.Addr) {
 	var bb [1]byte
 	s.space.Peek(a, bb[:])
@@ -155,6 +159,8 @@ func (s *Store) injectMerkleTamper(p *fault.Plane, b int) {
 
 // QuarantinedParts lists the indices of partitions that have isolated
 // themselves. Safe for concurrent use.
+//
+//ss:xpart — control-plane health probe over all partitions.
 func (p *Partitioned) QuarantinedParts() []int {
 	var out []int
 	for i, s := range p.parts {
@@ -166,6 +172,8 @@ func (p *Partitioned) QuarantinedParts() []int {
 }
 
 // SetFaultPlane attaches one plane to every partition.
+//
+//ss:xpart — control-plane configuration before workers start.
 func (p *Partitioned) SetFaultPlane(pl *fault.Plane) {
 	for _, s := range p.parts {
 		s.SetFaultPlane(pl)

@@ -87,6 +87,8 @@ func (ix *orderedIndex) findPredecessors(m *sim.Meter, key string, update *[skip
 }
 
 // insert adds key if absent.
+//
+//ss:enclave-write — skiplist nodes (plaintext keys) live in enclave memory by design (§5.4).
 func (ix *orderedIndex) insert(m *sim.Meter, key []byte) {
 	var update [skipMaxLevel]*skipNode
 	k := string(key)
@@ -115,6 +117,8 @@ func (ix *orderedIndex) insert(m *sim.Meter, key []byte) {
 }
 
 // remove deletes key if present.
+//
+//ss:nopanic-ok(levels are bounded by the skipMaxLevel invariant, not by input)
 func (ix *orderedIndex) remove(m *sim.Meter, key []byte) {
 	var update [skipMaxLevel]*skipNode
 	k := string(key)
@@ -165,6 +169,8 @@ type KV struct {
 // (limit <= 0 means unlimited). It requires Options.RangeIndex; see the
 // orderedIndex comment for the EPC trade-off. Values are fetched — and
 // integrity-verified — through the normal Get path.
+//
+//ss:attacker — bounds arrive from the wire.
 func (s *Store) Range(m *sim.Meter, start, end []byte, limit int) ([]KV, error) {
 	if s.ordered == nil {
 		return nil, ErrNoRangeIndex

@@ -17,10 +17,12 @@ import (
 type Partitioned struct {
 	enclave *sgx.Enclave
 	cipher  *entry.Cipher
-	parts   []*Store
-	meters  []*sim.Meter
-
-	workers []chan *Call
+	//ss:partitioned
+	parts []*Store // one Store per worker; data-path code owns exactly one
+	//ss:partitioned
+	meters []*sim.Meter // one Meter per worker, same ownership rule
+	//ss:partitioned
+	workers []chan *Call // per-partition submission queues
 	wg      sync.WaitGroup
 	started bool
 }
@@ -28,6 +30,8 @@ type Partitioned struct {
 // NewPartitioned creates n partitions, splitting buckets, MAC hashes and
 // cache budget evenly. Mirroring the paper, the partition count is fixed
 // at creation (SGX cannot grow enclave threads dynamically).
+//
+//ss:xpart — constructor; workers do not exist yet.
 func NewPartitioned(e *sgx.Enclave, n int, opts Options) *Partitioned {
 	if n <= 0 {
 		n = 1
@@ -51,9 +55,13 @@ func NewPartitioned(e *sgx.Enclave, n int, opts Options) *Partitioned {
 func (p *Partitioned) Parts() int { return len(p.parts) }
 
 // Part returns partition i's store.
+//
+//ss:xpart — test/control accessor.
 func (p *Partitioned) Part(i int) *Store { return p.parts[i] }
 
 // Meter returns partition i's worker meter.
+//
+//ss:xpart — test/control accessor.
 func (p *Partitioned) Meter(i int) *sim.Meter { return p.meters[i] }
 
 // Cipher returns the shared key material.
@@ -68,6 +76,8 @@ func (p *Partitioned) Route(m *sim.Meter, key []byte) int {
 }
 
 // Keys returns the total number of live keys across partitions.
+//
+//ss:xpart — control-plane aggregation; callers quiesce workers first.
 func (p *Partitioned) Keys() int {
 	total := 0
 	for _, s := range p.parts {
@@ -78,6 +88,8 @@ func (p *Partitioned) Keys() int {
 
 // MaxCycles returns the slowest worker's virtual time — the completion
 // time of a parallel phase.
+//
+//ss:xpart — control-plane aggregation.
 func (p *Partitioned) MaxCycles() uint64 {
 	var maxC uint64
 	for _, m := range p.meters {
@@ -89,6 +101,8 @@ func (p *Partitioned) MaxCycles() uint64 {
 }
 
 // ResetMeters zeroes all worker meters (between benchmark phases).
+//
+//ss:xpart — control-plane reset between benchmark phases.
 func (p *Partitioned) ResetMeters() {
 	for _, m := range p.meters {
 		m.Reset()
@@ -96,6 +110,8 @@ func (p *Partitioned) ResetMeters() {
 }
 
 // AggregateStats sums event counters across workers.
+//
+//ss:xpart — control-plane aggregation.
 func (p *Partitioned) AggregateStats() sim.Stats {
 	agg := sim.NewMeter(p.enclave.Model())
 	for _, m := range p.meters {
@@ -108,6 +124,8 @@ func (p *Partitioned) AggregateStats() sim.Stats {
 
 // Start launches one worker goroutine per partition for the asynchronous
 // (networked server) mode. Benchmarks drive partitions directly instead.
+//
+//ss:xpart — hands each worker exactly its own partition; the handoff this checker protects.
 func (p *Partitioned) Start() {
 	if p.started {
 		return
@@ -161,6 +179,8 @@ func (p *Partitioned) worker(s *Store, m *sim.Meter, ch chan *Call) {
 }
 
 // Stop drains and joins the workers.
+//
+//ss:xpart — control-plane shutdown.
 func (p *Partitioned) Stop() {
 	if !p.started {
 		return
@@ -248,6 +268,8 @@ func (p *Partitioned) GetMulti(routeM *sim.Meter, keys [][]byte) ([][]byte, erro
 // partition routing; the cost (charged to the supplied meter) is
 // proportional to the data set, which is why the paper treats the thread
 // count as fixed. The worker pool must be stopped.
+//
+//ss:xpart — rebuilds the partition set while workers are stopped.
 func (p *Partitioned) Repartition(m *sim.Meter, n int) error {
 	if p.started {
 		return errors.New("core: stop the worker pool before repartitioning")

@@ -157,6 +157,8 @@ type Store struct {
 
 // New creates a store inside the given enclave. When cipher is nil a fresh
 // key set is generated.
+//
+//ss:nopanic-ok(constructor contract; recovery paths validate decoded options in decodeMeta before calling)
 func New(e *sgx.Enclave, cipher *entry.Cipher, opts Options) *Store {
 	if opts.Buckets <= 0 {
 		panic("core: Buckets must be positive")
@@ -529,6 +531,8 @@ func (s *Store) verifySet(m *sim.Meter, v *setView) error {
 }
 
 // writeSetHash recomputes and stores the MAC hash for a (modified) view.
+//
+//ss:enclave-write — the MAC hash array is enclave-resident.
 func (s *Store) writeSetHash(m *sim.Meter, v *setView) {
 	var h [entry.MACSize]byte
 	if len(v.macs) > 0 {
@@ -585,6 +589,8 @@ func (s *Store) positionOf(v *setView, res *lookup) (int, error) {
 // sidecar MAC at that slot, and the chain length must match the sidecar
 // count. (Without MAC bucketing the set hash is computed from the chain
 // itself, so misses are self-verifying.)
+//
+//ss:nopanic-ok(slot is range-checked against the sidecar count before any MAC slicing)
 func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
 	if !s.opts.MACBucket {
 		return nil
@@ -631,6 +637,8 @@ func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
 
 // verifyEntry authenticates the found entry's content against the MAC
 // covered by the set hash (the sidecar slot under MAC bucketing).
+//
+//ss:nopanic-ok(positionOf validates the slot before returning an offset)
 func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
 	p, err := s.positionOf(v, res)
 	if err != nil {
@@ -651,6 +659,8 @@ func (s *Store) verifyEntry(m *sim.Meter, v *setView, res *lookup) error {
 }
 
 // Get returns the value stored under key.
+//
+//ss:attacker — keys arrive from the wire; chains live in untrusted memory.
 func (s *Store) Get(m *sim.Meter, key []byte) (val []byte, err error) {
 	if err := s.guard(); err != nil {
 		return nil, err
@@ -715,6 +725,8 @@ func (s *Store) verifyMiss(m *sim.Meter, v *setView, b int) error {
 }
 
 // Set stores value under key, inserting or updating in place.
+//
+//ss:attacker — keys/values arrive from the wire.
 func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
@@ -726,6 +738,8 @@ func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 // Append appends suffix to the existing value (server-side computation,
 // §3.2/§6.2). A missing key is created with suffix as its value, matching
 // Redis APPEND semantics.
+//
+//ss:attacker — keys/suffixes arrive from the wire.
 func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
@@ -748,6 +762,8 @@ func appendMutator(suffix []byte) func(old []byte, found bool) ([]byte, error) {
 
 // Incr adds delta to a decimal-encoded value, creating it at delta when
 // missing, and returns the new number.
+//
+//ss:attacker — keys arrive from the wire.
 func (s *Store) Incr(m *sim.Meter, key []byte, delta int64) (int64, error) {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
@@ -774,6 +790,8 @@ func incrMutator(delta int64, out *int64) func(old []byte, found bool) ([]byte, 
 }
 
 // Delete removes key, returning ErrNotFound when absent.
+//
+//ss:attacker — keys arrive from the wire.
 func (s *Store) Delete(m *sim.Meter, key []byte) (err error) {
 	if err := s.guard(); err != nil {
 		return err
@@ -799,6 +817,8 @@ func (s *Store) Delete(m *sim.Meter, key []byte) (err error) {
 // deleteInView removes key from an already verified bucket set, updating
 // the view in place. The caller commits the view with writeSetHash;
 // batches do so once per set after all of the set's deletions.
+//
+//ss:nopanic-ok(offsets derive from positionOf and the sidecar view's own materialized length)
 func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error {
 	res, err := s.search(m, b, key)
 	if err != nil {
@@ -972,6 +992,8 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 
 // updateInPlace overwrites an entry whose value size is unchanged, bumping
 // the IV/counter (§4.2).
+//
+//ss:nopanic-ok(positionOf validates the slot before returning an offset)
 func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
 	hdr := res.hdr
 	hdr.BumpIV()
@@ -996,6 +1018,8 @@ func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []
 
 // replace swaps an entry for a differently-sized one, keeping its chain
 // position and sidecar slot.
+//
+//ss:nopanic-ok(positionOf validates the slot before returning an offset)
 func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
 	hdr := entry.Header{
 		Next:    res.hdr.Next,
@@ -1028,6 +1052,8 @@ func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) 
 }
 
 // writeEntry serializes header+ciphertext into untrusted memory.
+//
+//ss:seals — writes header/IV/MAC/ciphertext; no plaintext leaves the enclave.
 func (s *Store) writeEntry(m *sim.Meter, addr mem.Addr, hdr *entry.Header, ct []byte) {
 	bp := getScratch(entry.HeaderSize + len(ct))
 	defer putScratch(bp)
@@ -1079,6 +1105,8 @@ func (s *Store) sidecarSlotAddr(m *sim.Meter, b, idx int) (mem.Addr, error) {
 }
 
 // writeSidecarSlot overwrites one sidecar MAC.
+//
+//ss:seals — sidecar slots hold MAC tags, not secrets.
 func (s *Store) writeSidecarSlot(m *sim.Meter, b, idx int, mac []byte) {
 	a, err := s.sidecarSlotAddr(m, b, idx)
 	if err != nil || a == 0 || s.checkSpan(a, len(mac)) != nil {
@@ -1089,6 +1117,8 @@ func (s *Store) writeSidecarSlot(m *sim.Meter, b, idx int, mac []byte) {
 
 // appendSidecar adds a MAC at slot idx (== current count), growing the
 // node chain when the tail node is full.
+//
+//ss:seals — sidecar nodes hold MAC tags and pointers, not secrets.
 func (s *Store) appendSidecar(m *sim.Meter, b, idx int, mac []byte) error {
 	head, err := s.readPtr(m, s.macHeadAddr(b))
 	if err != nil {
@@ -1121,6 +1151,8 @@ func (s *Store) appendSidecar(m *sim.Meter, b, idx int, mac []byte) error {
 }
 
 // newSidecarNode allocates a zeroed MAC bucket node.
+//
+//ss:seals — fresh sidecar nodes carry zeroed MAC slots.
 func (s *Store) newSidecarNode(m *sim.Meter) mem.Addr {
 	a := s.heap.Alloc(m, s.sidecarNodeSize())
 	zero := make([]byte, macNodeHdr)
@@ -1129,6 +1161,8 @@ func (s *Store) newSidecarNode(m *sim.Meter) mem.Addr {
 }
 
 // setSidecarCount stores bucket b's MAC count in its head node.
+//
+//ss:seals — sidecar counts are allocator metadata.
 func (s *Store) setSidecarCount(m *sim.Meter, b, cnt int) {
 	head, err := s.readPtr(m, s.macHeadAddr(b))
 	if err != nil || head == 0 {
@@ -1141,6 +1175,8 @@ func (s *Store) setSidecarCount(m *sim.Meter, b, cnt int) {
 
 // reslotEntry finds the entry in bucket b whose sidecar slot is `from` and
 // rewrites it to `to` (delete compaction).
+//
+//ss:seals — moves MAC tags and rewrites a plaintext-free slot field.
 func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
 	cur, err := s.readPtr(m, s.headAddr(b))
 	if err != nil {
@@ -1178,6 +1214,8 @@ func (s *Store) reslotEntry(m *sim.Meter, b int, from, to uint32) error {
 // authenticated against its covered MAC, and under MAC bucketing the data
 // chains are cross-checked against the sidecars. Used after snapshot
 // restore and as a defense-in-depth scrub.
+//
+//ss:attacker — walks wholly host-controlled chains.
 func (s *Store) VerifyAll(m *sim.Meter) (err error) {
 	defer func() { s.noteErr(m, err) }()
 	for idx := 0; idx < s.opts.MACHashes; idx++ {
@@ -1199,6 +1237,8 @@ func (s *Store) VerifyAll(m *sim.Meter) (err error) {
 
 // verifyBucketEntries authenticates every entry in bucket b against the
 // collected (already set-hash-verified) MAC material.
+//
+//ss:nopanic-ok(pos is range-checked against the sidecar count before slicing)
 func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
 	off, cnt, ok := v.bucketOffset(b)
 	if !ok {
@@ -1317,6 +1357,8 @@ func (s *Store) ForEachDecrypt(m *sim.Meter, f func(key, val []byte) error) erro
 // produced by ForEachBucketRaw), reconstructing the chain and the MAC
 // sidecar. The caller must afterwards install the sealed MAC hashes and
 // run VerifyAll to authenticate the restored state.
+//
+//ss:seals — snapshot bytes are already encrypted and MACed.
 func (s *Store) RestoreBucket(m *sim.Meter, b int, entries [][]byte) error {
 	// Insert in reverse so head-first order is reproduced exactly.
 	for i := len(entries) - 1; i >= 0; i-- {
@@ -1361,6 +1403,8 @@ func (s *Store) RestoreBucket(m *sim.Meter, b int, entries [][]byte) error {
 
 // appendSidecarAt writes a MAC at an explicit slot, growing nodes without
 // touching the head count (RestoreBucket fixes the count at the end).
+//
+//ss:seals — rebuilds MAC sidecar nodes from snapshot tags.
 func (s *Store) appendSidecarAt(m *sim.Meter, b, idx int, mac []byte) error {
 	head, err := s.readPtr(m, s.macHeadAddr(b))
 	if err != nil {
@@ -1405,6 +1449,8 @@ func (s *Store) ExportMACHashes() []byte {
 // ImportMACHashes installs sealed integrity roots after restore. In
 // MerkleTree mode the tree is rebuilt from the restored buckets and its
 // recomputed root must equal the sealed one.
+//
+//ss:enclave-write — the MAC hash array is enclave-resident.
 func (s *Store) ImportMACHashes(m *sim.Meter, data []byte) error {
 	if s.tree != nil {
 		if len(data) != entry.MACSize {
@@ -1436,10 +1482,12 @@ func (s *Store) ImportMACHashes(m *sim.Meter, data []byte) error {
 
 // --- small helpers ---
 
+//ss:nopanic-ok(callers pass offsets validated by positionOf)
 func spliceOut(b []byte, off int) []byte {
 	return append(b[:off], b[off+entry.MACSize:]...)
 }
 
+//ss:nopanic-ok(callers pass offsets validated by positionOf)
 func spliceIn(b []byte, off int, mac []byte) []byte {
 	b = append(b, mac...) // grow
 	copy(b[off+entry.MACSize:], b[off:])

@@ -187,6 +187,7 @@ func (p *Pager) WriteU64(m *sim.Meter, a EAddr, v uint64) error {
 	return p.Write(m, a, b[:])
 }
 
+//ss:enclave-write — page frames are EPC-resident; plaintext never reaches backing memory here.
 func (p *Pager) access(m *sim.Meter, a EAddr, buf []byte, write bool) error {
 	if a == 0 {
 		panic("eleos: nil dereference")
@@ -262,6 +263,8 @@ func (p *Pager) metaU64(m *sim.Meter, a mem.Addr) uint64 {
 
 // pageIn decrypts and verifies a backing page into a frame. Version 0
 // means the page was never written back: its content is defined as zeros.
+//
+//ss:enclave-write — decrypts into an EPC-resident frame.
 func (p *Pager) pageIn(m *sim.Meter, f *frame) error {
 	ver := p.metaU64(m, p.versions+mem.Addr(f.page*8))
 	buf := make([]byte, p.cfg.PageSize)
@@ -294,6 +297,8 @@ func (p *Pager) pageIn(m *sim.Meter, f *frame) error {
 
 // writeBack encrypts a dirty frame to the backing store under a bumped
 // version counter.
+//
+//ss:seals — backing pages are encrypted and MACed before leaving the frame.
 func (p *Pager) writeBack(m *sim.Meter, f *frame) error {
 	ver := p.metaU64(m, p.versions+mem.Addr(f.page*8)) + 1
 	p.space.WriteU64(m, p.versions+mem.Addr(f.page*8), ver)
@@ -343,6 +348,8 @@ func (p *Pager) pageMAC(m *sim.Meter, page int, ver uint64, ct []byte) [16]byte 
 }
 
 // Tamper overwrites backing-store ciphertext (tests: host attack).
+//
+//ss:seals — test-only host attack on backing ciphertext.
 func (p *Pager) Tamper(page int, off int, data []byte) {
 	p.space.Tamper(p.backing+mem.Addr(page*p.cfg.PageSize+off), data)
 }

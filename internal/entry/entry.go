@@ -17,6 +17,8 @@
 // The chain pointer, sizes, hint and IV are plaintext — the paper's point
 // is that *pointers and allocator metadata need no confidentiality* as long
 // as keys and values are encrypted and everything is integrity-checked.
+//
+//ss:trusted
 package entry
 
 import (
@@ -120,7 +122,13 @@ type Cipher struct {
 	model   *sim.CostModel
 }
 
-// Keys bundles the secret key material for sealing to disk.
+// Keys bundles the secret key material for sealing to disk. shieldvet
+// treats it as //ss:trusted: code outside trusted packages may hold or
+// move a Keys value but may only open its fields on an audited //ss:seals
+// path — the mistake this catches is a debug/bench helper writing raw key
+// bytes into untrusted memory or a log.
+//
+//ss:trusted
 type Keys struct {
 	Data   [16]byte // AES-CTR data key
 	MAC    [16]byte // AES-CMAC key
@@ -139,6 +147,8 @@ func NewCipher(e *sgx.Enclave, m *sim.Meter) *Cipher {
 }
 
 // NewCipherFromKeys rebuilds a cipher from sealed key material (recovery).
+//
+//ss:nopanic-ok(16-byte keys cannot fail the AES/CMAC constructors)
 func NewCipherFromKeys(e *sgx.Enclave, k Keys) *Cipher {
 	block, err := aes.NewCipher(k.Data[:])
 	if err != nil {

@@ -21,6 +21,8 @@
 // A nil *Plane is valid and inert: every method is nil-receiver safe, so
 // instrumented code calls Hit/Pick unconditionally and pays one nil
 // check on the hot path when injection is disabled.
+//
+//ss:host(fault plane and proxy are the hostile host itself; their I/O is the attack, not an enclave exit)
 package fault
 
 import (

@@ -15,6 +15,13 @@
 // The unprotected region is ordinary DRAM: accesses from enclave code cost
 // the same as NoSGX accesses (Figure 2, SGX_Unprotected), which is the
 // observation ShieldStore's design is built on.
+//
+// Writes into this space are host-visible unless the target is the enclave
+// region, so the write entry points carry //ss:sink: shieldvet requires
+// every caller outside this package to be audited as //ss:seals (bytes are
+// sealed/MACed/non-secret) or //ss:enclave-write (target is EPC-backed).
+//
+//ss:untrusted
 package mem
 
 import (
@@ -85,6 +92,7 @@ func (rs *regionStore) init(base Addr) {
 	rs.next.Store(64) // keep a guard gap so base+0 is never a valid object
 }
 
+//ss:nopanic-ok(simulated OOM: address-space exhaustion is a machine fault, not attacker input)
 func (rs *regionStore) alloc(n int) Addr {
 	if n <= 0 {
 		n = 1
@@ -103,6 +111,7 @@ func (rs *regionStore) used() int64 {
 	return int64(rs.next.Load())
 }
 
+//ss:nopanic-ok(simulated hardware fault: enclave code sanitizes pointers via CheckUntrusted/InAllocated first)
 func (rs *regionStore) slice(off uint64, n int) []byte {
 	if off >= rs.next.Load() {
 		panic(fmt.Sprintf("mem: access beyond allocation high-water mark at offset %#x", off))
@@ -245,6 +254,8 @@ func (s *Space) UsedBytes(r Region) int64 {
 }
 
 // store returns the backing store and offset for an address span.
+//
+//ss:nopanic-ok(simulated hardware fault: a wild address is a bug in the simulator's caller, not reachable via sanitized pointers)
 func (s *Space) store(a Addr) (*regionStore, uint64) {
 	if a == 0 {
 		panic("mem: nil dereference")
@@ -265,6 +276,8 @@ func (s *Space) Read(m *sim.Meter, a Addr, buf []byte) {
 }
 
 // Write copies src into memory at address a, charging access costs.
+//
+//ss:sink
 func (s *Space) Write(m *sim.Meter, a Addr, src []byte) {
 	s.access(m, a, len(src), true)
 	s.copyIn(a, src)
@@ -294,6 +307,8 @@ func (s *Space) BulkRead(m *sim.Meter, a Addr, buf []byte) {
 }
 
 // BulkWrite is the write-side counterpart of BulkRead.
+//
+//ss:sink
 func (s *Space) BulkWrite(m *sim.Meter, a Addr, src []byte) {
 	s.bulkAccess(m, a, len(src), true)
 	s.copyIn(a, src)
@@ -333,6 +348,9 @@ func (s *Space) Peek(a Addr, buf []byte) { s.copyOut(a, buf) }
 // simulating a malicious host OS modifying ShieldStore's exposed data
 // structures. Tampering with the enclave region is impossible on SGX
 // hardware and panics here.
+//
+//ss:sink
+//ss:nopanic-ok(tampering enclave memory is impossible on hardware; the panic enforces the simulation's physics)
 func (s *Space) Tamper(a Addr, src []byte) {
 	if RegionOf(a) == Enclave {
 		panic("mem: SGX hardware forbids host writes to enclave memory")
@@ -362,6 +380,8 @@ func (s *Space) copyIn(a Addr, src []byte) {
 
 // access charges the virtual cost of touching [a, a+n) and drives the EPC
 // residency machinery for enclave addresses.
+//
+//ss:nopanic-ok(simulated hardware fault behind the CheckUntrusted/InAllocated sanitizers)
 func (s *Space) access(m *sim.Meter, a Addr, n int, write bool) {
 	if n <= 0 {
 		return

@@ -53,6 +53,9 @@ type Tree struct {
 
 // New builds a tree with the given leaf count. The CMAC key must be
 // enclave-held (the caller owns key management).
+//
+//ss:enclave-write — installs the empty root in enclave memory.
+//ss:nopanic-ok(leaf count is the validated bucket count; level loops are bounded by the tree height)
 func New(space *mem.Space, mac *cmac.CMAC, leaves int) *Tree {
 	if leaves <= 0 {
 		panic("merkle: leaves must be positive")
@@ -147,6 +150,9 @@ func (t *Tree) VerifyLeaf(m *sim.Meter, i int, leaf Digest) error {
 
 // UpdateLeaf installs a new digest for leaf i, rewriting its root path in
 // untrusted memory and the root in the enclave.
+//
+//ss:seals — tree nodes are keyed digests; only the root write targets enclave memory.
+//ss:nopanic-ok(leaf index is the enclave-computed MAC-hash index, never untrusted bytes)
 func (t *Tree) UpdateLeaf(m *sim.Meter, i int, leaf Digest) {
 	if i < 0 || i >= t.leaves {
 		panic("merkle: leaf out of range")
@@ -174,6 +180,8 @@ func (t *Tree) LeafDigest(m *sim.Meter, i int) Digest {
 
 // TamperNode overwrites an internal node or leaf in untrusted memory
 // (tests: host attack).
+//
+//ss:seals — test-only host attack on untrusted nodes.
 func (t *Tree) TamperNode(i int, d Digest) {
 	t.space.Tamper(t.nodeAddr(i), d[:])
 }

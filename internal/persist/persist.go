@@ -133,6 +133,13 @@ func (p *Store) InSnapshot() bool { return p.temp != nil }
 // Snapshot writes a snapshot. The caller's meter m advances by the
 // *blocking* portion only; in Optimized mode the entry stream runs on a
 // background virtual track that finishes at m.Cycles()+childCost.
+//
+// Both file writes are enclave exits: the metadata write pays an OCALL on
+// the blocking track, and the entry stream pays one on whichever track
+// performs it (the serving thread in Naive mode, the forked child in
+// Optimized mode).
+//
+//ss:ocall
 func (p *Store) Snapshot(m *sim.Meter) error {
 	if p.temp != nil {
 		// Previous snapshot still draining: finish it first.
@@ -150,6 +157,7 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	if err := os.WriteFile(filepath.Join(p.dir, metaFile), sealed, 0o600); err != nil {
 		return err
 	}
+	p.enclave.Syscall(m, false)
 	m.Charge(p.model.StorageWrite(len(sealed)))
 
 	// Step 2: stream the (already encrypted) entries. The bytes are
@@ -172,7 +180,8 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	if err := os.WriteFile(filepath.Join(p.dir, dataFile), data, 0o600); err != nil {
 		return err
 	}
-	streamCost := p.model.MemCopy(totalBytes) + p.model.StorageWrite(totalBytes)
+	streamCost := p.model.EnclaveCrossing + p.model.Syscall +
+		p.model.MemCopy(totalBytes) + p.model.StorageWrite(totalBytes)
 
 	if p.mode == Naive {
 		// Blocking: the serving thread eats the whole write.
@@ -279,6 +288,8 @@ func (p *Store) Drain(m *sim.Meter) {
 
 // encodeMeta serializes enclave-side state: version, options, key count,
 // cipher keys, MAC hashes.
+//
+//ss:seals — the designated path for key material into the sealed metadata blob.
 func (p *Store) encodeMeta(version uint64) []byte {
 	opts := p.main.Options()
 	keys := p.main.Cipher().ExportKeys()
@@ -330,6 +341,7 @@ type metaBlob struct {
 	hashes  []byte
 }
 
+//ss:seals — the designated path for key material out of the sealed metadata blob.
 func decodeMeta(buf []byte) (*metaBlob, error) {
 	if len(buf) < 48+64+8 {
 		return nil, ErrCorrupt
@@ -346,6 +358,12 @@ func decodeMeta(buf []byte) (*metaBlob, error) {
 	mb.opts.RangeIndex = flags&8 != 0
 	mb.opts.MerkleTree = flags&16 != 0
 	mb.keyN = int(get(40))
+	// Validate before the options reach core.New, whose bounds panics are
+	// constructor contracts, not attacker-input handlers. A blob that
+	// unseals but decodes to impossible options is corrupt metadata.
+	if mb.opts.Buckets <= 0 || mb.opts.MACHashes <= 0 || mb.opts.MACBucketCap < 0 || mb.keyN < 0 {
+		return nil, ErrCorrupt
+	}
 	off := 48
 	copy(mb.keys.Data[:], buf[off:])
 	copy(mb.keys.MAC[:], buf[off+16:])
@@ -385,8 +403,13 @@ func (p *Store) encodeData() ([]byte, int, error) {
 
 // Restore loads the latest snapshot from dir into a fresh store on the
 // given enclave, verifying integrity and rollback protection. The
-// counterID must be the same platform counter the snapshots used.
+// counterID must be the same platform counter the snapshots used. Each
+// file read is an enclave exit, charged before the host hands bytes back.
+//
+//ss:ocall
+//ss:attacker — the snapshot files are host-controlled input.
 func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.Store, error) {
+	e.Syscall(m, false)
 	sealed, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, err
@@ -408,6 +431,7 @@ func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.
 		return nil, fmt.Errorf("%w: sealed v%d, platform v%d", ErrRollback, mb.version, cur)
 	}
 
+	e.Syscall(m, false)
 	data, err := os.ReadFile(filepath.Join(dir, dataFile))
 	if err != nil {
 		return nil, err

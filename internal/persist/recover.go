@@ -49,7 +49,10 @@ func (r *RecoveryReport) String() string {
 // truncated off the file. The rollback defense is preserved — a prefix
 // shorter than the platform counter's pinned history returns ErrRollback.
 // On success the returned WAL continues appending after the last valid
-// record.
+// record. Reading the log back is an enclave exit, charged up front.
+//
+//ss:ocall
+//ss:attacker — a torn or tampered log is host-controlled input.
 func RecoverWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*WAL, *RecoveryReport, error) {
 	if batchEvery <= 0 {
 		batchEvery = 64
@@ -58,6 +61,7 @@ func RecoverWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*W
 	pinned := store.Enclave().EnsureMonotonicCounter(id)
 
 	path := filepath.Join(dir, walFile)
+	store.Enclave().Syscall(m, false)
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
@@ -65,8 +69,8 @@ func RecoverWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*W
 
 	rep := &RecoveryReport{}
 	seq := uint64(0)
-	off := 0      // scan position
-	valid := 0    // end of the last fully applied record
+	off := 0   // scan position
+	valid := 0 // end of the last fully applied record
 	for off < len(data) {
 		rec, next, terr := parseSealedRecord(store, m, data, off, seq)
 		if terr != nil {
@@ -152,6 +156,8 @@ func parseSealedRecord(store *core.Store, m *sim.Meter, data []byte, off int, wa
 }
 
 // applyRecord replays one validated plaintext record into the store.
+//
+//ss:nopanic-ok(record lengths are validated by parseSealedRecord before apply)
 func applyRecord(store *core.Store, m *sim.Meter, rec []byte) error {
 	kl := int(binary.LittleEndian.Uint32(rec[9:]))
 	key := rec[17 : 17+kl]

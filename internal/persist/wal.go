@@ -66,6 +66,8 @@ func (w *WAL) SetFaultPlane(p *fault.Plane) { w.faults = p }
 
 // NewWAL creates a write-ahead-logged store writing into dir. batchEvery
 // bounds the rollback-unprotected tail (default 64).
+//
+//ss:host(log open at store construction, outside the measured window)
 func NewWAL(store *core.Store, dir string, batchEvery int) (*WAL, error) {
 	if batchEvery <= 0 {
 		batchEvery = 64
@@ -92,10 +94,16 @@ func (w *WAL) Main() *core.Store { return w.main }
 func (w *WAL) Seq() uint64 { return w.seq }
 
 // Close releases the log file.
+//
+//ss:host(shutdown path, outside the measured window)
 func (w *WAL) Close() error { return w.f.Close() }
 
 // append seals and writes one log record, bumping the platform counter at
-// batch boundaries.
+// batch boundaries. Each acknowledged record costs one enclave exit: the
+// enclave cannot issue the write(2) itself, so the sealed bytes leave via
+// an OCALL before the storage write is charged.
+//
+//ss:ocall
 func (w *WAL) append(m *sim.Meter, op byte, key, val []byte) error {
 	rec := make([]byte, 0, 17+len(key)+len(val))
 	var hdr [17]byte
@@ -125,6 +133,7 @@ func (w *WAL) append(m *sim.Meter, op byte, key, val []byte) error {
 	if _, err := w.f.Write(sealed); err != nil {
 		return err
 	}
+	w.main.Enclave().Syscall(m, false)
 	m.Charge(w.main.Enclave().Model().StorageWrite(len(sealed) + 4))
 
 	w.seq++
@@ -189,7 +198,11 @@ func (w *WAL) Pin(m *sim.Meter) error {
 // (typically freshly restored from the last snapshot, or empty). It
 // verifies sealing, sequence density, and — when strict — that the log
 // covers at least the batches pinned by the platform counter (rollback
-// defense). It returns a WAL positioned to continue appending.
+// defense). It returns a WAL positioned to continue appending. Reading
+// the log back is an enclave exit, charged up front.
+//
+//ss:ocall
+//ss:attacker — the log file is host-controlled input.
 func ReplayWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*WAL, error) {
 	if batchEvery <= 0 {
 		batchEvery = 64
@@ -197,6 +210,7 @@ func ReplayWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*WA
 	id := CounterIDFor(dir + "/wal")
 	pinned := store.Enclave().EnsureMonotonicCounter(id)
 
+	store.Enclave().Syscall(m, false)
 	data, err := os.ReadFile(filepath.Join(dir, walFile))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err

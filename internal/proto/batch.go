@@ -70,6 +70,8 @@ func EncodeBatch(ops []BatchOp) ([]byte, error) {
 // op's Key and Value alias buf, so they are valid only while the caller
 // keeps the frame buffer alive and unmodified. Validation is identical to
 // DecodeBatch.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeBatchView(buf []byte) ([]BatchOp, error) {
 	if len(buf) < 4 {
 		return nil, ErrBadMessage
@@ -112,6 +114,8 @@ func DecodeBatchView(buf []byte) ([]BatchOp, error) {
 
 // DecodeBatch parses an EncodeBatch payload. The count and every length
 // field are validated against the buffer; trailing bytes are rejected.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeBatch(buf []byte) ([]BatchOp, error) {
 	if len(buf) < 4 {
 		return nil, ErrBadMessage
@@ -187,6 +191,8 @@ func EncodeBatchResults(rs []BatchResult) []byte {
 }
 
 // DecodeBatchResults parses an EncodeBatchResults payload.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeBatchResults(buf []byte) ([]BatchResult, error) {
 	if len(buf) < 4 {
 		return nil, ErrBadMessage

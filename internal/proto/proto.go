@@ -95,6 +95,8 @@ func EncodeRequest(r *Request) []byte {
 
 // DecodeRequest parses an encoded request, copying key and value out of
 // the frame buffer.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeRequest(buf []byte) (*Request, error) {
 	r := &Request{}
 	if err := DecodeRequestInto(r, buf); err != nil {
@@ -112,6 +114,8 @@ func DecodeRequest(buf []byte) (*Request, error) {
 // DecodeRequestInto parses an encoded request without copying: the
 // resulting Key and Value alias buf, so they are valid only while the
 // caller keeps the frame buffer alive and unmodified.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeRequestInto(r *Request, buf []byte) error {
 	if len(buf) < 17 {
 		return ErrBadMessage
@@ -150,6 +154,8 @@ func EncodeResponse(r *Response) []byte {
 }
 
 // DecodeResponse parses an encoded response.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeResponse(buf []byte) (*Response, error) {
 	if len(buf) < 13 {
 		return nil, ErrBadMessage
@@ -183,6 +189,8 @@ func WriteFrame(w io.Writer, payload []byte) error {
 }
 
 // ReadFrame reads one length-prefixed frame into a fresh buffer.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	return ReadFrameInto(r, nil)
 }
@@ -191,6 +199,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // capacity suffices, allocating only when the frame is larger. With a
 // pooled buffer this makes the server's frame reads allocation-free at
 // steady state.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	n, err := ReadFrameHeader(r)
 	if err != nil {
@@ -203,6 +213,8 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 // announced size. Split from ReadFramePayloadInto so callers can apply
 // different I/O deadlines to "waiting for a request" (idle) and "reading
 // a request that already started" (stall).
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ReadFrameHeader(r io.Reader) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -217,6 +229,8 @@ func ReadFrameHeader(r io.Reader) (int, error) {
 
 // ReadFramePayloadInto reads the n-byte payload announced by
 // ReadFrameHeader, reusing buf's capacity when it suffices.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ReadFramePayloadInto(r io.Reader, n int, buf []byte) ([]byte, error) {
 	if cap(buf) < n {
 		buf = make([]byte, n)
@@ -282,6 +296,8 @@ func (c *Channel) SealTo(dst, plain []byte) []byte {
 
 // Open authenticates and decrypts the next received frame. Sequence
 // numbers are implicit, so replayed, reordered or dropped frames fail.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func (c *Channel) Open(ct []byte) ([]byte, error) {
 	c.recvNonce[0] = c.recvDir
 	binary.LittleEndian.PutUint64(c.recvNonce[4:], c.recvSeq)
@@ -297,6 +313,8 @@ func (c *Channel) Open(ct []byte) ([]byte, error) {
 // supports in-place opens), so a pooled frame buffer is both the
 // ciphertext source and the plaintext destination. On error ct's contents
 // are unspecified.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func (c *Channel) OpenInPlace(ct []byte) ([]byte, error) {
 	c.recvNonce[0] = c.recvDir
 	binary.LittleEndian.PutUint64(c.recvNonce[4:], c.recvSeq)
@@ -326,12 +344,16 @@ type Quoter interface {
 
 // ClientHandshake attests the server and derives the session channel,
 // drawing client entropy from crypto/rand.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ClientHandshake(rw io.ReadWriter, verifier QuoteVerifier, expect [32]byte) (*Channel, error) {
 	return ClientHandshakeSeeded(rw, verifier, expect, rand.Reader)
 }
 
 // ClientHandshakeSeeded is ClientHandshake with caller-supplied entropy
 // (deterministic tests and simulations).
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ClientHandshakeSeeded(rw io.ReadWriter, verifier QuoteVerifier, expect [32]byte, entropy io.Reader) (*Channel, error) {
 	priv, err := ecdh.X25519().GenerateKey(entropy)
 	if err != nil {
@@ -382,6 +404,8 @@ func clientHandshakeWithKey(rw io.ReadWriter, verifier QuoteVerifier, expect [32
 
 // ServerHandshake answers a client hello, producing the server channel.
 // entropy supplies the server's ephemeral key material (the enclave DRBG).
+//
+//ss:attacker — parses adversary-controlled bytes.
 func ServerHandshake(rw io.ReadWriter, quoter Quoter, entropy io.Reader) (*Channel, error) {
 	hello, err := ReadFrame(rw)
 	if err != nil {
@@ -442,6 +466,8 @@ func EncodeList(items [][]byte) []byte {
 }
 
 // DecodeList parses an EncodeList buffer.
+//
+//ss:attacker — parses adversary-controlled bytes.
 func DecodeList(buf []byte) ([][]byte, error) {
 	if len(buf) < 4 {
 		return nil, ErrBadMessage

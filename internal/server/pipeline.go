@@ -58,6 +58,9 @@ var framePool = sync.Pool{
 // in-flight slot on the bounded writer queue — the queue's capacity is
 // the connection's pipeline depth, and enqueueing is the only place the
 // reader blocks on the writer.
+//
+//ss:ecall
+//ss:attacker — frames arrive from the adversary-controlled socket.
 func (s *Server) connReader(conn net.Conn, ch *proto.Channel, wq chan<- *pending, m *sim.Meter) error {
 	model := s.cfg.Enclave.Model()
 	ae, _ := s.cfg.Engine.(AsyncEngine)
@@ -174,6 +177,8 @@ type writerScratch struct {
 // their responses. After a write error it keeps draining the queue —
 // every in-flight call must still be waited on — but stops writing and
 // closes the connection so the reader unblocks.
+//
+//ss:ocall
 func (s *Server) connWriter(conn net.Conn, ch *proto.Channel, wq <-chan *pending, m *sim.Meter) error {
 	model := s.cfg.Enclave.Model()
 	size := s.cfg.WriteBuffer

@@ -171,6 +171,8 @@ type Server struct {
 
 // Serve starts accepting connections on ln. It returns immediately; Close
 // shuts the server down.
+//
+//ss:host(listener setup on the real transport; per-frame crossings are charged in chargeNet)
 func Serve(ln net.Listener, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
@@ -187,12 +189,16 @@ func Serve(ln net.Listener, cfg Config) *Server {
 }
 
 // Addr returns the listen address.
+//
+//ss:host(transport introspection, no enclave involvement)
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Close stops accepting and waits for handlers to drain. With
 // DrainTimeout set the wait is bounded: connections still alive when it
 // expires are force-closed, so one wedged client cannot make shutdown
 // hang.
+//
+//ss:host(shutdown path, outside the measured window)
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -279,6 +285,10 @@ func (s *Server) retire(ms ...*sim.Meter) {
 	s.mu.Unlock()
 }
 
+// acceptLoop runs on the untrusted front-end thread; accepting a socket
+// involves no enclave work, which begins per frame inside handle.
+//
+//ss:host(untrusted accept thread; enclave costs start per frame in handle)
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	backoff := time.Millisecond
@@ -342,6 +352,9 @@ func isClosed(err error) bool {
 // handle serves one connection: a reader goroutine (this one) decodes
 // and submits requests, a writer goroutine resolves and responds in
 // order. rm and wm meter the two directions separately.
+//
+//ss:attacker — every byte on the socket is adversary-controlled.
+//ss:host(deadline management on the real socket; frame crossings are charged in connReader/connWriter)
 func (s *Server) handle(conn net.Conn, rm, wm *sim.Meter) error {
 	e := s.cfg.Enclave
 	model := e.Model()
@@ -396,6 +409,8 @@ func (s *Server) handshakeTimeout() time.Duration {
 
 // chargeNet accounts one message's network path: kernel socket call
 // (through the enclave boundary unless NoSGX) plus NIC/wire costs.
+//
+//ss:ocall
 func (s *Server) chargeNet(m *sim.Meter, n int) {
 	model := s.cfg.Enclave.Model()
 	if s.cfg.NoSGX {

@@ -9,6 +9,8 @@
 // testable; their execution costs are charged to the caller's sim.Meter,
 // and transition costs follow the ~8,000-cycle crossing measurements the
 // paper cites (§2.2).
+//
+//ss:trusted
 package sgx
 
 import (
@@ -129,12 +131,16 @@ func (e *Enclave) Model() *sim.CostModel { return e.model }
 func (e *Enclave) Measurement() [32]byte { return e.measurement }
 
 // ECall charges one host→enclave transition.
+//
+//ss:charges
 func (e *Enclave) ECall(m *sim.Meter) {
 	m.Charge(e.model.EnclaveCrossing)
 	m.Count(sim.CtrECall)
 }
 
 // OCall charges one enclave→host transition (and the way back).
+//
+//ss:charges
 func (e *Enclave) OCall(m *sim.Meter) {
 	m.Charge(e.model.EnclaveCrossing)
 	m.Count(sim.CtrOCall)
@@ -142,6 +148,8 @@ func (e *Enclave) OCall(m *sim.Meter) {
 
 // HotCall charges one exitless call: the enclave thread hands the request
 // to an untrusted worker spinning on shared memory (HotCalls, ISCA'17).
+//
+//ss:charges
 func (e *Enclave) HotCall(m *sim.Meter) {
 	m.Charge(e.model.HotCall)
 	m.Count(sim.CtrHotCall)
@@ -150,6 +158,8 @@ func (e *Enclave) HotCall(m *sim.Meter) {
 // Syscall models the enclave requesting an OS service. With hotcalls=false
 // it pays a full OCALL; with hotcalls=true it pays the exitless handoff.
 // Either way the kernel work itself is charged.
+//
+//ss:charges
 func (e *Enclave) Syscall(m *sim.Meter, hotcalls bool) {
 	if hotcalls {
 		e.HotCall(m)
@@ -164,6 +174,8 @@ func (e *Enclave) Syscall(m *sim.Meter, hotcalls bool) {
 // from the host allocator: one OCALL plus an mmap/sbrk syscall. It returns
 // the chunk's base address. This is the primitive both the naive outside
 // allocator and the optimized extra heap allocator (§5.1) are built on.
+//
+//ss:ocall
 func (e *Enclave) SbrkUntrusted(m *sim.Meter, n int) mem.Addr {
 	e.OCall(m)
 	m.Charge(e.model.Syscall)
@@ -263,6 +275,8 @@ func (e *Enclave) EnsureMonotonicCounter(id uint32) uint64 {
 }
 
 // counter NVRAM format: repeated (id uint32, value uint64) little-endian.
+//
+//ss:host(platform NVRAM read at enclave creation, outside the measured window)
 func (e *Enclave) loadCounters() {
 	if e.counterPath == "" {
 		return
@@ -278,7 +292,11 @@ func (e *Enclave) loadCounters() {
 	}
 }
 
-// saveCounters is called with mu held.
+// saveCounters is called with mu held. The NVRAM write cost is the
+// ~60 ms MonotonicCounterInc charge paid by IncrementMonotonicCounter;
+// Create/Ensure run at enclave setup, outside the measured window.
+//
+//ss:host(NVRAM write cost is subsumed by the MonotonicCounterInc charge)
 func (e *Enclave) saveCounters() {
 	if e.counterPath == "" {
 		return

@@ -20,6 +20,8 @@ type Hash struct {
 }
 
 // New creates a SipHash-2-4 instance. The key must be exactly 16 bytes.
+//
+//ss:nopanic-ok(keys are always the enclave's 16-byte SipHash keys)
 func New(key []byte) *Hash {
 	if len(key) != KeySize {
 		panic("siphash: key must be 16 bytes")
