@@ -6,7 +6,8 @@
 //	shieldstore-cli -addr 127.0.0.1:7701 get greeting
 //	shieldstore-cli -addr 127.0.0.1:7701            # REPL mode
 //
-// Commands: get K | set K V | del K | append K V | incr K N | stats | ping
+// Commands: get K | set K V | del K | append K V | incr K N | stats |
+// health | ping
 package main
 
 import (
@@ -66,7 +67,7 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("commands: get K | set K V | del K | append K V | incr K N | stats | ping | quit")
+			fmt.Println("commands: get K | set K V | del K | append K V | incr K N | stats | health | ping | quit")
 			continue
 		}
 		if err := runCommand(c, fields); err != nil {
@@ -125,6 +126,14 @@ func runCommand(c *client.Client, args []string) error {
 		fmt.Println(v)
 	case "stats":
 		lines, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "health":
+		lines, err := c.Health()
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,11 @@ var (
 	ErrNotFound = errors.New("shieldstore client: key not found")
 	// ErrIntegrity reports a server-side integrity violation.
 	ErrIntegrity = errors.New("shieldstore client: server reported integrity violation")
+	// ErrRebuilding reports a partition that is being rebuilt after an
+	// integrity failure: the operation was NOT applied and is safe to
+	// retry — for any op, not just idempotent ones — after a short
+	// backoff. With Options.Retry enabled the client does this itself.
+	ErrRebuilding = errors.New("shieldstore client: partition rebuilding, retry")
 	// ErrServer reports any other server-side failure.
 	ErrServer = errors.New("shieldstore client: server error")
 	// ErrConnection wraps transport failures (dial, read, write). Only
@@ -38,10 +43,13 @@ type Options struct {
 	Secure bool
 	// Retry enables transparent reconnection and bounded retry of
 	// idempotent requests (Get, MGet, Ping, Stats) after transport
-	// failures. Mutations are never retried — a write whose response was
-	// lost may have been applied, and replaying it silently would be
-	// wrong — but a broken connection is still re-established before the
-	// next mutation is sent.
+	// failures. Mutations are never retried over a transport failure — a
+	// write whose response was lost may have been applied, and replaying
+	// it silently would be wrong — but a broken connection is still
+	// re-established before the next mutation is sent. A server-reported
+	// StatusRebuilding is different: the op was definitively not applied,
+	// so ALL ops (mutations included) are retried with backoff while a
+	// partition heals.
 	Retry RetryPolicy
 }
 
@@ -153,6 +161,10 @@ func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
 		return nil, ErrNotFound
 	case proto.StatusIntegrityViolation:
 		return nil, ErrIntegrity
+	case proto.StatusRebuilding:
+		// The connection itself is fine (not poisoned): the op simply
+		// arrived while its partition was healing and was not applied.
+		return nil, ErrRebuilding
 	default:
 		return nil, ErrServer
 	}
@@ -214,6 +226,24 @@ func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
 // Stats fetches the server's "name=value" statistics lines.
 func (c *Client) Stats() ([]string, error) {
 	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdStats})
+	if err != nil {
+		return nil, err
+	}
+	items, err := proto.DecodeList(resp.Value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = string(it)
+	}
+	return out, nil
+}
+
+// Health fetches the server's per-partition health lines
+// ("partN=state scrub=i/total passes=k", optionally "journal=lost").
+func (c *Client) Health() ([]string, error) {
+	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdHealth})
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,17 @@
 // Reconnection and bounded retry. The policy is deliberately narrow:
-// only transport failures (ErrConnection) are retried, only idempotent
-// requests are replayed, and attempts are capped with exponential
-// backoff — a dead server costs a bounded delay, not a hang, and a
-// flapping one is ridden out. Server-reported errors (misses, integrity
-// violations, quarantine) always surface immediately: retrying them
-// would at best hide a fault the caller must know about.
+// transport failures (ErrConnection) are retried only for idempotent
+// requests, and attempts are capped with exponential backoff — a dead
+// server costs a bounded delay, not a hang, and a flapping one is ridden
+// out. Server-reported errors (misses, integrity violations, quarantine)
+// always surface immediately: retrying them would at best hide a fault
+// the caller must know about. The one exception is StatusRebuilding —
+// the server's explicit "not applied, partition healing, come back"
+// signal — which is retried for every op kind, mutations included, since
+// there is no applied-but-unacknowledged ambiguity to protect against.
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -62,22 +66,23 @@ func (c *Client) do(req *proto.Request, idempotent bool) (*proto.Response, error
 		}
 	}
 	resp, err := c.roundTripOnce(req)
-	if err == nil || !idempotent || !pol.enabled() || c.addr == "" {
+	if err == nil || !pol.enabled() {
 		return resp, err
 	}
 	backoff := pol.initial()
 	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
-		if !c.broken {
-			// Typed server/protocol error: retrying cannot help.
+		if !c.retryable(err, idempotent) {
 			return resp, err
 		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > pol.cap() {
 			backoff = pol.cap()
 		}
-		if rerr := c.reconnectOnce(); rerr != nil {
-			err = rerr
-			continue
+		if c.broken {
+			if rerr := c.reconnectOnce(); rerr != nil {
+				err = rerr
+				continue
+			}
 		}
 		resp, err = c.roundTripOnce(req)
 		if err == nil {
@@ -85,6 +90,18 @@ func (c *Client) do(req *proto.Request, idempotent bool) (*proto.Response, error
 		}
 	}
 	return nil, err
+}
+
+// retryable decides whether one more attempt may help. A rebuilding
+// partition is always worth retrying — the server guarantees the op was
+// not applied and the connection is intact, so even mutations replay
+// safely. A transport failure is retried only when the request is
+// idempotent and the client knows how to re-dial.
+func (c *Client) retryable(err error, idempotent bool) bool {
+	if errors.Is(err, ErrRebuilding) {
+		return true
+	}
+	return c.broken && idempotent && c.addr != ""
 }
 
 // redial re-establishes a broken connection (with backoff) without

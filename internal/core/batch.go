@@ -115,11 +115,12 @@ func (s *Store) ApplyBatchInto(m *sim.Meter, ops []BatchOp, results []BatchResul
 		groups[id] = append(groups[id], batchPos{idx: i, bucket: b})
 	}
 	for _, id := range order {
-		if s.quarantined.Load() {
+		if gerr := s.guard(); gerr != nil {
 			// The partition isolated itself (either before this batch or
-			// from an earlier group in it): fail the remaining groups fast.
+			// from an earlier group in it): fail the remaining groups fast,
+			// with the retryable ErrRebuilding when a rebuild is in flight.
 			for _, g := range groups[id] {
-				results[g.idx].Err = ErrQuarantined
+				results[g.idx].Err = gerr
 			}
 			continue
 		}

@@ -157,6 +157,22 @@ func (c *Call) exec(s *Store, m *sim.Meter) {
 	}
 }
 
+// journalOp logs one successfully applied mutation through the worker's
+// journal, in apply order, before the call is acknowledged. A journal
+// write failure never fails the client operation — the in-memory store is
+// intact — but the log is now incomplete: it is detached and the
+// partition flagged (JournalLost) so health reports it and auto-heal
+// refuses to rebuild from a log missing acknowledged writes.
+func journalOp(st *WorkerState, kind BatchKind, key, value []byte, delta int64) {
+	if st.Journal == nil {
+		return
+	}
+	if err := st.Journal.LogOp(st.Meter, kind, key, value, delta); err != nil {
+		st.Journal = nil
+		st.Store.noteJournalLost()
+	}
+}
+
 // runDrain executes one worker wakeup's worth of calls. A lone single-op
 // call goes through the per-op Store path (identical accounting to the
 // seed); everything else is combined into one ApplyBatch, so the whole
@@ -164,10 +180,15 @@ func (c *Call) exec(s *Store, m *sim.Meter) {
 // amortization ApplyBatch gives explicit batches, now applied to
 // concurrent single-op traffic. ops and rs are worker-local scratch,
 // returned so grown backings are kept.
-func runDrain(s *Store, m *sim.Meter, calls []*Call, ops []BatchOp, rs []BatchResult) ([]BatchOp, []BatchResult) {
+func runDrain(st *WorkerState, calls []*Call, ops []BatchOp, rs []BatchResult) ([]BatchOp, []BatchResult) {
+	s, m := st.Store, st.Meter
 	if len(calls) == 1 && !calls[0].isBatch {
-		calls[0].exec(s, m)
-		calls[0].done <- struct{}{}
+		c := calls[0]
+		c.exec(s, m)
+		if c.err == nil && c.op != BatchGet {
+			journalOp(st, c.op, c.key, c.value, c.delta)
+		}
+		c.done <- struct{}{}
 		return ops, rs
 	}
 	ops = ops[:0]
@@ -185,6 +206,11 @@ func runDrain(s *Store, m *sim.Meter, calls []*Call, ops []BatchOp, rs []BatchRe
 		clear(rs)
 	}
 	s.ApplyBatchInto(m, ops, rs)
+	for i := range ops {
+		if rs[i].Err == nil && ops[i].Kind != BatchGet {
+			journalOp(st, ops[i].Kind, ops[i].Key, ops[i].Value, ops[i].Delta)
+		}
+	}
 	pos := 0
 	for _, c := range calls {
 		if c.isBatch {

@@ -11,6 +11,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"shieldstore/internal/entry"
 	"shieldstore/internal/fault"
@@ -22,6 +23,12 @@ import (
 // previously detected tampering and isolated itself (Options.Quarantine).
 var ErrQuarantined = errors.New("shieldstore: partition quarantined after integrity failure")
 
+// ErrRebuilding reports an operation rejected because this partition is
+// quarantined but a rebuild from its last snapshot + journal is under
+// way: the condition is transient and the request is safe to retry once
+// the healed store is swapped back in (DESIGN.md §12).
+var ErrRebuilding = errors.New("shieldstore: partition rebuilding after integrity failure")
+
 // SetFaultPlane attaches a fault-injection plane (nil detaches). Test
 // and experiment use only; the plane's points fire inside this store's
 // operation paths.
@@ -32,12 +39,68 @@ func (s *Store) SetFaultPlane(p *fault.Plane) { s.faults = p }
 // serves).
 func (s *Store) Quarantined() bool { return s.quarantined.Load() }
 
-// Unquarantine clears the latch (operator override after repair).
-func (s *Store) Unquarantine() { s.quarantined.Store(false) }
+// Unquarantine clears the latch only after the store re-verifies clean:
+// a full VerifyAll audit must pass before traffic is re-admitted. When
+// the store is still corrupt the latch stays set and the verification
+// failure is returned — blindly re-admitting a tampered partition is the
+// misuse this guard exists to stop. A latch that was never set is a
+// no-op. Costs accrue to m (a full audit is not free).
+func (s *Store) Unquarantine(m *sim.Meter) error {
+	if !s.quarantined.Load() {
+		return nil
+	}
+	if err := s.VerifyAll(m); err != nil {
+		return fmt.Errorf("shieldstore: unquarantine refused, store still fails verification: %w", err)
+	}
+	s.rebuilding.Store(false)
+	s.quarantined.Store(false)
+	return nil
+}
 
-// guard rejects operations on a quarantined partition.
+// ForceUnquarantine clears the latch without re-verifying anything —
+// the raw operator override for state repaired out of band (e.g. after a
+// manual restore). Prefer Unquarantine: force-clearing a still-corrupt
+// partition re-admits traffic that will fail (and re-trip the latch) on
+// the first op that touches the damage.
+func (s *Store) ForceUnquarantine() {
+	s.rebuilding.Store(false)
+	s.quarantined.Store(false)
+}
+
+// MarkRebuilding flags a quarantined partition as under rebuild:
+// guard() rejections switch from the terminal ErrQuarantined to the
+// retryable ErrRebuilding while an orchestrator restores a fresh copy.
+func (s *Store) MarkRebuilding() { s.rebuilding.Store(true) }
+
+// ClearRebuilding drops the rebuild flag (a failed rebuild falls back to
+// plain quarantine). The latch itself is untouched.
+func (s *Store) ClearRebuilding() { s.rebuilding.Store(false) }
+
+// Rebuilding reports whether a rebuild is in progress. Safe to call from
+// any goroutine.
+func (s *Store) Rebuilding() bool { return s.rebuilding.Load() }
+
+// EnableQuarantine arms the isolation latch on a live store. Restored
+// snapshots need this: the sealed metadata does not carry the Quarantine
+// option (it is a deployment policy, not enclave state), so a rebuilt
+// partition re-arms it before being swapped back into service.
+func (s *Store) EnableQuarantine() { s.opts.Quarantine = true }
+
+// SetQuarantineHook registers f to run once, on the goroutine that trips
+// the latch, at the moment of the quarantine transition (nil clears).
+// The partition dispatcher uses it to flag the rebuild state and wake
+// the healer before the failing operation even returns. Must be set
+// before the store serves traffic (same ownership rule as SetFaultPlane).
+func (s *Store) SetQuarantineHook(f func()) { s.quarantineHook = f }
+
+// guard rejects operations on a quarantined partition. Mid-rebuild the
+// rejection is the retryable ErrRebuilding; otherwise the terminal
+// ErrQuarantined.
 func (s *Store) guard() error {
 	if s.quarantined.Load() {
+		if s.rebuilding.Load() {
+			return ErrRebuilding
+		}
 		return ErrQuarantined
 	}
 	return nil
@@ -54,6 +117,9 @@ func (s *Store) noteErr(m *sim.Meter, err error) {
 		m.Count(sim.CtrIntegrityFail)
 		if s.opts.Quarantine && s.quarantined.CompareAndSwap(false, true) {
 			m.Count(sim.CtrQuarantine)
+			if s.quarantineHook != nil {
+				s.quarantineHook()
+			}
 		}
 	}
 }
@@ -162,6 +228,8 @@ func (s *Store) injectMerkleTamper(p *fault.Plane, b int) {
 //
 //ss:xpart — control-plane health probe over all partitions.
 func (p *Partitioned) QuarantinedParts() []int {
+	p.partsMu.RLock()
+	defer p.partsMu.RUnlock()
 	var out []int
 	for i, s := range p.parts {
 		if s.Quarantined() {
@@ -175,6 +243,8 @@ func (p *Partitioned) QuarantinedParts() []int {
 //
 //ss:xpart — control-plane configuration before workers start.
 func (p *Partitioned) SetFaultPlane(pl *fault.Plane) {
+	p.partsMu.RLock()
+	defer p.partsMu.RUnlock()
 	for _, s := range p.parts {
 		s.SetFaultPlane(pl)
 	}

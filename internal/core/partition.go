@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"shieldstore/internal/entry"
 	"shieldstore/internal/sgx"
@@ -23,8 +24,57 @@ type Partitioned struct {
 	meters []*sim.Meter // one Meter per worker, same ownership rule
 	//ss:partitioned
 	workers []chan *Call // per-partition submission queues
-	wg      sync.WaitGroup
-	started bool
+	//ss:partitioned
+	ctls []chan ctlMsg // per-partition control queues (RunCtl)
+	//ss:partitioned
+	journals []Journal // per-partition op journals handed to workers at Start
+	wg       sync.WaitGroup
+	started  bool
+
+	// partsMu guards parts against concurrent swap (InstallPart) vs the
+	// control-plane readers; the data path never touches it (workers
+	// receive their Store by handoff and by ctl message).
+	partsMu sync.RWMutex
+
+	// scrubSets bounds how many bucket sets a worker verifies per idle
+	// wakeup (0 disables background scrubbing). Set before Start.
+	scrubSets int
+
+	// events receives the index of a partition whose quarantine latch
+	// just tripped (best-effort: the buffer bounds it). A healer drains
+	// this to trigger rebuilds.
+	events chan int
+
+	// selfHeal marks quarantine transitions as immediately rebuilding, so
+	// clients only ever observe the retryable degraded state — set by the
+	// healer that guarantees a rebuild follows every latch trip.
+	selfHeal atomic.Bool
+}
+
+// Journal is a per-partition durability hook: the worker logs every
+// successfully applied mutation (never reads) through it, in apply
+// order, before acknowledging the call. persist.WAL implements it. A
+// LogOp failure detaches the journal and flags the partition's health
+// (JournalLost) rather than failing the operation.
+type Journal interface {
+	LogOp(m *sim.Meter, kind BatchKind, key, value []byte, delta int64) error
+}
+
+// WorkerState is the mutable state a partition worker owns: its store,
+// its meter, and its journal. Control functions submitted via RunCtl
+// receive it by pointer and may swap the store or journal — that is how
+// a rebuilt partition is re-admitted without stopping the pool.
+type WorkerState struct {
+	Store   *Store
+	Meter   *sim.Meter
+	Journal Journal
+}
+
+// ctlMsg is one control-plane request executed by the owning worker
+// between drains; done is closed after fn returns.
+type ctlMsg struct {
+	fn   func(*WorkerState)
+	done chan struct{}
 }
 
 // NewPartitioned creates n partitions, splitting buckets, MAC hashes and
@@ -39,25 +89,121 @@ func NewPartitioned(e *sgx.Enclave, n int, opts Options) *Partitioned {
 	setup := sim.NewMeter(e.Model())
 	cipher := entry.NewCipher(e, setup)
 
-	p := &Partitioned{enclave: e, cipher: cipher}
+	p := &Partitioned{enclave: e, cipher: cipher, events: make(chan int, 4*n)}
 	per := opts
 	per.Buckets = max(1, opts.Buckets/n)
 	per.MACHashes = max(1, opts.MACHashes/n)
 	per.CacheBytes = opts.CacheBytes / int64(n)
+	p.journals = make([]Journal, n)
 	for i := 0; i < n; i++ {
-		p.parts = append(p.parts, New(e, cipher, per))
+		s := New(e, cipher, per)
+		s.SetQuarantineHook(p.hookFor(i, s))
+		p.parts = append(p.parts, s)
 		p.meters = append(p.meters, sim.NewMeter(e.Model()))
 	}
 	return p
 }
 
+// hookFor builds the quarantine-transition hook for partition i: under
+// self-heal the store is flagged rebuilding in the same instant the
+// latch trips (so no request ever observes the terminal ErrQuarantined),
+// and the healer is woken through the events channel. The send is
+// non-blocking — the buffer is sized so a drop can only mean the same
+// partition already has a wake pending.
+func (p *Partitioned) hookFor(i int, s *Store) func() {
+	return func() {
+		if p.selfHeal.Load() {
+			s.MarkRebuilding()
+		}
+		select {
+		case p.events <- i:
+		default:
+		}
+	}
+}
+
+// Enclave returns the shared enclave.
+func (p *Partitioned) Enclave() *sgx.Enclave { return p.enclave }
+
+// EnableScrub turns on background integrity scrubbing: each worker
+// verifies up to sets bucket sets per idle wakeup, pausing whenever
+// requests are pending and going fully idle after a clean pass with no
+// intervening traffic. Call before Start.
+func (p *Partitioned) EnableScrub(sets int) { p.scrubSets = sets }
+
+// SetJournal attaches partition i's op journal (handed to the worker at
+// Start). Call before Start.
+//
+//ss:xpart — control-plane configuration before workers start.
+func (p *Partitioned) SetJournal(i int, j Journal) { p.journals[i] = j }
+
+// EnableSelfHeal marks future quarantine transitions as immediately
+// rebuilding (requests degrade to the retryable ErrRebuilding instead of
+// the terminal ErrQuarantined). Only a healer that guarantees a rebuild
+// follows every latch trip should set this.
+func (p *Partitioned) EnableSelfHeal() { p.selfHeal.Store(true) }
+
+// QuarantineEvents exposes the latch-trip notifications (partition
+// indices, best-effort). A healer drains this channel.
+func (p *Partitioned) QuarantineEvents() <-chan int { return p.events }
+
+// RunCtl executes fn on partition i's worker goroutine, between drains,
+// and blocks until it has run. fn receives the worker's mutable state
+// and may swap the store or journal; it must not block on the worker
+// pool itself. Any control intervention also re-arms the background
+// scrubber for a fresh pass. Start must have been called, and the pool
+// must not be stopped while a RunCtl is in flight.
+//
+//ss:xpart — control-plane handoff into one worker's queue.
+func (p *Partitioned) RunCtl(i int, fn func(*WorkerState)) {
+	done := make(chan struct{})
+	p.ctls[i] <- ctlMsg{fn: fn, done: done}
+	<-done
+}
+
+// InstallPart publishes a replacement store for partition i to the
+// control plane and attaches the partition's quarantine hook to it.
+// Called from within a RunCtl function (worker goroutine) when a healer
+// swaps a rebuilt store in; the worker's own reference is the
+// WorkerState field, updated by the same control function.
+//
+//ss:xpart — the re-admission handoff; the worker owns the new store from here on.
+func (p *Partitioned) InstallPart(i int, s *Store) {
+	s.SetQuarantineHook(p.hookFor(i, s))
+	p.partsMu.Lock()
+	p.parts[i] = s
+	p.partsMu.Unlock()
+}
+
+// Health snapshots every partition's health state. Safe for concurrent
+// use.
+//
+//ss:xpart — control-plane health probe over all partitions.
+func (p *Partitioned) Health() []PartHealth {
+	p.partsMu.RLock()
+	defer p.partsMu.RUnlock()
+	out := make([]PartHealth, len(p.parts))
+	for i, s := range p.parts {
+		out[i] = s.Health()
+	}
+	return out
+}
+
 // Parts returns the number of partitions.
 func (p *Partitioned) Parts() int { return len(p.parts) }
+
+// Started reports whether the worker pool is running. Control-plane use
+// only (same goroutine discipline as Start/Stop).
+func (p *Partitioned) Started() bool { return p.started }
 
 // Part returns partition i's store.
 //
 //ss:xpart — test/control accessor.
-func (p *Partitioned) Part(i int) *Store { return p.parts[i] }
+func (p *Partitioned) Part(i int) *Store {
+	p.partsMu.RLock()
+	defer p.partsMu.RUnlock()
+	return p.parts[i]
+}
 
 // Meter returns partition i's worker meter.
 //
@@ -79,6 +225,8 @@ func (p *Partitioned) Route(m *sim.Meter, key []byte) int {
 //
 //ss:xpart — control-plane aggregation; callers quiesce workers first.
 func (p *Partitioned) Keys() int {
+	p.partsMu.RLock()
+	defer p.partsMu.RUnlock()
 	total := 0
 	for _, s := range p.parts {
 		total += s.Keys()
@@ -132,11 +280,15 @@ func (p *Partitioned) Start() {
 	}
 	p.started = true
 	p.workers = make([]chan *Call, len(p.parts))
+	p.ctls = make([]chan ctlMsg, len(p.parts))
 	for i := range p.parts {
 		ch := make(chan *Call, 256)
+		ctl := make(chan ctlMsg, 4)
 		p.workers[i] = ch
+		p.ctls[i] = ctl
+		st := &WorkerState{Store: p.parts[i], Meter: p.meters[i], Journal: p.journals[i]}
 		p.wg.Add(1)
-		go p.worker(p.parts[i], p.meters[i], ch)
+		go p.worker(st, ch, ctl)
 	}
 }
 
@@ -145,13 +297,58 @@ func (p *Partitioned) Start() {
 // call, the drain is combined into a single ApplyBatch so the fixed
 // request overhead and the per-set integrity work are paid once per drain
 // instead of once per op.
-func (p *Partitioned) worker(s *Store, m *sim.Meter, ch chan *Call) {
+//
+// Between drains the worker runs the background scrubber: while requests
+// are pending it never scrubs; when idle it verifies scrubSets bucket
+// sets per wakeup, and after a full pass uninterrupted by traffic it
+// parks until the next request or control message re-arms it (a quiesced
+// store the host has no reason to re-touch stays verified; any activity
+// restarts the audit).
+func (p *Partitioned) worker(st *WorkerState, ch chan *Call, ctl chan ctlMsg) {
 	defer p.wg.Done()
 	calls := make([]*Call, 0, drainBatch)
 	var ops []BatchOp
 	var rs []BatchResult
+	scrubDone := p.scrubSets <= 0
+	cleanPass := true
 	for {
-		c, ok := <-ch
+		var c *Call
+		var ok bool
+		if scrubDone || st.Store.Quarantined() {
+			select {
+			case c, ok = <-ch:
+			case msg := <-ctl:
+				msg.fn(st)
+				close(msg.done)
+				scrubDone = p.scrubSets <= 0
+				cleanPass = true
+				continue
+			}
+		} else {
+			select {
+			case c, ok = <-ch:
+			case msg := <-ctl:
+				msg.fn(st)
+				close(msg.done)
+				scrubDone = p.scrubSets <= 0
+				cleanPass = true
+				continue
+			default:
+				wrapped, err := st.Store.ScrubSlice(st.Meter, p.scrubSets)
+				if err != nil {
+					// Detection already latched/flagged via noteErr; the
+					// next iteration parks on the quarantined branch.
+					continue
+				}
+				if wrapped {
+					if cleanPass {
+						scrubDone = true
+					}
+					cleanPass = true
+				}
+				continue
+			}
+		}
 		if !ok {
 			return
 		}
@@ -170,15 +367,19 @@ func (p *Partitioned) worker(s *Store, m *sim.Meter, ch chan *Call) {
 				break drain
 			}
 		}
-		m.Count(sim.CtrDispatch)
-		ops, rs = runDrain(s, m, calls, ops, rs)
+		st.Meter.Count(sim.CtrDispatch)
+		ops, rs = runDrain(st, calls, ops, rs)
+		cleanPass = false
+		scrubDone = p.scrubSets <= 0
 		if !open {
 			return
 		}
 	}
 }
 
-// Stop drains and joins the workers.
+// Stop drains and joins the workers. Any healer driving RunCtl must be
+// stopped first: a control message submitted after the workers exit is
+// never executed.
 //
 //ss:xpart — control-plane shutdown.
 func (p *Partitioned) Stop() {
@@ -191,6 +392,7 @@ func (p *Partitioned) Stop() {
 	p.wg.Wait()
 	p.started = false
 	p.workers = nil
+	p.ctls = nil
 }
 
 // Get fetches key through the worker pool (Start must have been called).
@@ -313,7 +515,15 @@ func (p *Partitioned) Repartition(m *sim.Meter, n int) error {
 			return err
 		}
 	}
+	for i, s := range newParts {
+		s.SetQuarantineHook(p.hookFor(i, s))
+	}
+	p.partsMu.Lock()
 	p.parts = newParts
+	p.partsMu.Unlock()
 	p.meters = newMeters
+	// Journals do not survive a repartition: every entry moved partitions,
+	// so the old per-partition logs no longer describe the new layout.
+	p.journals = make([]Journal, n)
 	return nil
 }

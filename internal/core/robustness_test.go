@@ -176,9 +176,18 @@ func TestQuarantineLatch(t *testing.T) {
 	if m.Events(sim.CtrIntegrityFail) == 0 {
 		t.Fatal("CtrIntegrityFail not counted")
 	}
-	s.Unquarantine()
+	// Unquarantine is verify-first: on a still-corrupt store it must
+	// refuse and leave the latch set.
+	if err := s.Unquarantine(m); err == nil {
+		t.Fatal("Unquarantine cleared a still-corrupt store")
+	}
+	if !s.Quarantined() {
+		t.Fatal("refused Unquarantine cleared the latch anyway")
+	}
+	// The operator override clears unconditionally.
+	s.ForceUnquarantine()
 	if s.Quarantined() {
-		t.Fatal("Unquarantine did not clear the latch")
+		t.Fatal("ForceUnquarantine did not clear the latch")
 	}
 }
 

@@ -144,6 +144,18 @@ type Store struct {
 
 	faults      *fault.Plane // optional injection plane (tests/experiments)
 	quarantined atomic.Bool  // isolation latch (Options.Quarantine)
+	rebuilding  atomic.Bool  // quarantined but a rebuild is in flight (scrub.go)
+	journalLost atomic.Bool  // an attached op journal failed a write (partition.go)
+
+	// quarantineHook, when set, runs once on the latch transition inside
+	// noteErr (owner goroutine). Set before serving, like faults.
+	quarantineHook func()
+
+	// Background scrub cursor (scrub.go): next bucket-set index to verify
+	// and completed full passes. Atomics because health probes read them
+	// from other goroutines while the owning worker advances them.
+	scrubPos    atomic.Int64
+	scrubPasses atomic.Uint64
 
 	// Cached setView backings. The Store is single-owner (§5.3) and at
 	// most one view is live at a time, so collectSet reuses these across

@@ -1,0 +1,291 @@
+// The self-healing matrix (DESIGN.md §12): for every untrusted-memory
+// fault kind, a partition of a live pipelined server is corrupted, the
+// background scrubber (not a client op) detects it, the partition
+// auto-quarantines into the rebuilding state, the healer restores it
+// from snapshot + journal and swaps it back in — all while sibling
+// partitions keep serving and clients observe nothing worse than the
+// retryable StatusRebuilding. The full dataset must read back intact.
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/persist"
+	"shieldstore/internal/server"
+	"shieldstore/internal/sim"
+)
+
+// healRig is a pipelined secure server over a scrubbed, self-healing
+// 4-partition pool.
+type healRig struct {
+	p      *core.Partitioned
+	healer *persist.Healer
+	c      *client.Client // retrying client: rides out rebuild windows
+	cRaw   *client.Client // no-retry client: observes raw status codes
+	route  *sim.Meter
+}
+
+func newHealRig(t *testing.T, opts core.Options, beforeSwap func(part int)) *healRig {
+	t.Helper()
+	e := matrixEnclave("")
+	opts.Quarantine = true
+	p := core.NewPartitioned(e, 4, opts)
+	p.EnableScrub(2)
+	healer, err := persist.NewHealer(p, t.TempDir(), persist.HealerOptions{
+		BeforeSwap: beforeSwap,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(p.Stop)
+	t.Cleanup(func() { healer.Close() }) // LIFO: close before the pool stops
+	healer.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve(ln, server.Config{
+		Engine:       server.CoreEngine{P: p},
+		Enclave:      e,
+		Secure:       true,
+		Health:       func() []string { return core.FormatHealth(p.Health()) },
+		Logf:         t.Logf,
+		IdleTimeout:  10 * time.Second,
+		DrainTimeout: 100 * time.Millisecond,
+	})
+	t.Cleanup(srv.Close)
+
+	secure := client.Options{Secure: true, Verifier: e, Measurement: e.Measurement()}
+	withRetry := secure
+	withRetry.Retry = client.RetryPolicy{MaxAttempts: 500, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	c, err := client.Dial(ln.Addr().String(), withRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cRaw, err := client.Dial(ln.Addr().String(), secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cRaw.Close() })
+	return &healRig{p: p, healer: healer, c: c, cRaw: cRaw, route: sim.NewMeter(e.Model())}
+}
+
+// armPart attaches a fault plane to one partition only, firing kind on
+// every bucket-set collection until the scrubber catches it.
+func (r *healRig) armPart(part int, kind string, seed uint64) *fault.Plane {
+	plane := fault.New(seed)
+	plane.Arm(kind, fault.Spec{Count: -1})
+	r.p.RunCtl(part, func(st *core.WorkerState) { st.Store.SetFaultPlane(plane) })
+	return plane
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func healthLine(t *testing.T, c *client.Client, part int) string {
+	t.Helper()
+	lines, err := c.Health()
+	if err != nil {
+		t.Fatalf("health probe: %v", err)
+	}
+	prefix := fmt.Sprintf("part%d=", part)
+	for _, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	t.Fatalf("no health line for partition %d in %v", part, lines)
+	return ""
+}
+
+func TestHealMatrixScrubDetectRebuildReadmit(t *testing.T) {
+	const target = 2
+	for _, kind := range memoryKinds {
+		t.Run(kind.point, func(t *testing.T) {
+			entered := make(chan int, 1)
+			release := make(chan struct{})
+			rig := newHealRig(t, kind.opts(), func(part int) {
+				select {
+				case entered <- part:
+					<-release
+				default:
+				}
+			})
+
+			// Load the dataset, seal per-partition snapshots, then write
+			// more: the rebuild must need snapshot AND journal replay.
+			expect := map[string]string{}
+			for i := 0; i < 64; i++ {
+				k, v := fmt.Sprintf("hk%03d", i), fmt.Sprintf("hv%03d", i)
+				if err := rig.c.Set([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				expect[k] = v
+			}
+			for i := 0; i < rig.p.Parts(); i++ {
+				if err := rig.healer.Checkpoint(i); err != nil {
+					t.Fatalf("checkpoint part %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 32; i++ {
+				k, v := fmt.Sprintf("jk%03d", i), fmt.Sprintf("jv%03d", i)
+				if err := rig.c.Set([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				expect[k] = v
+			}
+			var targetKey, siblingKey string
+			for k := range expect {
+				if rig.p.Route(rig.route, []byte(k)) == target {
+					targetKey = k
+				} else {
+					siblingKey = k
+				}
+			}
+			if targetKey == "" || siblingKey == "" {
+				t.Fatal("dataset left a partition empty")
+			}
+			if l := healthLine(t, rig.cRaw, target); !strings.Contains(l, "=healthy") {
+				t.Fatalf("pre-fault health: %q", l)
+			}
+
+			// The host corrupts partition 2. No client op touches it from
+			// here on — only the background scrubber can notice.
+			rig.armPart(target, kind.point, 21)
+
+			// The healer parks in BeforeSwap with the rebuilt store ready:
+			// the partition is authoritatively mid-rebuild. Probe the
+			// degraded mode.
+			var part int
+			select {
+			case part = <-entered:
+			case <-time.After(10 * time.Second):
+				t.Fatal("scrubber never triggered a rebuild")
+			}
+			if part != target {
+				t.Fatalf("rebuild of partition %d, armed %d", part, target)
+			}
+			if l := healthLine(t, rig.cRaw, target); !strings.Contains(l, "=rebuilding") {
+				t.Fatalf("mid-rebuild health: %q", l)
+			}
+			if _, err := rig.cRaw.Get([]byte(targetKey)); !errors.Is(err, client.ErrRebuilding) {
+				t.Fatalf("raw Get on rebuilding partition: %v, want ErrRebuilding", err)
+			}
+			if v, err := rig.cRaw.Get([]byte(siblingKey)); err != nil || string(v) != expect[siblingKey] {
+				t.Fatalf("sibling Get during rebuild: %q, %v", v, err)
+			}
+			close(release)
+
+			waitUntil(t, 10*time.Second, "partition re-admission", func() bool {
+				return rig.healer.Rebuilds() == 1 && len(rig.p.QuarantinedParts()) == 0
+			})
+			if l := healthLine(t, rig.cRaw, target); !strings.Contains(l, "=healthy") {
+				t.Fatalf("post-heal health: %q", l)
+			}
+
+			// Full readback through the retrying client: every key, exact
+			// value — snapshot state and journaled writes both survived.
+			for k, v := range expect {
+				got, err := rig.c.Get([]byte(k))
+				if err != nil {
+					t.Fatalf("readback %s: %v", k, err)
+				}
+				if string(got) != v {
+					t.Fatalf("readback %s = %q, want %q", k, got, v)
+				}
+			}
+			// And the healed partition accepts writes again.
+			if err := rig.cRaw.Set([]byte(targetKey), []byte("post-heal")); err != nil {
+				t.Fatalf("write after heal: %v", err)
+			}
+
+			var scrubbed uint64
+			rig.p.RunCtl(target, func(st *core.WorkerState) { scrubbed = st.Meter.Events(sim.CtrScrub) })
+			if scrubbed == 0 {
+				t.Fatal("detection did not come from the scrubber (CtrScrub = 0)")
+			}
+			if got := rig.healer.Meter().Events(sim.CtrRebuild); got != 1 {
+				t.Fatalf("CtrRebuild = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestScrubSoak is the randomized corrupt/heal loop the CI smoke job
+// runs: a fixed-seed sequence of fault kinds strikes rotating
+// partitions; every round must end with the pool fully healed and the
+// whole (growing) dataset intact.
+func TestScrubSoak(t *testing.T) {
+	rig := newHealRig(t, core.Defaults(8), nil)
+	kinds := []string{fault.PointEntryFlip, fault.PointChainSplice, fault.PointMACSidecar}
+
+	expect := map[string]string{}
+	for i := 0; i < 48; i++ {
+		k, v := fmt.Sprintf("sk%03d", i), fmt.Sprintf("sv%03d", i)
+		if err := rig.c.Set([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		expect[k] = v
+	}
+
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		// Growing journal tail; checkpoint every other round so rebuilds
+		// alternate between journal-heavy and snapshot-heavy.
+		for i := 0; i < 8; i++ {
+			k, v := fmt.Sprintf("r%dk%d", round, i), fmt.Sprintf("r%dv%d", round, i)
+			if err := rig.c.Set([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			expect[k] = v
+		}
+		if round%2 == 1 {
+			for i := 0; i < rig.p.Parts(); i++ {
+				if err := rig.healer.Checkpoint(i); err != nil {
+					t.Fatalf("round %d checkpoint part %d: %v", round, i, err)
+				}
+			}
+		}
+
+		part := round % rig.p.Parts()
+		rig.armPart(part, kinds[round%len(kinds)], uint64(100+round))
+		want := uint64(round + 1)
+		waitUntil(t, 15*time.Second, fmt.Sprintf("round %d heal", round), func() bool {
+			return rig.healer.Rebuilds() >= want && len(rig.p.QuarantinedParts()) == 0
+		})
+
+		for k, v := range expect {
+			got, err := rig.c.Get([]byte(k))
+			if err != nil {
+				t.Fatalf("round %d readback %s: %v", round, k, err)
+			}
+			if string(got) != v {
+				t.Fatalf("round %d readback %s = %q, want %q", round, k, got, v)
+			}
+		}
+	}
+	if got := rig.healer.Rebuilds(); got != rounds {
+		t.Fatalf("rebuilds = %d, want %d", got, rounds)
+	}
+}

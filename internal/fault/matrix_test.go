@@ -73,7 +73,7 @@ func assertDetected(t *testing.T, s *core.Store, m *sim.Meter, opErr error) {
 		}
 		return
 	}
-	s.Unquarantine() // scrub below must run even if the latch tripped
+	s.ForceUnquarantine() // scrub below must run even if the latch tripped
 	if err := s.VerifyAll(m); !integrityTyped(err) {
 		t.Fatalf("fault went undetected: op=nil scrub=%v", err)
 	}

@@ -1,0 +1,328 @@
+// Self-healing orchestration (DESIGN.md §12): online rebuild of a
+// quarantined partition from its last sealed snapshot plus an op journal,
+// while sibling partitions keep serving.
+//
+// The Healer owns one durability lane per partition: a snapshot directory
+// and a sequence of journal epochs. Every mutation the worker pool
+// acknowledges is first logged (core.Journal → WAL.LogOp), so when a
+// partition's quarantine latch trips — a client op or the background
+// scrubber detected host tampering — the healer can restore a fresh store
+// from snapshot + journal replay, fully re-verify it, and swap it into
+// the pool via RunCtl. Clients only ever observe the retryable
+// StatusRebuilding during the window (EnableSelfHeal flips latch trips
+// straight to the rebuilding state).
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/sim"
+)
+
+// ErrJournalIncomplete reports a rebuild refused because the partition's
+// op journal was detached after a write failure: replaying it would
+// silently drop acknowledged mutations.
+var ErrJournalIncomplete = errors.New("persist: rebuild refused, op journal incomplete (journal=lost)")
+
+// HealerOptions tunes the self-healing plane.
+type HealerOptions struct {
+	// BatchEvery is the journals' monotonic-counter amortization (see
+	// NewWAL); 0 means the WAL default.
+	BatchEvery int
+	// BeforeSwap, when set, runs after a replacement store has been fully
+	// rebuilt and verified but before it is swapped into the pool — a test
+	// hook for holding the rebuilding window open.
+	BeforeSwap func(part int)
+	// Logf, when set, receives rebuild failures from the background
+	// drainer (which has no caller to return them to).
+	Logf func(format string, args ...any)
+}
+
+// Healer attaches snapshot+journal durability to every partition of a
+// pool and rebuilds quarantined partitions online. Create it BEFORE
+// Partitioned.Start (the journals must be in place when the workers
+// spawn, or pre-Start loads would be missing from the log), and Close it
+// before Partitioned.Stop (a RunCtl against a stopped pool hangs).
+type Healer struct {
+	p          *core.Partitioned
+	dir        string
+	batchEvery int
+	opts       HealerOptions
+
+	// mu serializes rebuilds and checkpoints (the control plane; the data
+	// path never takes it).
+	mu     sync.Mutex
+	wals   []*WAL
+	epochs []int
+	meter  *sim.Meter // healer-owned meter: rebuild cost is not request cost
+
+	rebuilds atomic.Uint64
+
+	started bool
+	quit    chan struct{}
+	done    chan struct{}
+}
+
+// NewHealer wires a healer under dir: per-partition snapshot and
+// journal-epoch directories are created, epoch-0 journals are attached to
+// every partition, and the pool is switched to self-heal mode (quarantine
+// trips degrade to the retryable rebuilding state). Must run before
+// p.Start.
+//
+//ss:host(healer construction, outside the measured window)
+func NewHealer(p *core.Partitioned, dir string, opts HealerOptions) (*Healer, error) {
+	h := &Healer{
+		p:          p,
+		dir:        dir,
+		batchEvery: opts.BatchEvery,
+		opts:       opts,
+		wals:       make([]*WAL, p.Parts()),
+		epochs:     make([]int, p.Parts()),
+		meter:      sim.NewMeter(p.Enclave().Model()),
+	}
+	for i := 0; i < p.Parts(); i++ {
+		if err := os.MkdirAll(h.snapDir(i), 0o700); err != nil {
+			return nil, err
+		}
+		jd := h.journalDir(i, 0)
+		if err := os.MkdirAll(jd, 0o700); err != nil {
+			return nil, err
+		}
+		w, err := NewWAL(p.Part(i), jd, h.batchEvery)
+		if err != nil {
+			return nil, err
+		}
+		h.wals[i] = w
+		p.SetJournal(i, w)
+	}
+	p.EnableSelfHeal()
+	return h, nil
+}
+
+func (h *Healer) partDir(i int) string { return filepath.Join(h.dir, fmt.Sprintf("part-%d", i)) }
+func (h *Healer) snapDir(i int) string { return filepath.Join(h.partDir(i), "snap") }
+func (h *Healer) journalDir(i, ep int) string {
+	return filepath.Join(h.partDir(i), fmt.Sprintf("journal-%03d", ep))
+}
+
+// Rebuilds reports how many partitions have been rebuilt and re-admitted.
+func (h *Healer) Rebuilds() uint64 { return h.rebuilds.Load() }
+
+// Meter exposes the healer's own meter (rebuild costs accrue here, not to
+// any request thread).
+func (h *Healer) Meter() *sim.Meter { return h.meter }
+
+// Start launches the background drainer: every quarantine event from the
+// pool triggers a Rebuild of that partition. Call after p.Start.
+func (h *Healer) Start() {
+	if h.started {
+		return
+	}
+	h.started = true
+	h.quit = make(chan struct{})
+	h.done = make(chan struct{})
+	go h.run()
+}
+
+func (h *Healer) run() {
+	defer close(h.done)
+	for {
+		select {
+		case <-h.quit:
+			return
+		case i := <-h.p.QuarantineEvents():
+			if err := h.Rebuild(i); err != nil && h.opts.Logf != nil {
+				h.opts.Logf("heal: partition %d rebuild failed: %v", i, err)
+			}
+		}
+	}
+}
+
+// Close stops the drainer, detaches the journals from the (still running)
+// pool, and closes them. Call before Partitioned.Stop.
+//
+//ss:host(shutdown path, outside the measured window)
+func (h *Healer) Close() error {
+	if h.started {
+		close(h.quit)
+		<-h.done
+		h.started = false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var first error
+	for i, w := range h.wals {
+		if h.p.Started() {
+			h.p.RunCtl(i, func(st *core.WorkerState) { st.Journal = nil })
+		}
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+		h.wals[i] = nil
+	}
+	return first
+}
+
+// Rebuild restores partition i from its last snapshot plus journal
+// replay, verifies the result in full, and swaps it into the pool. The
+// old (tampered) store is abandoned to the host heap. Requests against
+// the partition fail with the retryable core.ErrRebuilding for the
+// duration; siblings are untouched. A spurious wake (the partition is not
+// quarantined) is a no-op.
+func (h *Healer) Rebuild(i int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Phase 1, on the worker: confirm the latch, refuse an incomplete
+	// journal, flag the rebuild, and detach the journal so no record lands
+	// after the replay cutoff.
+	quarantined, lost := false, false
+	h.p.RunCtl(i, func(st *core.WorkerState) {
+		quarantined = st.Store.Quarantined()
+		lost = st.Store.JournalLost()
+		if !quarantined || lost {
+			return
+		}
+		st.Store.MarkRebuilding()
+		st.Journal = nil
+	})
+	if !quarantined {
+		return nil
+	}
+	if lost {
+		return ErrJournalIncomplete
+	}
+	// Sync + close the journal: RecoverWAL must see every acked record.
+	if w := h.wals[i]; w != nil {
+		h.wals[i] = nil
+		if err := w.Close(); err != nil {
+			h.failRebuild(i)
+			return err
+		}
+	}
+
+	oldOpts := h.p.Part(i).Options()
+	ns, w, err := h.restore(i, oldOpts)
+	if err != nil {
+		h.failRebuild(i)
+		return err
+	}
+	h.meter.Count(sim.CtrRebuild)
+
+	if h.opts.BeforeSwap != nil {
+		h.opts.BeforeSwap(i)
+	}
+
+	// Phase 3, on the worker: swap the healed store and its journal in.
+	// The quarantined store's latch dies with it — the replacement was
+	// verified clean moments ago.
+	h.p.RunCtl(i, func(st *core.WorkerState) {
+		st.Store = ns
+		st.Journal = w
+		h.p.InstallPart(i, ns)
+	})
+	h.wals[i] = w
+	h.rebuilds.Add(1)
+	return nil
+}
+
+// failRebuild drops the partition back to plain quarantine (terminal,
+// operator-visible) after a failed rebuild attempt.
+func (h *Healer) failRebuild(i int) {
+	h.p.RunCtl(i, func(st *core.WorkerState) { st.Store.ClearRebuilding() })
+}
+
+// restore builds the replacement store: last sealed snapshot (or a fresh
+// empty store when none was ever taken — epoch 0 journals log from
+// birth), then journal replay to the last valid record, then a full §4.3
+// audit. The Quarantine policy is re-armed only after the audit, so a
+// verification failure surfaces as an error instead of latching the
+// half-built replacement.
+//
+//ss:host(snapshot existence probe; the reads themselves charge via Restore/RecoverWAL)
+func (h *Healer) restore(i int, oldOpts core.Options) (*core.Store, *WAL, error) {
+	snap := h.snapDir(i)
+	var ns *core.Store
+	if _, err := os.Stat(filepath.Join(snap, metaFile)); err == nil {
+		s, rerr := Restore(h.p.Enclave(), snap, CounterIDFor(snap), h.meter)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("persist: rebuild: snapshot restore: %w", rerr)
+		}
+		ns = s
+	} else {
+		fresh := oldOpts
+		fresh.Quarantine = false
+		ns = core.New(h.p.Enclave(), h.p.Cipher(), fresh)
+	}
+	w, _, err := RecoverWAL(ns, h.journalDir(i, h.epochs[i]), h.batchEvery, h.meter)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: rebuild: journal replay: %w", err)
+	}
+	if err := ns.VerifyAll(h.meter); err != nil {
+		w.Close()
+		return nil, nil, fmt.Errorf("persist: rebuild: rebuilt store failed verification: %w", err)
+	}
+	if oldOpts.Quarantine {
+		ns.EnableQuarantine()
+	}
+	return ns, w, nil
+}
+
+// Checkpoint seals a fresh snapshot of partition i and rotates its
+// journal to a new epoch (a fresh directory, hence a fresh platform
+// counter — an empty post-checkpoint journal is not a rollback). Runs on
+// the partition's worker, so it is exactly the Naive snapshot pause the
+// paper describes, scoped to one partition. A quarantined partition
+// cannot checkpoint (never seal tampered state).
+//
+//ss:host(journal-epoch directory setup; snapshot and WAL writes charge their own crossings)
+func (h *Healer) Checkpoint(i int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var err error
+	h.p.RunCtl(i, func(st *core.WorkerState) {
+		if st.Store.Quarantined() {
+			err = core.ErrQuarantined
+			return
+		}
+		if serr := New(st.Store, h.snapDir(i), Naive).Snapshot(st.Meter); serr != nil {
+			err = serr
+			return
+		}
+		st.Journal = nil
+		if old := h.wals[i]; old != nil {
+			h.wals[i] = nil
+			if cerr := old.Close(); cerr != nil {
+				err = cerr
+				return
+			}
+		}
+		h.epochs[i]++
+		jd := h.journalDir(i, h.epochs[i])
+		if merr := os.MkdirAll(jd, 0o700); merr != nil {
+			err = merr
+			return
+		}
+		w, werr := NewWAL(st.Store, jd, h.batchEvery)
+		if werr != nil {
+			err = werr
+			return
+		}
+		h.wals[i] = w
+		st.Journal = w
+		// The new journal is complete from this instant (the snapshot
+		// covers everything before it): a previously lost journal is whole
+		// again.
+		st.Store.ClearJournalLost()
+	})
+	return err
+}

@@ -141,6 +141,12 @@ func (p *Store) InSnapshot() bool { return p.temp != nil }
 //
 //ss:ocall
 func (p *Store) Snapshot(m *sim.Meter) error {
+	if p.main.Quarantined() {
+		// Never seal tampered state — and never burn the monotonic counter
+		// for it: bumping the version would make the last good snapshot
+		// unrestorable (rollback check) while this one can't be written.
+		return fmt.Errorf("persist: snapshot refused: %w", core.ErrQuarantined)
+	}
 	if p.temp != nil {
 		// Previous snapshot still draining: finish it first.
 		p.finishSnapshot(m)

@@ -149,7 +149,13 @@ func parseSealedRecord(store *core.Store, m *sim.Meter, data []byte, off int, wa
 	if 17+kl+vl != len(rec) {
 		return nil, 0, fmt.Errorf("%w: bad lengths", ErrLogCorrupt)
 	}
-	if op := rec[8]; op != walSet && op != walDelete {
+	switch op := rec[8]; op {
+	case walSet, walDelete, walAppend:
+	case walIncr:
+		if vl != 8 {
+			return nil, 0, fmt.Errorf("%w: incr payload must be 8 bytes, got %d", ErrLogCorrupt, vl)
+		}
+	default:
 		return nil, 0, fmt.Errorf("%w: unknown op %d", ErrLogCorrupt, op)
 	}
 	return rec, off + n, nil
@@ -162,11 +168,18 @@ func applyRecord(store *core.Store, m *sim.Meter, rec []byte) error {
 	kl := int(binary.LittleEndian.Uint32(rec[9:]))
 	key := rec[17 : 17+kl]
 	val := rec[17+kl:]
-	if rec[8] == walDelete {
+	switch rec[8] {
+	case walDelete:
 		if err := store.Delete(m, key); err != nil && !errors.Is(err, core.ErrNotFound) {
 			return err
 		}
 		return nil
+	case walAppend:
+		return store.Append(m, key, val)
+	case walIncr:
+		_, err := store.Incr(m, key, int64(binary.LittleEndian.Uint64(val)))
+		return err
+	default:
+		return store.Set(m, key, val)
 	}
-	return store.Set(m, key, val)
 }

@@ -1,0 +1,130 @@
+// Quarantine racing the persistence plane: a partition that detects
+// tampering mid-snapshot (or right before one) must never seal the
+// corrupt state, and must not burn the monotonic counter for a snapshot
+// it refuses — that would strand the last good snapshot behind the
+// rollback check.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/sim"
+)
+
+// setupQ builds a persist.Store whose main partition has the quarantine
+// policy armed, as a self-healing deployment would run it.
+func setupQ(t *testing.T, mode Mode) (*Store, *sim.Meter) {
+	t.Helper()
+	e := newEnclave()
+	opts := core.Defaults(32)
+	opts.Quarantine = true
+	s := core.New(e, nil, opts)
+	p := New(s, t.TempDir(), mode)
+	return p, sim.NewMeter(e.Model())
+}
+
+// tripLatch tampers the main store via the fault plane and reads until
+// the corruption is detected and the latch trips.
+func tripLatch(t *testing.T, p *Store, m *sim.Meter, n int) {
+	t.Helper()
+	plane := fault.New(7)
+	plane.Arm(fault.PointEntryFlip, fault.Spec{Count: -1})
+	p.Main().SetFaultPlane(plane)
+	var derr error
+	for i := 0; i < n && derr == nil; i++ {
+		_, derr = p.Get(m, []byte(fmt.Sprintf("k%04d", i)))
+	}
+	if derr == nil {
+		t.Fatal("injected corruption never detected")
+	}
+	if !errors.Is(derr, core.ErrIntegrity) && !errors.Is(derr, core.ErrCorruptPointer) {
+		t.Fatalf("detection is untyped: %v", derr)
+	}
+	if !p.Main().Quarantined() {
+		t.Fatal("detection did not trip the quarantine latch")
+	}
+}
+
+func TestQuarantineDuringInFlightSnapshot(t *testing.T) {
+	p, m := setupQ(t, Optimized)
+	fill(t, p, m, 60)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if !p.InSnapshot() {
+		t.Fatal("optimized snapshot should leave a draining child")
+	}
+
+	// The host strikes while the snapshot child is still draining.
+	tripLatch(t, p, m, 60)
+	if !p.InSnapshot() {
+		t.Fatal("latch was meant to trip inside the snapshot window")
+	}
+
+	// A new snapshot must refuse up front: before touching the draining
+	// child, before the counter increment, before any file write.
+	if err := p.Snapshot(m); !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("snapshot of quarantined store: %v, want ErrQuarantined", err)
+	}
+	if !p.InSnapshot() {
+		t.Fatal("refused snapshot must not force-finish the in-flight one")
+	}
+	if got := m.Events(sim.CtrSnapshot); got != 1 {
+		t.Fatalf("CtrSnapshot = %d after refusal, want 1 (the clean one)", got)
+	}
+
+	// The in-flight snapshot captured pre-fault bytes at fork time and its
+	// counter version is current: it must still restore, in full.
+	m2 := sim.NewMeter(p.enclave.Model())
+	restored, err := Restore(p.enclave, p.dir, p.counter, m2)
+	if err != nil {
+		t.Fatalf("pre-fault snapshot no longer restores: %v", err)
+	}
+	if restored.Keys() != 60 {
+		t.Fatalf("restored keys = %d, want 60", restored.Keys())
+	}
+	for i := 0; i < 60; i++ {
+		got, err := restored.Get(m2, []byte(fmt.Sprintf("k%04d", i)))
+		if err != nil || string(got) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("restored key %d = %q, %v", i, got, err)
+		}
+	}
+
+	// Shutdown drains without panicking; the merge into the quarantined
+	// main is refused op by op, never served as clean state.
+	p.Drain(m)
+	if p.InSnapshot() {
+		t.Fatal("Drain left the snapshot open")
+	}
+	if !p.Main().Quarantined() {
+		t.Fatal("Drain must not clear the latch")
+	}
+}
+
+func TestQuarantineRefusesNextSnapshot(t *testing.T) {
+	// Naive mode: latch first, snapshot second. The refusal must leave
+	// the previous snapshot restorable (counter untouched).
+	p, m := setupQ(t, Naive)
+	fill(t, p, m, 40)
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+
+	tripLatch(t, p, m, 40)
+	if err := p.Snapshot(m); !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("snapshot of quarantined store: %v, want ErrQuarantined", err)
+	}
+
+	m2 := sim.NewMeter(p.enclave.Model())
+	restored, err := Restore(p.enclave, p.dir, p.counter, m2)
+	if err != nil {
+		t.Fatalf("last good snapshot no longer restores: %v", err)
+	}
+	if restored.Keys() != 40 {
+		t.Fatalf("restored keys = %d, want 40", restored.Keys())
+	}
+}

@@ -37,10 +37,14 @@ var ErrLogCorrupt = errors.New("persist: write-ahead log corrupt")
 
 const walFile = "wal.bin"
 
-// log record ops.
+// log record ops. walSet/walDelete are the original log-then-apply record
+// kinds; walAppend/walIncr exist for the journal path (LogOp), which logs
+// the operation as executed instead of materializing the resulting value.
 const (
 	walSet byte = iota + 1
 	walDelete
+	walAppend
+	walIncr // value payload: 8-byte little-endian delta
 )
 
 // WAL wraps a core.Store with per-operation durability. Like the
@@ -93,10 +97,19 @@ func (w *WAL) Main() *core.Store { return w.main }
 // Seq returns the next record sequence number (tests).
 func (w *WAL) Seq() uint64 { return w.seq }
 
-// Close releases the log file.
+// Close flushes and releases the log file. The Sync matters: records are
+// written with write(2) only, and a close that drops them in the page
+// cache would let a machine crash eat acknowledged, even counter-pinned,
+// operations.
 //
 //ss:host(shutdown path, outside the measured window)
-func (w *WAL) Close() error { return w.f.Close() }
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
 
 // append seals and writes one log record, bumping the platform counter at
 // batch boundaries. Each acknowledged record costs one enclave exit: the
@@ -181,6 +194,31 @@ func (w *WAL) Get(m *sim.Meter, key []byte) ([]byte, error) {
 	return w.main.Get(m, key)
 }
 
+// LogOp implements core.Journal: a partition worker calls it once per
+// successfully applied mutation, in apply order, so replaying the log
+// over the partition's last snapshot reproduces its state. Unlike
+// Set/Delete above (log-then-apply wrappers), the op is already applied
+// when logged; the worker acknowledges the client only after journaling,
+// so a crash between apply and log loses only unacknowledged work.
+//
+//ss:ocall
+func (w *WAL) LogOp(m *sim.Meter, kind core.BatchKind, key, value []byte, delta int64) error {
+	switch kind {
+	case core.BatchSet:
+		return w.append(m, walSet, key, value)
+	case core.BatchDelete:
+		return w.append(m, walDelete, key, nil)
+	case core.BatchAppend:
+		return w.append(m, walAppend, key, value)
+	case core.BatchIncr:
+		var d [8]byte
+		binary.LittleEndian.PutUint64(d[:], uint64(delta))
+		return w.append(m, walIncr, key, d[:])
+	default:
+		return fmt.Errorf("persist: cannot journal op kind %d", kind)
+	}
+}
+
 // Pin forces a counter increment covering every record so far (clean
 // shutdown: shrinks the unprotected tail to zero).
 func (w *WAL) Pin(m *sim.Meter) error {
@@ -253,6 +291,17 @@ func ReplayWAL(store *core.Store, dir string, batchEvery int, m *sim.Meter) (*WA
 			}
 		case walDelete:
 			if err := store.Delete(m, key); err != nil && !errors.Is(err, core.ErrNotFound) {
+				return nil, err
+			}
+		case walAppend:
+			if err := store.Append(m, key, val); err != nil {
+				return nil, err
+			}
+		case walIncr:
+			if vl != 8 {
+				return nil, fmt.Errorf("%w: incr payload must be 8 bytes, got %d", ErrLogCorrupt, vl)
+			}
+			if _, err := store.Incr(m, key, int64(binary.LittleEndian.Uint64(val))); err != nil {
 				return nil, err
 			}
 		default:

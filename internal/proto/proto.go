@@ -39,6 +39,7 @@ const (
 	CmdMGet
 	CmdStats
 	CmdBatch
+	CmdHealth
 )
 
 // Status codes.
@@ -47,6 +48,10 @@ const (
 	StatusNotFound
 	StatusError
 	StatusIntegrityViolation
+	// StatusRebuilding reports a partition that is quarantined but being
+	// rebuilt online: the operation was not applied and is safe to retry
+	// (any op, not just idempotent ones) after a short backoff.
+	StatusRebuilding
 )
 
 // Errors.

@@ -126,6 +126,9 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Stats, when set, answers CmdStats with "name=value" lines.
 	Stats func() []string
+	// Health, when set, answers CmdHealth with per-partition health lines
+	// (core.FormatHealth output: state, scrub progress, journal status).
+	Health func() []string
 	// PipelineDepth bounds how many requests per connection may be in
 	// flight between the reader and the in-order writer (default 32).
 	PipelineDepth int
@@ -441,6 +444,16 @@ func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 			items[i] = []byte(l)
 		}
 		return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(items)}
+	case proto.CmdHealth:
+		if s.cfg.Health == nil {
+			return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(nil)}
+		}
+		lines := s.cfg.Health()
+		items := make([][]byte, len(lines))
+		for i, l := range lines {
+			items[i] = []byte(l)
+		}
+		return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(items)}
 	case proto.CmdGet:
 		val, err := eng.Get(m, req.Key)
 		if err != nil {
@@ -596,6 +609,10 @@ func statusFor(err error) uint8 {
 		return proto.StatusOK
 	case errors.Is(err, core.ErrNotFound), errors.Is(err, baseline.ErrNotFound):
 		return proto.StatusNotFound
+	case errors.Is(err, core.ErrRebuilding):
+		// Before the terminal integrity mapping: a rebuilding partition is
+		// quarantined too, but the client should retry, not give up.
+		return proto.StatusRebuilding
 	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer),
 		errors.Is(err, core.ErrQuarantined):
 		return proto.StatusIntegrityViolation

@@ -35,6 +35,8 @@ const (
 	CtrFaultInjected
 	CtrIntegrityFail
 	CtrQuarantine
+	CtrScrub
+	CtrRebuild
 	numCounters
 )
 
@@ -60,6 +62,8 @@ var counterNames = [numCounters]string{
 	"fault_injected",
 	"integrity_fail",
 	"quarantine",
+	"scrub",
+	"rebuild",
 }
 
 // String returns the counter's snake_case name.

@@ -582,6 +582,15 @@ func (db *DB) Serve(ln net.Listener, opts ServeOptions) *Server {
 				fmt.Sprintf("enclave_bytes=%d", st.EnclaveBytes),
 			}
 		},
+		Health: func() []string {
+			// Store.Health reads only atomics, so no partition locks are
+			// needed — a health probe never queues behind a slow op.
+			hs := make([]core.PartHealth, len(db.parts))
+			for i := range db.parts {
+				hs[i] = db.parts[i].Main().Health()
+			}
+			return core.FormatHealth(hs)
+		},
 	})
 	return &Server{s: s}
 }
