@@ -9,9 +9,12 @@
 //
 // Scale divides the paper's data-set sizes and the EPC together (see
 // DESIGN.md); -scale 1 is the full paper configuration.
+//
+//ss:host(experiment driver; runs entirely outside the simulated enclaves and writes results to the host filesystem)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,7 @@ func main() {
 		ops   = flag.Int("ops", 0, "measured ops per data point (default 20000)")
 		seed  = flag.Int64("seed", 0, "workload seed")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		jsonF = flag.String("json", "", "also write results as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -55,10 +59,36 @@ func main() {
 		}
 	}
 
+	var results []bench.Result
 	for _, e := range selected {
 		start := time.Now()
 		res := e.Run(cfg)
 		fmt.Print(res.Format())
 		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+		results = append(results, res)
 	}
+
+	if *jsonF != "" {
+		doc := struct {
+			Scale   int            `json:"scale"`
+			Ops     int            `json:"ops"`
+			Seed    int64          `json:"seed"`
+			Results []bench.Result `json:"results"`
+		}{cfg.Scale, cfg.Ops, cfg.Seed, results}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonF == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonF, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shieldstore-bench:", err)
+	os.Exit(1)
 }

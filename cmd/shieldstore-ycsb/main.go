@@ -9,6 +9,12 @@
 //
 //	shieldstore-ycsb -selfhost -workload RD50_U -conns 16
 //
+// Cluster modes — scatter-gather over N shard servers (every shard
+// started with the same -seed), or a self-hosted in-process cluster:
+//
+//	shieldstore-ycsb -cluster 127.0.0.1:7701,127.0.0.1:7702 -seed 7
+//	shieldstore-ycsb -selfhost-shards 4 -workload RD95_Z -pipeline 32
+//
 //ss:host(benchmark driver; plays the remote client, entirely outside the enclave)
 package main
 
@@ -17,9 +23,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
+	"time"
 
 	"shieldstore"
 	"shieldstore/internal/client"
+	"shieldstore/internal/cluster"
 	"shieldstore/internal/loadgen"
 	"shieldstore/internal/workload"
 )
@@ -37,6 +46,9 @@ func main() {
 		selfhost = flag.Bool("selfhost", false, "start an in-process server on a random port")
 		noLoad   = flag.Bool("skip-preload", false, "assume the key space is already loaded")
 		list     = flag.Bool("list", false, "list workload names and exit")
+		pipeline = flag.Int("pipeline", 0, "per-worker burst size (cluster: scatter-gather batch)")
+		clusterA = flag.String("cluster", "", "comma-separated shard addresses (cluster mode)")
+		selfN    = flag.Int("selfhost-shards", 0, "start an in-process N-shard cluster")
 	)
 	flag.Parse()
 
@@ -44,6 +56,64 @@ func main() {
 		for _, spec := range workload.Table2 {
 			fmt.Printf("%-10s read=%d%% rmw=%d%% dist=%s\n",
 				spec.Name, spec.ReadPct, spec.RMWPct, spec.Dist)
+		}
+		return
+	}
+
+	retry := client.RetryPolicy{
+		MaxAttempts: 8, Backoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	}
+
+	// Cluster modes: an in-process N-shard harness, or external shard
+	// servers (each started with the same -seed).
+	var copt *cluster.Options
+	switch {
+	case *selfN > 0:
+		h, err := cluster.StartHarness(cluster.HarnessConfig{
+			Shards: *selfN, Secure: !*insecure, Seed: *seed,
+			Conns: *conns, Retry: retry, ClusterRetry: retry,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		opts := h.Options()
+		copt = &opts
+		fmt.Printf("self-hosted %d-shard cluster on %v\n", *selfN, h.Addrs())
+	case *clusterA != "":
+		shard := client.Options{Secure: !*insecure, Retry: retry}
+		if shard.Secure {
+			shard.Verifier = shieldstore.AttestationService(*seed)
+			shard.Measurement = shieldstore.Measurement()
+		}
+		var specs []cluster.ShardSpec
+		for _, a := range strings.Split(*clusterA, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				specs = append(specs, cluster.ShardSpec{Addr: a, Client: shard})
+			}
+		}
+		copt = &cluster.Options{
+			Shards: specs, Conns: *conns, RingSeed: *seed, Retry: retry,
+		}
+	}
+	if copt != nil {
+		res, err := loadgen.Run(loadgen.Options{
+			Cluster:     copt,
+			Workload:    *wl,
+			Keys:        *keys,
+			ValueSize:   *valSize,
+			Ops:         *ops,
+			Connections: *conns,
+			Pipeline:    *pipeline,
+			SkipPreload: *noLoad,
+			Seed:        int64(*seed) + 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+		for kind, n := range res.ByKind {
+			fmt.Printf("  %s: %d\n", kind, n)
 		}
 		return
 	}
@@ -78,6 +148,7 @@ func main() {
 		ValueSize:   *valSize,
 		Ops:         *ops,
 		Connections: *conns,
+		Pipeline:    *pipeline,
 		SkipPreload: *noLoad,
 		Seed:        int64(*seed) + 1,
 	})

@@ -72,13 +72,17 @@ func (c Config) epcBytes() int64 {
 	return e
 }
 
-// Result is one regenerated table or figure.
+// Result is one regenerated table or figure. The json tags shape the
+// machine-readable output of shieldstore-bench -json.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Metrics carries key figures (throughputs, speedups, percentiles)
+	// under stable names so scripts need not parse the formatted rows.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Format renders the result as an aligned text table.

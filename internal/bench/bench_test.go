@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"shieldstore/internal/sim"
 	"strconv"
 	"strings"
@@ -76,7 +77,7 @@ func TestResultFormat(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"batch", "dispatch"}
+		"batch", "dispatch", "cluster"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}
@@ -466,5 +467,40 @@ func TestNetCostPaths(t *testing.T) {
 	}
 	if cost(netCost{}) != 0 {
 		t.Error("disabled netCost charged cycles")
+	}
+}
+
+// TestClusterExpScalesAndIsDeterministic: the shard-scaling sweep must
+// show genuine scale-out even at a tiny test configuration (the
+// committed BENCH_cluster.json is produced at default scale, where the
+// acceptance bar is 3x at 4 shards), emit its metrics under stable
+// names, and — like every virtual-time experiment — be bit-reproducible.
+func TestClusterExpScalesAndIsDeterministic(t *testing.T) {
+	cfg := Config{Scale: 2000, Ops: 3000, Seed: 42}
+	res := ClusterExp(cfg)
+	if res.ID != "cluster" || len(res.Rows) != 2*len(clusterShardSweep) {
+		t.Fatalf("unexpected shape: id=%s rows=%d", res.ID, len(res.Rows))
+	}
+	for _, wl := range []string{"RD100_Z", "RD95_Z"} {
+		for _, shards := range clusterShardSweep {
+			for _, metric := range []string{"kops", "speedup", "p50_us", "p99_us"} {
+				key := fmt.Sprintf("%s/shards=%d/%s", wl, shards, metric)
+				if v, ok := res.Metrics[key]; !ok || v <= 0 {
+					t.Fatalf("metric %s missing or non-positive (%v)", key, v)
+				}
+			}
+		}
+	}
+	if sp := res.Metrics["RD100_Z/shards=4/speedup"]; sp < 1.8 {
+		t.Fatalf("4-shard zipfian get speedup = %.2f, want >= 1.8 at test scale", sp)
+	}
+	if res.Metrics["RD100_Z/shards=8/kops"] <= res.Metrics["RD100_Z/shards=2/kops"] {
+		t.Fatal("8 shards should out-serve 2 shards")
+	}
+	again := ClusterExp(cfg)
+	for k, v := range res.Metrics {
+		if again.Metrics[k] != v {
+			t.Fatalf("non-deterministic metric %s: %v vs %v", k, v, again.Metrics[k])
+		}
 	}
 }

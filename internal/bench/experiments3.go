@@ -328,6 +328,7 @@ var All = []Experiment{
 	{"fig19", "snapshot persistence", Fig19},
 	{"batch", "batched execution amortization", BatchExp},
 	{"dispatch", "exitless dispatch amortization", DispatchExp},
+	{"cluster", "sharded cluster shard-scaling sweep", ClusterExp},
 }
 
 // ByID finds an experiment.

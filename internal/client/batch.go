@@ -95,6 +95,11 @@ func statusErr(status uint8) error {
 		return ErrNotFound
 	case proto.StatusIntegrityViolation:
 		return ErrIntegrity
+	case proto.StatusRebuilding:
+		// Per-op rebuilding inside a batch: the envelope status is OK, so
+		// the connection-level retry never sees it — callers (and the
+		// cluster scatter-gather layer) re-issue the affected ops.
+		return ErrRebuilding
 	default:
 		return ErrServer
 	}

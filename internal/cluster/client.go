@@ -1,0 +1,398 @@
+// The cluster client: mirrors the single-node client.Client API over N
+// shards. Single-key operations route to the owning shard through that
+// shard's connection pool; MGet/MSet/Batch group operations by shard,
+// fan the per-shard sub-batches out concurrently, and reassemble results
+// in submission order with per-op error isolation; Stats and Health
+// aggregate cluster-wide.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/proto"
+)
+
+// ErrNoShards reports an Options with an empty shard list.
+var ErrNoShards = errors.New("shieldstore cluster: no shards configured")
+
+// ShardSpec names one shard endpoint and how to connect to it. Each shard
+// is its own enclave with its own attestation identity, so the client
+// options (verifier, measurement, retry policy) are per shard.
+type ShardSpec struct {
+	Addr   string
+	Client client.Options
+}
+
+// Options configures a cluster client.
+type Options struct {
+	// Shards lists the shard endpoints in ring order. All clients of one
+	// cluster must use the same list order, VNodes and RingSeed.
+	Shards []ShardSpec
+	// VNodes is the virtual-node count per shard (DefaultVNodes when 0).
+	VNodes int
+	// Conns sizes each shard's connection pool (default 2). Scatter-gather
+	// uses one connection per involved shard per call, so concurrent
+	// multi-key callers want Conns >= their concurrency.
+	Conns int
+	// RingSeed perturbs the ring hash key (must match across routers).
+	RingSeed uint64
+	// Retry bounds the scatter-gather path's per-op rebuilding retries:
+	// ops that come back ErrRebuilding inside an otherwise-successful
+	// batch are re-issued to the affected shard alone, with backoff, while
+	// every other shard's results stand. (Single-key operations ride the
+	// per-connection client.Options.Retry instead.) The zero value
+	// disables the re-issue and surfaces ErrRebuilding per op.
+	Retry client.RetryPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	return o
+}
+
+// Client is a cluster-wide client handle. Unlike the single-connection
+// client.Client, a cluster Client IS safe for concurrent use: every
+// operation borrows a connection from the owning shard's pool and returns
+// it before the call completes.
+type Client struct {
+	opts  Options
+	ring  *Ring
+	pools []*pool
+}
+
+// Dial connects Conns connections to every shard and builds the shard
+// map. Any shard that cannot be reached fails the whole call (a cluster
+// with a missing shard would silently misroute that shard's key range).
+func Dial(opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	if len(opts.Shards) == 0 {
+		return nil, ErrNoShards
+	}
+	c := &Client{
+		opts: opts,
+		ring: NewRing(len(opts.Shards), opts.VNodes, opts.RingSeed),
+	}
+	for i, spec := range opts.Shards {
+		p, err := newPool(spec, opts.Conns)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shieldstore cluster: shard %d (%s): %w", i, spec.Addr, err)
+		}
+		c.pools = append(c.pools, p)
+	}
+	return c, nil
+}
+
+// Close releases every pooled connection.
+func (c *Client) Close() error {
+	var first error
+	for _, p := range c.pools {
+		if err := p.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards returns the shard count.
+func (c *Client) Shards() int { return c.ring.Shards() }
+
+// ShardFor returns the shard index owning key.
+func (c *Client) ShardFor(key []byte) int { return c.ring.Shard(key) }
+
+// --- single-key operations: route to the owning shard ---
+
+// Get fetches a value from the owning shard.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	conn, p, err := c.borrow(key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := conn.Get(key)
+	p.put(conn, err)
+	return v, err
+}
+
+// Set stores a value on the owning shard.
+func (c *Client) Set(key, value []byte) error {
+	conn, p, err := c.borrow(key)
+	if err != nil {
+		return err
+	}
+	err = conn.Set(key, value)
+	p.put(conn, err)
+	return err
+}
+
+// Delete removes a key from the owning shard.
+func (c *Client) Delete(key []byte) error {
+	conn, p, err := c.borrow(key)
+	if err != nil {
+		return err
+	}
+	err = conn.Delete(key)
+	p.put(conn, err)
+	return err
+}
+
+// Append appends to a value server-side on the owning shard.
+func (c *Client) Append(key, suffix []byte) error {
+	conn, p, err := c.borrow(key)
+	if err != nil {
+		return err
+	}
+	err = conn.Append(key, suffix)
+	p.put(conn, err)
+	return err
+}
+
+// Incr adds delta to a numeric value on the owning shard.
+func (c *Client) Incr(key []byte, delta int64) (int64, error) {
+	conn, p, err := c.borrow(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := conn.Incr(key, delta)
+	p.put(conn, err)
+	return n, err
+}
+
+// borrow picks the owning shard's pool and takes a connection from it.
+func (c *Client) borrow(key []byte) (*client.Client, *pool, error) {
+	p := c.pools[c.ring.Shard(key)]
+	conn, err := p.get()
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, p, nil
+}
+
+// --- scatter-gather operations ---
+
+// Batch groups ops by owning shard, fans the per-shard sub-batches out
+// concurrently (one CmdBatch round trip per involved shard), and
+// reassembles the results in submission order. Errors are isolated per
+// op: a miss, an integrity violation, or even a whole shard being
+// unreachable taints only that shard's ops — the other shards' results
+// stand. The call itself never fails.
+func (c *Client) Batch(ops ...client.Op) []client.Result {
+	out := make([]client.Result, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	idxs := c.group(ops)
+	var wg sync.WaitGroup
+	for shard, list := range idxs {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int, list []int) {
+			defer wg.Done()
+			sub := make([]client.Op, len(list))
+			for j, i := range list {
+				sub[j] = ops[i]
+			}
+			rs := c.execShard(shard, sub)
+			for j, i := range list {
+				out[i] = rs[j]
+			}
+		}(shard, list)
+	}
+	wg.Wait()
+	return out
+}
+
+// group buckets op indices by owning shard.
+func (c *Client) group(ops []client.Op) [][]int {
+	idxs := make([][]int, len(c.pools))
+	for i := range ops {
+		s := c.ring.Shard(ops[i].Key)
+		idxs[s] = append(idxs[s], i)
+	}
+	return idxs
+}
+
+// execShard runs one shard's sub-batch, then re-issues any ops that came
+// back ErrRebuilding — to this shard only — under Options.Retry. A
+// rebuilding partition guarantees the op was NOT applied, so mutations
+// replay safely; meanwhile every other shard's fan-out goroutine has long
+// since returned its results.
+func (c *Client) execShard(shard int, ops []client.Op) []client.Result {
+	rs := c.batchOnce(shard, ops)
+	pol := c.opts.Retry
+	if pol.MaxAttempts <= 1 {
+		return rs
+	}
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	maxBackoff := pol.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 100 * time.Millisecond
+	}
+	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
+		var retry []int
+		for i := range rs {
+			if errors.Is(rs[i].Err, client.ErrRebuilding) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 {
+			return rs
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		sub := make([]client.Op, len(retry))
+		for j, i := range retry {
+			sub[j] = ops[i]
+		}
+		again := c.batchOnce(shard, sub)
+		for j, i := range retry {
+			rs[i] = again[j]
+		}
+	}
+	return rs
+}
+
+// batchOnce executes one CmdBatch round trip against a shard. A failure
+// of the round trip itself (pool exhausted by dial failures, transport or
+// framing error) is folded into every op's result — per-op isolation at
+// the shard boundary.
+func (c *Client) batchOnce(shard int, ops []client.Op) []client.Result {
+	p := c.pools[shard]
+	conn, err := p.get()
+	if err == nil {
+		var rs []client.Result
+		rs, err = conn.Batch(ops...)
+		p.put(conn, err)
+		if err == nil {
+			return rs
+		}
+	}
+	rs := make([]client.Result, len(ops))
+	for i := range rs {
+		rs[i].Err = err
+	}
+	return rs
+}
+
+// MGet fetches several keys in at most one round trip per involved shard.
+// The result has one slot per requested key, in submission order; missing
+// keys are nil. The first error other than a miss fails the call (the
+// single-node MGet contract); callers needing per-op isolation use Batch.
+func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
+	ops := make([]client.Op, len(keys))
+	for i, k := range keys {
+		ops[i] = client.GetOp(k)
+	}
+	rs := c.Batch(ops...)
+	vals := make([][]byte, len(keys))
+	for i := range rs {
+		switch {
+		case rs[i].Err == nil:
+			vals[i] = rs[i].Value
+			if vals[i] == nil {
+				vals[i] = []byte{}
+			}
+		case errors.Is(rs[i].Err, client.ErrNotFound):
+			vals[i] = nil
+		default:
+			return nil, rs[i].Err
+		}
+	}
+	return vals, nil
+}
+
+// MSet stores keys[i] = values[i] for all i, one round trip per involved
+// shard, and returns the first per-op failure, if any.
+func (c *Client) MSet(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return proto.ErrBadMessage
+	}
+	ops := make([]client.Op, len(keys))
+	for i := range keys {
+		ops[i] = client.SetOp(keys[i], values[i])
+	}
+	for _, r := range c.Batch(ops...) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// --- cluster-wide control plane ---
+
+// Stats fetches every shard's statistics lines concurrently, each
+// prefixed "shardN/", in shard order.
+func (c *Client) Stats() ([]string, error) {
+	return c.gatherLines(func(conn *client.Client) ([]string, error) { return conn.Stats() })
+}
+
+// Health fetches every shard's per-partition health lines concurrently,
+// each prefixed "shardN/" ("shard2/part1=rebuilding ..."), in shard
+// order. One unreachable shard fails the probe — cluster health must
+// never silently omit a shard.
+func (c *Client) Health() ([]string, error) {
+	return c.gatherLines(func(conn *client.Client) ([]string, error) { return conn.Health() })
+}
+
+// Ping checks liveness of every shard concurrently.
+func (c *Client) Ping() error {
+	_, err := c.gatherLines(func(conn *client.Client) ([]string, error) {
+		return nil, conn.Ping()
+	})
+	return err
+}
+
+// gatherLines fans a per-shard probe out to all shards and concatenates
+// the prefixed results in shard order.
+func (c *Client) gatherLines(probe func(*client.Client) ([]string, error)) ([]string, error) {
+	perShard := make([][]string, len(c.pools))
+	errs := make([]error, len(c.pools))
+	var wg sync.WaitGroup
+	for s := range c.pools {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := c.pools[s].get()
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			lines, err := probe(conn)
+			c.pools[s].put(conn, err)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			prefixed := make([]string, len(lines))
+			for i, l := range lines {
+				prefixed[i] = fmt.Sprintf("shard%d/%s", s, l)
+			}
+			perShard[s] = prefixed
+		}(s)
+	}
+	wg.Wait()
+	var out []string
+	for s := range perShard {
+		if errs[s] != nil {
+			return nil, fmt.Errorf("shieldstore cluster: shard %d: %w", s, errs[s])
+		}
+		out = append(out, perShard[s]...)
+	}
+	return out, nil
+}

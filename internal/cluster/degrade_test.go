@@ -1,0 +1,234 @@
+// Cluster degradation under partial failure (run under -race): the host
+// corrupts one partition of one shard; that shard's scrubber detects it,
+// quarantines the partition and rebuilds it from snapshot+journal state.
+// While the rebuild window is held open the cluster client must keep
+// every other shard (and the victim shard's sibling partitions) serving,
+// and its scatter-gather retry must re-issue ONLY the rebuilding ops —
+// to the affected shard alone. Afterwards the full dataset reads back
+// intact through the cluster.
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/cluster"
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/sim"
+)
+
+func TestClusterDegradedShardScatterGather(t *testing.T) {
+	type swap struct{ shard, part int }
+	entered := make(chan swap, 1)
+	release := make(chan struct{})
+	retryPol := client.RetryPolicy{
+		MaxAttempts: 500, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+	}
+	h, err := cluster.StartHarness(cluster.HarnessConfig{
+		Shards: 3, Partitions: 2, Buckets: 1 << 10,
+		Secure: true, Seed: 11, Conns: 3,
+		SelfHeal: true, Dir: t.TempDir(),
+		Retry:        retryPol, // per-connection: single-key ops ride out rebuilds
+		ClusterRetry: retryPol, // scatter-gather: re-issue rebuilding ops only
+		BeforeSwap: func(shard, part int) {
+			select {
+			case entered <- swap{shard, part}:
+				<-release
+			default:
+			}
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	released := false
+	defer func() {
+		if !released {
+			close(release) // never park the healer past the test
+		}
+	}()
+
+	cc, err := cluster.Dial(h.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+
+	// Preload through the scatter-gather path.
+	const n = 240
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("dk%03d", i))
+		vals[i] = []byte(fmt.Sprintf("dv%03d", i))
+	}
+	for at := 0; at < n; at += 48 {
+		if err := cc.MSet(keys[at:at+48], vals[at:at+48]); err != nil {
+			t.Fatalf("preload MSet: %v", err)
+		}
+	}
+
+	// Pick the victim: the (shard, partition) owning keys[0]; classify
+	// every key as victim-partition, sibling-partition (same shard), or
+	// other-shard.
+	vs := cc.ShardFor(keys[0])
+	route := sim.NewMeter(h.Shard(vs).Enclave.Model())
+	vp := h.Shard(vs).Pool.Route(route, keys[0])
+	var victimIdx, healthyIdx []int
+	var siblingKey, otherShardKey []byte
+	for i, k := range keys {
+		if cc.ShardFor(k) == vs {
+			if h.Shard(vs).Pool.Route(route, k) == vp {
+				victimIdx = append(victimIdx, i)
+				continue
+			}
+			siblingKey = k
+		} else {
+			otherShardKey = k
+		}
+		healthyIdx = append(healthyIdx, i)
+	}
+	if len(victimIdx) < 2 || siblingKey == nil || otherShardKey == nil {
+		t.Fatalf("dataset spread too thin: %d victim keys", len(victimIdx))
+	}
+
+	// A raw, non-retrying connection to the victim shard observes the
+	// honest status codes.
+	rawOpts := h.ClientOptions(vs)
+	rawOpts.Retry = client.RetryPolicy{}
+	raw, err := client.Dial(h.Addrs()[vs], rawOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+
+	// The host corrupts the victim partition. No client op touches that
+	// partition from here until the scrubber has quarantined it.
+	plane := fault.New(33)
+	plane.Arm(fault.PointEntryFlip, fault.Spec{Count: -1})
+	h.Shard(vs).Pool.RunCtl(vp, func(st *core.WorkerState) { st.Store.SetFaultPlane(plane) })
+
+	var got swap
+	select {
+	case got = <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scrubber never triggered a rebuild")
+	}
+	if got.shard != vs || got.part != vp {
+		t.Fatalf("rebuild hit shard %d part %d, armed shard %d part %d",
+			got.shard, got.part, vs, vp)
+	}
+
+	// Authoritatively mid-rebuild. Raw probes see the truth:
+	if _, err := raw.Get(keys[victimIdx[0]]); !errors.Is(err, client.ErrRebuilding) {
+		t.Fatalf("raw Get on rebuilding partition: %v, want ErrRebuilding", err)
+	}
+	if v, err := raw.Get(siblingKey); err != nil || !bytes.Equal(v, value(keys, vals, siblingKey)) {
+		t.Fatalf("sibling partition Get during rebuild: %q, %v", v, err)
+	}
+	if lines, err := cc.Health(); err != nil {
+		t.Fatalf("cluster health: %v", err)
+	} else if want := fmt.Sprintf("shard%d/part%d=rebuilding", vs, vp); !hasPrefixed(lines, want) {
+		t.Fatalf("cluster health missing %q: %v", want, lines)
+	}
+
+	// Fire a scatter-gather over the FULL dataset. The ops on the
+	// rebuilding partition park in the cluster retry loop; everything
+	// else must come back immediately.
+	allDone := make(chan []client.Result, 1)
+	go func() {
+		ops := make([]client.Op, n)
+		for i, k := range keys {
+			ops[i] = client.GetOp(k)
+		}
+		allDone <- cc.Batch(ops...)
+	}()
+
+	// While that batch is parked: a healthy-keys-only batch completes,
+	// proving the other shards and the sibling partition still serve —
+	// and that the parked batch is not holding them hostage.
+	hOps := make([]client.Op, len(healthyIdx))
+	for j, i := range healthyIdx {
+		hOps[j] = client.GetOp(keys[i])
+	}
+	for j, r := range cc.Batch(hOps...) {
+		if r.Err != nil || !bytes.Equal(r.Value, vals[healthyIdx[j]]) {
+			t.Fatalf("healthy batch op %d during degradation: %q, %v", j, r.Value, r.Err)
+		}
+	}
+	// Single-key ops to healthy shards also sail through.
+	if v, err := cc.Get(otherShardKey); err != nil || !bytes.Equal(v, value(keys, vals, otherShardKey)) {
+		t.Fatalf("other-shard Get during degradation: %q, %v", v, err)
+	}
+	// The rebuild window is still held: nothing above waited on it.
+	if r := h.Shard(vs).Healer.Rebuilds(); r != 0 {
+		t.Fatalf("rebuild completed early (%d), degraded-mode probes proved nothing", r)
+	}
+
+	released = true
+	close(release)
+
+	rs := <-allDone
+	for i, r := range rs {
+		if r.Err != nil || !bytes.Equal(r.Value, vals[i]) {
+			t.Fatalf("full batch op %d after retry: %q, %v", i, r.Value, r.Err)
+		}
+	}
+
+	waitUntil(t, 10*time.Second, "partition re-admission", func() bool {
+		return h.Shard(vs).Healer.Rebuilds() == 1 &&
+			len(h.Shard(vs).Pool.QuarantinedParts()) == 0
+	})
+
+	// Full dataset intact through the cluster, and the healed partition
+	// accepts writes again.
+	got2, err := cc.MGet(keys...)
+	if err != nil {
+		t.Fatalf("post-heal MGet: %v", err)
+	}
+	for i := range got2 {
+		if !bytes.Equal(got2[i], vals[i]) {
+			t.Fatalf("post-heal MGet[%d] = %q, want %q", i, got2[i], vals[i])
+		}
+	}
+	if err := cc.Set(keys[victimIdx[0]], []byte("post-heal")); err != nil {
+		t.Fatalf("write to healed partition: %v", err)
+	}
+
+	// The detection really came from the victim shard's scrubber.
+	var scrubbed uint64
+	h.Shard(vs).Pool.RunCtl(vp, func(st *core.WorkerState) {
+		scrubbed = st.Meter.Events(sim.CtrScrub)
+	})
+	if scrubbed == 0 {
+		t.Fatal("detection did not come from the scrubber (CtrScrub = 0)")
+	}
+}
+
+func value(keys, vals [][]byte, k []byte) []byte {
+	for i := range keys {
+		if bytes.Equal(keys[i], k) {
+			return vals[i]
+		}
+	}
+	return nil
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,255 @@
+// The cluster harness: launches N in-process shieldstore shard servers —
+// each its own simulated enclave, partitioned worker pool, optional
+// self-healing plane, and pipelined TCP front-end — for tests,
+// benchmarks, and the shieldstore-ycsb -selfhost-shards mode. A harness
+// shard is exactly what one shieldstore-server process would run; only
+// the process boundary is elided.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/persist"
+	"shieldstore/internal/server"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// HarnessConfig sizes an in-process cluster.
+type HarnessConfig struct {
+	// Shards is the shard (enclave process) count; default 4.
+	Shards int
+	// Partitions is the per-shard worker partition count; default 4.
+	Partitions int
+	// Buckets is the per-shard hash bucket count; default 1<<12.
+	Buckets int
+	// MACHashes is the per-shard MAC hash count; default Buckets/2.
+	MACHashes int
+	// CacheBytes is the per-shard in-enclave plaintext cache budget.
+	CacheBytes int64
+	// EPCBytes overrides each shard enclave's simulated EPC (0 = 32 MB).
+	EPCBytes int64
+	// Secure enables attestation + channel encryption per shard.
+	Secure bool
+	// Seed derives per-shard enclave key material (shard i uses Seed+i+1).
+	Seed uint64
+	// SelfHeal attaches a quarantine latch, background scrubber and
+	// persist.Healer to every shard (requires Dir).
+	SelfHeal bool
+	// ScrubSets bounds the per-wakeup scrub increment (default 2).
+	ScrubSets int
+	// Dir roots the healers' snapshot+journal state (required by SelfHeal).
+	Dir string
+	// VNodes, Conns, RingSeed and the retry policies feed Options().
+	VNodes   int
+	Conns    int
+	RingSeed uint64
+	// Retry is the per-connection policy (single-key ops, reconnects).
+	Retry client.RetryPolicy
+	// ClusterRetry is the scatter-gather per-op rebuilding policy.
+	ClusterRetry client.RetryPolicy
+	// PipelineDepth bounds per-connection in-flight requests server-side.
+	PipelineDepth int
+	// BeforeSwap, when set, runs inside each shard healer's rebuild window
+	// just before the rebuilt partition is swapped back in (tests use it to
+	// hold a shard authoritatively mid-rebuild).
+	BeforeSwap func(shard, part int)
+	// Logf sinks server/healer logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c HarnessConfig) withDefaults() HarnessConfig {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 12
+	}
+	if c.MACHashes <= 0 {
+		c.MACHashes = max(1, c.Buckets/2)
+	}
+	if c.EPCBytes <= 0 {
+		c.EPCBytes = 32 << 20
+	}
+	if c.ScrubSets <= 0 {
+		c.ScrubSets = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// HarnessMeasurement is the enclave code identity harness shards report.
+func HarnessMeasurement() [32]byte {
+	var m [32]byte
+	copy(m[:], "shieldstore-cluster-shard-v1")
+	return m
+}
+
+// Shard is one running in-process shard server.
+type Shard struct {
+	Enclave *sgx.Enclave
+	Pool    *core.Partitioned
+	Healer  *persist.Healer // nil unless SelfHeal
+	Server  *server.Server
+	Addr    string
+}
+
+// Harness is a running in-process cluster.
+type Harness struct {
+	cfg    HarnessConfig
+	shards []*Shard
+}
+
+// StartHarness builds and starts every shard. On error, shards already
+// started are torn down.
+func StartHarness(cfg HarnessConfig) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SelfHeal && cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster harness: SelfHeal requires Dir")
+	}
+	h := &Harness{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := h.startShard(i)
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("cluster harness: shard %d: %w", i, err)
+		}
+		h.shards = append(h.shards, sh)
+	}
+	return h, nil
+}
+
+// startShard boots one shard: enclave, partitioned pool, healer, server.
+func (h *Harness) startShard(i int) (*Shard, error) {
+	cfg := h.cfg
+	space := mem.NewSpace(mem.Config{EPCBytes: cfg.EPCBytes})
+	enclave := sgx.New(sgx.Config{
+		Space:       space,
+		Seed:        cfg.Seed + uint64(i) + 1, // each shard is its own enclave identity
+		Measurement: HarnessMeasurement(),
+	})
+
+	opts := core.Defaults(cfg.Buckets)
+	opts.MACHashes = cfg.MACHashes
+	opts.CacheBytes = cfg.CacheBytes
+	opts.Quarantine = cfg.SelfHeal
+	p := core.NewPartitioned(enclave, cfg.Partitions, opts)
+
+	var healer *persist.Healer
+	if cfg.SelfHeal {
+		p.EnableScrub(cfg.ScrubSets)
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%02d", i))
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			return nil, err
+		}
+		hopts := persist.HealerOptions{Logf: cfg.Logf}
+		if cfg.BeforeSwap != nil {
+			hopts.BeforeSwap = func(part int) { cfg.BeforeSwap(i, part) }
+		}
+		var err error
+		healer, err = persist.NewHealer(p, dir, hopts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.Start()
+	if healer != nil {
+		healer.Start()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if healer != nil {
+			healer.Close()
+		}
+		p.Stop()
+		return nil, err
+	}
+	srv := server.Serve(ln, server.Config{
+		Engine:        server.CoreEngine{P: p},
+		Enclave:       enclave,
+		HotCalls:      true,
+		Secure:        cfg.Secure,
+		Logf:          cfg.Logf,
+		PipelineDepth: cfg.PipelineDepth,
+		DrainTimeout:  time.Second,
+		Stats: func() []string {
+			st := p.AggregateStats()
+			return []string{
+				fmt.Sprintf("keys=%d", p.Keys()),
+				fmt.Sprintf("virtual_seconds=%.6f", enclave.Model().Seconds(st.Cycles)),
+				fmt.Sprintf("decryptions=%d", st.Events[sim.CtrDecrypt]),
+			}
+		},
+		Health: func() []string { return core.FormatHealth(p.Health()) },
+	})
+	return &Shard{Enclave: enclave, Pool: p, Healer: healer, Server: srv, Addr: srv.Addr().String()}, nil
+}
+
+// Shard returns shard i.
+func (h *Harness) Shard(i int) *Shard { return h.shards[i] }
+
+// Shards returns the running shard count.
+func (h *Harness) Shards() int { return len(h.shards) }
+
+// Addrs returns every shard's listen address in shard order.
+func (h *Harness) Addrs() []string {
+	out := make([]string, len(h.shards))
+	for i, s := range h.shards {
+		out[i] = s.Addr
+	}
+	return out
+}
+
+// ClientOptions builds the per-shard connection options: when Secure,
+// shard i's own enclave plays its attestation service (the simulation's
+// stand-in for IAS, as in the single-node tests).
+func (h *Harness) ClientOptions(i int) client.Options {
+	copts := client.Options{Secure: h.cfg.Secure, Retry: h.cfg.Retry}
+	if h.cfg.Secure {
+		copts.Verifier = h.shards[i].Enclave
+		copts.Measurement = HarnessMeasurement()
+	}
+	return copts
+}
+
+// Options assembles the cluster client configuration for this harness.
+func (h *Harness) Options() Options {
+	specs := make([]ShardSpec, len(h.shards))
+	for i, s := range h.shards {
+		specs[i] = ShardSpec{Addr: s.Addr, Client: h.ClientOptions(i)}
+	}
+	return Options{
+		Shards:   specs,
+		VNodes:   h.cfg.VNodes,
+		Conns:    h.cfg.Conns,
+		RingSeed: h.cfg.RingSeed,
+		Retry:    h.cfg.ClusterRetry,
+	}
+}
+
+// Close tears every shard down: front-end first, then healer, then the
+// worker pool (the healer drives RunCtl against the live pool, so order
+// matters).
+func (h *Harness) Close() {
+	for _, s := range h.shards {
+		s.Server.Close()
+		if s.Healer != nil {
+			s.Healer.Close()
+		}
+		s.Pool.Stop()
+	}
+	h.shards = nil
+}

@@ -1,0 +1,85 @@
+// Per-shard connection pools. Each shard gets a fixed-size pool of
+// single-connection clients (client.Client is not concurrency-safe);
+// borrowing blocks until a connection is free, so the pool size is also
+// the per-shard concurrency bound. A connection retired after a transport
+// failure is replaced by a fresh dial on the next borrow, keeping the
+// pool at its configured size without a background repair loop.
+package cluster
+
+import (
+	"errors"
+
+	"shieldstore/internal/client"
+)
+
+// pool is one shard's connection set. The free channel holds either live
+// connections or nil placeholders; a placeholder is a license to dial a
+// replacement, so the live-connection + placeholder count is invariant.
+type pool struct {
+	addr  string
+	copts client.Options
+	free  chan *client.Client
+}
+
+// newPool dials n connections eagerly so a dead shard fails Dial rather
+// than the first operation.
+func newPool(spec ShardSpec, n int) (*pool, error) {
+	p := &pool{addr: spec.Addr, copts: spec.Client, free: make(chan *client.Client, n)}
+	for i := 0; i < n; i++ {
+		conn, err := client.Dial(spec.Addr, spec.Client)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.free <- conn
+	}
+	return p, nil
+}
+
+// get borrows a connection, dialing a replacement when it pulls a
+// placeholder left by a retired one. A failed replacement dial returns
+// the placeholder so the pool never shrinks.
+func (p *pool) get() (*client.Client, error) {
+	conn := <-p.free
+	if conn != nil {
+		return conn, nil
+	}
+	conn, err := client.Dial(p.addr, p.copts)
+	if err != nil {
+		p.free <- nil
+		return nil, err
+	}
+	return conn, nil
+}
+
+// put returns a borrowed connection. err is the outcome of the last
+// operation on it: a transport-class failure retires the connection (the
+// channel/nonce state is unrecoverable unless the client's own retry
+// already re-dialed it) and leaves a placeholder for get to replace.
+func (p *pool) put(conn *client.Client, err error) {
+	if err != nil && errors.Is(err, client.ErrConnection) {
+		conn.Close()
+		p.free <- nil
+		return
+	}
+	p.free <- conn
+}
+
+// close drains the pool and closes every live connection. Concurrent
+// borrowers must have finished.
+func (p *pool) close() error {
+	var first error
+	for {
+		select {
+		case conn := <-p.free:
+			if conn == nil {
+				continue
+			}
+			if err := conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		default:
+			return first
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Ring tests: determinism across routers, key balance, consistent-hash
+// movement on shard addition, and — the property the two-level design
+// depends on — decorrelation between the public ring hash and the
+// enclaves' secret partition hash.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/cluster"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/workload"
+)
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = workload.FormatKey(uint64(i))
+	}
+	return keys
+}
+
+// TestRingDeterminism: every router with the same (shards, vnodes, seed)
+// must agree on every key; a different seed must yield a different map.
+func TestRingDeterminism(t *testing.T) {
+	a := cluster.NewRing(5, 64, 7)
+	b := cluster.NewRing(5, 64, 7)
+	other := cluster.NewRing(5, 64, 8)
+	moved := 0
+	for _, k := range testKeys(2000) {
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("same-seed rings disagree on %q", k)
+		}
+		if a.Shard(k) != other.Shard(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the ring seed moved no keys at all")
+	}
+}
+
+// TestRingBalance: with 64 vnodes per shard no shard's key share may
+// stray far from 1/N.
+func TestRingBalance(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		r := cluster.NewRing(shards, cluster.DefaultVNodes, 42)
+		counts := make([]int, shards)
+		keys := testKeys(40000)
+		for _, k := range keys {
+			counts[r.Shard(k)]++
+		}
+		mean := float64(len(keys)) / float64(shards)
+		for s, c := range counts {
+			ratio := float64(c) / mean
+			if ratio < 0.60 || ratio > 1.45 {
+				t.Fatalf("shards=%d: shard %d holds %.2fx the mean (counts %v)",
+					shards, s, ratio, counts)
+			}
+		}
+		t.Logf("shards=%d counts=%v", shards, counts)
+	}
+}
+
+// TestRingConsistency: adding shard N to an N-shard ring may only move
+// keys TO the new shard (the defining consistent-hashing property), and
+// only roughly a 1/(N+1) share of them.
+func TestRingConsistency(t *testing.T) {
+	before := cluster.NewRing(4, cluster.DefaultVNodes, 42)
+	after := cluster.NewRing(5, cluster.DefaultVNodes, 42)
+	keys := testKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Shard(k), after.Shard(k)
+		if was == is {
+			continue
+		}
+		if is != 4 {
+			t.Fatalf("key %q moved %d -> %d; adding a shard may only move keys to it", k, was, is)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("adding 1 of 5 shards moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+	t.Logf("moved %.1f%% of keys to the new shard", frac*100)
+}
+
+// TestRingPartitionDecorrelation proves the two-level routing property
+// the ring's independent hash key buys (satellite: routing-key
+// decorrelation). Shard selection (public ring hash) and in-shard
+// partition selection (the enclave's secret SipHash via
+// Partitioned.Route) must be independent: the keys landing on one shard
+// must still spread across ALL of that shard's partitions. The contrast
+// case shows what correlated routing (shard = h mod S, partition =
+// h mod P from the SAME hash) does when S == P: every key of shard 0
+// collapses onto partition 0, idling the other P-1 worker threads.
+func TestRingPartitionDecorrelation(t *testing.T) {
+	const S, P = 4, 4
+	space := mem.NewSpace(mem.Config{EPCBytes: 8 << 20})
+	enclave := sgx.New(sgx.Config{Space: space, Seed: 99})
+	p := core.NewPartitioned(enclave, P, core.Defaults(1<<10))
+	m := sim.NewMeter(enclave.Model())
+	ring := cluster.NewRing(S, cluster.DefaultVNodes, 0)
+
+	ringCounts := make([]int, P)       // partitions of ring-routed shard-0 keys
+	correlatedCounts := make([]int, P) // partitions of mod-routed "shard-0" keys
+	for _, k := range testKeys(20000) {
+		part := p.Route(m, k) // secret-keyed hash mod P
+		if ring.Shard(k) == 0 {
+			ringCounts[part]++
+		}
+		// Correlated scheme: shard from the same secret hash, mod S. With
+		// S == P the shard index IS the partition index.
+		if part%S == 0 {
+			correlatedCounts[part]++
+		}
+	}
+
+	total := 0
+	for _, c := range ringCounts {
+		total += c
+	}
+	mean := float64(total) / float64(P)
+	for part, c := range ringCounts {
+		ratio := float64(c) / mean
+		if ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("ring-routed shard-0 keys skewed on partition %d: %.2fx mean (counts %v)",
+				part, ratio, ringCounts)
+		}
+	}
+
+	used := 0
+	for _, c := range correlatedCounts {
+		if c > 0 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Fatalf("correlated routing should collapse shard-0 keys onto exactly 1 partition, used %d (%v)",
+			used, correlatedCounts)
+	}
+	t.Logf("ring-routed shard-0 keys across partitions: %v; correlated: %v",
+		ringCounts, correlatedCounts)
+}
+
+// TestRingSingleShard: the 1-shard fast path still owns every key.
+func TestRingSingleShard(t *testing.T) {
+	r := cluster.NewRing(1, cluster.DefaultVNodes, 3)
+	for _, k := range testKeys(100) {
+		if got := r.Shard(k); got != 0 {
+			t.Fatalf("1-shard ring routed %q to %d", k, got)
+		}
+	}
+	if r.Shards() != 1 || r.VNodes() != cluster.DefaultVNodes {
+		t.Fatalf("accessors: %d shards, %d vnodes", r.Shards(), r.VNodes())
+	}
+}
+
+func ExampleRing() {
+	r := cluster.NewRing(4, 64, 0)
+	fmt.Println(r.Shards())
+	// Output: 4
+}

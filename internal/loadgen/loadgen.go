@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"shieldstore/internal/client"
+	"shieldstore/internal/cluster"
 	"shieldstore/internal/histo"
 	"shieldstore/internal/workload"
 )
@@ -22,6 +23,12 @@ type Options struct {
 	Addr string
 	// Client options (attestation etc).
 	Client client.Options
+	// Cluster, when non-nil, drives a sharded cluster through the
+	// scatter-gather cluster client instead of the single server at Addr
+	// (Addr and Client are then unused). Pipeline > 1 maps each worker's
+	// burst onto one scatter-gather Batch — one round trip per involved
+	// shard per burst.
+	Cluster *cluster.Options
 	// Workload is a Table 2 name (default RD95_Z).
 	Workload string
 	// Keys is the preloaded key-space size (default 10_000).
@@ -98,6 +105,9 @@ func Run(o Options) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("loadgen: unknown workload %q", o.Workload)
 	}
+	if o.Cluster != nil {
+		return runCluster(o, spec)
+	}
 
 	if !o.SkipPreload {
 		if err := preload(o); err != nil {
@@ -105,21 +115,8 @@ func Run(o Options) (Result, error) {
 		}
 	}
 
-	// Partition the op stream across connections up front so the
-	// measured section does no generation work.
-	gen := workload.NewGen(spec, uint64(o.Keys), o.Seed)
-	streams := make([][]workload.Op, o.Connections)
-	for i := 0; i < o.Ops; i++ {
-		streams[i%o.Connections] = append(streams[i%o.Connections], gen.Next())
-	}
-
-	type connResult struct {
-		lat    histo.Histogram
-		errs   int
-		kinds  map[string]int
-		failed error
-	}
-	results := make([]connResult, o.Connections)
+	streams := splitStream(o, spec)
+	results := make([]workerResult, o.Connections)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ci := 0; ci < o.Connections; ci++ {
@@ -164,8 +161,30 @@ func Run(o Options) (Result, error) {
 		}(ci)
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	return aggregate(o, results, time.Since(start))
+}
 
+// splitStream partitions the op stream across workers up front so the
+// measured section does no generation work.
+func splitStream(o Options, spec workload.Spec) [][]workload.Op {
+	gen := workload.NewGen(spec, uint64(o.Keys), o.Seed)
+	streams := make([][]workload.Op, o.Connections)
+	for i := 0; i < o.Ops; i++ {
+		streams[i%o.Connections] = append(streams[i%o.Connections], gen.Next())
+	}
+	return streams
+}
+
+// workerResult is one worker goroutine's tally.
+type workerResult struct {
+	lat    histo.Histogram
+	errs   int
+	kinds  map[string]int
+	failed error
+}
+
+// aggregate merges the per-worker tallies into the run result.
+func aggregate(o Options, results []workerResult, wall time.Duration) (Result, error) {
 	agg := Result{
 		Ops: o.Ops, Wall: wall, Workload: o.Workload,
 		Connection: o.Connections, ByKind: map[string]int{},
@@ -187,6 +206,134 @@ func Run(o Options) (Result, error) {
 	agg.P99Us = float64(lat.Quantile(0.99))
 	agg.MaxUs = float64(lat.Max())
 	return agg, nil
+}
+
+// runCluster drives a sharded cluster: every worker issues ops through
+// one shared scatter-gather cluster client (which is concurrency-safe;
+// its per-shard pools bound the fan-out).
+func runCluster(o Options, spec workload.Spec) (Result, error) {
+	copts := *o.Cluster
+	if copts.Conns <= 0 {
+		// One borrowed connection per worker per shard keeps workers from
+		// serializing on the pools.
+		copts.Conns = o.Connections
+	}
+	cc, err := cluster.Dial(copts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cc.Close()
+
+	if !o.SkipPreload {
+		if err := preloadCluster(cc, o); err != nil {
+			return Result{}, err
+		}
+	}
+
+	streams := splitStream(o, spec)
+	results := make([]workerResult, o.Connections)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < o.Connections; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			res.kinds = map[string]int{}
+			if o.Pipeline > 1 {
+				res.failed = runClusterBatched(cc, o, streams[ci], res)
+				return
+			}
+			for _, op := range streams[ci] {
+				key := workload.FormatKey(op.Key)
+				t0 := time.Now()
+				var err error
+				switch op.Kind {
+				case workload.Read:
+					_, err = cc.Get(key)
+				case workload.Update, workload.Insert:
+					err = cc.Set(key, workload.MakeValue(o.ValueSize, op.Key))
+				case workload.Append:
+					err = cc.Append(key, []byte("-app8byte"))
+				case workload.ReadModifyWrite:
+					var v []byte
+					if v, err = cc.Get(key); err == nil {
+						err = cc.Set(key, v)
+					}
+				}
+				res.lat.Record(uint64(time.Since(t0).Microseconds()))
+				res.kinds[op.Kind.String()]++
+				if err != nil && err != client.ErrNotFound {
+					res.errs++
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	return aggregate(o, results, time.Since(start))
+}
+
+// runClusterBatched maps one worker's stream onto scatter-gather batches
+// of o.Pipeline ops. Per-op latency is the wall time of the batch the op
+// rode in. Read-modify-write is approximated by an independent Get and
+// Set in the same batch, as in the pipelined single-node mode.
+func runClusterBatched(cc *cluster.Client, o Options, stream []workload.Op, res *workerResult) error {
+	var ops []client.Op
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		rs := cc.Batch(ops...)
+		us := uint64(time.Since(t0).Microseconds())
+		for i := range rs {
+			res.lat.Record(us)
+			if rs[i].Err != nil && rs[i].Err != client.ErrNotFound {
+				res.errs++
+			}
+		}
+		ops = ops[:0]
+		return nil
+	}
+	for _, op := range stream {
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			ops = append(ops, client.GetOp(key))
+		case workload.Update, workload.Insert:
+			ops = append(ops, client.SetOp(key, workload.MakeValue(o.ValueSize, op.Key)))
+		case workload.Append:
+			ops = append(ops, client.AppendOp(key, []byte("-app8byte")))
+		case workload.ReadModifyWrite:
+			ops = append(ops, client.GetOp(key),
+				client.SetOp(key, workload.MakeValue(o.ValueSize, op.Key)))
+		}
+		res.kinds[op.Kind.String()]++
+		if len(ops) >= o.Pipeline {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// preloadCluster fills the key space through the scatter-gather path.
+func preloadCluster(cc *cluster.Client, o Options) error {
+	const chunk = 128
+	for at := 0; at < o.Keys; at += chunk {
+		end := min(at+chunk, o.Keys)
+		keys := make([][]byte, 0, end-at)
+		vals := make([][]byte, 0, end-at)
+		for id := at; id < end; id++ {
+			keys = append(keys, workload.FormatKey(uint64(id)))
+			vals = append(vals, workload.MakeValue(o.ValueSize, uint64(id)))
+		}
+		if err := cc.MSet(keys, vals); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runPipelined drives one connection's op stream through a client
