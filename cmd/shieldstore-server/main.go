@@ -33,15 +33,21 @@ func main() {
 		hotcalls    = flag.Bool("hotcalls", true, "use exitless HotCalls for socket syscalls")
 		insecure    = flag.Bool("insecure", false, "disable session encryption (testing only)")
 		seed        = flag.Uint64("seed", 0, "enclave key seed (0 = default)")
+		vlogDir     = flag.String("vlog-dir", "", "tiered storage: encrypted value-log directory (empty=off)")
+		spillThresh = flag.Int("spill-threshold", 0, "min value size spilled to the value log (0=default)")
+		memBudgetMB = flag.Int64("mem-budget-mb", 0, "in-memory value budget before spilling (MB, 0=always spill eligible values)")
 	)
 	flag.Parse()
 
 	db, err := shieldstore.Open(shieldstore.Config{
-		Partitions:  *partitions,
-		Buckets:     *buckets,
-		CacheBytes:  *cacheMB << 20,
-		SnapshotDir: *snapshotDir,
-		Seed:        *seed,
+		Partitions:     *partitions,
+		Buckets:        *buckets,
+		CacheBytes:     *cacheMB << 20,
+		SnapshotDir:    *snapshotDir,
+		Seed:           *seed,
+		VLogDir:        *vlogDir,
+		SpillThreshold: *spillThresh,
+		MemBudget:      *memBudgetMB << 20,
 	})
 	if err != nil {
 		log.Fatalf("shieldstore: open: %v", err)

@@ -49,6 +49,8 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "per-worker burst size (cluster: scatter-gather batch)")
 		clusterA = flag.String("cluster", "", "comma-separated shard addresses (cluster mode)")
 		selfN    = flag.Int("selfhost-shards", 0, "start an in-process N-shard cluster")
+		vlogDir  = flag.String("vlog-dir", "", "selfhost: tiered storage value-log directory (empty=off)")
+		spillT   = flag.Int("spill-threshold", 0, "selfhost: min value size spilled to the value log (0=default)")
 	)
 	flag.Parse()
 
@@ -120,7 +122,7 @@ func main() {
 
 	target := *addr
 	if *selfhost {
-		db, err := shieldstore.Open(shieldstore.Config{Seed: *seed})
+		db, err := shieldstore.Open(shieldstore.Config{Seed: *seed, VLogDir: *vlogDir, SpillThreshold: *spillT})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,54 @@
+// Package vtier is a miniature value-log: the tiered-storage shape the
+// checker must police. Sealed records live in segment files on untrusted
+// disk, so every ReadAt/WriteAt/Sync is host I/O — either annotated as a
+// charged crossing or flagged.
+package vtier
+
+import (
+	"os"
+
+	"corpus/sgxsim"
+)
+
+// Log is a trimmed-down segmented value log.
+type Log struct {
+	tail *os.File
+}
+
+// Append seals a record onto the tail segment: annotated and charged, the
+// way internal/vlog does it.
+//
+//ss:ocall
+func (l *Log) Append(rec []byte) error {
+	_, err := l.tail.WriteAt(rec, 0)
+	sgxsim.Charge()
+	return err
+}
+
+// ReadRaw fetches sealed bytes without declaring the crossing — an
+// unmodeled disk read that would silently skew every throughput figure.
+func (l *Log) ReadRaw(off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	_, err := l.tail.ReadAt(buf, off) // want `ReadRaw calls \(\*os\.File\)\.ReadAt without //ss:ocall, //ss:ecall, or //ss:host annotation`
+	return buf, err
+}
+
+// SyncQuiet declares the crossing but never charges it — the fsync
+// happens, the cost model never hears about it.
+//
+//ss:ocall
+func (l *Log) SyncQuiet() error { // want `SyncQuiet is annotated //ss:ocall but never charges an enclave crossing`
+	return l.tail.Sync()
+}
+
+// OpenSegment runs at recovery time outside the measured window, so the
+// host annotation exempts its raw file open.
+//
+//ss:host(corpus: segment open at recovery time, outside the measured window)
+func OpenSegment(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{tail: f}, nil
+}

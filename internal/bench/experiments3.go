@@ -329,6 +329,7 @@ var All = []Experiment{
 	{"batch", "batched execution amortization", BatchExp},
 	{"dispatch", "exitless dispatch amortization", DispatchExp},
 	{"cluster", "sharded cluster shard-scaling sweep", ClusterExp},
+	{"vlog", "tiered value-log working-set/budget sweep", VLogExp},
 }
 
 // ByID finds an experiment.

@@ -1,0 +1,222 @@
+// The tiered-storage experiment (DESIGN.md §14): sweeps the working-set
+// to memory-budget ratio and the spill threshold to map where the
+// encrypted value log keeps a data set serving once it no longer fits
+// the in-memory value budget. Not a paper figure — the paper keeps every
+// value in (untrusted) memory; this measures the repo's disk tier.
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
+	"shieldstore/internal/workload"
+)
+
+// VLogExp regenerates the tiered-storage sweep: RD100 read streams
+// (zipfian and uniform) across working-set/memory-budget ratios 1x-64x
+// against an all-in-memory baseline, plus a spill-threshold sweep over a
+// mixed-value-size update stream at the 16x point.
+func VLogExp(cfg Config) Result {
+	cfg = cfg.Defaults()
+	res := Result{
+		ID:     "vlog",
+		Title:  "tiered value-log: working-set/memory-budget sweep (256B values, RD100)",
+		Header: []string{"dist", "ws/budget", "spill", "Kop/s", "rel", "spills", "faults", "segs"},
+		Notes: []string{
+			"rel = throughput vs the all-in-memory baseline (no value log)",
+			"hot tier: EPC plaintext cache (WS/4, capped at EPC/2) promotes faulted values on read",
+			"disk costs: NVMe seek + bandwidth model, DESIGN.md §14 calibration",
+		},
+		Metrics: map[string]float64{},
+	}
+
+	const valSize = 256
+	nKeys := min(cfg.keys(), 4096)
+	workingSet := int64(nKeys) * valSize
+	// Hot tier: the EPC plaintext cache holds the zipfian head. A quarter
+	// of the working set (bounded by half the EPC) mirrors a deployment
+	// that sizes the enclave cache to the hot set, not the data set.
+	cacheBytes := min(workingSet/4, cfg.epcBytes()/2)
+	ops := cfg.Ops
+
+	for _, d := range []struct {
+		name string
+		dist workload.Distribution
+	}{
+		{"zipf99", workload.Zipf99},
+		{"uniform", workload.Uniform},
+	} {
+		spec := workload.Spec{Name: "RD100", ReadPct: 100, Dist: d.dist}
+
+		// All-in-memory baseline: same store and cache, no value log.
+		base := runVLogPoint(cfg, spec, nKeys, valSize, ops, vlogPoint{cacheBytes: cacheBytes})
+		res.Metrics[fmt.Sprintf("RD100_%s/baseline/kops", distTag(d.name))] = base.kops
+		res.Rows = append(res.Rows, []string{d.name, "inline", "-", f1(base.kops), "1.00", "0", "0", "0"})
+
+		for _, ratio := range []int{1, 4, 16, 64} {
+			pt := vlogPoint{
+				cacheBytes: cacheBytes,
+				memBudget:  workingSet / int64(ratio),
+				spill:      core.DefaultSpillThreshold,
+				tiered:     true,
+			}
+			r := runVLogPoint(cfg, spec, nKeys, valSize, ops, pt)
+			rel := r.kops / base.kops
+			tag := fmt.Sprintf("RD100_%s/ratio=%d", distTag(d.name), ratio)
+			res.Metrics[tag+"/kops"] = r.kops
+			res.Metrics[tag+"/rel"] = rel
+			res.Rows = append(res.Rows, []string{
+				d.name, fmt.Sprintf("%dx", ratio), fmt.Sprintf("%d", pt.spill),
+				f1(r.kops), f2s(rel),
+				fmt.Sprintf("%d", r.spills), fmt.Sprintf("%d", r.faults),
+				fmt.Sprintf("%d", r.segs),
+			})
+		}
+	}
+
+	// Spill-threshold sweep at the 16x point: mixed value sizes
+	// (64/128/256B), 50% updates, zipfian. A higher threshold keeps the
+	// small values inline and spills only the large tail.
+	mixSpec := workload.Spec{Name: "RD50", ReadPct: 50, Dist: workload.Zipf99}
+	mixWS := int64(0)
+	for id := 0; id < nKeys; id++ {
+		mixWS += int64(mixedValSize(uint64(id)))
+	}
+	for _, spill := range []int{64, 128, 256} {
+		pt := vlogPoint{
+			cacheBytes: cacheBytes,
+			memBudget:  mixWS / 16,
+			spill:      spill,
+			tiered:     true,
+			mixed:      true,
+		}
+		r := runVLogPoint(cfg, mixSpec, nKeys, valSize, ops, pt)
+		tag := fmt.Sprintf("RD50_Z/ratio=16/spill=%d", spill)
+		res.Metrics[tag+"/kops"] = r.kops
+		res.Rows = append(res.Rows, []string{
+			"zipf99(mix)", "16x", fmt.Sprintf("%d", spill),
+			f1(r.kops), "-",
+			fmt.Sprintf("%d", r.spills), fmt.Sprintf("%d", r.faults),
+			fmt.Sprintf("%d", r.segs),
+		})
+	}
+	return res
+}
+
+// distTag maps a display name to the workload-table suffix.
+func distTag(name string) string {
+	if name == "uniform" {
+		return "U"
+	}
+	return "Z"
+}
+
+// mixedValSize assigns each key one of three value sizes (64/128/256B)
+// for the spill-threshold sweep.
+func mixedValSize(id uint64) int { return 64 << (id % 3) }
+
+// vlogPoint is one measured configuration.
+type vlogPoint struct {
+	cacheBytes int64
+	memBudget  int64
+	spill      int
+	tiered     bool // attach a value log
+	mixed      bool // mixed value sizes (threshold sweep)
+}
+
+type vlogRun struct {
+	kops   float64
+	spills uint64
+	faults uint64
+	segs   uint64
+}
+
+// runVLogPoint builds a fresh single-partition store (optionally with a
+// value log in a temp directory), preloads it, replays the spec, and
+// reports throughput plus tier counters.
+func runVLogPoint(cfg Config, spec workload.Spec, nKeys, valSize, ops int, pt vlogPoint) vlogRun {
+	m := cfg.newMachine()
+	p := buildShield(m, 1, cfg.buckets(), cfg.macHashes(), func(o *core.Options) {
+		o.CacheBytes = pt.cacheBytes
+		o.MemBudget = pt.memBudget
+		if pt.spill > 0 {
+			o.SpillThreshold = pt.spill
+		}
+	})
+	s, meter := p.Part(0), p.Meter(0)
+	var dir string
+	if pt.tiered {
+		var err error
+		dir, err = os.MkdirTemp("", "ssvlog")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		l, err := vlog.New(m.enclave, dir, vlog.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer l.Close()
+		s.AttachVLog(l)
+	}
+
+	sizeFor := func(id uint64) int {
+		if pt.mixed {
+			return mixedValSize(id)
+		}
+		return valSize
+	}
+	loader := sim.NewMeter(m.enclave.Model())
+	for id := 0; id < nKeys; id++ {
+		key := workload.FormatKey(uint64(id))
+		if err := s.Set(loader, key, workload.MakeValue(sizeFor(uint64(id)), uint64(id))); err != nil {
+			panic(err)
+		}
+	}
+	p.ResetMeters()
+	m.space.ResetPagingClock()
+
+	gen := workload.NewGen(spec, uint64(nKeys), cfg.Seed)
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		key := workload.FormatKey(op.Key)
+		switch op.Kind {
+		case workload.Read:
+			_, _ = s.Get(meter, key)
+		default:
+			_ = s.Set(meter, key, workload.MakeValue(sizeFor(op.Key), op.Key))
+		}
+	}
+	// The measured window ends before GC: throughput reflects the
+	// serving stream; the drain below exercises the GC path and settles
+	// the live-segment gauge (update streams leave dead records behind).
+	kops := sim.KopsPerSec(sim.Throughput(m.model, uint64(ops), meter.Cycles()))
+	if pt.tiered {
+		for {
+			copied, err := s.VLogMaintain(meter, 0)
+			if err != nil {
+				panic(err)
+			}
+			if copied == 0 {
+				if _, more := s.VLog().PickVictim(); !more {
+					break
+				}
+			}
+		}
+	}
+	segs := uint64(0)
+	if pt.tiered {
+		segs = uint64(s.VLog().SegmentsLive())
+	}
+	return vlogRun{
+		kops: kops,
+		// Preload spills land on the loader meter (reset doesn't touch it);
+		// the serving stream adds update-driven spills on top.
+		spills: loader.Events(sim.CtrVLogSpill) + meter.Events(sim.CtrVLogSpill),
+		faults: meter.Events(sim.CtrVLogFault),
+		segs:   segs,
+	}
+}

@@ -164,7 +164,7 @@ func (s *Store) applySetGroup(m *sim.Meter, group []batchPos, ops []BatchOp, res
 			r.Val, r.Err = s.getInView(m, &v, g.bucket, op.Key)
 		case BatchSet:
 			val := op.Value
-			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, func(_ []byte, _ bool) ([]byte, error) {
+			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, false, func(_ []byte, _ bool) ([]byte, error) {
 				return val, nil
 			})
 			dirty = dirty || r.Err == nil
@@ -172,10 +172,10 @@ func (s *Store) applySetGroup(m *sim.Meter, group []batchPos, ops []BatchOp, res
 			r.Err = s.deleteInView(m, &v, g.bucket, op.Key)
 			dirty = dirty || r.Err == nil
 		case BatchAppend:
-			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, appendMutator(op.Value))
+			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, true, appendMutator(op.Value))
 			dirty = dirty || r.Err == nil
 		case BatchIncr:
-			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, incrMutator(op.Delta, &r.Num))
+			r.Err = s.mutateInView(m, &v, g.bucket, op.Key, true, incrMutator(op.Delta, &r.Num))
 			dirty = dirty || r.Err == nil
 		default:
 			r.Err = ErrBadBatchOp

@@ -92,8 +92,9 @@ func (c *epcCache) get(m *sim.Meter, key []byte) ([]byte, bool) {
 // put inserts or refreshes a cache entry after a successful Get.
 func (c *epcCache) put(m *sim.Meter, key, val []byte) {
 	if it, ok := c.items[string(key)]; ok {
-		c.store(m, it, val)
-		c.moveToFront(it)
+		if c.store(m, it, val) {
+			c.moveToFront(it)
+		}
 		return
 	}
 	need := int64(slabSize(len(key) + len(val)))
@@ -104,7 +105,7 @@ func (c *epcCache) put(m *sim.Meter, key, val []byte) {
 	if c.admissionSampling() && c.fills%16 != 0 {
 		return
 	}
-	for c.used+need > c.budget {
+	for c.used+need > c.budget && c.tail != nil {
 		c.evict(m)
 	}
 	it := &cacheItem{key: string(key)}
@@ -121,8 +122,9 @@ func (c *epcCache) update(m *sim.Meter, key, val []byte) {
 	if !ok {
 		return
 	}
-	c.store(m, it, val)
-	c.moveToFront(it)
+	if c.store(m, it, val) {
+		c.moveToFront(it)
+	}
 }
 
 // invalidate drops a key (delete path).
@@ -135,8 +137,11 @@ func (c *epcCache) invalidate(m *sim.Meter, key []byte) {
 }
 
 // store rewrites an item's value, reallocating its slab when it no longer
-// fits.
-func (c *epcCache) store(m *sim.Meter, it *cacheItem, val []byte) {
+// fits, and reports whether the item is still cached. The eviction loop
+// must never pick the item being stored: the caller still holds it and
+// would relink a removed item, leaving a ghost in the LRU list with a
+// freed slab. An item that outgrew the whole budget is dropped instead.
+func (c *epcCache) store(m *sim.Meter, it *cacheItem, val []byte) bool {
 	need := len(it.key) + len(val)
 	if slabSize(need) != it.slab {
 		c.freeSlab(it)
@@ -144,10 +149,19 @@ func (c *epcCache) store(m *sim.Meter, it *cacheItem, val []byte) {
 		c.allocSlab(m, it, need)
 		c.used += int64(it.slab)
 		for c.used > c.budget {
+			if c.tail == it {
+				if c.head == it {
+					c.remove(it)
+					return false
+				}
+				c.moveToFront(it)
+				continue
+			}
 			c.evict(m)
 		}
 	}
 	c.storeVal(m, it, val)
+	return true
 }
 
 //ss:enclave-write — cache slabs are EPC-resident.

@@ -151,3 +151,50 @@ func TestSlabSize(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheGrownItemSurvivesRealloc pins the self-eviction bug: growing a
+// cached item into a larger slab class used to let the eviction loop pick
+// the item itself, after which the caller relinked the removed item — a
+// ghost in the LRU list with a freed slab whose accounting drift made
+// put() spin forever. The grown item must either stay cached and correct,
+// or be dropped cleanly when it outgrows the whole budget.
+func TestCacheGrownItemSurvivesRealloc(t *testing.T) {
+	s, m := cacheStore(1 << 10)
+	// Fill with small items so the budget is tight.
+	for i := 0; i < 8; i++ {
+		key := []byte(fmt.Sprintf("pad-%d", i))
+		must(t, s.Set(m, key, bytes.Repeat([]byte{1}, 64)))
+		_, err := s.Get(m, key)
+		must(t, err)
+	}
+	// Grow one cached item to most of the budget (write-through update
+	// reallocates its slab and must evict only the others).
+	key := []byte("pad-0")
+	big := bytes.Repeat([]byte{2}, 700)
+	must(t, s.Set(m, key, big))
+	got, err := s.Get(m, key)
+	must(t, err)
+	if !bytes.Equal(got, big) {
+		t.Fatalf("grown item wrong: %d bytes", len(got))
+	}
+	// Grow past the whole budget: the item is dropped from the cache but
+	// the store stays correct and the cache stays usable.
+	huge := bytes.Repeat([]byte{3}, 2048)
+	must(t, s.Set(m, key, huge))
+	got, err = s.Get(m, key)
+	must(t, err)
+	if !bytes.Equal(got, huge) {
+		t.Fatalf("outgrown item wrong: %d bytes", len(got))
+	}
+	// The cache still admits and serves fresh traffic.
+	for i := 0; i < 32; i++ {
+		k := []byte(fmt.Sprintf("after-%d", i))
+		must(t, s.Set(m, k, bytes.Repeat([]byte{4}, 64)))
+		if _, err := s.Get(m, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.cache.used < 0 || s.cache.used > s.cache.budget {
+		t.Fatalf("cache accounting drifted: used=%d budget=%d", s.cache.used, s.cache.budget)
+	}
+}

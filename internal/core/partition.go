@@ -40,6 +40,12 @@ type Partitioned struct {
 	// wakeup (0 disables background scrubbing). Set before Start.
 	scrubSets int
 
+	// gcCopies bounds how many value-log records a worker relocates per
+	// idle GC slice (0 disables background value-log GC). The GC rides
+	// the same idle slots as the scrubber, after the scrub pass of a
+	// quiet period completes. Set before Start.
+	gcCopies int
+
 	// events receives the index of a partition whose quarantine latch
 	// just tripped (best-effort: the buffer bounds it). A healer drains
 	// this to trigger rebuilds.
@@ -94,6 +100,7 @@ func NewPartitioned(e *sgx.Enclave, n int, opts Options) *Partitioned {
 	per.Buckets = max(1, opts.Buckets/n)
 	per.MACHashes = max(1, opts.MACHashes/n)
 	per.CacheBytes = opts.CacheBytes / int64(n)
+	per.MemBudget = opts.MemBudget / int64(n)
 	p.journals = make([]Journal, n)
 	for i := 0; i < n; i++ {
 		s := New(e, cipher, per)
@@ -130,6 +137,12 @@ func (p *Partitioned) Enclave() *sgx.Enclave { return p.enclave }
 // requests are pending and going fully idle after a clean pass with no
 // intervening traffic. Call before Start.
 func (p *Partitioned) EnableScrub(sets int) { p.scrubSets = sets }
+
+// EnableVLogGC turns on background value-log garbage collection: each
+// worker relocates up to copies live records out of mostly-dead segments
+// per idle slice, after its scrub pass finishes, and parks once no
+// segment qualifies for collection. Call before Start.
+func (p *Partitioned) EnableVLogGC(copies int) { p.gcCopies = copies }
 
 // SetJournal attaches partition i's op journal (handed to the worker at
 // Start). Call before Start.
@@ -310,17 +323,19 @@ func (p *Partitioned) worker(st *WorkerState, ch chan *Call, ctl chan ctlMsg) {
 	var ops []BatchOp
 	var rs []BatchResult
 	scrubDone := p.scrubSets <= 0
+	gcDone := p.gcCopies <= 0 || st.Store.VLog() == nil
 	cleanPass := true
 	for {
 		var c *Call
 		var ok bool
-		if scrubDone || st.Store.Quarantined() {
+		if (scrubDone && gcDone) || st.Store.Quarantined() {
 			select {
 			case c, ok = <-ch:
 			case msg := <-ctl:
 				msg.fn(st)
 				close(msg.done)
 				scrubDone = p.scrubSets <= 0
+				gcDone = p.gcCopies <= 0 || st.Store.VLog() == nil
 				cleanPass = true
 				continue
 			}
@@ -331,20 +346,38 @@ func (p *Partitioned) worker(st *WorkerState, ch chan *Call, ctl chan ctlMsg) {
 				msg.fn(st)
 				close(msg.done)
 				scrubDone = p.scrubSets <= 0
+				gcDone = p.gcCopies <= 0 || st.Store.VLog() == nil
 				cleanPass = true
 				continue
 			default:
-				wrapped, err := st.Store.ScrubSlice(st.Meter, p.scrubSets)
-				if err != nil {
-					// Detection already latched/flagged via noteErr; the
-					// next iteration parks on the quarantined branch.
+				if !scrubDone {
+					wrapped, err := st.Store.ScrubSlice(st.Meter, p.scrubSets)
+					if err != nil {
+						// Detection already latched/flagged via noteErr;
+						// the next iteration parks on the quarantined
+						// branch.
+						continue
+					}
+					if wrapped {
+						if cleanPass {
+							scrubDone = true
+						}
+						cleanPass = true
+					}
 					continue
 				}
-				if wrapped {
-					if cleanPass {
-						scrubDone = true
+				// Scrub pass clean and quiet: spend the idle slice on
+				// value-log GC until no segment qualifies. A zero-copy
+				// slice still makes progress (it retires an all-dead
+				// victim), so park only when no victim remains.
+				copied, err := st.Store.VLogMaintain(st.Meter, p.gcCopies)
+				if err != nil {
+					continue // latched via noteErr; parks when quarantined
+				}
+				if copied == 0 {
+					if _, more := st.Store.VLog().PickVictim(); !more {
+						gcDone = true
 					}
-					cleanPass = true
 				}
 				continue
 			}
@@ -490,10 +523,12 @@ func (p *Partitioned) Repartition(m *sim.Meter, n int) error {
 	totalBuckets := opts.Buckets * len(oldParts)
 	totalHashes := opts.MACHashes * len(oldParts)
 	totalCache := opts.CacheBytes * int64(len(oldParts))
+	totalMem := opts.MemBudget * int64(len(oldParts))
 	per := opts
 	per.Buckets = max(1, totalBuckets/n)
 	per.MACHashes = max(1, totalHashes/n)
 	per.CacheBytes = totalCache / int64(n)
+	per.MemBudget = totalMem / int64(n)
 
 	newParts := make([]*Store, n)
 	newMeters := make([]*sim.Meter, n)

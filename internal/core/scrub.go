@@ -72,6 +72,15 @@ func (s *Store) scrubSet(m *sim.Meter, idx int) error {
 			return fmt.Errorf("%w (bucket %d)", err, b)
 		}
 	}
+	if s.vlog != nil {
+		// Cold-tier audit: chase every spilled entry's pointer and verify
+		// the sealed log record in place (DESIGN.md §14).
+		for _, b := range v.buckets {
+			if err := s.auditSpilled(m, b); err != nil {
+				return fmt.Errorf("%w (bucket %d, value log)", err, b)
+			}
+		}
+	}
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"shieldstore/internal/merkle"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
 )
 
 // Errors returned by store operations.
@@ -84,6 +85,14 @@ type Options struct {
 	// enclave. Exists to validate the paper's design choice by ablation
 	// (BenchmarkAblationIntegrity); slower per §4.3's argument.
 	MerkleTree bool
+	// SpillThreshold is the minimum value size (bytes) eligible for
+	// spilling to an attached value log (default 64). Inert until
+	// AttachVLog installs a log.
+	SpillThreshold int
+	// MemBudget caps the inline (in-memory) value bytes before spilling
+	// engages: values at or above SpillThreshold stay inline until the
+	// budget is pressed. 0 means no budget — spill purely by threshold.
+	MemBudget int64
 }
 
 // Defaults returns the ShieldOpt configuration for a given bucket count:
@@ -93,12 +102,17 @@ func Defaults(buckets int) Options {
 		Buckets:      buckets,
 		MACHashes:    buckets,
 		MACBucketCap: 30,
-		KeyHint:      true,
-		MACBucket:    true,
-		ExtraHeap:    true,
-		HeapChunk:    alloc.DefaultChunk,
+		KeyHint:        true,
+		MACBucket:      true,
+		ExtraHeap:      true,
+		HeapChunk:      alloc.DefaultChunk,
+		SpillThreshold: DefaultSpillThreshold,
 	}
 }
+
+// DefaultSpillThreshold is the default minimum value size for value-log
+// spilling (Options.SpillThreshold).
+const DefaultSpillThreshold = 64
 
 // Base returns the ShieldBase configuration: fine-grained encryption and
 // integrity only, none of the §5 optimizations.
@@ -139,6 +153,11 @@ type Store struct {
 	cache   *epcCache
 	ordered *orderedIndex // non-nil when Options.RangeIndex
 	tree    *merkle.Tree  // non-nil when Options.MerkleTree
+
+	// Tiered hybrid storage (DESIGN.md §14): cold values live in the
+	// untrusted value log, referenced by FlagSpilled pointer entries.
+	vlog           *vlog.Log
+	inlineValBytes int64 // in-memory value bytes (spill-budget accounting)
 
 	keys int // number of live entries
 
@@ -184,6 +203,9 @@ func New(e *sgx.Enclave, cipher *entry.Cipher, opts Options) *Store {
 	}
 	if opts.MACBucketCap <= 0 {
 		opts.MACBucketCap = 30
+	}
+	if opts.SpillThreshold <= 0 {
+		opts.SpillThreshold = DefaultSpillThreshold
 	}
 	setup := sim.NewMeter(e.Model())
 	if cipher == nil {
@@ -714,10 +736,19 @@ func (s *Store) getInView(m *sim.Meter, v *setView, b int, key []byte) ([]byte, 
 	if err := s.verifyEntry(m, v, &res); err != nil {
 		return nil, err
 	}
-	if s.cache != nil {
-		s.cache.put(m, key, res.val)
+	val := res.val
+	if res.hdr.Flags&entry.FlagSpilled != 0 {
+		// Cold tier: fault the value back from the value log. The cache
+		// put below promotes it, making the LRU cache the hot tier.
+		_, val, err = s.faultSpilled(m, key, res.val)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return res.val, nil
+	if s.cache != nil {
+		s.cache.put(m, key, val)
+	}
+	return val, nil
 }
 
 // verifyMiss authenticates a not-found result before it is *reported*.
@@ -742,7 +773,7 @@ func (s *Store) verifyMiss(m *sim.Meter, v *setView, b int) error {
 func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
-	return s.mutate(m, key, func(_ []byte, _ bool) ([]byte, error) {
+	return s.mutate(m, key, false, func(_ []byte, _ bool) ([]byte, error) {
 		return value, nil
 	})
 }
@@ -755,7 +786,7 @@ func (s *Store) Set(m *sim.Meter, key, value []byte) error {
 func (s *Store) Append(m *sim.Meter, key, suffix []byte) error {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
-	return s.mutate(m, key, appendMutator(suffix))
+	return s.mutate(m, key, true, appendMutator(suffix))
 }
 
 // appendMutator builds the Append value transform (shared with the batch
@@ -780,7 +811,7 @@ func (s *Store) Incr(m *sim.Meter, key []byte, delta int64) (int64, error) {
 	m.Charge(s.model.RequestOverhead)
 	m.Count(sim.CtrRequest)
 	var out int64
-	err := s.mutate(m, key, incrMutator(delta, &out))
+	err := s.mutate(m, key, true, incrMutator(delta, &out))
 	return out, err
 }
 
@@ -882,14 +913,24 @@ func (s *Store) deleteInView(m *sim.Meter, v *setView, b int, key []byte) error 
 	if s.ordered != nil {
 		s.ordered.remove(m, key)
 	}
+	// Tier accounting: a spilled entry's log record becomes garbage.
+	if res.hdr.Flags&entry.FlagSpilled != 0 {
+		if p, derr := s.decodeSpilled(res.val); derr == nil {
+			s.vlog.MarkDead(m, p)
+		}
+	} else {
+		s.inlineValBytes -= int64(len(res.val))
+	}
 	s.heap.Free(m, res.addr, res.hdr.TotalLen())
 	s.keys--
 	return nil
 }
 
 // mutate implements set/append/incr: search, verify, then update in place,
-// replace (size change), or insert at the chain head.
-func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) ([]byte, error)) (err error) {
+// replace (size change), or insert at the chain head. needOld marks
+// mutators that read the previous value (append/incr): only those fault a
+// spilled old value back from the value log.
+func (s *Store) mutate(m *sim.Meter, key []byte, needOld bool, f func(old []byte, found bool) ([]byte, error)) (err error) {
 	if err := s.guard(); err != nil {
 		return err
 	}
@@ -902,7 +943,7 @@ func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) 
 	if err := s.verifySet(m, &v); err != nil {
 		return err
 	}
-	if err := s.mutateInView(m, &v, b, key, f); err != nil {
+	if err := s.mutateInView(m, &v, b, key, needOld, f); err != nil {
 		return err
 	}
 	s.writeSetHash(m, &v)
@@ -914,7 +955,7 @@ func (s *Store) mutate(m *sim.Meter, key []byte, f func(old []byte, found bool) 
 // caller runs writeSetHash — once per op on the single-op path, once per
 // touched set per batch in ApplyBatch (the amortization this layering
 // exists for).
-func (s *Store) mutateInView(m *sim.Meter, v *setView, b int, key []byte, f func(old []byte, found bool) ([]byte, error)) error {
+func (s *Store) mutateInView(m *sim.Meter, v *setView, b int, key []byte, needOld bool, f func(old []byte, found bool) ([]byte, error)) error {
 	res, err := s.search(m, b, key)
 	if err != nil {
 		return err
@@ -928,23 +969,61 @@ func (s *Store) mutateInView(m *sim.Meter, v *setView, b int, key []byte, f func
 	}
 
 	var oldVal []byte
+	var oldPtr vlog.Ptr
+	oldSpilled := res.found && res.hdr.Flags&entry.FlagSpilled != 0
 	if res.found {
 		oldVal = res.val
+		if oldSpilled {
+			if needOld {
+				// Append/incr transform the previous value: fault it in.
+				oldPtr, oldVal, err = s.faultSpilled(m, key, res.val)
+			} else {
+				oldPtr, err = s.decodeSpilled(res.val)
+				oldVal = nil
+			}
+			if err != nil {
+				return err
+			}
+		}
 	}
 	newVal, err := f(oldVal, res.found)
 	if err != nil {
 		return err
 	}
 
+	// Pick the stored representation: inline bytes, or a pointer to a
+	// freshly appended value-log record.
+	stored, flags := newVal, byte(0)
+	if s.shouldSpill(newVal) {
+		ptr, err := s.vlog.Append(m, key, newVal)
+		if err != nil {
+			return err
+		}
+		var pb [vlog.PtrSize]byte
+		ptr.Encode(pb[:])
+		stored, flags = pb[:], entry.FlagSpilled
+		m.Count(sim.CtrVLogSpill)
+	}
+
 	if !res.found {
-		err = s.insert(m, v, b, key, newVal)
-	} else if len(newVal) == len(oldVal) {
-		err = s.updateInPlace(m, v, &res, key, newVal)
+		err = s.insert(m, v, b, key, stored, flags)
+	} else if len(stored) == len(res.val) && flags == res.hdr.Flags&entry.FlagSpilled {
+		err = s.updateInPlace(m, v, &res, key, stored)
 	} else {
-		err = s.replace(m, v, &res, key, newVal)
+		err = s.replace(m, v, &res, key, stored, flags)
 	}
 	if err != nil {
 		return err
+	}
+
+	// Tier accounting: the old representation is garbage, the new one live.
+	if oldSpilled {
+		s.vlog.MarkDead(m, oldPtr)
+	} else if res.found {
+		s.inlineValBytes -= int64(len(res.val))
+	}
+	if flags&entry.FlagSpilled == 0 {
+		s.inlineValBytes += int64(len(stored))
 	}
 	if s.cache != nil {
 		s.cache.update(m, key, newVal)
@@ -952,8 +1031,10 @@ func (s *Store) mutateInView(m *sim.Meter, v *setView, b int, key []byte, f func
 	return nil
 }
 
-// insert creates a new entry at the head of bucket b's chain.
-func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
+// insert creates a new entry at the head of bucket b's chain. flags
+// marks spilled (pointer-valued) entries; it is MAC-authenticated with
+// the rest of the header.
+func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte, flags byte) error {
 	oldHead, err := s.readPtr(m, s.headAddr(b))
 	if err != nil {
 		return err
@@ -966,6 +1047,7 @@ func (s *Store) insert(m *sim.Meter, v *setView, b int, key, val []byte) error {
 	hdr := entry.Header{
 		Next:    oldHead,
 		Slot:    uint32(cnt),
+		Flags:   flags,
 		KeySize: uint32(len(key)),
 		ValSize: uint32(len(val)),
 	}
@@ -1032,11 +1114,12 @@ func (s *Store) updateInPlace(m *sim.Meter, v *setView, res *lookup, key, val []
 // position and sidecar slot.
 //
 //ss:nopanic-ok(positionOf validates the slot before returning an offset)
-func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte) error {
+func (s *Store) replace(m *sim.Meter, v *setView, res *lookup, key, val []byte, flags byte) error {
 	hdr := entry.Header{
 		Next:    res.hdr.Next,
 		Slot:    res.hdr.Slot,
 		KeyHint: res.hdr.KeyHint,
+		Flags:   flags,
 		KeySize: uint32(len(key)),
 		ValSize: uint32(len(val)),
 	}
@@ -1350,6 +1433,8 @@ func (s *Store) ForEachBucketRaw(f func(bucket int, entries [][]byte) error) err
 
 // ForEachDecrypt iterates every live key/value pair in plaintext (enclave
 // internal; used to merge the temporary snapshot table back, Alg. 1).
+// Spilled values are faulted back from the value log, so callers always
+// observe logical values regardless of tier.
 func (s *Store) ForEachDecrypt(m *sim.Meter, f func(key, val []byte) error) error {
 	return s.ForEachBucketRaw(func(b int, entries [][]byte) error {
 		for _, raw := range entries {
@@ -1357,7 +1442,15 @@ func (s *Store) ForEachDecrypt(m *sim.Meter, f func(key, val []byte) error) erro
 			ct := raw[entry.HeaderSize:]
 			pt := make([]byte, len(ct))
 			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
-			if err := f(pt[:hdr.KeySize], pt[hdr.KeySize:]); err != nil {
+			key, val := pt[:hdr.KeySize], pt[hdr.KeySize:]
+			if hdr.Flags&entry.FlagSpilled != 0 {
+				_, fv, err := s.faultSpilled(m, key, val)
+				if err != nil {
+					return err
+				}
+				val = fv
+			}
+			if err := f(key, val); err != nil {
 				return err
 			}
 		}
@@ -1404,6 +1497,9 @@ func (s *Store) RestoreBucket(m *sim.Meter, b int, entries [][]byte) error {
 			pt := make([]byte, len(ct))
 			s.cipher.DecryptKV(m, &hdr.IV, ct, pt)
 			s.ordered.insert(m, pt[:hdr.KeySize])
+		}
+		if hdr.Flags&entry.FlagSpilled == 0 {
+			s.inlineValBytes += int64(hdr.ValSize)
 		}
 		s.keys++
 	}

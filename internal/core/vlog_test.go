@@ -1,0 +1,353 @@
+// Tiered-storage tests: the spill/fault path, core-level freshness
+// detection, GC convergence, the scrubber's pointer audit, and the
+// cache-rebuild admission pin.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
+)
+
+// newTieredStore builds a store with a value log in a temp dir, a tiny
+// memory budget (so eligible values spill), and an optional cache.
+func newTieredStore(t *testing.T, cacheBytes int64) (*Store, *sim.Meter) {
+	t.Helper()
+	opts := Defaults(64)
+	opts.CacheBytes = cacheBytes
+	opts.SpillThreshold = 32
+	opts.MemBudget = 1 // any eligible value exceeds the budget
+	s, m := newTestStore(opts)
+	l, err := vlog.New(s.enclave, t.TempDir(), vlog.Options{SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s.AttachVLog(l)
+	return s, m
+}
+
+func TestVLogSpillFaultRoundTrip(t *testing.T) {
+	s, m := newTieredStore(t, 0)
+	want := map[string][]byte{}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		var val []byte
+		if i%3 == 0 {
+			val = []byte(fmt.Sprintf("small-%d", i)) // below threshold: inline
+		} else {
+			val = bytes.Repeat([]byte{byte(i)}, 64+i)
+		}
+		if err := s.Set(m, []byte(key), val); err != nil {
+			t.Fatalf("Set(%d): %v", i, err)
+		}
+		want[key] = val
+	}
+	if got := m.Events(sim.CtrVLogSpill); got == 0 {
+		t.Fatal("no spills recorded")
+	}
+	if s.VLog().SpilledBytes() == 0 {
+		t.Fatal("SpilledBytes = 0 after spilling sets")
+	}
+	// Inline footprint only counts the small values.
+	if s.InlineValueBytes() <= 0 || s.InlineValueBytes() > 60*16 {
+		t.Fatalf("InlineValueBytes = %d, implausible", s.InlineValueBytes())
+	}
+	for key, val := range want {
+		got, err := s.Get(m, []byte(key))
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get(%s) = %q, want %q", key, got, val)
+		}
+	}
+	if got := m.Events(sim.CtrVLogFault); got == 0 {
+		t.Fatal("no faults recorded on spilled reads")
+	}
+	if err := s.VerifyAll(m); err != nil {
+		t.Fatalf("VerifyAll: %v", err)
+	}
+}
+
+// TestVLogFaultPromotesToCache pins the hot-tier behavior: the first Get
+// of a spilled value faults the log, the second is served from the EPC
+// cache without touching disk.
+func TestVLogFaultPromotesToCache(t *testing.T) {
+	s, m := newTieredStore(t, 1<<16)
+	key, val := []byte("hot-key"), bytes.Repeat([]byte{7}, 200)
+	if err := s.Set(m, key, val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(m, key); err != nil {
+		t.Fatal(err)
+	}
+	faults := m.Events(sim.CtrVLogFault)
+	if faults == 0 {
+		t.Fatal("first read did not fault the value log")
+	}
+	got, err := s.Get(m, key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("cached read: %q, %v", got, err)
+	}
+	if m.Events(sim.CtrVLogFault) != faults {
+		t.Fatal("second read faulted despite the cache promotion")
+	}
+}
+
+// TestVLogTamperGetErrIntegrity is the core-level freshness check: the
+// host rewrites sealed log bytes under a spilled entry, and the next
+// uncached Get must surface ErrIntegrity (and quarantine, when armed) —
+// never plaintext.
+func TestVLogTamperGetErrIntegrity(t *testing.T) {
+	s, m := newTieredStore(t, 0)
+	s.EnableQuarantine()
+	key, val := []byte("victim"), bytes.Repeat([]byte{0xA5}, 128)
+	if err := s.Set(m, key, val); err != nil {
+		t.Fatal(err)
+	}
+	// Flip sealed bytes in every segment file.
+	dir := s.VLog().Dir()
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no segment files: %v", err)
+	}
+	for _, ent := range ents {
+		path := dir + "/" + ent.Name()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] ^= 0x80
+		}
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get(m, key); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered read: err = %v, want ErrIntegrity", err)
+	}
+	if !s.Quarantined() {
+		t.Fatal("vlog integrity violation did not trip the quarantine latch")
+	}
+}
+
+// TestVLogScrubAuditsPointers: the scrubber's per-set audit must follow
+// spilled pointers to disk, catching tampering no client read has
+// touched yet.
+func TestVLogScrubAuditsPointers(t *testing.T) {
+	s, m := newTieredStore(t, 0)
+	for i := 0; i < 30; i++ {
+		if err := s.Set(m, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte{byte(i + 1)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clean pass first.
+	for done := false; !done; {
+		wrapped, err := s.ScrubSlice(m, 16)
+		if err != nil {
+			t.Fatalf("clean scrub: %v", err)
+		}
+		done = wrapped
+	}
+	// Host rewrites one sealed byte (past the per-record header, inside
+	// the ciphertext).
+	dir := s.VLog().Dir()
+	ents, _ := os.ReadDir(dir)
+	path := dir + "/" + ents[0].Name()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var serr error
+	for i := 0; i < 64 && serr == nil; i++ {
+		_, serr = s.ScrubSlice(m, 16)
+	}
+	if !errors.Is(serr, ErrIntegrity) {
+		t.Fatalf("scrub over tampered log: err = %v, want ErrIntegrity", serr)
+	}
+}
+
+// TestVLogGCConvergence: overwrite most spilled values to shred the log,
+// then drain GC with a tiny copy budget — it must converge (retire every
+// victim) without losing a single live value.
+func TestVLogGCConvergence(t *testing.T) {
+	s, m := newTieredStore(t, 0)
+	const n = 80
+	want := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		val := bytes.Repeat([]byte{byte(i + 1)}, 150)
+		if err := s.Set(m, []byte(key), val); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	// Overwrite two-thirds (dead records), delete a few more.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		switch i % 3 {
+		case 0:
+			val := bytes.Repeat([]byte{0xF0 ^ byte(i)}, 150)
+			if err := s.Set(m, []byte(key), val); err != nil {
+				t.Fatal(err)
+			}
+			want[key] = val
+		case 1:
+			if err := s.Delete(m, []byte(key)); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, key)
+		}
+	}
+	if s.VLog().DeadBytes() == 0 {
+		t.Fatal("no dead bytes after overwrites")
+	}
+	rounds := 0
+	for {
+		copied, err := s.VLogMaintain(m, 4) // tiny budget: forces many rounds
+		if err != nil {
+			t.Fatalf("VLogMaintain: %v", err)
+		}
+		if copied == 0 {
+			if _, more := s.VLog().PickVictim(); !more {
+				break
+			}
+		}
+		if rounds++; rounds > 10_000 {
+			t.Fatal("GC did not converge")
+		}
+	}
+	if m.Events(sim.CtrVLogGCCopy) == 0 {
+		t.Fatal("GC relocated nothing despite live records in victims")
+	}
+	if s.VLog().PendingRetired() == 0 {
+		t.Fatal("GC retired no segments")
+	}
+	for key, val := range want {
+		got, err := s.Get(m, []byte(key))
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("post-GC Get(%s): %q, %v", key, got, err)
+		}
+	}
+	if err := s.VerifyAll(m); err != nil {
+		t.Fatalf("post-GC VerifyAll: %v", err)
+	}
+}
+
+// TestConfigureCacheResetsAdmissionState pins the rebuild-path fix: a
+// cache whose admission sampling has engaged (hit-starved, past warmup)
+// must come back from ConfigureCache with virgin counters, not the dead
+// store's bypass calibration.
+func TestConfigureCacheResetsAdmissionState(t *testing.T) {
+	opts := Defaults(64)
+	opts.CacheBytes = 4 << 10
+	s, m := newTestStore(opts)
+	for i := 0; i < 400; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		if err := s.Set(m, key, bytes.Repeat([]byte{1}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(m, key); err != nil { // each key read once: all misses
+			t.Fatal(err)
+		}
+	}
+	if !s.cache.admissionSampling() {
+		t.Fatalf("precondition: admission sampling not engaged (fills=%d hits=%d misses=%d)",
+			s.cache.fills, s.cache.hits, s.cache.misses)
+	}
+	s.ConfigureCache(opts.CacheBytes)
+	if s.CacheBudget() != opts.CacheBytes {
+		t.Fatalf("CacheBudget = %d, want %d", s.CacheBudget(), opts.CacheBytes)
+	}
+	c := s.cache
+	if c.fills != 0 || c.hits != 0 || c.misses != 0 || len(c.items) != 0 {
+		t.Fatalf("stale cache state after ConfigureCache: fills=%d hits=%d misses=%d items=%d",
+			c.fills, c.hits, c.misses, len(c.items))
+	}
+	if c.admissionSampling() {
+		t.Fatal("fresh cache starts in sampling bypass")
+	}
+	s.ConfigureCache(0)
+	if s.cache != nil || s.CacheBudget() != 0 {
+		t.Fatal("ConfigureCache(0) did not detach the cache")
+	}
+}
+
+// TestVLogSoak is the fixed-seed spill/fault/GC loop the CI vlog-soak job
+// runs under -race: a shadow map validates every read while mutations
+// churn values across the inline/spilled boundary and GC compacts behind
+// them.
+func TestVLogSoak(t *testing.T) {
+	s, m := newTieredStore(t, 8<<10)
+	rng := rand.New(rand.NewSource(1337))
+	shadow := map[string][]byte{}
+	keyFor := func() string { return fmt.Sprintf("soak-%03d", rng.Intn(200)) }
+	valFor := func() []byte {
+		n := 8 << rng.Intn(6) // 8..256B: straddles the 32B threshold
+		return bytes.Repeat([]byte{byte(rng.Intn(256))}, n)
+	}
+	for i := 0; i < 5000; i++ {
+		key := keyFor()
+		switch rng.Intn(10) {
+		case 0:
+			if err := s.Delete(m, []byte(key)); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d Delete(%s): %v", i, key, err)
+			}
+			delete(shadow, key)
+		case 1, 2:
+			suffix := valFor()
+			if err := s.Append(m, []byte(key), suffix); err != nil {
+				t.Fatalf("op %d Append(%s): %v", i, key, err)
+			}
+			shadow[key] = append(shadow[key], suffix...)
+		case 3, 4, 5:
+			val := valFor()
+			if err := s.Set(m, []byte(key), val); err != nil {
+				t.Fatalf("op %d Set(%s): %v", i, key, err)
+			}
+			shadow[key] = val
+		default:
+			got, err := s.Get(m, []byte(key))
+			want, ok := shadow[key]
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d Get(%s) on absent key: %q, %v", i, key, got, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("op %d Get(%s) = %q, %v; want %q", i, key, got, err, want)
+			}
+		}
+		if i%257 == 0 {
+			if _, err := s.VLogMaintain(m, 32); err != nil {
+				t.Fatalf("op %d VLogMaintain: %v", i, err)
+			}
+		}
+	}
+	if m.Events(sim.CtrVLogSpill) == 0 || m.Events(sim.CtrVLogFault) == 0 {
+		t.Fatalf("soak never exercised the tier: spills=%d faults=%d",
+			m.Events(sim.CtrVLogSpill), m.Events(sim.CtrVLogFault))
+	}
+	for key, want := range shadow {
+		got, err := s.Get(m, []byte(key))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("final Get(%s) = %q, %v; want %q", key, got, err, want)
+		}
+	}
+	if err := s.VerifyAll(m); err != nil {
+		t.Fatalf("final VerifyAll: %v", err)
+	}
+}

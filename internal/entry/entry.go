@@ -52,6 +52,14 @@ const (
 	MACSize = 16
 )
 
+// Entry flag bits (the Flags header byte; MAC-authenticated so the host
+// cannot flip them).
+const (
+	// FlagSpilled marks an entry whose value lives in the untrusted value
+	// log: the entry ciphertext holds key||pointer instead of key||value.
+	FlagSpilled byte = 0x1
+)
+
 // Header is the decoded fixed-size prefix of a data entry.
 type Header struct {
 	Next    mem.Addr
@@ -201,14 +209,17 @@ func (c *Cipher) DecryptKV(m *sim.Meter, iv *[IVSize]byte, ct, dst []byte) {
 }
 
 // macInput assembles the authenticated fields: ciphertext, sizes, key
-// hint and IV, exactly the set §4.2 lists.
+// hint, flags and IV — the set §4.2 lists, plus the Flags byte so the
+// host cannot silently turn a spilled pointer entry into an inline one
+// (or vice versa).
 func macInput(h *Header, ct []byte, buf []byte) []byte {
 	buf = buf[:0]
 	buf = append(buf, ct...)
-	var meta [9]byte
+	var meta [10]byte
 	binary.LittleEndian.PutUint32(meta[0:], h.KeySize)
 	binary.LittleEndian.PutUint32(meta[4:], h.ValSize)
 	meta[8] = h.KeyHint
+	meta[9] = h.Flags
 	buf = append(buf, meta[:]...)
 	buf = append(buf, h.IV[:]...)
 	return buf

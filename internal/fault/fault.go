@@ -56,6 +56,10 @@ const (
 	// PointSnapshotTear truncates the snapshot data stream mid-write
 	// after the sealed metadata is already durable (persist).
 	PointSnapshotTear = "persist.snapshot.tear"
+	// PointVLogTear tears a value-log append mid-record: a prefix of the
+	// sealed record reaches the segment file, then the "machine crashes"
+	// before the enclave extends its trusted extent (vlog).
+	PointVLogTear = "vlog.segment.tear"
 	// PointConnRead / PointConnWrite fail a wrapped connection's Nth
 	// read/write (fault.Conn).
 	PointConnRead  = "net.conn.read"

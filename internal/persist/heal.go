@@ -23,6 +23,7 @@ import (
 
 	"shieldstore/internal/core"
 	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
 )
 
 // ErrJournalIncomplete reports a rebuild refused because the partition's
@@ -226,6 +227,9 @@ func (h *Healer) Rebuild(i int) error {
 	// The quarantined store's latch dies with it — the replacement was
 	// verified clean moments ago.
 	h.p.RunCtl(i, func(st *core.WorkerState) {
+		if ol := st.Store.VLog(); ol != nil && ol != ns.VLog() {
+			ol.Close() // release the dead instance's segment file handles
+		}
 		st.Store = ns
 		st.Journal = w
 		h.p.InstallPart(i, ns)
@@ -251,9 +255,18 @@ func (h *Healer) failRebuild(i int) {
 //ss:host(snapshot existence probe; the reads themselves charge via Restore/RecoverWAL)
 func (h *Healer) restore(i int, oldOpts core.Options) (*core.Store, *WAL, error) {
 	snap := h.snapDir(i)
+	// Carry the dead store's runtime wiring: the cache budget (the cache
+	// itself is rebuilt from scratch — carrying its admission-sampling
+	// state across a rebuild would leave the replacement in bypass mode,
+	// calibrated to traffic that no longer exists) and the value-log
+	// directory, whose records survive the rebuild on untrusted disk.
+	ro := RestoreOpts{CacheBytes: oldOpts.CacheBytes}
+	if ol := h.p.Part(i).VLog(); ol != nil {
+		ro.VLogDir = ol.Dir()
+	}
 	var ns *core.Store
 	if _, err := os.Stat(filepath.Join(snap, metaFile)); err == nil {
-		s, rerr := Restore(h.p.Enclave(), snap, CounterIDFor(snap), h.meter)
+		s, rerr := RestoreWith(h.p.Enclave(), snap, CounterIDFor(snap), h.meter, ro)
 		if rerr != nil {
 			return nil, nil, fmt.Errorf("persist: rebuild: snapshot restore: %w", rerr)
 		}
@@ -262,6 +275,20 @@ func (h *Healer) restore(i int, oldOpts core.Options) (*core.Store, *WAL, error)
 		fresh := oldOpts
 		fresh.Quarantine = false
 		ns = core.New(h.p.Enclave(), h.p.Cipher(), fresh)
+		ns.ConfigureCache(oldOpts.CacheBytes)
+		if ro.VLogDir != "" {
+			// No snapshot was ever sealed, so no manifest vouches for any
+			// segment: journal replay regenerates every spilled value into
+			// a wiped log.
+			nl, lerr := vlog.New(h.p.Enclave(), ro.VLogDir, ro.VLog)
+			if lerr != nil {
+				return nil, nil, fmt.Errorf("persist: rebuild: reopen value log: %w", lerr)
+			}
+			if lerr := nl.LoadManifest(nil); lerr != nil {
+				return nil, nil, fmt.Errorf("persist: rebuild: reset value log: %w", lerr)
+			}
+			ns.AttachVLog(nl)
+		}
 	}
 	w, _, err := RecoverWAL(ns, h.journalDir(i, h.epochs[i]), h.batchEvery, h.meter)
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 	"shieldstore/internal/fault"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
 )
 
 // Errors.
@@ -153,6 +154,14 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	}
 	m.Count(sim.CtrSnapshot)
 
+	// The sealed metadata captures the value-log manifest (extents,
+	// versions), so every record it vouches for must be durable first.
+	if l := p.main.VLog(); l != nil {
+		if err := l.Sync(m); err != nil {
+			return err
+		}
+	}
+
 	// Step 1 (blocking): bump the monotonic counter and seal metadata.
 	version, err := p.enclave.IncrementMonotonicCounter(m, p.counter)
 	if err != nil {
@@ -185,6 +194,12 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	}
 	if err := os.WriteFile(filepath.Join(p.dir, dataFile), data, 0o600); err != nil {
 		return err
+	}
+	// The new snapshot's manifest no longer references retired segments;
+	// their deferred deletion is now safe (the previous snapshot needed
+	// them, this one does not).
+	if l := p.main.VLog(); l != nil {
+		l.PurgeRetired(m)
 	}
 	streamCost := p.model.EnclaveCrossing + p.model.Syscall +
 		p.model.MemCopy(totalBytes) + p.model.StorageWrite(totalBytes)
@@ -327,6 +342,11 @@ func (p *Store) encodeMeta(version uint64) []byte {
 	if opts.MerkleTree {
 		flags |= 16
 	}
+	var manifest []byte
+	if l := p.main.VLog(); l != nil {
+		flags |= 32
+		manifest = l.Manifest()
+	}
 	put(flags)
 	put(uint64(p.main.Keys()))
 	buf = append(buf, keys.Data[:]...)
@@ -335,16 +355,27 @@ func (p *Store) encodeMeta(version uint64) []byte {
 	buf = append(buf, keys.Hint[:]...)
 	put(uint64(len(hashes)))
 	buf = append(buf, hashes...)
+	if flags&32 != 0 {
+		// Tiering section: spill configuration plus the value-log
+		// manifest. Sealing the manifest is what gives the on-disk log
+		// rollback protection across restarts — the manifest inherits
+		// the snapshot's monotonic-counter binding.
+		put(uint64(opts.SpillThreshold))
+		put(uint64(opts.MemBudget))
+		put(uint64(len(manifest)))
+		buf = append(buf, manifest...)
+	}
 	return buf
 }
 
 // decodeMeta parses the sealed metadata.
 type metaBlob struct {
-	version uint64
-	opts    core.Options
-	keys    entry.Keys
-	keyN    int
-	hashes  []byte
+	version  uint64
+	opts     core.Options
+	keys     entry.Keys
+	keyN     int
+	hashes   []byte
+	manifest []byte // value-log freshness state (nil: snapshot has no log)
 }
 
 //ss:seals — the designated path for key material out of the sealed metadata blob.
@@ -378,10 +409,29 @@ func decodeMeta(buf []byte) (*metaBlob, error) {
 	off += 64
 	hlen := int(get(off))
 	off += 8
-	if off+hlen != len(buf) {
+	if hlen < 0 || off+hlen > len(buf) {
 		return nil, ErrCorrupt
 	}
-	mb.hashes = append([]byte(nil), buf[off:]...)
+	mb.hashes = append([]byte(nil), buf[off:off+hlen]...)
+	off += hlen
+	if flags&32 != 0 {
+		if off+24 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		mb.opts.SpillThreshold = int(get(off))
+		mb.opts.MemBudget = int64(get(off + 8))
+		mlen := int(get(off + 16))
+		off += 24
+		if mlen < 0 || off+mlen != len(buf) {
+			return nil, ErrCorrupt
+		}
+		if mb.opts.SpillThreshold <= 0 || mb.opts.MemBudget < 0 {
+			return nil, ErrCorrupt
+		}
+		mb.manifest = append([]byte(nil), buf[off:off+mlen]...)
+	} else if off != len(buf) {
+		return nil, ErrCorrupt
+	}
 	return mb, nil
 }
 
@@ -407,14 +457,39 @@ func (p *Store) encodeData() ([]byte, int, error) {
 	return out, total, err
 }
 
+// RestoreOpts carries restore-time configuration the sealed metadata
+// cannot (or should not) persist.
+type RestoreOpts struct {
+	// VLogDir is the value-log directory. Required when the snapshot's
+	// sealed manifest references a log; ignored otherwise.
+	VLogDir string
+	// VLog tunes the reopened log (segment sizing); zero = defaults.
+	VLog vlog.Options
+	// CacheBytes is the EPC plaintext-cache budget for the restored
+	// store. The cache is rebuilt from scratch — its contents and its
+	// admission-sampling state belong to the dead instance's traffic.
+	CacheBytes int64
+}
+
 // Restore loads the latest snapshot from dir into a fresh store on the
 // given enclave, verifying integrity and rollback protection. The
-// counterID must be the same platform counter the snapshots used. Each
-// file read is an enclave exit, charged before the host hands bytes back.
+// counterID must be the same platform counter the snapshots used. It
+// fails when the snapshot references a value log — use RestoreWith and
+// supply the log directory.
+func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.Store, error) {
+	return RestoreWith(e, dir, counterID, m, RestoreOpts{})
+}
+
+// RestoreWith loads the latest snapshot from dir into a fresh store on
+// the given enclave, verifying integrity and rollback protection, and —
+// when the sealed metadata carries a value-log manifest — reopens the
+// log under ro.VLogDir with the manifest's freshness state, so spilled
+// pointers stay valid across the restart. Each file read is an enclave
+// exit, charged before the host hands bytes back.
 //
 //ss:ocall
 //ss:attacker — the snapshot files are host-controlled input.
-func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.Store, error) {
+func RestoreWith(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter, ro RestoreOpts) (*core.Store, error) {
 	e.Syscall(m, false)
 	sealed, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
@@ -442,7 +517,22 @@ func Restore(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter) (*core.
 	if err != nil {
 		return nil, err
 	}
-	s := core.New(e, entry.NewCipherFromKeys(e, mb.keys), mb.opts)
+	opts := mb.opts
+	opts.CacheBytes = ro.CacheBytes
+	s := core.New(e, entry.NewCipherFromKeys(e, mb.keys), opts)
+	if mb.manifest != nil {
+		if ro.VLogDir == "" {
+			return nil, fmt.Errorf("%w: snapshot references a value log; RestoreOpts.VLogDir required", ErrCorrupt)
+		}
+		l, lerr := vlog.New(e, ro.VLogDir, ro.VLog)
+		if lerr != nil {
+			return nil, fmt.Errorf("persist: reopen value log: %w", lerr)
+		}
+		if lerr := l.LoadManifest(mb.manifest); lerr != nil {
+			return nil, fmt.Errorf("%w: value-log manifest: %w", ErrCorrupt, lerr)
+		}
+		s.AttachVLog(l)
+	}
 	if err := restoreData(s, m, data); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,253 @@
+// Tiered-storage persistence tests: the snapshot carries the value-log
+// manifest, crash recovery restores a spilled dataset byte-identically,
+// and healer rebuilds preserve the cache budget and value-log wiring.
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
+)
+
+// tieredSetup builds a persist.Store over a core store whose value log
+// lives in its own temp dir, with the budget pinned so every eligible
+// value spills.
+func tieredSetup(t *testing.T, mode Mode) (*Store, *sim.Meter) {
+	t.Helper()
+	e := newEnclave()
+	opts := core.Defaults(32)
+	opts.SpillThreshold = 32
+	opts.MemBudget = 1
+	s := core.New(e, nil, opts)
+	l, err := vlog.New(e, t.TempDir(), vlog.Options{SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s.AttachVLog(l)
+	return New(s, t.TempDir(), mode), sim.NewMeter(e.Model())
+}
+
+// tieredValue straddles the spill threshold: ids divisible by 3 stay
+// inline, the rest spill.
+func tieredValue(i int) []byte {
+	if i%3 == 0 {
+		return []byte(fmt.Sprintf("v%04d", i))
+	}
+	return bytes.Repeat([]byte{byte(i + 1)}, 64+i%100)
+}
+
+// TestVLogCrashRecoveryByteIdentical is the acceptance check: snapshot a
+// spilled dataset, restore into a fresh enclave-side state over the same
+// untrusted log directory, and read every value back byte-identical —
+// with the restored store actually faulting the disk tier.
+func TestVLogCrashRecoveryByteIdentical(t *testing.T) {
+	for _, mode := range []Mode{Naive, Optimized} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, m := tieredSetup(t, mode)
+			const n = 120
+			for i := 0; i < n; i++ {
+				if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), tieredValue(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if p.main.VLog().SpilledBytes() == 0 {
+				t.Fatal("precondition: nothing spilled")
+			}
+			if err := p.Snapshot(m); err != nil {
+				t.Fatal(err)
+			}
+			p.Drain(m)
+
+			// "Crash": all enclave state is lost; only dir (sealed
+			// snapshot) and the untrusted log directory survive.
+			m2 := sim.NewMeter(p.enclave.Model())
+			restored, err := RestoreWith(p.enclave, p.dir, p.counter, m2, RestoreOpts{
+				VLogDir: p.main.VLog().Dir(),
+				VLog:    vlog.Options{SegmentBytes: 1 << 12},
+			})
+			if err != nil {
+				t.Fatalf("RestoreWith: %v", err)
+			}
+			if restored.Keys() != n {
+				t.Fatalf("restored keys = %d, want %d", restored.Keys(), n)
+			}
+			if restored.VLog() == nil {
+				t.Fatal("restored store has no value log")
+			}
+			for i := 0; i < n; i++ {
+				got, err := restored.Get(m2, []byte(fmt.Sprintf("k%04d", i)))
+				if err != nil {
+					t.Fatalf("Get(%d): %v", i, err)
+				}
+				if want := tieredValue(i); !bytes.Equal(got, want) {
+					t.Fatalf("Get(%d) = %q, want %q", i, got, want)
+				}
+			}
+			if m2.Events(sim.CtrVLogFault) == 0 {
+				t.Fatal("restored reads never faulted the value log")
+			}
+			if err := restored.VerifyAll(m2); err != nil {
+				t.Fatalf("restored VerifyAll: %v", err)
+			}
+		})
+	}
+}
+
+// TestVLogRestoreWithoutDirRefused: a snapshot that carries a manifest
+// cannot be restored without telling Restore where the log lives —
+// silently dropping spilled values is not an option.
+func TestVLogRestoreWithoutDirRefused(t *testing.T) {
+	p, m := tieredSetup(t, Naive)
+	for i := 0; i < 40; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), tieredValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.NewMeter(p.enclave.Model())
+	if _, err := Restore(p.enclave, p.dir, p.counter, m2); err == nil {
+		t.Fatal("Restore without VLogDir accepted a manifest-bearing snapshot")
+	}
+}
+
+// TestVLogSnapshotPurgesRetired: GC-retired segments survive on disk
+// until the next durable snapshot, then are purged — the deferred
+// retirement that keeps the previous snapshot's pointers valid.
+func TestVLogSnapshotPurgesRetired(t *testing.T) {
+	p, m := tieredSetup(t, Naive)
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{byte(i + 1)}, 150)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite everything: the old records are all dead.
+	for i := 0; i < n; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{0xF0 ^ byte(i)}, 150)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := p.main.VLog()
+	for {
+		copied, err := p.main.VLogMaintain(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if copied == 0 {
+			if _, more := l.PickVictim(); !more {
+				break
+			}
+		}
+	}
+	if l.PendingRetired() == 0 {
+		t.Fatal("GC retired nothing")
+	}
+	if err := p.Snapshot(m); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingRetired() != 0 {
+		t.Fatalf("retired segments not purged after snapshot: %d pending", l.PendingRetired())
+	}
+	for i := 0; i < n; i++ {
+		got, err := p.Get(m, []byte(fmt.Sprintf("k%04d", i)))
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xF0 ^ byte(i)}, 150)) {
+			t.Fatalf("post-purge Get(%d): %v", i, err)
+		}
+	}
+}
+
+// TestRebuildRestoresCacheAndVLog pins the healer satellites: a rebuilt
+// partition comes back with (a) a fresh EPC cache at the dead store's
+// budget — not nil, not carrying stale admission state — and (b) its
+// value log re-wired over the surviving directory, with every spilled
+// value regenerated by journal replay.
+func TestRebuildRestoresCacheAndVLog(t *testing.T) {
+	e := newEnclave()
+	opts := core.Defaults(64)
+	opts.Quarantine = true
+	opts.CacheBytes = 64 << 10
+	opts.SpillThreshold = 32
+	opts.MemBudget = 2 // 1 per partition: every eligible value spills
+	p := core.NewPartitioned(e, 2, opts)
+	for i := 0; i < p.Parts(); i++ {
+		l, err := vlog.New(e, t.TempDir(), vlog.Options{SegmentBytes: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		p.Part(i).AttachVLog(l)
+	}
+	h, err := NewHealer(p, t.TempDir(), HealerOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(p.Stop)
+	t.Cleanup(func() { h.Close() })
+
+	m := sim.NewMeter(e.Model())
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := p.Set(m, []byte(fmt.Sprintf("k%04d", i)), tieredValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perPartCache := opts.CacheBytes / int64(p.Parts())
+	if got := p.Part(0).CacheBudget(); got != perPartCache {
+		t.Fatalf("pre-rebuild CacheBudget = %d, want %d", got, perPartCache)
+	}
+
+	// The host corrupts partition 0; reads trip the latch.
+	plane := fault.New(9)
+	plane.Arm(fault.PointEntryFlip, fault.Spec{Count: -1})
+	p.RunCtl(0, func(st *core.WorkerState) { st.Store.SetFaultPlane(plane) })
+	var derr error
+	for i := 0; i < n && derr == nil; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		if p.Route(m, key) != 0 {
+			continue
+		}
+		_, derr = p.Get(m, key)
+	}
+	if derr == nil || !p.Part(0).Quarantined() {
+		t.Fatalf("latch never tripped: %v", derr)
+	}
+	oldVLogDir := p.Part(0).VLog().Dir()
+
+	if err := h.Rebuild(0); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	ns := p.Part(0)
+	if ns.Quarantined() {
+		t.Fatal("rebuilt partition still quarantined")
+	}
+	if got := ns.CacheBudget(); got != perPartCache {
+		t.Fatalf("rebuilt CacheBudget = %d, want %d (cache budget lost across rebuild)", got, perPartCache)
+	}
+	if ns.VLog() == nil || ns.VLog().Dir() != oldVLogDir {
+		t.Fatal("rebuilt partition lost its value-log wiring")
+	}
+	if ns.VLog().SpilledBytes() == 0 {
+		t.Fatal("journal replay regenerated no spilled values")
+	}
+	for i := 0; i < n; i++ {
+		got, err := p.Get(m, []byte(fmt.Sprintf("k%04d", i)))
+		if err != nil {
+			t.Fatalf("post-rebuild Get(%d): %v", i, err)
+		}
+		if want := tieredValue(i); !bytes.Equal(got, want) {
+			t.Fatalf("post-rebuild Get(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if err := ns.VerifyAll(h.Meter()); err != nil {
+		t.Fatalf("rebuilt store failed verification: %v", err)
+	}
+}

@@ -60,6 +60,7 @@ type Enclave struct {
 	sealAEAD    cipher.AEAD
 	attestKey   [32]byte
 	measurement [32]byte
+	keySeed     [16]byte
 
 	mu          sync.Mutex
 	drbg        cipher.Stream
@@ -91,6 +92,7 @@ func New(cfg Config) *Enclave {
 	var seedBytes [16]byte
 	binary.LittleEndian.PutUint64(seedBytes[:8], seed)
 	copy(seedBytes[8:], cfg.Measurement[:8])
+	e.keySeed = seedBytes
 	sealKey := derive(seedBytes[:], "seal")
 	block, err := aes.NewCipher(sealKey[:16])
 	if err != nil {
@@ -119,6 +121,15 @@ func derive(seed []byte, label string) [32]byte {
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
+}
+
+// DeriveKey derives a labeled subsystem key from the enclave's platform
+// key material (sgx_get_key with a caller-chosen KEYID). Distinct labels
+// yield independent keys; the same enclave identity + seed always derives
+// the same key, which is what lets a restarted enclave reopen state it
+// sealed earlier (the value log, for instance).
+func (e *Enclave) DeriveKey(label string) [32]byte {
+	return derive(e.keySeed[:], label)
 }
 
 // Space returns the memory space the enclave runs in.

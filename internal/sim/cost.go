@@ -115,6 +115,17 @@ type CostModel struct {
 	// StorageWriteSetup is the fixed cost of one storage write call.
 	StorageWriteSetup uint64
 
+	// DiskSeek is the fixed access latency of one random value-log I/O
+	// (NVMe command submission + flash read latency, ~20 us).
+	DiskSeek uint64
+	// DiskReadPerByte / DiskWritePerByte model value-log streaming
+	// bandwidth (~2 GB/s read, ~1.5 GB/s write on the modeled NVMe disk).
+	DiskReadPerByte  float64
+	DiskWritePerByte float64
+	// DiskFsync is the cost of one fsync barrier on the value log
+	// (~125 us: flush translation state and wait for durability).
+	DiskFsync uint64
+
 	// PageSize is the granularity of EPC paging (bytes).
 	PageSize int
 
@@ -177,6 +188,11 @@ func DefaultCostModel() *CostModel {
 		StorageWritePerByte: 8.0, // ~500 MB/s persistent storage
 		StorageWriteSetup:   24_000,
 
+		DiskSeek:         80_000, // ~20 us NVMe random access
+		DiskReadPerByte:  2.0,    // ~2 GB/s
+		DiskWritePerByte: 2.7,    // ~1.5 GB/s
+		DiskFsync:        500_000, // ~125 us durability barrier
+
 		PageSize: 4096,
 		EPCBytes: 90 << 20,
 	}
@@ -237,4 +253,14 @@ func (c *CostModel) NIC(n int) uint64 {
 // StorageWrite returns the cost of persisting n bytes.
 func (c *CostModel) StorageWrite(n int) uint64 {
 	return c.StorageWriteSetup + uint64(float64(n)*c.StorageWritePerByte)
+}
+
+// DiskRead returns the cost of one random value-log read of n bytes.
+func (c *CostModel) DiskRead(n int) uint64 {
+	return c.DiskSeek + uint64(float64(n)*c.DiskReadPerByte)
+}
+
+// DiskWrite returns the cost of one value-log write of n bytes.
+func (c *CostModel) DiskWrite(n int) uint64 {
+	return c.DiskSeek + uint64(float64(n)*c.DiskWritePerByte)
 }

@@ -37,6 +37,10 @@ const (
 	CtrQuarantine
 	CtrScrub
 	CtrRebuild
+	CtrVLogSpill
+	CtrVLogFault
+	CtrVLogGCCopy
+	CtrVLogSegmentsLive
 	numCounters
 )
 
@@ -64,6 +68,10 @@ var counterNames = [numCounters]string{
 	"quarantine",
 	"scrub",
 	"rebuild",
+	"vlog_spill",
+	"vlog_fault",
+	"vlog_gc_copy",
+	"vlog_segments_live",
 }
 
 // String returns the counter's snake_case name.
@@ -100,6 +108,11 @@ func (m *Meter) Count(c Counter) { m.events[c]++ }
 
 // CountN adds n to an event counter.
 func (m *Meter) CountN(c Counter, n uint64) { m.events[c] += n }
+
+// SetCount overwrites an event counter; used for gauges (for example the
+// live value-log segment count) where the latest value, not a running sum,
+// is the meaningful figure per meter.
+func (m *Meter) SetCount(c Counter, v uint64) { m.events[c] = v }
 
 // Cycles returns the current virtual clock value.
 func (m *Meter) Cycles() uint64 { return m.cycles }

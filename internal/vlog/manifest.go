@@ -1,0 +1,174 @@
+package vlog
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Manifest serializes the enclave-resident freshness state: every live
+// segment's {id, version, extent, records, dead bytes, dead records},
+// the version floor of every ID ever used, and the allocator cursor.
+// The caller (persist) seals these bytes into the snapshot metadata, so
+// they inherit the snapshot's rollback protection.
+func (l *Log) Manifest() []byte {
+	liveIDs := make([]uint32, 0, len(l.segs))
+	for id := range l.segs {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	verIDs := make([]uint32, 0, len(l.vers))
+	for id := range l.vers {
+		verIDs = append(verIDs, id)
+	}
+	sort.Slice(verIDs, func(i, j int) bool { return verIDs[i] < verIDs[j] })
+
+	buf := make([]byte, 0, 16+24*len(liveIDs)+8*len(verIDs))
+	var tmp [4]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	u32(uint32(len(liveIDs)))
+	for _, id := range liveIDs {
+		st := l.segs[id]
+		u32(id)
+		u32(st.ver)
+		u32(st.extent)
+		u32(st.records)
+		u32(st.deadRecs)
+		u32(st.dead)
+	}
+	u32(uint32(len(verIDs)))
+	for _, id := range verIDs {
+		u32(id)
+		u32(l.vers[id])
+	}
+	u32(l.nextID)
+	tail := uint32(0xffffffff)
+	if l.haveTail {
+		tail = l.tail
+	}
+	u32(tail)
+	return buf
+}
+
+// LoadManifest restores the freshness state from sealed manifest bytes
+// and reconciles the log directory against it: segment files the
+// manifest does not vouch for (retired-but-unpurged leftovers, or
+// post-crash garbage newer than the snapshot) are deleted, and IDs below
+// the allocator cursor that are not live become recyclable. Must be
+// called on a freshly opened Log, before any appends.
+//
+//ss:host(recovery-time reconciliation, outside the measured window)
+func (l *Log) LoadManifest(data []byte) error {
+	if l.haveTail || len(l.segs) != 0 {
+		return ErrCorrupt
+	}
+	if len(data) == 0 {
+		// Empty manifest: start from scratch, deleting whatever stale
+		// segment files a previous instance left in the directory.
+		l.removeUnlisted()
+		return nil
+	}
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	nLive, ok := u32()
+	if !ok || uint64(nLive) > uint64(len(data))/24 {
+		return ErrCorrupt
+	}
+	segs := make(map[uint32]*segState, nLive)
+	for i := uint32(0); i < nLive; i++ {
+		var f [6]uint32
+		for j := range f {
+			v, ok := u32()
+			if !ok {
+				return ErrCorrupt
+			}
+			f[j] = v
+		}
+		segs[f[0]] = &segState{ver: f[1], extent: f[2], records: f[3], deadRecs: f[4], dead: f[5]}
+	}
+	nVers, ok := u32()
+	if !ok || uint64(nVers) > uint64(len(data))/8 {
+		return ErrCorrupt
+	}
+	vers := make(map[uint32]uint32, nVers)
+	for i := uint32(0); i < nVers; i++ {
+		id, ok1 := u32()
+		v, ok2 := u32()
+		if !ok1 || !ok2 {
+			return ErrCorrupt
+		}
+		vers[id] = v
+	}
+	nextID, ok := u32()
+	if !ok {
+		return ErrCorrupt
+	}
+	tail, ok := u32()
+	if !ok || off != len(data) {
+		return ErrCorrupt
+	}
+	if tail != 0xffffffff {
+		if _, live := segs[tail]; !live {
+			return ErrCorrupt
+		}
+	}
+	for id := range segs {
+		if _, known := vers[id]; !known {
+			return ErrCorrupt
+		}
+	}
+
+	l.segs = segs
+	l.vers = vers
+	l.nextID = nextID
+	l.haveTail = tail != 0xffffffff
+	l.tail = tail
+	l.pending = nil
+	l.freeIDs = nil
+	for id := uint32(0); id < nextID; id++ {
+		if _, live := segs[id]; !live {
+			l.freeIDs = append(l.freeIDs, id)
+		}
+	}
+	l.removeUnlisted()
+	return nil
+}
+
+// removeUnlisted deletes segment files the manifest does not list as
+// live — they are either pre-crash retirees the purge never reached or
+// post-snapshot garbage; both would otherwise shadow recycled IDs.
+//
+//ss:host(recovery-time cleanup, outside the measured window)
+func (l *Log) removeUnlisted() {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".vlog") {
+			continue
+		}
+		idStr := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".vlog")
+		id64, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			continue
+		}
+		if _, live := l.segs[uint32(id64)]; !live {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+}

@@ -1,0 +1,583 @@
+// Package vlog implements the untrusted tier of the tiered hybrid
+// storage layout (TwinStore-style): an append-only, segmented value log
+// on untrusted disk. Large cold values are sealed per record under a log
+// key derived from the enclave seed (AES-CTR + CMAC) and referenced from
+// the in-memory hash table by a 16-byte pointer; the enclave keeps only
+// small freshness state per segment — version, byte extent and record
+// counts — so a rolled-back, truncated or substituted segment file is
+// detected on read even though none of the log bytes are trusted.
+//
+// Freshness argument. Segments are append-only: bytes at a given
+// (segment, version, offset) are written exactly once, and every record
+// MAC binds that triple. Truncation is caught by the enclave-resident
+// extent (a read past the physical file is a short read, and a read
+// inside the extent of a shorter, older file fails outright). Segment
+// IDs are recycled only after garbage collection retires the old
+// incarnation, and recycling always bumps the version — so a host that
+// swaps a retired incarnation back in produces records MAC'd under the
+// old version, which fail authentication against the enclave's current
+// per-segment state: ErrIntegrity.
+//
+// Crash consistency. The manifest (segment versions + extents + the
+// version floor for every ID ever used) is serialized by Manifest and
+// sealed into persist snapshots; retired segments stay on disk until
+// PurgeRetired runs after the next durable snapshot, so a restored
+// snapshot's pointers never dangle.
+package vlog
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"shieldstore/internal/cmac"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Errors returned by log reads. ErrIntegrity wraps ErrCorrupt, so
+// errors.Is(err, ErrCorrupt) holds for every failed decode while
+// errors.Is(err, ErrIntegrity) identifies freshness/authentication
+// violations specifically.
+var (
+	// ErrCorrupt reports a sealed record that failed structural
+	// validation: torn, truncated, or length-inconsistent bytes.
+	ErrCorrupt = errors.New("vlog: corrupt sealed record")
+	// ErrIntegrity reports an authentication or freshness violation — a
+	// MAC mismatch, an unknown or version-mismatched segment, or an
+	// out-of-extent offset: the signature of a tampered, replayed, or
+	// rolled-back segment.
+	ErrIntegrity = fmt.Errorf("%w: integrity violation (rolled-back or tampered segment)", ErrCorrupt)
+)
+
+// Ptr locates one sealed record in the log. Pointers are stored inside
+// MAC-protected hash-table entries, so their fields arrive authenticated;
+// Version makes them self-invalidating when the segment is recycled.
+type Ptr struct {
+	Seg     uint32
+	Off     uint32
+	Len     uint32 // full sealed record length, including the header
+	Version uint32
+}
+
+// PtrSize is the encoded pointer size.
+const PtrSize = 16
+
+// Encode serializes the pointer into b (little-endian, PtrSize bytes).
+func (p Ptr) Encode(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], p.Seg)
+	binary.LittleEndian.PutUint32(b[4:], p.Off)
+	binary.LittleEndian.PutUint32(b[8:], p.Len)
+	binary.LittleEndian.PutUint32(b[12:], p.Version)
+}
+
+// DecodePtr parses a pointer encoded by Encode.
+func DecodePtr(b []byte) (Ptr, error) {
+	if len(b) != PtrSize {
+		return Ptr{}, ErrCorrupt
+	}
+	return Ptr{
+		Seg:     binary.LittleEndian.Uint32(b[0:]),
+		Off:     binary.LittleEndian.Uint32(b[4:]),
+		Len:     binary.LittleEndian.Uint32(b[8:]),
+		Version: binary.LittleEndian.Uint32(b[12:]),
+	}, nil
+}
+
+// Sealed record layout: keyLen u32 | valLen u32 | IV 16 | MAC 16 |
+// ct(key || value). The MAC covers (seg, version, offset, keyLen,
+// valLen, IV, ciphertext), binding the record to its log position.
+const recordOverhead = 4 + 4 + ivSize + macSize
+
+const (
+	ivSize  = 16
+	macSize = 16
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the fixed segment size (default 1 MiB). Records
+	// larger than a segment get a private oversized segment.
+	SegmentBytes int
+	// GCDeadFraction is the dead-byte fraction above which a sealed
+	// segment becomes a GC victim (default 0.5).
+	GCDeadFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.GCDeadFraction <= 0 {
+		o.GCDeadFraction = 0.5
+	}
+	return o
+}
+
+// segState is the enclave-resident freshness state of one live segment.
+type segState struct {
+	ver      uint32
+	extent   uint32 // authenticated byte extent
+	records  uint32 // records appended
+	deadRecs uint32 // records overwritten or deleted
+	dead     uint32 // bytes belonging to dead records
+}
+
+// Log is one partition's value log. Not safe for concurrent use: like
+// the Store that owns it, a Log belongs to exactly one partition worker.
+type Log struct {
+	enclave *sgx.Enclave
+	dir     string
+	opts    Options
+
+	block cipher.Block
+	mac   *cmac.CMAC
+
+	segs    map[uint32]*segState // live segments
+	vers    map[uint32]uint32    // version floor for every ID ever used
+	files   map[uint32]*os.File
+	tail    uint32
+	haveTail bool
+	nextID  uint32
+	freeIDs []uint32
+	pending []uint32 // retired segments awaiting post-snapshot purge
+
+	faults *fault.Plane
+}
+
+// New opens (or creates) a value log in dir, deriving the log keys from
+// the enclave's platform key material so a restarted enclave can reopen
+// records it sealed earlier.
+//
+//ss:host(log directory setup at open time, outside the measured window)
+//ss:nopanic-ok(16-byte derived keys cannot fail the AES/CMAC constructors)
+func New(e *sgx.Enclave, dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	dataKey := e.DeriveKey("vlog-data")
+	macKey := e.DeriveKey("vlog-mac")
+	block, err := aes.NewCipher(dataKey[:16])
+	if err != nil {
+		panic(err)
+	}
+	mc, err := cmac.New(macKey[:16])
+	if err != nil {
+		panic(err)
+	}
+	return &Log{
+		enclave: e,
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		block:   block,
+		mac:     mc,
+		segs:    map[uint32]*segState{},
+		vers:    map[uint32]uint32{},
+		files:   map[uint32]*os.File{},
+	}, nil
+}
+
+// SetFaultPlane arms crash injection for tests.
+func (l *Log) SetFaultPlane(p *fault.Plane) { l.faults = p }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+func (l *Log) segPath(id uint32) string {
+	return filepath.Join(l.dir, fmt.Sprintf("seg-%06d.vlog", id))
+}
+
+//ss:host(lazy file-handle open; the I/O itself is charged by the callers)
+func (l *Log) file(id uint32) (*os.File, error) {
+	if f, ok := l.files[id]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(l.segPath(id), os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	l.files[id] = f
+	return f, nil
+}
+
+// allocSegment opens a fresh tail segment, recycling a retired ID (with
+// a bumped version) when one is free.
+//
+//ss:host(segment open/truncate; Append charges the crossing and the write)
+func (l *Log) allocSegment() (uint32, error) {
+	var id uint32
+	if n := len(l.freeIDs); n > 0 {
+		id = l.freeIDs[n-1]
+		l.freeIDs = l.freeIDs[:n-1]
+	} else {
+		id = l.nextID
+		l.nextID++
+	}
+	ver := l.vers[id] + 1
+	l.vers[id] = ver
+	f, err := os.OpenFile(l.segPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return 0, err
+	}
+	l.files[id] = f
+	l.segs[id] = &segState{ver: ver}
+	l.tail = id
+	l.haveTail = true
+	return id, nil
+}
+
+// recordMAC computes the position-binding record MAC.
+func (l *Log) recordMAC(seg, ver, off uint32, hdr, ct []byte) [macSize]byte {
+	buf := make([]byte, 0, 12+len(hdr)+len(ct))
+	var pos [12]byte
+	binary.LittleEndian.PutUint32(pos[0:], seg)
+	binary.LittleEndian.PutUint32(pos[4:], ver)
+	binary.LittleEndian.PutUint32(pos[8:], off)
+	buf = append(buf, pos[:]...)
+	buf = append(buf, hdr...)
+	buf = append(buf, ct...)
+	return l.mac.Tag(buf)
+}
+
+// Append seals key||value into the log and returns its pointer. One
+// value-log write is one host syscall plus the modeled disk write; when
+// the record does not fit the tail segment, the tail is fsync-sealed and
+// a fresh segment opened first.
+//
+//ss:ocall
+func (l *Log) Append(m *sim.Meter, key, val []byte) (Ptr, error) {
+	need := recordOverhead + len(key) + len(val)
+	if !l.haveTail || int(l.segs[l.tail].extent)+need > l.segBytesFor(need) {
+		if l.haveTail {
+			if err := l.Sync(m); err != nil {
+				return Ptr{}, err
+			}
+		}
+		if _, err := l.allocSegment(); err != nil {
+			return Ptr{}, err
+		}
+	}
+	st := l.segs[l.tail]
+	off := st.extent
+
+	// Seal the record: fresh random IV (append offsets can be re-written
+	// after a torn append, so position-derived IVs would reuse keystream).
+	rec := make([]byte, need)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(val)))
+	iv := rec[8 : 8+ivSize]
+	l.enclave.ReadRand(m, iv[:8])
+	ct := rec[recordOverhead:]
+	stream := cipher.NewCTR(l.block, iv)
+	stream.XORKeyStream(ct[:len(key)], key)
+	stream.XORKeyStream(ct[len(key):], val)
+	tag := l.recordMAC(l.tail, st.ver, off, rec[:8+ivSize], ct)
+	copy(rec[8+ivSize:recordOverhead], tag[:])
+	model := l.enclave.Model()
+	if m != nil {
+		m.Charge(model.AES(len(ct)) + model.CMAC(need))
+		m.Count(sim.CtrEncrypt)
+		m.Count(sim.CtrCMAC)
+	}
+
+	f, err := l.file(l.tail)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if l.faults.Hit(fault.PointVLogTear) {
+		// Crash mid-append: a deterministic prefix reaches the segment
+		// file, the rest never does. The trusted extent is NOT advanced —
+		// the record was never acknowledged, so the torn tail is garbage
+		// that the next append simply overwrites.
+		f.WriteAt(rec[:l.faults.Pick(len(rec))], int64(off))
+		return Ptr{}, fault.ErrInjected
+	}
+	if _, err := f.WriteAt(rec, int64(off)); err != nil {
+		return Ptr{}, err
+	}
+	l.enclave.Syscall(m, false)
+	if m != nil {
+		m.Charge(model.DiskWrite(need))
+		m.SetCount(sim.CtrVLogSegmentsLive, uint64(len(l.segs)))
+	}
+
+	st.extent += uint32(need)
+	st.records++
+	return Ptr{Seg: l.tail, Off: off, Len: uint32(need), Version: st.ver}, nil
+}
+
+// segBytesFor returns the capacity budget used when deciding whether a
+// record still fits the tail: oversized records get a private segment.
+func (l *Log) segBytesFor(need int) int {
+	if need > l.opts.SegmentBytes {
+		return need
+	}
+	return l.opts.SegmentBytes
+}
+
+// Read fetches and opens the record at p, validating it against the
+// enclave's freshness state before trusting a single byte: unknown
+// segment, stale version, or an offset beyond the trusted extent is an
+// integrity violation, not an I/O error.
+//
+//ss:ocall
+func (l *Log) Read(m *sim.Meter, p Ptr) (key, val []byte, err error) {
+	st, ok := l.segs[p.Seg]
+	if !ok || st.ver != p.Version {
+		return nil, nil, ErrIntegrity
+	}
+	if p.Len < recordOverhead || p.Off > st.extent || p.Off+p.Len > st.extent || p.Off+p.Len < p.Off {
+		return nil, nil, ErrIntegrity
+	}
+	f, err := l.file(p.Seg)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, p.Len)
+	n, err := f.ReadAt(buf, int64(p.Off))
+	l.enclave.Syscall(m, false)
+	if m != nil {
+		m.Charge(l.enclave.Model().DiskRead(int(p.Len)))
+	}
+	if err != nil || n != int(p.Len) {
+		// The enclave vouched for this extent; a short read means the
+		// host rolled the file back.
+		return nil, nil, ErrIntegrity
+	}
+	return l.openRecord(m, p.Seg, st.ver, p.Off, buf)
+}
+
+// openRecord authenticates and decrypts one sealed record. It is the
+// decode path fuzzed by FuzzVLogSegmentDecode and must never panic on
+// attacker-shaped bytes.
+//
+//ss:attacker(buf is untrusted disk bytes)
+func (l *Log) openRecord(m *sim.Meter, seg, ver, off uint32, buf []byte) (key, val []byte, err error) {
+	if len(buf) < recordOverhead {
+		return nil, nil, ErrCorrupt
+	}
+	keyLen := binary.LittleEndian.Uint32(buf[0:])
+	valLen := binary.LittleEndian.Uint32(buf[4:])
+	if uint64(keyLen)+uint64(valLen) != uint64(len(buf)-recordOverhead) {
+		return nil, nil, ErrCorrupt
+	}
+	iv := buf[8 : 8+ivSize]
+	tag := buf[8+ivSize : recordOverhead]
+	ct := buf[recordOverhead:]
+	want := l.recordMAC(seg, ver, off, buf[:8+ivSize], ct)
+	if m != nil {
+		m.Charge(l.enclave.Model().CMAC(len(buf)))
+		m.Count(sim.CtrCMAC)
+	}
+	if subtle.ConstantTimeCompare(want[:], tag) != 1 {
+		return nil, nil, ErrIntegrity
+	}
+	pt := make([]byte, len(ct))
+	stream := cipher.NewCTR(l.block, iv)
+	stream.XORKeyStream(pt, ct)
+	if m != nil {
+		m.Charge(l.enclave.Model().AES(len(ct)))
+		m.Count(sim.CtrDecrypt)
+	}
+	return pt[:keyLen], pt[keyLen:], nil
+}
+
+// MarkDead records that the pointed record's entry was overwritten or
+// deleted; its bytes become garbage for the collector. Pure enclave
+// bookkeeping — no I/O, no charge.
+func (l *Log) MarkDead(m *sim.Meter, p Ptr) {
+	st, ok := l.segs[p.Seg]
+	if !ok || st.ver != p.Version {
+		return
+	}
+	st.dead += p.Len
+	st.deadRecs++
+	if m != nil {
+		m.SetCount(sim.CtrVLogSegmentsLive, uint64(len(l.segs)))
+	}
+}
+
+// PickVictim selects the sealed segment with the highest dead fraction
+// above the GC threshold (the tail is never a victim).
+func (l *Log) PickVictim() (uint32, bool) {
+	best, bestFrac := uint32(0), l.opts.GCDeadFraction
+	found := false
+	// Deterministic iteration: victim choice must not depend on map order.
+	ids := make([]uint32, 0, len(l.segs))
+	for id := range l.segs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := l.segs[id]
+		if (l.haveTail && id == l.tail) || st.extent == 0 {
+			continue
+		}
+		frac := float64(st.dead) / float64(st.extent)
+		if frac >= bestFrac {
+			best, bestFrac, found = id, frac, true
+		}
+	}
+	return best, found
+}
+
+// Scan sequentially reads a whole segment and invokes fn for every
+// sealed record in it (one streaming disk read, record MACs verified
+// individually). fn receives the record's own pointer plus the decrypted
+// key and value; returning an error aborts the scan.
+//
+//ss:ocall
+func (l *Log) Scan(m *sim.Meter, seg uint32, fn func(p Ptr, key, val []byte) error) error {
+	st, ok := l.segs[seg]
+	if !ok {
+		return ErrIntegrity
+	}
+	f, err := l.file(seg)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, st.extent)
+	n, err := f.ReadAt(buf, 0)
+	l.enclave.Syscall(m, false)
+	if m != nil {
+		m.Charge(l.enclave.Model().DiskRead(int(st.extent)))
+	}
+	if err != nil || n != int(st.extent) {
+		return ErrIntegrity
+	}
+	for off := uint32(0); off < st.extent; {
+		if int(off)+recordOverhead > len(buf) {
+			return ErrCorrupt
+		}
+		keyLen := binary.LittleEndian.Uint32(buf[off:])
+		valLen := binary.LittleEndian.Uint32(buf[off+4:])
+		recLen := uint64(recordOverhead) + uint64(keyLen) + uint64(valLen)
+		if recLen > uint64(st.extent-off) {
+			return ErrCorrupt
+		}
+		p := Ptr{Seg: seg, Off: off, Len: uint32(recLen), Version: st.ver}
+		key, val, err := l.openRecord(m, seg, st.ver, off, buf[off:off+uint32(recLen)])
+		if err != nil {
+			return err
+		}
+		if err := fn(p, key, val); err != nil {
+			return err
+		}
+		off += uint32(recLen)
+	}
+	return nil
+}
+
+// Verify re-reads and authenticates the record at p without returning
+// plaintext — the scrubber's in-place audit of spilled values.
+//
+//ss:ocall
+func (l *Log) Verify(m *sim.Meter, p Ptr) error {
+	_, _, err := l.Read(m, p)
+	return err
+}
+
+// Retire removes a drained segment from the live set. Its file stays on
+// disk (and its version floor stays recorded) until PurgeRetired runs
+// after the next durable snapshot, so pointers in the previous snapshot
+// never dangle across a crash.
+func (l *Log) Retire(m *sim.Meter, seg uint32) {
+	if _, ok := l.segs[seg]; !ok {
+		return
+	}
+	delete(l.segs, seg)
+	if l.haveTail && seg == l.tail {
+		l.haveTail = false
+	}
+	l.pending = append(l.pending, seg)
+	if m != nil {
+		m.SetCount(sim.CtrVLogSegmentsLive, uint64(len(l.segs)))
+	}
+}
+
+// PurgeRetired deletes retired segment files and recycles their IDs.
+// Callers must invoke it only after a snapshot that no longer references
+// the retired segments is durable.
+//
+//ss:ocall
+func (l *Log) PurgeRetired(m *sim.Meter) {
+	for _, id := range l.pending {
+		if f, ok := l.files[id]; ok {
+			f.Close()
+			delete(l.files, id)
+		}
+		os.Remove(l.segPath(id))
+		l.enclave.Syscall(m, false)
+		l.freeIDs = append(l.freeIDs, id)
+	}
+	sort.Slice(l.freeIDs, func(i, j int) bool { return l.freeIDs[i] < l.freeIDs[j] })
+	l.pending = l.pending[:0]
+}
+
+// Sync fsyncs the tail segment (a durability barrier before sealing the
+// manifest into a snapshot).
+//
+//ss:ocall
+func (l *Log) Sync(m *sim.Meter) error {
+	if !l.haveTail {
+		return nil
+	}
+	f, err := l.file(l.tail)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	l.enclave.Syscall(m, false)
+	if m != nil {
+		m.Charge(l.enclave.Model().DiskFsync)
+	}
+	return nil
+}
+
+// SegmentsLive returns the live segment count (the vlog_segments_live
+// gauge's source of truth).
+func (l *Log) SegmentsLive() int { return len(l.segs) }
+
+// PendingRetired returns how many retired segments await purge.
+func (l *Log) PendingRetired() int { return len(l.pending) }
+
+// SpilledBytes returns the live (non-dead) sealed bytes on disk.
+func (l *Log) SpilledBytes() int64 {
+	var n int64
+	for _, st := range l.segs {
+		n += int64(st.extent) - int64(st.dead)
+	}
+	return n
+}
+
+// DeadBytes returns the collectible garbage bytes across live segments.
+func (l *Log) DeadBytes() int64 {
+	var n int64
+	for _, st := range l.segs {
+		n += int64(st.dead)
+	}
+	return n
+}
+
+// Close releases all file handles.
+//
+//ss:host(teardown outside the measured window)
+func (l *Log) Close() error {
+	var first error
+	for id, f := range l.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(l.files, id)
+	}
+	return first
+}

@@ -1,0 +1,499 @@
+package vlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"shieldstore/internal/fault"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+func testEnclave() *sgx.Enclave {
+	space := mem.NewSpace(mem.Config{EPCBytes: 8 << 20})
+	return sgx.New(sgx.Config{Space: space, Seed: 11})
+}
+
+func testLog(t *testing.T, opts Options) (*Log, *sim.Meter) {
+	t.Helper()
+	e := testEnclave()
+	l, err := New(e, t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, sim.NewMeter(e.Model())
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l, m := testLog(t, Options{SegmentBytes: 256})
+	type rec struct {
+		p        Ptr
+		key, val []byte
+	}
+	var recs []rec
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 10+i*3)
+		p, err := l.Append(m, key, val)
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		recs = append(recs, rec{p, key, val})
+	}
+	if l.SegmentsLive() < 2 {
+		t.Fatalf("SegmentsLive = %d, want a rolled log", l.SegmentsLive())
+	}
+	for i, r := range recs {
+		key, val, err := l.Read(m, r.p)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+		if !bytes.Equal(key, r.key) || !bytes.Equal(val, r.val) {
+			t.Fatalf("Read(%d) = %q/%q, want %q/%q", i, key, val, r.key, r.val)
+		}
+		if err := l.Verify(m, r.p); err != nil {
+			t.Fatalf("Verify(%d): %v", i, err)
+		}
+	}
+}
+
+func TestPtrEncodeDecode(t *testing.T) {
+	p := Ptr{Seg: 7, Off: 12345, Len: 99, Version: 3}
+	var b [PtrSize]byte
+	p.Encode(b[:])
+	got, err := DecodePtr(b[:])
+	if err != nil || got != p {
+		t.Fatalf("DecodePtr = %+v, %v; want %+v", got, err, p)
+	}
+	if _, err := DecodePtr(b[:PtrSize-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short pointer: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRollbackSubstitutionDetected is the freshness argument end to end:
+// a host that swaps a retired segment incarnation back under a recycled
+// ID serves bytes MAC'd under the old version, and every read of the new
+// incarnation's pointers fails as ErrIntegrity — as does every read
+// through a pointer into the old incarnation.
+func TestRollbackSubstitutionDetected(t *testing.T) {
+	l, m := testLog(t, Options{SegmentBytes: 1 << 20})
+	key, val := []byte("victim-key"), bytes.Repeat([]byte{0xAB}, 100)
+	pOld, err := l.Append(m, key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(m); err != nil {
+		t.Fatal(err)
+	}
+	// Host saves the v1 incarnation of segment 0.
+	saved, err := os.ReadFile(l.segPath(pOld.Seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GC retires segment 0; after the "snapshot" its file is purged and
+	// the ID becomes recyclable.
+	l.Retire(m, pOld.Seg)
+	l.PurgeRetired(m)
+	if _, err := os.Stat(l.segPath(pOld.Seg)); !os.IsNotExist(err) {
+		t.Fatalf("retired segment file still present: %v", err)
+	}
+
+	// The recycled incarnation: same ID, bumped version, same-shape record.
+	pNew, err := l.Append(m, key, bytes.Repeat([]byte{0xCD}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNew.Seg != pOld.Seg {
+		t.Fatalf("ID not recycled: new seg %d, old %d", pNew.Seg, pOld.Seg)
+	}
+	if pNew.Version == pOld.Version {
+		t.Fatalf("version not bumped on recycle: %d", pNew.Version)
+	}
+
+	// A stale pointer into the old incarnation is already invalid.
+	if _, _, err := l.Read(m, pOld); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("stale-version read: err = %v, want ErrIntegrity", err)
+	}
+
+	// The substitution attack: old file bytes under the new ID.
+	if err := os.WriteFile(l.segPath(pNew.Seg), saved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the cached handle so the read sees the substituted file.
+	if f, ok := l.files[pNew.Seg]; ok {
+		f.Close()
+		delete(l.files, pNew.Seg)
+	}
+	if _, _, err := l.Read(m, pNew); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("substituted read: err = %v, want ErrIntegrity", err)
+	}
+	if err := l.Scan(m, pNew.Seg, func(Ptr, []byte, []byte) error { return nil }); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("substituted scan: err = %v, want ErrIntegrity", err)
+	}
+}
+
+// TestTruncationDetected rolls the segment file back to a shorter state;
+// reads inside the trusted extent must fail as integrity violations, not
+// succeed or report a plain I/O error.
+func TestTruncationDetected(t *testing.T) {
+	l, m := testLog(t, Options{})
+	p1, err := l.Append(m, []byte("a"), bytes.Repeat([]byte{1}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := l.Append(m, []byte("b"), bytes.Repeat([]byte{2}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(l.segPath(p2.Seg), int64(p2.Off)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Read(m, p2); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("truncated read: err = %v, want ErrIntegrity", err)
+	}
+	// The surviving prefix still authenticates.
+	if _, _, err := l.Read(m, p1); err != nil {
+		t.Fatalf("prefix read after truncation: %v", err)
+	}
+	// An out-of-extent pointer is rejected before any I/O.
+	bogus := Ptr{Seg: p1.Seg, Off: p2.Off + p2.Len, Len: 64, Version: p1.Version}
+	if _, _, err := l.Read(m, bogus); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("out-of-extent read: err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestMarkDeadAndVictim(t *testing.T) {
+	l, m := testLog(t, Options{SegmentBytes: 256, GCDeadFraction: 0.5})
+	var ptrs []Ptr
+	for i := 0; i < 30; i++ {
+		p, err := l.Append(m, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte{byte(i)}, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	if _, ok := l.PickVictim(); ok {
+		t.Fatal("victim before any dead bytes")
+	}
+	// Kill every record of the first sealed segment.
+	seg0 := ptrs[0].Seg
+	for _, p := range ptrs {
+		if p.Seg == seg0 {
+			l.MarkDead(m, p)
+		}
+	}
+	v, ok := l.PickVictim()
+	if !ok || v != seg0 {
+		t.Fatalf("PickVictim = %d,%v; want %d,true", v, ok, seg0)
+	}
+	if l.DeadBytes() == 0 {
+		t.Fatal("DeadBytes = 0 after MarkDead")
+	}
+	// The tail is never a victim, even fully dead.
+	tail := ptrs[len(ptrs)-1].Seg
+	for _, p := range ptrs {
+		if p.Seg == tail {
+			l.MarkDead(m, p)
+		}
+	}
+	if v, ok := l.PickVictim(); ok && v == tail {
+		t.Fatal("tail selected as GC victim")
+	}
+}
+
+// TestManifestRoundTrip seals the freshness state, reopens the log in a
+// fresh instance (same enclave seed), and checks every pointer still
+// authenticates — plus that unvouched segment files are wiped on load.
+func TestManifestRoundTrip(t *testing.T) {
+	e := testEnclave()
+	dir := t.TempDir()
+	l, err := New(e, dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMeter(e.Model())
+	type rec struct {
+		p        Ptr
+		key, val []byte
+	}
+	var recs []rec
+	for i := 0; i < 20; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := bytes.Repeat([]byte{byte(i + 1)}, 30+i)
+		p, err := l.Append(m, key, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{p, key, val})
+	}
+	l.MarkDead(m, recs[3].p)
+	if err := l.Sync(m); err != nil {
+		t.Fatal(err)
+	}
+	man := l.Manifest()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale leftover the manifest does not vouch for.
+	stale := l.segPath(99)
+	if err := os.WriteFile(stale, []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := New(e, dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.LoadManifest(man); err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("unvouched segment survived LoadManifest: %v", err)
+	}
+	if got := l2.DeadBytes(); got != int64(recs[3].p.Len) {
+		t.Fatalf("DeadBytes = %d, want %d", got, recs[3].p.Len)
+	}
+	for i, r := range recs {
+		key, val, err := l2.Read(m, r.p)
+		if err != nil {
+			t.Fatalf("Read(%d) after reload: %v", i, err)
+		}
+		if !bytes.Equal(key, r.key) || !bytes.Equal(val, r.val) {
+			t.Fatalf("Read(%d) after reload: wrong bytes", i)
+		}
+	}
+	// Appends continue where the manifest left off.
+	p, err := l2.Append(m, []byte("post"), []byte("reload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l2.Read(m, p); err != nil {
+		t.Fatalf("post-reload append read: %v", err)
+	}
+}
+
+func TestLoadManifestEmptyWipes(t *testing.T) {
+	e := testEnclave()
+	dir := t.TempDir()
+	l, err := New(e, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stale := l.segPath(0)
+	if err := os.WriteFile(stale, []byte("pre-crash leftovers"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LoadManifest(nil); err != nil {
+		t.Fatalf("LoadManifest(nil): %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale segment survived empty-manifest load: %v", err)
+	}
+}
+
+// TestLoadManifestCorrupt mangles sealed manifest bytes every way the
+// decoder branches: all must be rejected as ErrCorrupt, never accepted or
+// panicked on. (The manifest is sealed, so corruption here means a bug in
+// persist — but the decoder still refuses garbage outright.)
+func TestLoadManifestCorrupt(t *testing.T) {
+	e := testEnclave()
+	dir := t.TempDir()
+	l, err := New(e, dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMeter(e.Model())
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(m, []byte{byte(i)}, bytes.Repeat([]byte{1}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man := l.Manifest()
+	l.Close()
+
+	fresh := func() *Log {
+		nl, err := New(e, t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nl.Close() })
+		return nl
+	}
+	// Truncations at every boundary.
+	for n := 0; n < len(man); n++ {
+		if n == 0 {
+			continue // empty = deliberate wipe-to-fresh
+		}
+		if err := fresh().LoadManifest(man[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated manifest (%d bytes) accepted: %v", n, err)
+		}
+	}
+	// Trailing garbage.
+	if err := fresh().LoadManifest(append(append([]byte{}, man...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("manifest with trailing garbage accepted")
+	}
+	// A tail ID that is not live.
+	bad := append([]byte{}, man...)
+	bad[len(bad)-4], bad[len(bad)-3], bad[len(bad)-2], bad[len(bad)-1] = 0x77, 0, 0, 0
+	if err := fresh().LoadManifest(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("manifest with non-live tail accepted")
+	}
+	// Loading into a dirty log is refused.
+	dirty, err := New(e, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dirty.Close()
+	if _, err := dirty.Append(m, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.LoadManifest(man); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("LoadManifest on a dirty log accepted")
+	}
+}
+
+// TestTornAppendSweep drives the PointVLogTear injection across many
+// deterministic seeds: each torn append leaves a garbage prefix on disk,
+// the trusted extent never advances, and the retried append overwrites
+// the tear and round-trips — with every earlier record intact.
+func TestTornAppendSweep(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			l, m := testLog(t, Options{SegmentBytes: 1 << 12})
+			plane := fault.New(seed)
+			l.SetFaultPlane(plane)
+
+			type rec struct {
+				p        Ptr
+				key, val []byte
+			}
+			var recs []rec
+			for i := 0; i < 5; i++ {
+				key := []byte(fmt.Sprintf("pre-%d", i))
+				val := bytes.Repeat([]byte{byte(seed), byte(i)}, 30)
+				p, err := l.Append(m, key, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs = append(recs, rec{p, key, val})
+			}
+			extentBefore := l.segs[l.tail].extent
+
+			plane.Arm(fault.PointVLogTear, fault.Spec{})
+			key, val := []byte("torn"), bytes.Repeat([]byte{0xEE}, 100)
+			if _, err := l.Append(m, key, val); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("torn append: err = %v, want ErrInjected", err)
+			}
+			if got := l.segs[l.tail].extent; got != extentBefore {
+				t.Fatalf("extent advanced across a torn append: %d -> %d", extentBefore, got)
+			}
+
+			// Retry overwrites the torn prefix.
+			p, err := l.Append(m, key, val)
+			if err != nil {
+				t.Fatalf("retry append: %v", err)
+			}
+			gk, gv, err := l.Read(m, p)
+			if err != nil || !bytes.Equal(gk, key) || !bytes.Equal(gv, val) {
+				t.Fatalf("retry read: %q/%q, %v", gk, gv, err)
+			}
+			for i, r := range recs {
+				gk, gv, err := l.Read(m, r.p)
+				if err != nil || !bytes.Equal(gk, r.key) || !bytes.Equal(gv, r.val) {
+					t.Fatalf("pre-tear record %d damaged: %v", i, err)
+				}
+			}
+			// A full segment scan walks over the overwritten tear cleanly.
+			n := 0
+			if err := l.Scan(m, p.Seg, func(Ptr, []byte, []byte) error { n++; return nil }); err != nil {
+				t.Fatalf("scan after tear: %v", err)
+			}
+			if n != len(recs)+1 {
+				t.Fatalf("scan saw %d records, want %d", n, len(recs)+1)
+			}
+		})
+	}
+}
+
+// FuzzVLogSegmentDecode feeds attacker-shaped bytes through the sealed-
+// record decode path: the host rewrites the record region (and may
+// truncate the file); Read must return the original bytes or an error
+// under ErrCorrupt — never wrong data, never a panic.
+func FuzzVLogSegmentDecode(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0x00}, uint16(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), uint16(200))
+	f.Add([]byte{0x08, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, truncTo uint16) {
+		if len(data) > 4096 {
+			return
+		}
+		e := testEnclave()
+		l, err := New(e, t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		m := sim.NewMeter(e.Model())
+		key, val := []byte("fuzz-key"), bytes.Repeat([]byte{0x5A}, 120)
+		p, err := l.Append(m, key, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(m); err != nil {
+			t.Fatal(err)
+		}
+
+		// Host attack: splice fuzz bytes over the record, maybe shorten
+		// the file.
+		path := l.segPath(p.Seg)
+		if len(data) > 0 {
+			hf, err := os.OpenFile(path, os.O_RDWR, 0o600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := hf.WriteAt(data, int64(p.Off))
+			hf.Close()
+			if werr != nil {
+				t.Fatal(werr)
+			}
+		}
+		if int64(truncTo) < int64(p.Off+p.Len) {
+			if err := os.Truncate(path, int64(truncTo)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		gk, gv, err := l.Read(m, p)
+		if err == nil {
+			if !bytes.Equal(gk, key) || !bytes.Equal(gv, val) {
+				t.Fatalf("decode accepted wrong data: %q/%q", gk, gv)
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode error outside the taxonomy: %v", err)
+		}
+		// The scan path must hold the same line.
+		if err := l.Scan(m, p.Seg, func(_ Ptr, k, v []byte) error {
+			if !bytes.Equal(k, key) || !bytes.Equal(v, val) {
+				t.Fatalf("scan accepted wrong data")
+			}
+			return nil
+		}); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("scan error outside the taxonomy: %v", err)
+		}
+	})
+}

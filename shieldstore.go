@@ -41,6 +41,7 @@ import (
 	"shieldstore/internal/server"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
+	"shieldstore/internal/vlog"
 )
 
 // Re-exported sentinel errors.
@@ -98,6 +99,17 @@ type Config struct {
 	// skiplist over plaintext keys — the paper's §7 future-work
 	// extension. Trade-off: EPC footprint proportional to the key set.
 	RangeIndex bool
+	// VLogDir enables tiered hybrid storage (DESIGN.md §14): values at or
+	// above SpillThreshold spill to an encrypted append-only value log
+	// under this directory once MemBudget is pressed, with the freshness
+	// state (segment versions + extents) held in enclave memory.
+	VLogDir string
+	// SpillThreshold is the minimum value size eligible for spilling
+	// (default core.DefaultSpillThreshold; only meaningful with VLogDir).
+	SpillThreshold int
+	// MemBudget caps the total in-memory value bytes before Sets start
+	// spilling; 0 spills every threshold-sized value (with VLogDir set).
+	MemBudget int64
 }
 
 // DB is a ShieldStore database handle. All methods are safe for
@@ -160,6 +172,13 @@ func Open(cfg Config) (*DB, error) {
 	opts := db.storeOptions()
 	for i := 0; i < cfg.Partitions; i++ {
 		s := core.New(enclave, db.cipher, opts)
+		if cfg.VLogDir != "" {
+			l, err := vlog.New(enclave, partDir(cfg.VLogDir, i), vlog.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("shieldstore: open value log partition %d: %w", i, err)
+			}
+			s.AttachVLog(l)
+		}
 		db.parts = append(db.parts, db.wrap(s, i))
 	}
 	return db, nil
@@ -175,6 +194,10 @@ func (db *DB) storeOptions() core.Options {
 	opts.ExtraHeap = !cfg.DisableExtraHeap
 	opts.CacheBytes = cfg.CacheBytes / int64(cfg.Partitions)
 	opts.RangeIndex = cfg.RangeIndex
+	if cfg.SpillThreshold > 0 {
+		opts.SpillThreshold = cfg.SpillThreshold
+	}
+	opts.MemBudget = cfg.MemBudget / int64(cfg.Partitions)
 	return opts
 }
 
@@ -209,7 +232,11 @@ func (db *DB) restore() error {
 	m := sim.NewMeter(db.enclave.Model())
 	for i := 0; i < db.cfg.Partitions; i++ {
 		dir := partDir(db.cfg.SnapshotDir, i)
-		s, err := persist.Restore(db.enclave, dir, persist.CounterIDFor(dir), m)
+		ro := persist.RestoreOpts{CacheBytes: db.cfg.CacheBytes / int64(db.cfg.Partitions)}
+		if db.cfg.VLogDir != "" {
+			ro.VLogDir = partDir(db.cfg.VLogDir, i)
+		}
+		s, err := persist.RestoreWith(db.enclave, dir, persist.CounterIDFor(dir), m, ro)
 		if err != nil {
 			return fmt.Errorf("shieldstore: restore partition %d: %w", i, err)
 		}
@@ -500,6 +527,13 @@ type Stats struct {
 	Decryptions uint64
 	EPCFaults   uint64
 	OCalls      uint64
+	// VLogSpills, VLogFaults, VLogGCCopies and VLogSegments summarize the
+	// tiered value log: values written to disk, values faulted back on
+	// read, GC relocations, and live segments across partitions.
+	VLogSpills   uint64
+	VLogFaults   uint64
+	VLogGCCopies uint64
+	VLogSegments uint64
 	// UntrustedBytes and EnclaveBytes are the simulated region footprints.
 	UntrustedBytes int64
 	EnclaveBytes   int64
@@ -538,6 +572,10 @@ func (db *DB) Stats() Stats {
 		Decryptions:    agg.Events(sim.CtrDecrypt),
 		EPCFaults:      agg.Events(sim.CtrEPCFaultRead) + agg.Events(sim.CtrEPCFaultWrite),
 		OCalls:         agg.Events(sim.CtrOCall),
+		VLogSpills:     agg.Events(sim.CtrVLogSpill),
+		VLogFaults:     agg.Events(sim.CtrVLogFault),
+		VLogGCCopies:   agg.Events(sim.CtrVLogGCCopy),
+		VLogSegments:   agg.Events(sim.CtrVLogSegmentsLive),
 		UntrustedBytes: space.UsedBytes(mem.Untrusted),
 		EnclaveBytes:   space.UsedBytes(mem.Enclave),
 		LatencyMeanUs:  db.enclave.Model().Seconds(uint64(lat.Mean())) * 1e6,
@@ -580,6 +618,10 @@ func (db *DB) Serve(ln net.Listener, opts ServeOptions) *Server {
 				fmt.Sprintf("ocalls=%d", st.OCalls),
 				fmt.Sprintf("untrusted_bytes=%d", st.UntrustedBytes),
 				fmt.Sprintf("enclave_bytes=%d", st.EnclaveBytes),
+				fmt.Sprintf("vlog_spill=%d", st.VLogSpills),
+				fmt.Sprintf("vlog_fault=%d", st.VLogFaults),
+				fmt.Sprintf("vlog_gc_copy=%d", st.VLogGCCopies),
+				fmt.Sprintf("vlog_segments_live=%d", st.VLogSegments),
 			}
 		},
 		Health: func() []string {
@@ -637,6 +679,9 @@ func (db *DB) Close() error {
 	for i := range db.parts {
 		db.locks[i].Lock()
 		db.parts[i].Drain(db.meters[i])
+		if l := db.parts[i].Main().VLog(); l != nil {
+			_ = l.Close()
+		}
 		db.locks[i].Unlock()
 	}
 	return nil
