@@ -5,6 +5,16 @@
 //	shieldstore-server -listen 127.0.0.1:7701 -partitions 4 \
 //	    -snapshot-dir /var/lib/shieldstore -snapshot-every 60s
 //
+// High-availability pairs (DESIGN.md §15) run one process per role:
+//
+//	shieldstore-server -role replica -listen 127.0.0.1:7802 -seed 7
+//	shieldstore-server -role primary -listen 127.0.0.1:7801 -seed 7 \
+//	    -replica-addr 127.0.0.1:7802
+//
+// Primary and replica must share -seed (the sealing/CMAC identity) or no
+// shipped frame will verify. The replica serves reads immediately and
+// rejects mutations with StatusFenced until promoted (failover/cutover).
+//
 // Clients connect with cmd/shieldstore-cli or the internal/client package.
 //
 //ss:host(process entry point; the modeled enclave lives behind server.Serve)
@@ -12,6 +22,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
@@ -20,6 +31,13 @@ import (
 	"time"
 
 	"shieldstore"
+	"shieldstore/internal/client"
+	"shieldstore/internal/core"
+	"shieldstore/internal/mem"
+	"shieldstore/internal/repl"
+	"shieldstore/internal/server"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
 )
 
 func main() {
@@ -36,8 +54,35 @@ func main() {
 		vlogDir     = flag.String("vlog-dir", "", "tiered storage: encrypted value-log directory (empty=off)")
 		spillThresh = flag.Int("spill-threshold", 0, "min value size spilled to the value log (0=default)")
 		memBudgetMB = flag.Int64("mem-budget-mb", 0, "in-memory value budget before spilling (MB, 0=always spill eligible values)")
+		role        = flag.String("role", "standalone", "node role: standalone, primary, or replica (DESIGN.md §15)")
+		replicaAddr = flag.String("replica-addr", "", "replica endpoint the journal ships to (role=primary)")
+		epoch       = flag.Uint64("epoch", 1, "initial replication fencing epoch")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "standalone":
+		// Fall through to the facade path below.
+	case "primary", "replica":
+		if err := runReplicated(replicatedConfig{
+			role:        *role,
+			listen:      *listen,
+			partitions:  *partitions,
+			buckets:     *buckets,
+			cacheBytes:  *cacheMB << 20,
+			stateDir:    *snapshotDir,
+			hotcalls:    *hotcalls,
+			insecure:    *insecure,
+			seed:        *seed,
+			replicaAddr: *replicaAddr,
+			epoch:       *epoch,
+		}); err != nil {
+			log.Fatalf("shieldstore: %v", err)
+		}
+		return
+	default:
+		log.Fatalf("shieldstore: unknown -role %q (want standalone, primary, or replica)", *role)
+	}
 
 	db, err := shieldstore.Open(shieldstore.Config{
 		Partitions:     *partitions,
@@ -102,4 +147,128 @@ func main() {
 			return
 		}
 	}
+}
+
+// replicatedConfig parameterizes a primary- or replica-role node.
+type replicatedConfig struct {
+	role        string
+	listen      string
+	partitions  int
+	buckets     int
+	cacheBytes  int64
+	stateDir    string
+	hotcalls    bool
+	insecure    bool
+	seed        uint64
+	replicaAddr string
+	epoch       uint64
+}
+
+// runReplicated stands up one half of a replication pair (DESIGN.md §15)
+// straight on the partitioned engine: a replica wires a repl.Applier into
+// the server's Replicate/Promote hooks and stays read-only until
+// promoted; a primary tees every partition journal through a
+// repl.Shipper so a client ack always implies a replica ack. The frames
+// are sealed and MAC-chained end to end, so the replication link needs no
+// channel encryption of its own (with -insecure unset it is attested and
+// encrypted anyway).
+func runReplicated(cfg replicatedConfig) error {
+	space := mem.NewSpace(mem.Config{}) // model-default EPC
+	enclave := sgx.New(sgx.Config{Space: space, Seed: cfg.seed, Measurement: shieldstore.Measurement()})
+	opts := core.Defaults(cfg.buckets)
+	opts.CacheBytes = cfg.cacheBytes
+	p := core.NewPartitioned(enclave, cfg.partitions, opts)
+
+	scfg := server.Config{
+		Engine:       server.CoreEngine{P: p},
+		Enclave:      enclave,
+		HotCalls:     cfg.hotcalls,
+		Secure:       !cfg.insecure,
+		Logf:         log.Printf,
+		DrainTimeout: time.Second,
+		Stats: func() []string {
+			st := p.AggregateStats()
+			return []string{
+				fmt.Sprintf("keys=%d", p.Keys()),
+				fmt.Sprintf("virtual_seconds=%.6f", enclave.Model().Seconds(st.Cycles)),
+				fmt.Sprintf("repl_shipped=%d", st.Events[sim.CtrReplShipped]),
+				fmt.Sprintf("repl_applied=%d", st.Events[sim.CtrReplApplied]),
+			}
+		},
+		Health: func() []string { return core.FormatHealth(p.Health()) },
+	}
+
+	var shipper *repl.Shipper
+	var applier *repl.Applier
+	switch cfg.role {
+	case "replica":
+		if cfg.stateDir != "" {
+			if err := os.MkdirAll(cfg.stateDir, 0o700); err != nil {
+				return err
+			}
+		}
+		var err error
+		applier, err = repl.NewApplier(p, repl.ApplierOptions{Dir: cfg.stateDir, Epoch: cfg.epoch, Logf: log.Printf})
+		if err != nil {
+			return err
+		}
+		scfg.Replicate = applier.Apply
+		scfg.Promote = applier.Promote
+		scfg.Writable = applier.Writable
+	case "primary":
+		if cfg.replicaAddr == "" {
+			return fmt.Errorf("-role primary requires -replica-addr")
+		}
+		link := client.Options{Secure: !cfg.insecure}
+		if !cfg.insecure {
+			// The attestation-service stand-in: quote verification keys
+			// derive from the shared deployment seed.
+			link.Verifier = shieldstore.AttestationService(cfg.seed)
+			link.Measurement = shieldstore.Measurement()
+		}
+		shipper = repl.NewShipper(p, repl.ShipperOptions{
+			Addr:  cfg.replicaAddr,
+			Link:  link,
+			Epoch: cfg.epoch,
+			Logf:  log.Printf,
+		})
+		for i := 0; i < p.Parts(); i++ {
+			p.SetJournal(i, shipper.Tee(i, nil))
+		}
+		scfg.Writable = func() bool { return !shipper.Fenced() }
+	}
+
+	p.Start()
+	if shipper != nil {
+		shipper.Start()
+	}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		if shipper != nil {
+			shipper.Close()
+		}
+		p.Stop()
+		return err
+	}
+	srv := server.Serve(ln, scfg)
+	extra := ""
+	if cfg.role == "primary" {
+		extra = " -> " + cfg.replicaAddr
+	}
+	log.Printf("shieldstore %s serving on %s%s (partitions=%d buckets=%d secure=%v epoch=%d)",
+		cfg.role, srv.Addr(), extra, cfg.partitions, cfg.buckets, !cfg.insecure, cfg.epoch)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("%v: shutting down", sig)
+	srv.Close()
+	if shipper != nil {
+		shipper.Close()
+	}
+	p.Stop()
+	if applier != nil {
+		log.Printf("replica watermark=%d epoch=%d writable=%v", applier.Watermark(), applier.Epoch(), applier.Writable())
+	}
+	return nil
 }

@@ -43,8 +43,8 @@ func ClusterExp(cfg Config) Result {
 	const parts = 4
 	nc := netFor(valSize, true, false, false, true)
 	res := Result{
-		ID:    "cluster",
-		Title: "Sharded cluster: aggregate throughput vs shard count (networked, zipfian)",
+		ID:     "cluster",
+		Title:  "Sharded cluster: aggregate throughput vs shard count (networked, zipfian)",
 		Header: []string{"workload", "shards", "Kop/s", "per-shard", "speedup", "p50us", "p99us"},
 		Notes: []string{
 			"each shard is a full machine (own enclave+EPC); ring-routed keys;",

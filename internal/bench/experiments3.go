@@ -330,6 +330,7 @@ var All = []Experiment{
 	{"dispatch", "exitless dispatch amortization", DispatchExp},
 	{"cluster", "sharded cluster shard-scaling sweep", ClusterExp},
 	{"vlog", "tiered value-log working-set/budget sweep", VLogExp},
+	{"failover", "replication overhead, failover blackout, live migration", FailoverExp},
 }
 
 // ByID finds an experiment.

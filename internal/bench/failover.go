@@ -1,0 +1,199 @@
+// The failover experiment (DESIGN.md §15): replication's cost and its
+// payoff, measured on the real wire. Unlike the virtual-time experiments
+// this one runs the actual cluster harness — TCP servers, secure session
+// channels, journal-shipping shippers — and reports wall-clock figures:
+// the group-commit replication tax on acknowledged writes, the client's
+// blackout window when a primary dies (kill to first re-acknowledged
+// write on the promoted replica), and the time to live-migrate a loaded
+// shard onto an empty node. Data integrity is asserted, not sampled:
+// every acknowledged write is read back after each disruption, and a
+// lost key panics the experiment rather than skewing a number.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"shieldstore/internal/cluster"
+)
+
+// FailoverExp generates the replication/failover timing table (the -run
+// failover experiment; CI's failover-soak job emits BENCH_failover.json
+// from it).
+func FailoverExp(cfg Config) Result {
+	cfg = cfg.Defaults()
+	// Real-wire round trips: a fraction of the virtual-time op budget
+	// keeps the soak job fast while still exercising thousands of commits.
+	ops := max(500, cfg.Ops/10)
+	res := Result{
+		ID:     "failover",
+		Title:  "Replication: write overhead, failover blackout, live migration (real wire)",
+		Header: []string{"scenario", "ops", "wall_ms", "Kop/s", "detail"},
+		Notes: []string{
+			"wall-clock over loopback TCP with secure channels; replication is",
+			"group-commit synchronous (client ack implies replica ack);",
+			"blackout is kill -> first re-acked write on the promoted replica",
+		},
+		Metrics: map[string]float64{},
+	}
+
+	// Write throughput with and without a replica in the commit path.
+	soloKops := replicatedWrites(cfg, res.Metrics, &res, "writes/solo", false, ops)
+	replKops := replicatedWrites(cfg, res.Metrics, &res, "writes/replicated", true, ops)
+	overhead := (soloKops - replKops) / soloKops * 100
+	res.Metrics["replication_overhead_pct"] = overhead
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("replication overhead on acked writes: %.1f%%", overhead))
+
+	failoverBlackout(cfg, &res, ops)
+	liveMigration(cfg, &res, ops)
+	return res
+}
+
+// harnessFor stands up the experiment's cluster: 2 shards, 2 partitions,
+// secure channels, optionally primary/replica pairs.
+func harnessFor(cfg Config, replicas bool) *cluster.Harness {
+	h, err := cluster.StartHarness(cluster.HarnessConfig{
+		Shards:     2,
+		Partitions: 2,
+		Buckets:    1 << 10,
+		Secure:     true,
+		Seed:       uint64(cfg.Seed),
+		Replicas:   replicas,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func dialCluster(h *cluster.Harness) *cluster.Client {
+	c, err := cluster.Dial(h.Options())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// loadOps writes n keys and returns the elapsed wall time. Every write is
+// acknowledged or the experiment dies.
+func loadOps(c *cluster.Client, prefix string, n int) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("%s%06d", prefix, i))
+		if err := c.Set(k, []byte(fmt.Sprintf("val-%06d", i))); err != nil {
+			panic(fmt.Sprintf("bench failover: Set %s: %v", k, err))
+		}
+	}
+	return time.Since(start)
+}
+
+// verifyOps reads back n keys written by loadOps and panics on any loss.
+func verifyOps(c *cluster.Client, prefix string, n int) {
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("%s%06d", prefix, i))
+		v, err := c.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val-%06d", i) {
+			panic(fmt.Sprintf("bench failover: acked write %s lost: %q, %v", k, v, err))
+		}
+	}
+}
+
+func replicatedWrites(cfg Config, metrics map[string]float64, res *Result, scenario string, replicas bool, ops int) float64 {
+	h := harnessFor(cfg, replicas)
+	defer h.Close()
+	c := dialCluster(h)
+	defer c.Close()
+	wall := loadOps(c, "w", ops)
+	verifyOps(c, "w", ops)
+	kops := float64(ops) / wall.Seconds() / 1e3
+	res.Rows = append(res.Rows, []string{
+		scenario, fmt.Sprintf("%d", ops), f1(wall.Seconds() * 1e3), f1(kops), "acked writes",
+	})
+	metrics[scenario+"/kops"] = kops
+	return kops
+}
+
+// failoverBlackout loads a replicated cluster, kills shard 0's primary,
+// and measures the blackout: kill to the first write acknowledged by the
+// promoted replica. Then the full pre-kill dataset is verified — the
+// zero-acked-writes-lost claim, checked on every run.
+func failoverBlackout(cfg Config, res *Result, ops int) {
+	h := harnessFor(cfg, true)
+	defer h.Close()
+	c := dialCluster(h)
+	defer c.Close()
+	loadOps(c, "f", ops)
+
+	// A post-kill key routed at the killed shard measures the blackout.
+	probe := ""
+	for i := 0; probe == ""; i++ {
+		k := fmt.Sprintf("probe-%04d", i)
+		if c.ShardFor([]byte(k)) == 0 {
+			probe = k
+		}
+	}
+	h.KillPrimary(0)
+	start := time.Now()
+	if err := c.Set([]byte(probe), []byte("post")); err != nil {
+		panic(fmt.Sprintf("bench failover: post-kill write failed: %v", err))
+	}
+	blackout := time.Since(start)
+	if !c.Demoted(0) {
+		panic("bench failover: shard 0 not demoted after kill")
+	}
+	verifyOps(c, "f", ops)
+	res.Rows = append(res.Rows, []string{
+		"failover/blackout", "1", f1(blackout.Seconds() * 1e3), "-",
+		fmt.Sprintf("promote+retry; %d acked keys verified intact", ops),
+	})
+	res.Metrics["failover_blackout_ms"] = blackout.Seconds() * 1e3
+}
+
+// liveMigration loads a replicated shard, retargets its stream at an
+// empty spare, waits for sync, cuts the ring slot over, and verifies the
+// dataset on the migrated topology.
+func liveMigration(cfg Config, res *Result, ops int) {
+	h := harnessFor(cfg, true)
+	defer h.Close()
+	c := dialCluster(h)
+	defer c.Close()
+	loadOps(c, "m", ops)
+
+	spare, err := h.StartSpare(0)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	h.Shard(0).Shipper.MigrateTo(spare.Addr, h.ClientOptionsFor(spare))
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; !h.Shard(0).Shipper.Synced(); i++ {
+		if time.Now().After(deadline) {
+			panic("bench failover: migration never synced")
+		}
+		// The shipper flushes inside group commits: drip writes at shard 0.
+		k := fmt.Sprintf("drip-%06d", i)
+		if c.ShardFor([]byte(k)) == 0 {
+			if err := c.Set([]byte(k), []byte("d")); err != nil {
+				panic(fmt.Sprintf("bench failover: drip write: %v", err))
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	syncMS := time.Since(start).Seconds() * 1e3
+	if err := c.Cutover(0, cluster.ShardSpec{Addr: spare.Addr, Client: h.ClientOptionsFor(spare)}); err != nil {
+		panic(fmt.Sprintf("bench failover: cutover: %v", err))
+	}
+	cutoverMS := time.Since(start).Seconds()*1e3 - syncMS
+	verifyOps(c, "m", ops)
+	res.Rows = append(res.Rows, []string{
+		"migration/bootstrap", fmt.Sprintf("%d", ops), f1(syncMS), "-",
+		"snapshot + catch-up to empty spare under drip load",
+	})
+	res.Rows = append(res.Rows, []string{
+		"migration/cutover", "1", f1(cutoverMS), "-",
+		"promote past epoch + ring swap; dataset verified on new node",
+	})
+	res.Metrics["migration_sync_ms"] = syncMS
+	res.Metrics["migration_cutover_ms"] = cutoverMS
+}

@@ -24,6 +24,15 @@ var (
 	// retry — for any op, not just idempotent ones — after a short
 	// backoff. With Options.Retry enabled the client does this itself.
 	ErrRebuilding = errors.New("shieldstore client: partition rebuilding, retry")
+	// ErrUnhealable reports a partition whose self-heal was refused (its
+	// op journal is incomplete): the condition does not clear on its own —
+	// an operator restore or a replica failover must intervene. Never
+	// retried against the same node.
+	ErrUnhealable = errors.New("shieldstore client: partition unhealable, failover required")
+	// ErrFenced reports a node that has been fenced out by a newer
+	// replication epoch (a replica was promoted in its place): the write
+	// was retracted and must be re-routed to the current primary.
+	ErrFenced = errors.New("shieldstore client: node fenced by newer replication epoch")
 	// ErrServer reports any other server-side failure.
 	ErrServer = errors.New("shieldstore client: server error")
 	// ErrConnection wraps transport failures (dial, read, write). Only
@@ -119,13 +128,14 @@ func (c *Client) roundTripIdem(req *proto.Request) (*proto.Response, error) {
 	return c.do(req, true)
 }
 
-// roundTripOnce sends one request on the current connection and decodes
-// the reply. Encode, seal and frame buffers are reused across calls
-// (DecodeResponse copies the value out before the scratch is recycled).
-// Transport failures come back wrapped in ErrConnection and poison the
-// connection; channel/protocol failures poison it too (the stream or
-// nonce sequence is unrecoverable) but are never retried.
-func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
+// exchange sends one request on the current connection and decodes the
+// reply WITHOUT interpreting its status — the raw transport round trip.
+// Encode, seal and frame buffers are reused across calls (DecodeResponse
+// copies the value out before the scratch is recycled). Transport
+// failures come back wrapped in ErrConnection and poison the connection;
+// channel/protocol failures poison it too (the stream or nonce sequence
+// is unrecoverable) but are never retried.
+func (c *Client) exchange(req *proto.Request) (*proto.Response, error) {
 	c.enc = proto.AppendRequest(c.enc[:0], req)
 	wire := c.enc
 	if c.ch != nil {
@@ -154,6 +164,16 @@ func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
 		c.broken = true
 		return nil, err
 	}
+	return resp, nil
+}
+
+// roundTripOnce is exchange plus the status-to-error mapping every
+// ordinary command shares.
+func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
+	resp, err := c.exchange(req)
+	if err != nil {
+		return nil, err
+	}
 	switch resp.Status {
 	case proto.StatusOK:
 		return resp, nil
@@ -165,6 +185,10 @@ func (c *Client) roundTripOnce(req *proto.Request) (*proto.Response, error) {
 		// The connection itself is fine (not poisoned): the op simply
 		// arrived while its partition was healing and was not applied.
 		return nil, ErrRebuilding
+	case proto.StatusUnhealable:
+		return nil, ErrUnhealable
+	case proto.StatusFenced:
+		return nil, ErrFenced
 	default:
 		return nil, ErrServer
 	}
@@ -262,4 +286,33 @@ func (c *Client) Health() ([]string, error) {
 func (c *Client) Ping() error {
 	_, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdPing})
 	return err
+}
+
+// Replicate ships one replication payload (a run of sealed journal
+// frames, see internal/repl) and returns the RAW response status plus
+// the replica's acked watermark. Statuses are returned uninterpreted —
+// the shipper's resync protocol distinguishes gap/fenced/error itself —
+// and nothing is ever retried here. Transport failures wrap
+// ErrConnection as usual.
+func (c *Client) Replicate(payload []byte) (status uint8, watermark uint64, err error) {
+	resp, err := c.exchange(&proto.Request{Cmd: proto.CmdReplicate, Value: payload})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Status, uint64(resp.Num), nil
+}
+
+// Promote asks a replica to adopt fencing epoch `epoch` and start
+// accepting writes (the failover/cutover step). Returns the node's
+// resulting epoch. Not retried: the caller (cluster failover) handles
+// its own races via epoch comparison.
+func (c *Client) Promote(epoch uint64) (uint64, error) {
+	resp, err := c.exchange(&proto.Request{Cmd: proto.CmdPromote, Delta: int64(epoch)})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != proto.StatusOK {
+		return uint64(resp.Num), fmt.Errorf("%w: promote to epoch %d refused (epoch %d)", ErrServer, epoch, resp.Num)
+	}
+	return uint64(resp.Num), nil
 }

@@ -25,6 +25,15 @@ var ErrNoShards = errors.New("shieldstore cluster: no shards configured")
 type ShardSpec struct {
 	Addr   string
 	Client client.Options
+	// ReplicaAddr, when non-empty, names this shard's standby replica:
+	// the node its primary ships its journal to (internal/repl). The
+	// cluster client dials it alongside the primary and fails over to it
+	// — promote, fence, swap, retry once — when the primary dies or
+	// becomes unserviceable (see failover.go).
+	ReplicaAddr string
+	// ReplicaClient are the dial options for the replica endpoint (its
+	// enclave has its own attestation identity).
+	ReplicaClient client.Options
 }
 
 // Options configures a cluster client.
@@ -66,12 +75,15 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	opts  Options
 	ring  *Ring
-	pools []*pool
+	slots []*shardSlot
 }
 
-// Dial connects Conns connections to every shard and builds the shard
-// map. Any shard that cannot be reached fails the whole call (a cluster
-// with a missing shard would silently misroute that shard's key range).
+// Dial connects Conns connections to every shard (and to every
+// configured replica) and builds the shard map. Any shard that cannot be
+// reached fails the whole call (a cluster with a missing shard would
+// silently misroute that shard's key range); a missing replica fails it
+// too — a pair that starts life degraded is a misconfiguration, not a
+// failover.
 func Dial(opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	if len(opts.Shards) == 0 {
@@ -87,17 +99,37 @@ func Dial(opts Options) (*Client, error) {
 			c.Close()
 			return nil, fmt.Errorf("shieldstore cluster: shard %d (%s): %w", i, spec.Addr, err)
 		}
-		c.pools = append(c.pools, p)
+		sl := &shardSlot{primary: p, epoch: 1}
+		if spec.ReplicaAddr != "" {
+			rp, err := newPool(ShardSpec{Addr: spec.ReplicaAddr, Client: spec.ReplicaClient}, opts.Conns)
+			if err != nil {
+				p.close()
+				c.Close()
+				return nil, fmt.Errorf("shieldstore cluster: shard %d replica (%s): %w", i, spec.ReplicaAddr, err)
+			}
+			sl.replica = rp
+		}
+		c.slots = append(c.slots, sl)
 	}
 	return c, nil
 }
 
-// Close releases every pooled connection.
+// Close releases every pooled connection, including standby replicas and
+// pools retired by failovers and cutovers.
 func (c *Client) Close() error {
 	var first error
-	for _, p := range c.pools {
-		if err := p.close(); err != nil && first == nil {
-			first = err
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		pools := append([]*pool{sl.primary, sl.replica}, sl.retired...)
+		sl.retired = nil
+		sl.mu.Unlock()
+		for _, p := range pools {
+			if p == nil {
+				continue
+			}
+			if err := p.close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -110,70 +142,57 @@ func (c *Client) Shards() int { return c.ring.Shards() }
 func (c *Client) ShardFor(key []byte) int { return c.ring.Shard(key) }
 
 // --- single-key operations: route to the owning shard ---
+//
+// Every operation rides exec1 (failover.go): try the shard's active
+// node, and on a failover-class error promote the replica and retry
+// exactly once. NOTE the at-least-once caveat this buys: a mutation
+// whose response was lost to the primary's death MAY have been applied
+// (and replicated) before the crash — the failover retry then applies it
+// again. Idempotent mutations (Set, Delete) are unaffected; Append/Incr
+// callers who cannot tolerate a rare duplicate during a failover window
+// must deduplicate at the application layer.
 
 // Get fetches a value from the owning shard.
 func (c *Client) Get(key []byte) ([]byte, error) {
-	conn, p, err := c.borrow(key)
+	var v []byte
+	err := c.exec1(key, func(conn *client.Client) error {
+		var e error
+		v, e = conn.Get(key)
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
-	v, err := conn.Get(key)
-	p.put(conn, err)
-	return v, err
+	return v, nil
 }
 
 // Set stores a value on the owning shard.
 func (c *Client) Set(key, value []byte) error {
-	conn, p, err := c.borrow(key)
-	if err != nil {
-		return err
-	}
-	err = conn.Set(key, value)
-	p.put(conn, err)
-	return err
+	return c.exec1(key, func(conn *client.Client) error { return conn.Set(key, value) })
 }
 
 // Delete removes a key from the owning shard.
 func (c *Client) Delete(key []byte) error {
-	conn, p, err := c.borrow(key)
-	if err != nil {
-		return err
-	}
-	err = conn.Delete(key)
-	p.put(conn, err)
-	return err
+	return c.exec1(key, func(conn *client.Client) error { return conn.Delete(key) })
 }
 
 // Append appends to a value server-side on the owning shard.
 func (c *Client) Append(key, suffix []byte) error {
-	conn, p, err := c.borrow(key)
-	if err != nil {
-		return err
-	}
-	err = conn.Append(key, suffix)
-	p.put(conn, err)
-	return err
+	return c.exec1(key, func(conn *client.Client) error { return conn.Append(key, suffix) })
 }
 
 // Incr adds delta to a numeric value on the owning shard.
 func (c *Client) Incr(key []byte, delta int64) (int64, error) {
-	conn, p, err := c.borrow(key)
+	var n int64
+	err := c.exec1(key, func(conn *client.Client) error {
+		var e error
+		n, e = conn.Incr(key, delta)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
-	n, err := conn.Incr(key, delta)
-	p.put(conn, err)
-	return n, err
-}
-
-// borrow picks the owning shard's pool and takes a connection from it.
-func (c *Client) borrow(key []byte) (*client.Client, *pool, error) {
-	p := c.pools[c.ring.Shard(key)]
-	conn, err := p.get()
-	if err != nil {
-		return nil, nil, err
-	}
-	return conn, p, nil
+	return n, nil
 }
 
 // --- scatter-gather operations ---
@@ -214,7 +233,7 @@ func (c *Client) Batch(ops ...client.Op) []client.Result {
 
 // group buckets op indices by owning shard.
 func (c *Client) group(ops []client.Op) [][]int {
-	idxs := make([][]int, len(c.pools))
+	idxs := make([][]int, len(c.slots))
 	for i := range ops {
 		s := c.ring.Shard(ops[i].Key)
 		idxs[s] = append(idxs[s], i)
@@ -222,12 +241,39 @@ func (c *Client) group(ops []client.Op) [][]int {
 	return idxs
 }
 
-// execShard runs one shard's sub-batch, then re-issues any ops that came
-// back ErrRebuilding — to this shard only — under Options.Retry. A
+// execShard runs one shard's sub-batch with rebuilding retries, then —
+// if ops still carry failover-class errors (the node is gone, fenced,
+// unhealable, or stuck rebuilding past the retry budget) — promotes the
+// replica and re-issues exactly those ops once against it. Same
+// at-least-once caveat as the single-key path.
+func (c *Client) execShard(shard int, ops []client.Op) []client.Result {
+	rs := c.execShardRetry(shard, ops)
+	var retry []int
+	for i := range rs {
+		if rs[i].Err != nil && failoverClass(rs[i].Err) {
+			retry = append(retry, i)
+		}
+	}
+	if len(retry) == 0 || !c.failover(shard) {
+		return rs
+	}
+	sub := make([]client.Op, len(retry))
+	for j, i := range retry {
+		sub[j] = ops[i]
+	}
+	again := c.execShardRetry(shard, sub)
+	for j, i := range retry {
+		rs[i] = again[j]
+	}
+	return rs
+}
+
+// execShardRetry runs one shard's sub-batch, then re-issues any ops that
+// came back ErrRebuilding — to this shard only — under Options.Retry. A
 // rebuilding partition guarantees the op was NOT applied, so mutations
 // replay safely; meanwhile every other shard's fan-out goroutine has long
 // since returned its results.
-func (c *Client) execShard(shard int, ops []client.Op) []client.Result {
+func (c *Client) execShardRetry(shard int, ops []client.Op) []client.Result {
 	rs := c.batchOnce(shard, ops)
 	pol := c.opts.Retry
 	if pol.MaxAttempts <= 1 {
@@ -272,7 +318,7 @@ func (c *Client) execShard(shard int, ops []client.Op) []client.Result {
 // framing error) is folded into every op's result — per-op isolation at
 // the shard boundary.
 func (c *Client) batchOnce(shard int, ops []client.Op) []client.Result {
-	p := c.pools[shard]
+	p := c.slot(shard).active()
 	conn, err := p.get()
 	if err == nil {
 		var rs []client.Result
@@ -359,22 +405,31 @@ func (c *Client) Ping() error {
 }
 
 // gatherLines fans a per-shard probe out to all shards and concatenates
-// the prefixed results in shard order.
+// the prefixed results in shard order. A probe that fails with a
+// failover-class error rides the same promote-and-retry-once path as the
+// data plane — the control plane should see the cluster the data plane
+// serves from.
 func (c *Client) gatherLines(probe func(*client.Client) ([]string, error)) ([]string, error) {
-	perShard := make([][]string, len(c.pools))
-	errs := make([]error, len(c.pools))
+	perShard := make([][]string, len(c.slots))
+	errs := make([]error, len(c.slots))
 	var wg sync.WaitGroup
-	for s := range c.pools {
+	for s := range c.slots {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			conn, err := c.pools[s].get()
-			if err != nil {
-				errs[s] = err
-				return
+			var lines []string
+			err := c.try1(s, func(conn *client.Client) error {
+				var e error
+				lines, e = probe(conn)
+				return e
+			})
+			if err != nil && failoverClass(err) && c.failover(s) {
+				err = c.try1(s, func(conn *client.Client) error {
+					var e error
+					lines, e = probe(conn)
+					return e
+				})
 			}
-			lines, err := probe(conn)
-			c.pools[s].put(conn, err)
 			if err != nil {
 				errs[s] = err
 				return

@@ -1,0 +1,187 @@
+// Automatic primary/replica failover (DESIGN.md §15). Every ring
+// position is a slot holding the shard's active pool (the primary), its
+// standby pool (the replica, when the deployment runs pairs), and the
+// slot's fencing epoch. An operation that fails with a failover-class
+// error — connection loss, integrity quarantine, an unhealable
+// partition, a fenced node, or sustained rebuilding — promotes the
+// replica (CmdPromote with epoch+1, sealed replica-side before it acks),
+// swaps it in as the active pool, and retries exactly once. The epoch
+// bump is the fence: a dead primary that comes back keeps shipping at
+// the old epoch, gets StatusFenced from its own former replica, and
+// stops accepting writes.
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"shieldstore/internal/client"
+)
+
+// shardSlot is one ring position's connection state.
+type shardSlot struct {
+	mu      sync.Mutex
+	primary *pool // active pool (all traffic)
+	replica *pool // standby pool (nil without a replica)
+	epoch   uint64
+	demoted bool    // a failover already promoted the replica
+	retired []*pool // swapped-out pools, closed at Client.Close
+}
+
+// active returns the slot's current traffic target.
+func (sl *shardSlot) active() *pool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.primary
+}
+
+// slot returns shard's slot.
+func (c *Client) slot(shard int) *shardSlot { return c.slots[shard] }
+
+// Epoch reports a shard slot's current fencing epoch (1 until the first
+// failover or cutover).
+func (c *Client) Epoch(shard int) uint64 {
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.epoch
+}
+
+// Demoted reports whether shard's original primary has been failed away
+// from.
+func (c *Client) Demoted(shard int) bool {
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.demoted
+}
+
+// failoverClass reports whether err justifies abandoning the shard's
+// active node for its replica: the node is unreachable, has detected
+// tampering it cannot heal, has been fenced, or has been stuck
+// rebuilding past the retry budget. ErrRebuilding only reaches this
+// classifier after the connection-level (single ops) or cluster-level
+// (batches) retry policy is exhausted — transient heals never fail over.
+func failoverClass(err error) bool {
+	return errors.Is(err, client.ErrConnection) ||
+		errors.Is(err, client.ErrIntegrity) ||
+		errors.Is(err, client.ErrUnhealable) ||
+		errors.Is(err, client.ErrFenced) ||
+		errors.Is(err, client.ErrRebuilding)
+}
+
+// failover promotes shard's replica and makes it the active pool.
+// Returns true when the caller should retry its operation: either this
+// call performed the promotion, or a concurrent one already had (the
+// slot is serialized on its mutex, so exactly one goroutine promotes; the
+// rest observe demoted and just retry against the new active pool).
+func (c *Client) failover(shard int) bool {
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.demoted {
+		return true // already failed over; retry on the new active
+	}
+	if sl.replica == nil {
+		return false
+	}
+	conn, err := sl.replica.get()
+	if err != nil {
+		return false // replica unreachable too: surface the original error
+	}
+	newEpoch := sl.epoch + 1
+	ep, perr := conn.Promote(newEpoch)
+	sl.replica.put(conn, perr)
+	if perr != nil || ep != newEpoch {
+		return false
+	}
+	sl.retired = append(sl.retired, sl.primary)
+	sl.primary = sl.replica
+	sl.replica = nil
+	sl.epoch = newEpoch
+	sl.demoted = true
+	return true
+}
+
+// Cutover atomically repoints shard's ring position at a replacement
+// node — the final step of a live migration, after the shard's shipper
+// was retargeted (repl.Shipper.MigrateTo) and reports Synced. The
+// replacement is dialed, promoted past the slot's epoch (fencing the old
+// primary out), and swapped in; the old pools are retired. spec may name
+// a fresh replica pair for the new primary.
+func (c *Client) Cutover(shard int, spec ShardSpec) error {
+	if shard < 0 || shard >= len(c.slots) {
+		return ErrNoShards
+	}
+	np, err := newPool(spec, c.opts.Conns)
+	if err != nil {
+		return err
+	}
+	var rp *pool
+	if spec.ReplicaAddr != "" {
+		rp, err = newPool(ShardSpec{Addr: spec.ReplicaAddr, Client: spec.ReplicaClient}, c.opts.Conns)
+		if err != nil {
+			np.close()
+			return err
+		}
+	}
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	conn, err := np.get()
+	if err != nil {
+		np.close()
+		if rp != nil {
+			rp.close()
+		}
+		return err
+	}
+	newEpoch := sl.epoch + 1
+	ep, perr := conn.Promote(newEpoch)
+	np.put(conn, perr)
+	if perr != nil || ep != newEpoch {
+		np.close()
+		if rp != nil {
+			rp.close()
+		}
+		if perr != nil {
+			return perr
+		}
+		return errors.New("shieldstore cluster: cutover promote raced to a higher epoch")
+	}
+	sl.retired = append(sl.retired, sl.primary)
+	if sl.replica != nil {
+		sl.retired = append(sl.retired, sl.replica)
+	}
+	sl.primary = np
+	sl.replica = rp
+	sl.epoch = newEpoch
+	sl.demoted = false
+	return nil
+}
+
+// try1 runs op once against shard's active pool.
+func (c *Client) try1(shard int, op func(conn *client.Client) error) error {
+	p := c.slot(shard).active()
+	conn, err := p.get()
+	if err != nil {
+		return err
+	}
+	err = op(conn)
+	p.put(conn, err)
+	return err
+}
+
+// exec1 is the single-key data path: try the active node, fail over on a
+// failover-class error, retry exactly once on the promoted replica.
+func (c *Client) exec1(key []byte, op func(conn *client.Client) error) error {
+	shard := c.ring.Shard(key)
+	err := c.try1(shard, op)
+	if err == nil || !failoverClass(err) {
+		return err
+	}
+	if !c.failover(shard) {
+		return err
+	}
+	return c.try1(shard, op)
+}

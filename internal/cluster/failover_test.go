@@ -1,0 +1,330 @@
+// Automatic failover and live migration (DESIGN.md §15), end to end over
+// real wires: a primary killed mid-load fails over to its replica with
+// zero acknowledged writes lost and at most one client-visible retry; the
+// fenced old primary is rejected when it returns; a live migration
+// (Shipper.MigrateTo + Client.Cutover) repoints a ring slot at a fresh
+// node holding the full dataset; and an unhealable partition — quarantine
+// plus a lost op journal — surfaces ErrUnhealable and drives the same
+// failover. The CI failover-soak job runs this file under -race.
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/cluster"
+	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
+	"shieldstore/internal/sim"
+)
+
+// loadCluster writes n keys through the cluster client and returns the
+// expected dataset. Every returned key was acknowledged, so replication's
+// group-commit contract says the replica holds it too.
+func loadCluster(t *testing.T, c *cluster.Client, prefix string, n int) map[string]string {
+	t.Helper()
+	expect := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%s%04d", prefix, i)
+		v := fmt.Sprintf("val-%s-%04d", prefix, i)
+		if err := c.Set([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("Set %s: %v", k, err)
+		}
+		expect[k] = v
+	}
+	return expect
+}
+
+func verifyCluster(t *testing.T, c *cluster.Client, expect map[string]string) {
+	t.Helper()
+	for k, v := range expect {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("Get %s = %q, want %q", k, got, v)
+		}
+	}
+}
+
+// waitFailover polls f until true. nudge (optional) runs each round —
+// the shipper flushes inside group commits, so sync waits drip writes to
+// keep commits coming.
+func waitFailover(t *testing.T, d time.Duration, what string, f func() bool, nudge func(round int)) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for round := 0; time.Now().Before(deadline); round++ {
+		if f() {
+			return
+		}
+		if nudge != nil {
+			nudge(round)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// syncNudge writes throwaway keys routed at shard so that shard's group
+// commit keeps flushing the shipper.
+func syncNudge(t *testing.T, c *cluster.Client, shard int) func(int) {
+	return func(round int) {
+		k := fmt.Sprintf("nudge-%d-%06d", shard, round)
+		if c.ShardFor([]byte(k)) != shard {
+			return
+		}
+		if err := c.Set([]byte(k), []byte("n")); err != nil {
+			t.Fatalf("nudge Set %s: %v", k, err)
+		}
+	}
+}
+
+// TestFailoverKillPrimary is the acceptance scenario: kill a primary
+// mid-load. Writes keep succeeding (the client demotes to the replica
+// after at most one internal retry — no error reaches the caller), no
+// acknowledged write is lost, and when the dead primary comes back it is
+// fenced: its first shipped commit is rejected by its own former replica
+// and mutations fail with ErrFenced while reads stay up.
+func TestFailoverKillPrimary(t *testing.T) {
+	h, c := startCluster(t, cluster.HarnessConfig{Shards: 2, Replicas: true, Seed: 11})
+
+	expect := loadCluster(t, c, "pre", 300)
+	for i := 0; i < h.Shards(); i++ {
+		s := h.Shard(i)
+		waitFailover(t, 5*time.Second, "replication sync", s.Shipper.Synced, syncNudge(t, c, i))
+	}
+
+	h.KillPrimary(0)
+
+	// Every post-kill write must be acknowledged: ops routed at shard 0 hit
+	// ErrConnection once internally, promote the replica (epoch 2), and
+	// succeed on the single retry. Nothing failover-class may surface.
+	for k, v := range loadCluster(t, c, "post", 300) {
+		expect[k] = v
+	}
+	if !c.Demoted(0) {
+		t.Fatal("shard 0 not demoted after primary kill")
+	}
+	if ep := c.Epoch(0); ep != 2 {
+		t.Fatalf("shard 0 epoch = %d, want 2", ep)
+	}
+	if c.Demoted(1) {
+		t.Fatal("healthy shard 1 demoted")
+	}
+
+	// Zero acknowledged writes lost: the pre-kill set was replicated before
+	// the crash, the post-kill set was written to the promoted replica.
+	verifyCluster(t, c, expect)
+	keys := make([][]byte, 0, 8)
+	want := make([]string, 0, 8)
+	for k, v := range expect {
+		if len(keys) == 8 {
+			break
+		}
+		keys = append(keys, []byte(k))
+		want = append(want, v)
+	}
+	got, err := c.MGet(keys...)
+	if err != nil {
+		t.Fatalf("MGet after failover: %v", err)
+	}
+	for i := range keys {
+		if string(got[i]) != want[i] {
+			t.Fatalf("MGet %s = %q, want %q", keys[i], got[i], want[i])
+		}
+	}
+
+	// The dead primary returns, still believing it owns epoch 1. Its first
+	// shipped commit comes back StatusFenced from the promoted replica, the
+	// mutation is retracted, and the client sees ErrFenced. Reads still
+	// serve (the node restarted empty — no SelfHeal — so they miss, but
+	// they are not fenced).
+	sh, err := h.RestartPrimary(0)
+	if err != nil {
+		t.Fatalf("RestartPrimary: %v", err)
+	}
+	direct, err := client.Dial(sh.Addr, h.ClientOptionsFor(sh))
+	if err != nil {
+		t.Fatalf("dial restarted primary: %v", err)
+	}
+	defer direct.Close()
+	if err := direct.Set([]byte("zombie"), []byte("w")); !errors.Is(err, client.ErrFenced) {
+		t.Fatalf("write on fenced ex-primary: %v, want ErrFenced", err)
+	}
+	if !sh.Shipper.Fenced() {
+		t.Fatal("restarted primary's shipper not latched fenced")
+	}
+	if _, err := direct.Get([]byte("pre0000")); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("read on fenced ex-primary: %v, want ErrNotFound (reads stay up)", err)
+	}
+
+	// The cluster keeps writing to the promoted replica, undisturbed by the
+	// zombie's return.
+	if err := c.Set([]byte("pre0000"), []byte("rewrite")); err != nil {
+		t.Fatalf("Set after zombie return: %v", err)
+	}
+	if v, _ := c.Get([]byte("pre0000")); string(v) != "rewrite" {
+		t.Fatalf("after zombie return: %q", v)
+	}
+}
+
+// TestMigrateShardCutover is a live shard migration: retarget the
+// shipper at an empty spare (snapshot bootstrap + catch-up under load),
+// wait for Synced, then atomically cut the ring slot over. The migrated
+// shard serves the full dataset and accepts writes; the epoch bump fences
+// the old primary out.
+func TestMigrateShardCutover(t *testing.T) {
+	h, c := startCluster(t, cluster.HarnessConfig{Shards: 2, Replicas: true, Seed: 23})
+
+	expect := loadCluster(t, c, "mig", 200)
+
+	spare, err := h.StartSpare(0)
+	if err != nil {
+		t.Fatalf("StartSpare: %v", err)
+	}
+	old := h.Shard(0)
+	old.Shipper.MigrateTo(spare.Addr, h.ClientOptionsFor(spare))
+
+	// Writes keep flowing while the snapshot streams.
+	for k, v := range loadCluster(t, c, "during", 100) {
+		expect[k] = v
+	}
+	waitFailover(t, 10*time.Second, "migration sync", old.Shipper.Synced, syncNudge(t, c, 0))
+
+	if err := c.Cutover(0, cluster.ShardSpec{Addr: spare.Addr, Client: h.ClientOptionsFor(spare)}); err != nil {
+		t.Fatalf("Cutover: %v", err)
+	}
+	if ep := c.Epoch(0); ep != 2 {
+		t.Fatalf("post-cutover epoch = %d, want 2", ep)
+	}
+
+	// Full dataset on the migrated topology, and the new node takes writes.
+	verifyCluster(t, c, expect)
+	for k, v := range loadCluster(t, c, "after", 100) {
+		expect[k] = v
+	}
+	verifyCluster(t, c, expect)
+
+	// The old primary's next shipped commit is fenced by its own migration
+	// target: a write routed to it directly must be rejected.
+	direct, err := client.Dial(old.Addr, h.ClientOptionsFor(old))
+	if err != nil {
+		t.Fatalf("dial old primary: %v", err)
+	}
+	defer direct.Close()
+	if err := direct.Set([]byte("stale"), []byte("w")); !errors.Is(err, client.ErrFenced) {
+		t.Fatalf("write on migrated-away primary: %v, want ErrFenced", err)
+	}
+}
+
+// TestFailoverOnUnhealablePartition drives the unhealable path end to
+// end: a partition loses its op journal (LogOp failure → detach +
+// JournalLost), then gets corrupted; the healer refuses the rebuild —
+// the journal can no longer replay every acknowledged mutation — so the
+// partition surfaces StatusUnhealable/ErrUnhealable, which is a
+// failover-class error: the cluster client promotes the replica, where
+// the full dataset (shipped frame-first, before the journal died) lives.
+func TestFailoverOnUnhealablePartition(t *testing.T) {
+	h, c := startCluster(t, cluster.HarnessConfig{
+		Shards:   2,
+		Replicas: true,
+		SelfHeal: true,
+		Dir:      t.TempDir(),
+		Seed:     31,
+	})
+
+	expect := loadCluster(t, c, "u", 200)
+	pool0 := h.Shard(0).Pool
+	m := sim.NewMeter(pool0.Enclave().Model())
+
+	// Break partition 0's journal: the wrapper forwards to the real
+	// journal chain first (shipper tee + WAL — the frame still ships), then
+	// reports failure, so the worker detaches it and flags JournalLost.
+	pool0.RunCtl(0, func(st *core.WorkerState) {
+		st.Journal = failingJournal{inner: st.Journal}
+	})
+
+	// One write aimed at shard 0, partition 0 springs the trap. It is
+	// acknowledged AND replicated — the frame was enqueued before the
+	// journal reported failure.
+	killKey := ""
+	for i := 0; killKey == ""; i++ {
+		k := fmt.Sprintf("kill-%04d", i)
+		if c.ShardFor([]byte(k)) == 0 && pool0.Route(m, []byte(k)) == 0 {
+			killKey = k
+		}
+	}
+	if err := c.Set([]byte(killKey), []byte("last-acked")); err != nil {
+		t.Fatalf("Set %s: %v", killKey, err)
+	}
+	expect[killKey] = "last-acked"
+	waitFailover(t, 5*time.Second, "journal-lost flag", func() bool {
+		return pool0.Health()[0].JournalLost
+	}, nil)
+	// Flush the buffered kill frame: commits on shard 0's healthy
+	// partitions drain the shared shipper buffer.
+	for i, sent := 0, 0; sent < 4; i++ {
+		k := fmt.Sprintf("flush-%04d", i)
+		if c.ShardFor([]byte(k)) != 0 || pool0.Route(m, []byte(k)) == 0 {
+			continue
+		}
+		if err := c.Set([]byte(k), []byte("f")); err != nil {
+			t.Fatalf("Set %s: %v", k, err)
+		}
+		expect[k] = "f"
+		sent++
+	}
+	waitFailover(t, 5*time.Second, "replication sync", h.Shard(0).Shipper.Synced, syncNudge(t, c, 0))
+
+	// Now corrupt the journal-less partition. The scrubber quarantines it,
+	// the healer refuses the rebuild (ErrJournalIncomplete), and the
+	// partition goes terminally unhealable.
+	plane := fault.New(99)
+	plane.Arm(fault.PointEntryFlip, fault.Spec{Count: -1})
+	pool0.RunCtl(0, func(st *core.WorkerState) { st.Store.SetFaultPlane(plane) })
+	waitFailover(t, 10*time.Second, "unhealable state", func() bool {
+		return pool0.Health()[0].State == core.PartUnhealable
+	}, nil)
+
+	// A direct (non-failover) client sees the terminal error class.
+	direct, err := client.Dial(h.Shard(0).Addr, h.ClientOptionsFor(h.Shard(0)))
+	if err != nil {
+		t.Fatalf("dial shard 0 primary: %v", err)
+	}
+	defer direct.Close()
+	if _, err := direct.Get([]byte(killKey)); !errors.Is(err, client.ErrUnhealable) {
+		t.Fatalf("direct Get on unhealable partition: %v, want ErrUnhealable", err)
+	}
+
+	// The cluster client fails over on that same error class and serves the
+	// key from the replica — including the write whose journal append died.
+	if v, err := c.Get([]byte(killKey)); err != nil || string(v) != "last-acked" {
+		t.Fatalf("cluster Get %s = %q, %v", killKey, v, err)
+	}
+	if !c.Demoted(0) {
+		t.Fatal("shard 0 not demoted after unhealable partition")
+	}
+	verifyCluster(t, c, expect)
+	if err := c.Set([]byte(killKey), []byte("post-failover")); err != nil {
+		t.Fatalf("Set after failover: %v", err)
+	}
+	if v, _ := c.Get([]byte(killKey)); string(v) != "post-failover" {
+		t.Fatalf("post-failover read: %q", v)
+	}
+}
+
+// failingJournal forwards every LogOp to the wrapped journal chain and
+// then reports failure — the worker sees a dead journal while the inner
+// tee has already shipped the frame.
+type failingJournal struct{ inner core.Journal }
+
+func (j failingJournal) LogOp(m *sim.Meter, kind core.BatchKind, key, value []byte, delta int64) error {
+	if j.inner != nil {
+		j.inner.LogOp(m, kind, key, value, delta)
+	}
+	return errors.New("injected journal failure")
+}

@@ -15,8 +15,10 @@ import (
 
 	"shieldstore/internal/client"
 	"shieldstore/internal/core"
+	"shieldstore/internal/fault"
 	"shieldstore/internal/mem"
 	"shieldstore/internal/persist"
+	"shieldstore/internal/repl"
 	"shieldstore/internal/server"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
@@ -57,6 +59,16 @@ type HarnessConfig struct {
 	ClusterRetry client.RetryPolicy
 	// PipelineDepth bounds per-connection in-flight requests server-side.
 	PipelineDepth int
+	// Replicas stands every shard up as a primary/replica pair: the replica
+	// runs the same engine under a repl.Applier (read-only until promoted),
+	// and the primary's journals are teed through a repl.Shipper so every
+	// acknowledged mutation is also acknowledged by the replica (DESIGN.md
+	// §15). Options() then carries the replica endpoints so the cluster
+	// client can fail over.
+	Replicas bool
+	// ReplFaults, when set, arms the flaky-replication-link injection
+	// points (fault.PointReplDrop/Dup/Reorder) on every shard's shipper.
+	ReplFaults *fault.Plane
 	// BeforeSwap, when set, runs inside each shard healer's rebuild window
 	// just before the rebuilt partition is swapped back in (tests use it to
 	// hold a shard authoritatively mid-rebuild).
@@ -97,19 +109,39 @@ func HarnessMeasurement() [32]byte {
 	return m
 }
 
-// Shard is one running in-process shard server.
+// Shard is one running in-process shard server. In Replicas mode it is
+// the primary of a pair: Shipper streams its journal to Replica, whose
+// Applier replays it.
 type Shard struct {
 	Enclave *sgx.Enclave
 	Pool    *core.Partitioned
 	Healer  *persist.Healer // nil unless SelfHeal
 	Server  *server.Server
 	Addr    string
+	Shipper *repl.Shipper // nil unless Replicas (primary role)
+	Applier *repl.Applier // nil unless this node is replica-role
+	Replica *Shard        // nil unless Replicas (the standby node)
+	killed  bool          // torn down by KillPrimary; skip at Close
+}
+
+// close tears one node down in dependency order: front-end, healer,
+// shipper (uses RunCtl), then the worker pool.
+func (s *Shard) close() {
+	s.Server.Close()
+	if s.Healer != nil {
+		s.Healer.Close()
+	}
+	if s.Shipper != nil {
+		s.Shipper.Close()
+	}
+	s.Pool.Stop()
 }
 
 // Harness is a running in-process cluster.
 type Harness struct {
 	cfg    HarnessConfig
 	shards []*Shard
+	spares []*Shard // StartSpare nodes (migration targets)
 }
 
 // StartHarness builds and starts every shard. On error, shards already
@@ -131,53 +163,50 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 	return h, nil
 }
 
-// startShard boots one shard: enclave, partitioned pool, healer, server.
+// startShard boots one shard. In Replicas mode the replica node comes up
+// first (the primary's shipper needs its address), then the primary.
 func (h *Harness) startShard(i int) (*Shard, error) {
-	cfg := h.cfg
-	space := mem.NewSpace(mem.Config{EPCBytes: cfg.EPCBytes})
-	enclave := sgx.New(sgx.Config{
-		Space:       space,
-		Seed:        cfg.Seed + uint64(i) + 1, // each shard is its own enclave identity
-		Measurement: HarnessMeasurement(),
-	})
-
-	opts := core.Defaults(cfg.Buckets)
-	opts.MACHashes = cfg.MACHashes
-	opts.CacheBytes = cfg.CacheBytes
-	opts.Quarantine = cfg.SelfHeal
-	p := core.NewPartitioned(enclave, cfg.Partitions, opts)
-
-	var healer *persist.Healer
-	if cfg.SelfHeal {
-		p.EnableScrub(cfg.ScrubSets)
-		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%02d", i))
-		if err := os.MkdirAll(dir, 0o700); err != nil {
-			return nil, err
-		}
-		hopts := persist.HealerOptions{Logf: cfg.Logf}
-		if cfg.BeforeSwap != nil {
-			hopts.BeforeSwap = func(part int) { cfg.BeforeSwap(i, part) }
-		}
-		var err error
-		healer, err = persist.NewHealer(p, dir, hopts)
-		if err != nil {
-			return nil, err
-		}
+	if !h.cfg.Replicas {
+		return h.startPrimary(i, nil)
 	}
-	p.Start()
-	if healer != nil {
-		healer.Start()
-	}
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	rep, err := h.startReplica(i, "replica")
 	if err != nil {
-		if healer != nil {
-			healer.Close()
-		}
-		p.Stop()
 		return nil, err
 	}
-	srv := server.Serve(ln, server.Config{
+	sh, err := h.startPrimary(i, rep)
+	if err != nil {
+		rep.close()
+		return nil, err
+	}
+	sh.Replica = rep
+	return sh, nil
+}
+
+// newEnclave builds shard i's simulated enclave. Primary and replica of a
+// pair share the Seed: sealing and CMAC keys must match or no shipped
+// frame would unseal or chain-verify on the replica.
+func (h *Harness) newEnclave(i int) *sgx.Enclave {
+	space := mem.NewSpace(mem.Config{EPCBytes: h.cfg.EPCBytes})
+	return sgx.New(sgx.Config{
+		Space:       space,
+		Seed:        h.cfg.Seed + uint64(i) + 1, // each shard pair is its own enclave identity
+		Measurement: HarnessMeasurement(),
+	})
+}
+
+// newPool builds shard i's partitioned engine.
+func (h *Harness) newPool(enclave *sgx.Enclave) *core.Partitioned {
+	opts := core.Defaults(h.cfg.Buckets)
+	opts.MACHashes = h.cfg.MACHashes
+	opts.CacheBytes = h.cfg.CacheBytes
+	opts.Quarantine = h.cfg.SelfHeal
+	return core.NewPartitioned(enclave, h.cfg.Partitions, opts)
+}
+
+// serverConfig is the shared front-end configuration for any harness node.
+func (h *Harness) serverConfig(enclave *sgx.Enclave, p *core.Partitioned) server.Config {
+	cfg := h.cfg
+	return server.Config{
 		Engine:        server.CoreEngine{P: p},
 		Enclave:       enclave,
 		HotCalls:      true,
@@ -194,8 +223,116 @@ func (h *Harness) startShard(i int) (*Shard, error) {
 			}
 		},
 		Health: func() []string { return core.FormatHealth(p.Health()) },
-	})
-	return &Shard{Enclave: enclave, Pool: p, Healer: healer, Server: srv, Addr: srv.Addr().String()}, nil
+	}
+}
+
+// startReplica boots shard i's standby node: same enclave identity as the
+// primary, a repl.Applier wired into the server's Replicate/Promote
+// hooks, and Writable gated on promotion. No healer — a replica that
+// loses state simply re-syncs from the primary's bootstrap stream.
+func (h *Harness) startReplica(i int, suffix string) (*Shard, error) {
+	cfg := h.cfg
+	enclave := h.newEnclave(i)
+	p := h.newPool(enclave)
+	aopts := repl.ApplierOptions{Logf: cfg.Logf}
+	if cfg.Dir != "" {
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%02d-%s", i, suffix))
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			return nil, err
+		}
+		aopts.Dir = dir
+	}
+	applier, err := repl.NewApplier(p, aopts)
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		p.Stop()
+		return nil, err
+	}
+	scfg := h.serverConfig(enclave, p)
+	scfg.Replicate = applier.Apply
+	scfg.Promote = applier.Promote
+	scfg.Writable = applier.Writable
+	srv := server.Serve(ln, scfg)
+	return &Shard{Enclave: enclave, Pool: p, Server: srv, Addr: srv.Addr().String(), Applier: applier}, nil
+}
+
+// startPrimary boots shard i's serving node: enclave, partitioned pool,
+// optional healer, optional replication shipper (rep != nil), server.
+func (h *Harness) startPrimary(i int, rep *Shard) (*Shard, error) {
+	cfg := h.cfg
+	enclave := h.newEnclave(i)
+	p := h.newPool(enclave)
+
+	var shipper *repl.Shipper
+	if rep != nil {
+		shipper = repl.NewShipper(p, repl.ShipperOptions{
+			Addr:   rep.Addr,
+			Link:   h.ClientOptionsFor(rep),
+			Faults: cfg.ReplFaults,
+			Logf:   cfg.Logf,
+		})
+		if !cfg.SelfHeal {
+			// No healer to tee through: wire the shipper as each
+			// partition's journal directly (replication without local WAL).
+			for j := 0; j < p.Parts(); j++ {
+				p.SetJournal(j, shipper.Tee(j, nil))
+			}
+		}
+	}
+
+	var healer *persist.Healer
+	if cfg.SelfHeal {
+		p.EnableScrub(cfg.ScrubSets)
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%02d", i))
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			return nil, err
+		}
+		hopts := persist.HealerOptions{Logf: cfg.Logf}
+		if cfg.BeforeSwap != nil {
+			hopts.BeforeSwap = func(part int) { cfg.BeforeSwap(i, part) }
+		}
+		if shipper != nil {
+			hopts.WrapJournal = func(part int, j core.Journal) core.Journal {
+				return shipper.Tee(part, j)
+			}
+		}
+		var err error
+		healer, err = persist.NewHealer(p, dir, hopts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.Start()
+	if shipper != nil {
+		shipper.Start()
+	}
+	if healer != nil {
+		healer.Start()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if healer != nil {
+			healer.Close()
+		}
+		if shipper != nil {
+			shipper.Close()
+		}
+		p.Stop()
+		return nil, err
+	}
+	scfg := h.serverConfig(enclave, p)
+	if shipper != nil {
+		// A primary fenced out by its promoted replica must stop taking
+		// writes — reads stay up (they may be stale; the client has moved).
+		scfg.Writable = func() bool { return !shipper.Fenced() }
+	}
+	srv := server.Serve(ln, scfg)
+	return &Shard{Enclave: enclave, Pool: p, Healer: healer, Server: srv, Addr: srv.Addr().String(), Shipper: shipper}, nil
 }
 
 // Shard returns shard i.
@@ -217,19 +354,31 @@ func (h *Harness) Addrs() []string {
 // shard i's own enclave plays its attestation service (the simulation's
 // stand-in for IAS, as in the single-node tests).
 func (h *Harness) ClientOptions(i int) client.Options {
+	return h.ClientOptionsFor(h.shards[i])
+}
+
+// ClientOptionsFor builds connection options for an arbitrary harness
+// node (a replica, a spare) — same attestation scheme as ClientOptions.
+func (h *Harness) ClientOptionsFor(s *Shard) client.Options {
 	copts := client.Options{Secure: h.cfg.Secure, Retry: h.cfg.Retry}
 	if h.cfg.Secure {
-		copts.Verifier = h.shards[i].Enclave
+		copts.Verifier = s.Enclave
 		copts.Measurement = HarnessMeasurement()
 	}
 	return copts
 }
 
 // Options assembles the cluster client configuration for this harness.
+// In Replicas mode each spec carries its replica endpoint so the client
+// can fail over.
 func (h *Harness) Options() Options {
 	specs := make([]ShardSpec, len(h.shards))
 	for i, s := range h.shards {
 		specs[i] = ShardSpec{Addr: s.Addr, Client: h.ClientOptions(i)}
+		if s.Replica != nil {
+			specs[i].ReplicaAddr = s.Replica.Addr
+			specs[i].ReplicaClient = h.ClientOptionsFor(s.Replica)
+		}
 	}
 	return Options{
 		Shards:   specs,
@@ -240,16 +389,67 @@ func (h *Harness) Options() Options {
 	}
 }
 
-// Close tears every shard down: front-end first, then healer, then the
-// worker pool (the healer drives RunCtl against the live pool, so order
-// matters).
+// KillPrimary tears down shard i's primary node — server, healer,
+// shipper, worker pool — leaving its replica serving. The failover tests'
+// crash switch.
+func (h *Harness) KillPrimary(i int) {
+	s := h.shards[i]
+	if s.killed {
+		return
+	}
+	rep := s.Replica
+	s.Replica = nil // keep the standby out of the primary's teardown
+	s.close()
+	s.killed = true
+	s.Replica = rep
+}
+
+// RestartPrimary brings shard i's killed primary back on a fresh
+// listener, still shipping to the original replica. If that replica was
+// promoted meanwhile, the restarted node's first shipped commit comes
+// back StatusFenced and the node latches read-only — the fencing path the
+// failover tests exercise. With SelfHeal the node restores its data from
+// its snapshot+journal dir; otherwise it restarts empty.
+func (h *Harness) RestartPrimary(i int) (*Shard, error) {
+	old := h.shards[i]
+	if !old.killed {
+		return nil, fmt.Errorf("cluster harness: shard %d primary still running", i)
+	}
+	sh, err := h.startPrimary(i, old.Replica)
+	if err != nil {
+		return nil, err
+	}
+	sh.Replica = old.Replica
+	h.shards[i] = sh
+	return sh, nil
+}
+
+// StartSpare boots an empty replica-role node sharing shard i's enclave
+// identity — the target of a live migration (repl.Shipper.MigrateTo +
+// Client.Cutover). The spare is owned by the harness and closed with it.
+func (h *Harness) StartSpare(i int) (*Shard, error) {
+	sp, err := h.startReplica(i, fmt.Sprintf("spare-%02d", len(h.spares)))
+	if err != nil {
+		return nil, err
+	}
+	h.spares = append(h.spares, sp)
+	return sp, nil
+}
+
+// Close tears every node down: front-end first, then healer and shipper,
+// then the worker pool (healer and shipper drive RunCtl against the live
+// pool, so order matters). Replicas close after their primaries.
 func (h *Harness) Close() {
 	for _, s := range h.shards {
-		s.Server.Close()
-		if s.Healer != nil {
-			s.Healer.Close()
+		if !s.killed {
+			s.close()
 		}
-		s.Pool.Stop()
+		if s.Replica != nil {
+			s.Replica.close()
+		}
 	}
-	h.shards = nil
+	for _, sp := range h.spares {
+		sp.close()
+	}
+	h.shards, h.spares = nil, nil
 }

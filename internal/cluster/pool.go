@@ -4,12 +4,31 @@
 // the per-shard concurrency bound. A connection retired after a transport
 // failure is replaced by a fresh dial on the next borrow, keeping the
 // pool at its configured size without a background repair loop.
+//
+// Replacement dials are paced: while a shard is down, every borrow of a
+// placeholder would otherwise eat a full TCP connect timeout. Instead the
+// pool tracks a capped, jittered exponential backoff window — borrows
+// inside the window fail fast with ErrConnection (which is exactly what
+// lets the cluster layer fail over to the replica instead of stalling) —
+// and recovery is probed half-open: one borrower dials, the rest fail
+// fast until that probe settles.
 package cluster
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"shieldstore/internal/client"
+)
+
+// Replacement-dial backoff bounds.
+const (
+	dialBackoffBase = 5 * time.Millisecond
+	dialBackoffMax  = time.Second
 )
 
 // pool is one shard's connection set. The free channel holds either live
@@ -19,12 +38,27 @@ type pool struct {
 	addr  string
 	copts client.Options
 	free  chan *client.Client
+
+	// Replacement-dial pacing (mu guards the backoff state only; the data
+	// path touches nothing but the free channel).
+	mu        sync.Mutex
+	downUntil time.Time
+	backoff   time.Duration
+	probing   bool
+	rng       *rand.Rand
+
+	dials atomic.Uint64 // replacement dials attempted (tests, monitoring)
 }
 
 // newPool dials n connections eagerly so a dead shard fails Dial rather
 // than the first operation.
 func newPool(spec ShardSpec, n int) (*pool, error) {
-	p := &pool{addr: spec.Addr, copts: spec.Client, free: make(chan *client.Client, n)}
+	p := &pool{
+		addr:  spec.Addr,
+		copts: spec.Client,
+		free:  make(chan *client.Client, n),
+		rng:   rand.New(rand.NewSource(int64(len(spec.Addr)) + 1)),
+	}
 	for i := 0; i < n; i++ {
 		conn, err := client.Dial(spec.Addr, spec.Client)
 		if err != nil {
@@ -38,19 +72,53 @@ func newPool(spec ShardSpec, n int) (*pool, error) {
 
 // get borrows a connection, dialing a replacement when it pulls a
 // placeholder left by a retired one. A failed replacement dial returns
-// the placeholder so the pool never shrinks.
+// the placeholder so the pool never shrinks. Inside a backoff window —
+// or while another borrower's half-open probe is in flight — the borrow
+// fails fast instead of dialing.
 func (p *pool) get() (*client.Client, error) {
 	conn := <-p.free
 	if conn != nil {
 		return conn, nil
 	}
+	p.mu.Lock()
+	if p.probing || time.Now().Before(p.downUntil) {
+		p.mu.Unlock()
+		p.free <- nil
+		return nil, fmt.Errorf("%w: %s down, backing off", client.ErrConnection, p.addr)
+	}
+	p.probing = true
+	p.mu.Unlock()
+
+	p.dials.Add(1)
 	conn, err := client.Dial(p.addr, p.copts)
+
+	p.mu.Lock()
+	p.probing = false
 	if err != nil {
+		if p.backoff == 0 {
+			p.backoff = dialBackoffBase
+		} else if p.backoff < dialBackoffMax {
+			p.backoff *= 2
+			if p.backoff > dialBackoffMax {
+				p.backoff = dialBackoffMax
+			}
+		}
+		// ±25% jitter so a fleet of routers doesn't re-dial in lockstep.
+		jitter := time.Duration(float64(p.backoff) * 0.25 * (2*p.rng.Float64() - 1))
+		p.downUntil = time.Now().Add(p.backoff + jitter)
+		p.mu.Unlock()
 		p.free <- nil
 		return nil, err
 	}
+	p.backoff = 0
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
 	return conn, nil
 }
+
+// Dials reports how many replacement dials this pool has attempted —
+// the backoff's effectiveness is the gap between borrows and dials.
+func (p *pool) Dials() uint64 { return p.dials.Load() }
 
 // put returns a borrowed connection. err is the outcome of the last
 // operation on it: a transport-class failure retires the connection (the

@@ -1,0 +1,96 @@
+// Connection-pool backoff: while a shard is down, borrows of a retired
+// connection's placeholder must fail fast inside the backoff window
+// instead of each eating a dial timeout, at most one half-open probe
+// dials at a time, and the pool recovers on its own once the shard is
+// back. Internal package: the test drives pool/get/put directly.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"shieldstore/internal/client"
+)
+
+// startPoolListener returns a bare TCP listener: client.Dial without
+// Secure does no wire traffic at connect time, so accepting is optional.
+func startPoolListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func TestPoolBackoffFailsFastWhileDown(t *testing.T) {
+	ln := startPoolListener(t)
+	addr := ln.Addr().String()
+	p, err := newPool(ShardSpec{Addr: addr}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.close()
+
+	// Retire both connections (transport-class failure) and take the shard
+	// down: every borrow now pulls a placeholder.
+	for i := 0; i < 2; i++ {
+		conn, err := p.get()
+		if err != nil {
+			t.Fatalf("borrow %d: %v", i, err)
+		}
+		p.put(conn, fmt.Errorf("%w: injected", client.ErrConnection))
+	}
+	ln.Close()
+
+	// Hammer the dead pool. The first borrow dials and arms the backoff;
+	// the rest must fail fast inside the window — ErrConnection-classed so
+	// the failover layer can demote — with dials far below borrows.
+	const borrows = 50
+	for i := 0; i < borrows; i++ {
+		if _, err := p.get(); !errors.Is(err, client.ErrConnection) {
+			t.Fatalf("borrow %d on dead shard: %v, want ErrConnection", i, err)
+		}
+	}
+	if d := p.Dials(); d >= borrows/2 {
+		t.Fatalf("pool dialed %d times for %d borrows; backoff not limiting dials", d, borrows)
+	}
+
+	// The shard comes back. After the (capped, jittered) window expires a
+	// single half-open probe re-dials and the pool self-heals.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := p.get()
+		if err == nil {
+			p.put(conn, nil)
+			break
+		}
+		if !errors.Is(err, client.ErrConnection) {
+			t.Fatalf("recovery borrow: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never recovered after the shard came back")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Recovery resets the backoff: the next placeholder borrow dials
+	// immediately instead of waiting out a stale window.
+	conn, err := p.get()
+	if err != nil {
+		t.Fatalf("post-recovery borrow: %v", err)
+	}
+	p.put(conn, fmt.Errorf("%w: injected again", client.ErrConnection))
+	conn, err = p.get()
+	if err != nil {
+		t.Fatalf("replacement dial after reset backoff: %v", err)
+	}
+	p.put(conn, nil)
+}

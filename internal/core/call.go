@@ -173,6 +173,22 @@ func journalOp(st *WorkerState, kind BatchKind, key, value []byte, delta int64) 
 	}
 }
 
+// commitJournal runs the group-commit barrier for one drain: after the
+// drain's mutations were journaled (journaled true), a GroupJournal's
+// Commit must complete before any call is acknowledged. The returned
+// error, if any, retracts the drain's mutations — applied locally, but
+// the journal (e.g. the replication stream) cannot vouch for them.
+func commitJournal(st *WorkerState, journaled bool) error {
+	if !journaled || st.Journal == nil {
+		return nil
+	}
+	gj, ok := st.Journal.(GroupJournal)
+	if !ok {
+		return nil
+	}
+	return gj.Commit(st.Meter)
+}
+
 // runDrain executes one worker wakeup's worth of calls. A lone single-op
 // call goes through the per-op Store path (identical accounting to the
 // seed); everything else is combined into one ApplyBatch, so the whole
@@ -187,6 +203,9 @@ func runDrain(st *WorkerState, calls []*Call, ops []BatchOp, rs []BatchResult) (
 		c.exec(s, m)
 		if c.err == nil && c.op != BatchGet {
 			journalOp(st, c.op, c.key, c.value, c.delta)
+			if cerr := commitJournal(st, true); cerr != nil {
+				c.err = cerr
+			}
 		}
 		c.done <- struct{}{}
 		return ops, rs
@@ -206,9 +225,18 @@ func runDrain(st *WorkerState, calls []*Call, ops []BatchOp, rs []BatchResult) (
 		clear(rs)
 	}
 	s.ApplyBatchInto(m, ops, rs)
+	journaled := false
 	for i := range ops {
 		if rs[i].Err == nil && ops[i].Kind != BatchGet {
 			journalOp(st, ops[i].Kind, ops[i].Key, ops[i].Value, ops[i].Delta)
+			journaled = true
+		}
+	}
+	if cerr := commitJournal(st, journaled); cerr != nil {
+		for i := range ops {
+			if rs[i].Err == nil && ops[i].Kind != BatchGet {
+				rs[i].Err = cerr
+			}
 		}
 	}
 	pos := 0

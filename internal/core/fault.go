@@ -29,6 +29,21 @@ var ErrQuarantined = errors.New("shieldstore: partition quarantined after integr
 // the healed store is swapped back in (DESIGN.md §12).
 var ErrRebuilding = errors.New("shieldstore: partition rebuilding after integrity failure")
 
+// ErrUnhealable reports an operation rejected because this partition is
+// quarantined AND its rebuild source is incomplete (the op journal was
+// detached after a write failure): auto-heal has refused to rebuild, so
+// unlike ErrRebuilding the condition does not resolve on its own — an
+// operator restore, or a failover to a replica, must intervene
+// (DESIGN.md §15).
+var ErrUnhealable = errors.New("shieldstore: partition unhealable, op journal incomplete")
+
+// ErrFenced reports a mutation rejected (or an acknowledged apply
+// retracted) because this node has been fenced out by a newer replication
+// epoch — a replica was promoted in its place and this node's writes no
+// longer count (DESIGN.md §15). Clients must re-route to the current
+// primary.
+var ErrFenced = errors.New("shieldstore: node fenced by newer replication epoch")
+
 // SetFaultPlane attaches a fault-injection plane (nil detaches). Test
 // and experiment use only; the plane's points fire inside this store's
 // operation paths.
@@ -94,12 +109,17 @@ func (s *Store) EnableQuarantine() { s.opts.Quarantine = true }
 func (s *Store) SetQuarantineHook(f func()) { s.quarantineHook = f }
 
 // guard rejects operations on a quarantined partition. Mid-rebuild the
-// rejection is the retryable ErrRebuilding; otherwise the terminal
+// rejection is the retryable ErrRebuilding; with the op journal lost the
+// rejection is ErrUnhealable (the healer refused a rebuild that would
+// drop acknowledged writes, so nobody is coming); otherwise the terminal
 // ErrQuarantined.
 func (s *Store) guard() error {
 	if s.quarantined.Load() {
 		if s.rebuilding.Load() {
 			return ErrRebuilding
+		}
+		if s.journalLost.Load() {
+			return ErrUnhealable
 		}
 		return ErrQuarantined
 	}

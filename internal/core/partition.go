@@ -66,6 +66,20 @@ type Journal interface {
 	LogOp(m *sim.Meter, kind BatchKind, key, value []byte, delta int64) error
 }
 
+// GroupJournal is a Journal with group commit: after a worker drain has
+// logged all of its mutations, Commit is called exactly once — before any
+// of the drain's calls are acknowledged — so the journal can flush the
+// whole drain's records in one shot (the replication shipper uses this to
+// ship one frame batch per drain and make "client ack implies replica
+// ack" hold without a per-op network round trip). A Commit error fails
+// every mutation of the drain: the ops were applied locally, but the node
+// cannot vouch for them (e.g. it has been fenced out by a promoted
+// replica).
+type GroupJournal interface {
+	Journal
+	Commit(m *sim.Meter) error
+}
+
 // WorkerState is the mutable state a partition worker owns: its store,
 // its meter, and its journal. Control functions submitted via RunCtl
 // receive it by pointer and may swap the store or journal — that is how

@@ -118,6 +118,11 @@ const (
 	// PartRebuilding is quarantined with a rebuild in flight: requests
 	// fail with the retryable ErrRebuilding.
 	PartRebuilding
+	// PartUnhealable is quarantined with rebuild refused: the op journal
+	// was detached after a write failure, so replaying it would silently
+	// drop acknowledged mutations. Requests fail with ErrUnhealable; only
+	// an operator restore or a replica failover resolves it.
+	PartUnhealable
 )
 
 // String returns the state's wire/monitoring name.
@@ -127,6 +132,8 @@ func (st PartState) String() string {
 		return "quarantined"
 	case PartRebuilding:
 		return "rebuilding"
+	case PartUnhealable:
+		return "unhealable"
 	default:
 		return "healthy"
 	}
@@ -149,6 +156,8 @@ func (s *Store) Health() PartHealth {
 	switch {
 	case s.quarantined.Load() && s.rebuilding.Load():
 		h.State = PartRebuilding
+	case s.quarantined.Load() && h.JournalLost:
+		h.State = PartUnhealable
 	case s.quarantined.Load():
 		h.State = PartQuarantined
 	default:

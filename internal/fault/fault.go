@@ -60,6 +60,14 @@ const (
 	// sealed record reaches the segment file, then the "machine crashes"
 	// before the enclave extends its trusted extent (vlog).
 	PointVLogTear = "vlog.segment.tear"
+	// PointReplDrop / PointReplDup / PointReplReorder mangle the primary's
+	// outgoing replication payload at frame granularity — a flaky shipping
+	// link: drop deletes one frame, dup repeats one, reorder swaps two
+	// adjacent frames. The replica's sequence/MAC chain must detect every
+	// one (gap or chain break) and force a clean re-sync.
+	PointReplDrop    = "repl.ship.drop"
+	PointReplDup     = "repl.ship.dup"
+	PointReplReorder = "repl.ship.reorder"
 	// PointConnRead / PointConnWrite fail a wrapped connection's Nth
 	// read/write (fault.Conn).
 	PointConnRead  = "net.conn.read"

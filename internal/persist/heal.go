@@ -40,6 +40,12 @@ type HealerOptions struct {
 	// rebuilt and verified but before it is swapped into the pool — a test
 	// hook for holding the rebuilding window open.
 	BeforeSwap func(part int)
+	// WrapJournal, when set, wraps every journal the healer attaches to a
+	// partition — at construction, after a checkpoint rotation, and after
+	// a rebuild. The replication shipper uses it to tee each partition's
+	// op stream (repl.Shipper.Tee) without the healer knowing about
+	// replication.
+	WrapJournal func(part int, j core.Journal) core.Journal
 	// Logf, when set, receives rebuild failures from the background
 	// drainer (which has no caller to return them to).
 	Logf func(format string, args ...any)
@@ -100,10 +106,18 @@ func NewHealer(p *core.Partitioned, dir string, opts HealerOptions) (*Healer, er
 			return nil, err
 		}
 		h.wals[i] = w
-		p.SetJournal(i, w)
+		p.SetJournal(i, h.wrap(i, w))
 	}
 	p.EnableSelfHeal()
 	return h, nil
+}
+
+// wrap applies the WrapJournal hook (identity when unset).
+func (h *Healer) wrap(i int, j core.Journal) core.Journal {
+	if h.opts.WrapJournal == nil {
+		return j
+	}
+	return h.opts.WrapJournal(i, j)
 }
 
 func (h *Healer) partDir(i int) string { return filepath.Join(h.dir, fmt.Sprintf("part-%d", i)) }
@@ -200,6 +214,11 @@ func (h *Healer) Rebuild(i int) error {
 		return nil
 	}
 	if lost {
+		// Refused, and nobody will retry: drop the partition out of the
+		// rebuilding state so guard() surfaces the terminal ErrUnhealable
+		// (the journal-lost flag is already set) instead of advertising a
+		// rebuild that is never coming.
+		h.failRebuild(i)
 		return ErrJournalIncomplete
 	}
 	// Sync + close the journal: RecoverWAL must see every acked record.
@@ -231,7 +250,7 @@ func (h *Healer) Rebuild(i int) error {
 			ol.Close() // release the dead instance's segment file handles
 		}
 		st.Store = ns
-		st.Journal = w
+		st.Journal = h.wrap(i, w)
 		h.p.InstallPart(i, ns)
 	})
 	h.wals[i] = w
@@ -345,7 +364,7 @@ func (h *Healer) Checkpoint(i int) error {
 			return
 		}
 		h.wals[i] = w
-		st.Journal = w
+		st.Journal = h.wrap(i, w)
 		// The new journal is complete from this instant (the snapshot
 		// covers everything before it): a previously lost journal is whole
 		// again.

@@ -40,6 +40,14 @@ const (
 	CmdStats
 	CmdBatch
 	CmdHealth
+	// CmdReplicate carries a batch of sealed replication frames from a
+	// primary's journal shipper to its replica (internal/repl). The
+	// response's Num is the replica's acked watermark (highest applied
+	// frame sequence).
+	CmdReplicate
+	// CmdPromote promotes a replica to primary: Delta carries the new
+	// fencing epoch; the response's Num echoes the resulting epoch.
+	CmdPromote
 )
 
 // Status codes.
@@ -52,6 +60,20 @@ const (
 	// rebuilt online: the operation was not applied and is safe to retry
 	// (any op, not just idempotent ones) after a short backoff.
 	StatusRebuilding
+	// StatusUnhealable reports a partition that is quarantined, whose
+	// rebuild was refused because its op journal is incomplete (a journal
+	// write failed and the log was detached): retrying will not help, an
+	// operator (or a failover to a replica) must intervene.
+	StatusUnhealable
+	// StatusFenced reports a node that has been fenced out by a newer
+	// replication epoch (a replica was promoted in its place): mutations
+	// are rejected; clients must re-route to the current primary.
+	StatusFenced
+	// StatusReplGap is a CmdReplicate-only response: a prefix of the
+	// shipped frames was applied (Num = acked watermark) and the stream
+	// must resume from watermark+1 — the replica saw a sequence gap or a
+	// transiently failing partition and refuses to apply out of order.
+	StatusReplGap
 )
 
 // Errors.

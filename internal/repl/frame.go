@@ -1,0 +1,282 @@
+// Package repl implements primary/replica shard replication by journal
+// shipping (DESIGN.md §15). The primary tees every journaled mutation
+// into a Shipper, which encodes it as a sealed, MAC-chained, monotonically
+// sequenced frame and ships batches of frames over the wire protocol's
+// CmdReplicate command; the replica's Applier verifies the chain, unseals
+// each record, replays it through its own partition workers and acks a
+// durable watermark. Because the primary's group commit (core.GroupJournal)
+// runs before any client acknowledgement, a client ack implies the replica
+// has acked the mutation — the invariant failover correctness rests on.
+//
+// Frame layout (all integers little-endian):
+//
+//	seq(8) | epoch(8) | part(2) | blobLen(4) | blob | mac(16)
+//
+// blob is the sealed (enclave AES-GCM) record — the mutation's plaintext
+// never crosses the link in the clear — and mac is an AES-CMAC chained
+// over the previous frame's mac, the header and the blob, so dropped,
+// duplicated, reordered or spliced frames are detected before anything is
+// applied. The sealed record inside blob is:
+//
+//	kind(1) | keyLen(4) | delta(8) | key | val
+//
+// with val's length implied by the record length. FrameReset is the chain
+// genesis: it is MAC'd against a zero previous tag, carries no key/value,
+// and instructs the replica to wipe its partitions and restart the chain
+// at the reset's sequence — the first frame of every bootstrap snapshot
+// stream.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"shieldstore/internal/cmac"
+	"shieldstore/internal/core"
+	"shieldstore/internal/sgx"
+	"shieldstore/internal/sim"
+)
+
+// Frame record kinds (the kind byte of the sealed record).
+const (
+	// FrameSet replicates a full-value store (core.BatchSet).
+	FrameSet byte = iota + 1
+	// FrameDelete replicates a removal.
+	FrameDelete
+	// FrameAppend replicates a suffix append.
+	FrameAppend
+	// FrameIncr replicates a numeric increment; delta carries the amount.
+	FrameIncr
+	// FrameReset is the chain-genesis frame: wipe all replica partitions,
+	// adopt the frame's sequence and epoch, restart the MAC chain from a
+	// zero previous tag. Sent as the first frame of a bootstrap stream.
+	FrameReset
+)
+
+// frameHdr is the fixed outer header: seq(8)+epoch(8)+part(2)+blobLen(4).
+const frameHdr = 22
+
+// frameOverhead is the per-frame framing cost beyond the sealed blob.
+const frameOverhead = frameHdr + cmac.Size
+
+// recHdr is the fixed sealed-record header: kind(1)+keyLen(4)+delta(8).
+const recHdr = 13
+
+// maxBlob bounds a single frame's sealed blob — a decode-time sanity
+// limit matching the wire protocol's own frame ceiling.
+const maxBlob = 64 << 20
+
+// ErrFrameCorrupt reports a malformed or truncated replication frame.
+var ErrFrameCorrupt = errors.New("repl: replication frame corrupt")
+
+// ErrChainBroken reports a frame whose MAC does not extend the verified
+// chain — evidence of tampering, splicing or a desynced stream.
+var ErrChainBroken = errors.New("repl: frame MAC chain broken")
+
+// Frame is one decoded replication frame. Key and Val alias the decoded
+// record buffer and are only valid until the next decode into the same
+// scratch.
+type Frame struct {
+	Seq   uint64
+	Epoch uint64
+	Part  uint16
+	Kind  byte
+	Delta int64
+	Key   []byte
+	Val   []byte
+}
+
+// chainState is the sealed per-stream MAC-chain state: the chain key
+// (derived inside the enclave, never exported) and the running tag. Both
+// ends of a replication link derive the same key from their shared
+// sealing identity, so only the paired enclave can extend or verify the
+// chain.
+//
+//ss:trusted
+type chainState struct {
+	mac     *cmac.CMAC
+	last    [cmac.Size]byte
+	scratch []byte
+}
+
+// chainLabel is the key-derivation label for the replication MAC chain.
+const chainLabel = "repl-chain-v1"
+
+// newChain derives the replication chain key from the enclave's sealing
+// identity and starts the chain at the zero tag (genesis).
+//
+//ss:seals — derives and holds the chain key inside trusted state.
+func newChain(e *sgx.Enclave) *chainState {
+	key := e.DeriveKey(chainLabel)
+	mac, err := cmac.New(key[:16])
+	if err != nil {
+		panic("repl: chain key derivation failed: " + err.Error())
+	}
+	return &chainState{mac: mac}
+}
+
+// reset rewinds the chain to genesis (zero previous tag) — done on both
+// ends around a FrameReset.
+//
+//ss:seals — mutates only the trusted running tag.
+func (c *chainState) reset() { c.last = [cmac.Size]byte{} }
+
+// extend computes the next chain tag over last||body, advances the chain
+// and returns the tag. Charges the CMAC pass to m.
+//
+//ss:seals — reads and advances the trusted chain tag.
+func (c *chainState) extend(m *sim.Meter, model *sim.CostModel, body []byte) [cmac.Size]byte {
+	c.scratch = append(c.scratch[:0], c.last[:]...)
+	c.scratch = append(c.scratch, body...)
+	m.Count(sim.CtrCMAC)
+	m.Charge(model.CMAC(len(c.scratch)))
+	c.last = c.mac.Tag(c.scratch)
+	return c.last
+}
+
+// check verifies tag against the chain continuation last||body; on
+// success the chain advances to tag. A failed check leaves the chain
+// untouched so a good retransmission can still extend it.
+//
+//ss:seals — reads and conditionally advances the trusted chain tag.
+func (c *chainState) check(m *sim.Meter, model *sim.CostModel, body, tag []byte) bool {
+	c.scratch = append(c.scratch[:0], c.last[:]...)
+	c.scratch = append(c.scratch, body...)
+	m.Count(sim.CtrCMAC)
+	m.Charge(model.CMAC(len(c.scratch)))
+	if !c.mac.Verify(c.scratch, tag) {
+		return false
+	}
+	copy(c.last[:], tag)
+	return true
+}
+
+// checkGenesis verifies tag as a chain restart (zero previous tag); on
+// success the chain adopts it. Used for FrameReset frames only.
+//
+//ss:seals — conditionally restarts the trusted chain tag.
+func (c *chainState) checkGenesis(m *sim.Meter, model *sim.CostModel, body, tag []byte) bool {
+	var zero [cmac.Size]byte
+	c.scratch = append(c.scratch[:0], zero[:]...)
+	c.scratch = append(c.scratch, body...)
+	m.Count(sim.CtrCMAC)
+	m.Charge(model.CMAC(len(c.scratch)))
+	if !c.mac.Verify(c.scratch, tag) {
+		return false
+	}
+	copy(c.last[:], tag)
+	return true
+}
+
+// appendRecord encodes the sealed-record plaintext for one mutation.
+func appendRecord(dst []byte, kind byte, key, val []byte, delta int64) []byte {
+	var hdr [recHdr]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(delta))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key...)
+	dst = append(dst, val...)
+	return dst
+}
+
+// decodeRecord parses a sealed-record plaintext into f's Kind/Delta/
+// Key/Val fields. Every offset is length-guarded: the record came off the
+// wire (sealing authenticates the bytes, but a desynced or hostile peer
+// still must not be able to panic the applier).
+//
+//ss:attacker — defensive decode of peer-supplied record bytes.
+func decodeRecord(f *Frame, rec []byte) error {
+	if len(rec) < recHdr {
+		return ErrFrameCorrupt
+	}
+	f.Kind = rec[0]
+	kl := int(binary.LittleEndian.Uint32(rec[1:5]))
+	f.Delta = int64(binary.LittleEndian.Uint64(rec[5:13]))
+	if kl < 0 || kl > len(rec)-recHdr {
+		return ErrFrameCorrupt
+	}
+	f.Key = rec[recHdr : recHdr+kl]
+	f.Val = rec[recHdr+kl:]
+	if f.Kind < FrameSet || f.Kind > FrameReset {
+		return ErrFrameCorrupt
+	}
+	if f.Kind == FrameReset && (kl != 0 || len(f.Val) != 0) {
+		return ErrFrameCorrupt
+	}
+	return nil
+}
+
+// decodeFrame parses the outer layer of one frame at the start of buf,
+// returning the total encoded length plus the header+blob span (the MAC
+// chain's message) and the trailing tag. The sealed blob is NOT opened
+// here — the caller verifies the chain and unseals. Every offset is
+// length-guarded against truncated or hostile input.
+//
+//ss:attacker — defensive decode of wire bytes.
+func decodeFrame(f *Frame, buf []byte) (n int, body, blob, tag []byte, err error) {
+	if len(buf) < frameOverhead {
+		return 0, nil, nil, nil, ErrFrameCorrupt
+	}
+	f.Seq = binary.LittleEndian.Uint64(buf[0:8])
+	f.Epoch = binary.LittleEndian.Uint64(buf[8:16])
+	f.Part = binary.LittleEndian.Uint16(buf[16:18])
+	bl := int(binary.LittleEndian.Uint32(buf[18:22]))
+	if bl < 0 || bl > maxBlob || bl > len(buf)-frameOverhead {
+		return 0, nil, nil, nil, ErrFrameCorrupt
+	}
+	n = frameOverhead + bl
+	body = buf[:frameHdr+bl]
+	blob = buf[frameHdr : frameHdr+bl]
+	tag = buf[frameHdr+bl : n]
+	return n, body, blob, tag, nil
+}
+
+// encodeFrame seals the record plaintext, assembles the outer frame and
+// extends the MAC chain over it, returning the complete wire bytes.
+// Sealing and MAC costs accrue to m.
+//
+//ss:seals — emits sealed blob + chain MAC only; advances the trusted
+// chain tag through chainState.next.
+func encodeFrame(m *sim.Meter, e *sgx.Enclave, chain *chainState, seq, epoch uint64, part uint16, rec []byte) []byte {
+	blob := e.Seal(m, rec)
+	out := make([]byte, frameHdr, frameHdr+len(blob)+cmac.Size)
+	binary.LittleEndian.PutUint64(out[0:8], seq)
+	binary.LittleEndian.PutUint64(out[8:16], epoch)
+	binary.LittleEndian.PutUint16(out[16:18], part)
+	binary.LittleEndian.PutUint32(out[18:22], uint32(len(blob)))
+	out = append(out, blob...)
+	tag := chain.extend(m, e.Model(), out)
+	return append(out, tag[:]...)
+}
+
+// frameKind maps a journaled mutation kind onto its frame record kind
+// (only mutations are journaled, so BatchGet never reaches here).
+func frameKind(kind core.BatchKind) byte {
+	switch kind {
+	case core.BatchSet:
+		return FrameSet
+	case core.BatchDelete:
+		return FrameDelete
+	case core.BatchAppend:
+		return FrameAppend
+	case core.BatchIncr:
+		return FrameIncr
+	}
+	return 0
+}
+
+// batchKind maps a frame record kind back onto the replica-side batch op.
+func batchKind(kind byte) core.BatchKind {
+	switch kind {
+	case FrameSet:
+		return core.BatchSet
+	case FrameDelete:
+		return core.BatchDelete
+	case FrameAppend:
+		return core.BatchAppend
+	case FrameIncr:
+		return core.BatchIncr
+	}
+	return core.BatchGet
+}

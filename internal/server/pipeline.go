@@ -117,6 +117,10 @@ func (s *Server) dispatch(pd *pending, ae AsyncEngine, m *sim.Meter, payload []b
 		pd.resp = *s.execute(m, req)
 		return
 	}
+	if isMutation(req.Cmd) && !s.writable() {
+		pd.resp = proto.Response{Status: proto.StatusFenced}
+		return
+	}
 	switch req.Cmd {
 	case proto.CmdGet:
 		pd.call = ae.Submit(m, core.BatchGet, req.Key, nil, 0)
@@ -147,6 +151,7 @@ func (s *Server) dispatch(pd *pending, ae AsyncEngine, m *sim.Meter, payload []b
 			return
 		}
 		ops := make([]core.BatchOp, len(wireOps))
+		hasMutation := false
 		for i := range wireOps {
 			ops[i] = core.BatchOp{
 				Kind:  batchKind(wireOps[i].Cmd),
@@ -154,6 +159,15 @@ func (s *Server) dispatch(pd *pending, ae AsyncEngine, m *sim.Meter, payload []b
 				Value: wireOps[i].Value,
 				Delta: wireOps[i].Delta,
 			}
+			if ops[i].Kind != core.BatchGet {
+				hasMutation = true
+			}
+		}
+		if hasMutation && !s.writable() {
+			// Fence the mutations, serve the reads — the sync path does
+			// the per-op split.
+			pd.resp = *s.execute(m, req)
+			return
 		}
 		pd.ops = ops
 		pd.bcall = ae.SubmitBatch(m, ops)

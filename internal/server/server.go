@@ -129,6 +129,20 @@ type Config struct {
 	// Health, when set, answers CmdHealth with per-partition health lines
 	// (core.FormatHealth output: state, scrub progress, journal status).
 	Health func() []string
+	// Replicate, when set, answers CmdReplicate: it receives one payload
+	// of replication frames and returns the acked watermark plus a wire
+	// status (repl.Applier.Apply). Unset, the command is rejected — an
+	// ordinary primary does not accept replication streams.
+	Replicate func(m *sim.Meter, payload []byte) (watermark uint64, status uint8)
+	// Promote, when set, answers CmdPromote: adopt the given fencing epoch
+	// and start accepting writes (repl.Applier.Promote). Returns the
+	// node's resulting epoch and a wire status.
+	Promote func(epoch uint64) (resultEpoch uint64, status uint8)
+	// Writable, when set, gates every mutation command: when it reports
+	// false the mutation is rejected with StatusFenced without touching
+	// the engine. Replicas before promotion and fenced old primaries are
+	// not writable; reads are always served.
+	Writable func() bool
 	// PipelineDepth bounds how many requests per connection may be in
 	// flight between the reader and the in-order writer (default 32).
 	PipelineDepth int
@@ -431,9 +445,25 @@ func (s *Server) chargeNet(m *sim.Meter, n int) {
 // marshalling here.
 func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 	eng := s.cfg.Engine
+	if isMutation(req.Cmd) && !s.writable() {
+		return &proto.Response{Status: proto.StatusFenced}
+	}
 	switch req.Cmd {
 	case proto.CmdPing:
 		return &proto.Response{Status: proto.StatusOK}
+	case proto.CmdReplicate:
+		if s.cfg.Replicate == nil {
+			// Not a replica: nobody wired an applier here.
+			return &proto.Response{Status: proto.StatusError}
+		}
+		wm, st := s.cfg.Replicate(m, req.Value)
+		return &proto.Response{Status: st, Num: int64(wm)}
+	case proto.CmdPromote:
+		if s.cfg.Promote == nil {
+			return &proto.Response{Status: proto.StatusError}
+		}
+		ep, st := s.cfg.Promote(uint64(req.Delta))
+		return &proto.Response{Status: st, Num: int64(ep)}
 	case proto.CmdStats:
 		if s.cfg.Stats == nil {
 			return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(nil)}
@@ -528,6 +558,7 @@ func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 // never fails the rest of the batch.
 func (s *Server) runBatch(m *sim.Meter, ops []proto.BatchOp) []proto.BatchResult {
 	coreOps := make([]core.BatchOp, len(ops))
+	hasMutation := false
 	for i := range ops {
 		coreOps[i] = core.BatchOp{
 			Kind:  batchKind(ops[i].Cmd),
@@ -535,6 +566,12 @@ func (s *Server) runBatch(m *sim.Meter, ops []proto.BatchOp) []proto.BatchResult
 			Value: ops[i].Value,
 			Delta: ops[i].Delta,
 		}
+		if coreOps[i].Kind != core.BatchGet {
+			hasMutation = true
+		}
+	}
+	if hasMutation && !s.writable() {
+		return s.runFencedBatch(m, coreOps)
 	}
 	var rs []core.BatchResult
 	if be, ok := s.cfg.Engine.(BatchEngine); ok {
@@ -557,6 +594,57 @@ func (s *Server) runBatch(m *sim.Meter, ops []proto.BatchOp) []proto.BatchResult
 		}
 	}
 	return out
+}
+
+// runFencedBatch serves a mixed batch on a non-writable node: the reads
+// execute normally (a replica's whole point is serving them), every
+// mutation comes back StatusFenced without touching the engine.
+func (s *Server) runFencedBatch(m *sim.Meter, coreOps []core.BatchOp) []proto.BatchResult {
+	out := make([]proto.BatchResult, len(coreOps))
+	reads := make([]core.BatchOp, 0, len(coreOps))
+	idx := make([]int, 0, len(coreOps))
+	for i := range coreOps {
+		if coreOps[i].Kind == core.BatchGet {
+			reads = append(reads, coreOps[i])
+			idx = append(idx, i)
+		} else {
+			out[i].Status = proto.StatusFenced
+		}
+	}
+	if len(reads) == 0 {
+		return out
+	}
+	var rs []core.BatchResult
+	if be, ok := s.cfg.Engine.(BatchEngine); ok {
+		rs = be.ExecBatch(m, reads)
+	} else {
+		rs = fallbackBatch(m, s.cfg.Engine, reads)
+	}
+	for j := range rs {
+		i := idx[j]
+		out[i].Status = statusFor(rs[j].Err)
+		if rs[j].Err != nil {
+			continue
+		}
+		out[i].Value = rs[j].Val
+		if out[i].Value == nil {
+			out[i].Value = []byte{}
+		}
+	}
+	return out
+}
+
+// writable reports whether this node currently admits mutations (no
+// Writable hook means an ordinary, always-writable server).
+func (s *Server) writable() bool { return s.cfg.Writable == nil || s.cfg.Writable() }
+
+// isMutation classifies the commands the Writable gate covers.
+func isMutation(c proto.Command) bool {
+	switch c {
+	case proto.CmdSet, proto.CmdDelete, proto.CmdAppend, proto.CmdIncr:
+		return true
+	}
+	return false
 }
 
 // batchKind maps a wire command to a core batch kind; unknown commands map
@@ -613,6 +701,12 @@ func statusFor(err error) uint8 {
 		// Before the terminal integrity mapping: a rebuilding partition is
 		// quarantined too, but the client should retry, not give up.
 		return proto.StatusRebuilding
+	case errors.Is(err, core.ErrUnhealable):
+		// Also quarantined, but nobody is coming: the client should fail
+		// over, not retry.
+		return proto.StatusUnhealable
+	case errors.Is(err, core.ErrFenced):
+		return proto.StatusFenced
 	case errors.Is(err, core.ErrIntegrity), errors.Is(err, core.ErrCorruptPointer),
 		errors.Is(err, core.ErrQuarantined):
 		return proto.StatusIntegrityViolation

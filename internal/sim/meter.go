@@ -41,6 +41,9 @@ const (
 	CtrVLogFault
 	CtrVLogGCCopy
 	CtrVLogSegmentsLive
+	CtrReplShipped
+	CtrReplApplied
+	CtrReplFailover
 	numCounters
 )
 
@@ -72,6 +75,9 @@ var counterNames = [numCounters]string{
 	"vlog_fault",
 	"vlog_gc_copy",
 	"vlog_segments_live",
+	"repl_shipped",
+	"repl_applied",
+	"repl_failover",
 }
 
 // String returns the counter's snake_case name.
