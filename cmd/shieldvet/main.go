@@ -1,6 +1,6 @@
 // Command shieldvet runs the ShieldStore enclave-boundary static analyzer
-// over the module: trustedmem, nopanic, boundarycost, and partition (see
-// DESIGN.md section 11).
+// over the module: trustedmem, nopanic, boundarycost, partition, keyflow,
+// and keylife (see DESIGN.md sections 11 and 16).
 //
 // Usage:
 //

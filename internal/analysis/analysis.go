@@ -15,6 +15,8 @@ func Checkers() []Checker {
 		noPanicChecker{},
 		boundaryCostChecker{},
 		partitionChecker{},
+		keyflowChecker{},
+		keylifeChecker{},
 	}
 }
 

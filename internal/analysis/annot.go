@@ -44,6 +44,33 @@ const (
 	// DirXPart marks control-plane functions allowed to access
 	// DirPartitioned fields across partitions.
 	DirXPart = "xpart"
+	// DirSecret marks raw key material: a function whose result is secret
+	// bytes (derived keys, exported key bundles), a named type whose
+	// values are key material, or a struct field holding it. Secret taint
+	// drives the keyflow rules (no sinks, no host I/O, no logging, no
+	// variable-time comparison) and seeds keylife wipe obligations.
+	DirSecret = "secret"
+	// DirAuthn marks a function whose result is authenticated material
+	// (MAC tags, keyed digests). Authn taint drives only the
+	// constant-time-comparison rule: tags are public, but comparing them
+	// with variable-time equality leaks the verifier's secret-derived
+	// expectation byte by byte. For DirSecret and DirAuthn on functions
+	// with several named results, the directive argument may begin with
+	// the result name(s) the color applies to — //ss:authn(key — ...)
+	// colors only the `key` result; without a leading result name every
+	// non-error result is colored.
+	DirAuthn = "authn"
+	// DirWipes marks a wipe primitive: calling it discharges the keylife
+	// obligation of the secret value passed in (or of its receiver).
+	DirWipes = "wipes"
+	// DirCTOK exempts a function from the constant-time-comparison rule,
+	// with a stated reason.
+	DirCTOK = "ct-ok"
+	// DirKeyLifeOK has two roles: on a function that RETURNS secret
+	// material, it marks the result as a borrowed view (the owner wipes;
+	// callers owe nothing); on any other function, it exempts the
+	// function's own body from keylife obligations, with a stated reason.
+	DirKeyLifeOK = "keylife-ok"
 )
 
 const directivePrefix = "//ss:"

@@ -106,6 +106,8 @@ func TestGoldenTrustedMem(t *testing.T)   { runGolden(t, "trustedmem") }
 func TestGoldenNoPanic(t *testing.T)      { runGolden(t, "nopanic") }
 func TestGoldenBoundaryCost(t *testing.T) { runGolden(t, "boundarycost") }
 func TestGoldenPartition(t *testing.T)    { runGolden(t, "partition") }
+func TestGoldenKeyflow(t *testing.T)      { runGolden(t, "keyflow") }
+func TestGoldenKeylife(t *testing.T)      { runGolden(t, "keylife") }
 
 // TestAnalyzeSelf is the invariant the CI job enforces: the real module
 // carries a complete annotation audit and every checker is clean.

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// keyflowChecker enforces ShieldStore's secret-flow rules over the
+// two-color taint engine (taint.go):
+//
+//  1. Secret-tainted bytes must not reach a //ss:sink call (a write into
+//     simulated, host-visible memory) unless the caller is audited
+//     //ss:seals or //ss:enclave-write.
+//  2. Secret-tainted bytes must not reach host I/O (os file writes)
+//     unless the caller is audited //ss:seals — and even then the audit
+//     is for sealed bytes; direct key flows are flagged.
+//  3. Secret-tainted bytes must never be formatted or logged (fmt/log):
+//     a key in an error string or a debug line is a key in the host's
+//     stdout buffer. No escape hatch — route the value through sealing
+//     or log a length/fingerprint instead.
+//  4. Secret- or authn-tainted material must not be compared with
+//     variable-time equality (==, !=, bytes.Equal, bytes.Compare,
+//     reflect.DeepEqual): use subtle.ConstantTimeCompare or hmac.Equal,
+//     or annotate the function //ss:ct-ok(reason).
+type keyflowChecker struct{}
+
+func (keyflowChecker) Name() string { return "keyflow" }
+
+func (keyflowChecker) Check(p *Program) []Finding {
+	ti := computeTaint(p)
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		findings = append(findings, checkKeyflow(ti, fd)...)
+	}
+	return findings
+}
+
+// hostIOFuncs are external writers whose arguments land on the host side
+// of the boundary verbatim.
+var hostIOFuncs = map[string]bool{
+	"os.WriteFile":               true,
+	"(*os.File).Write":           true,
+	"(*os.File).WriteString":     true,
+	"(*os.File).WriteAt":         true,
+	"(io.Writer).Write":          true,
+	"(*bufio.Writer).Write":      true,
+	"(net.Conn).Write":           true,
+	"(*net.TCPConn).Write":       true,
+	"(*net.UnixConn).Write":      true,
+	"(*bytes.Buffer).WriteTo":    true,
+	"(*os.File).ReadFrom":        true,
+	"(io.ReadWriter).Write":      true,
+	"(io.WriteCloser).Write":     true,
+	"(io.ReadWriteCloser).Write": true,
+}
+
+// variableTimeCompareFuncs compare their arguments byte by byte with an
+// early exit — timing reveals the first differing position.
+var variableTimeCompareFuncs = map[string]bool{
+	"bytes.Equal":       true,
+	"bytes.Compare":     true,
+	"reflect.DeepEqual": true,
+	"strings.Compare":   true,
+	"strings.EqualFold": true,
+}
+
+// isLogPkg reports whether the callee formats values into host-visible
+// text (fmt, log).
+func isLogPkg(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "fmt" || path == "log"
+}
+
+// comparableLeak reports whether a tainted operand's type makes a
+// variable-time == meaningful to an attacker: byte arrays, strings and
+// integers leak their content position by position. Pointer, interface,
+// channel and bool comparisons (nil checks, identity checks) do not.
+func comparableLeak(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsString) != 0
+	}
+	return false
+}
+
+func checkKeyflow(ti *taintInfo, fd *FuncDecl) []Finding {
+	p := ti.p
+	info := fd.Pkg.Info
+	ft := ti.funcTaint(fd)
+	ctOK := p.Annot.FuncOrPkgHas(fd.Fn, DirCTOK)
+	sealed := p.Annot.FuncOrPkgHas(fd.Fn, DirSeals)
+	enclaveWrite := p.Annot.FuncOrPkgHas(fd.Fn, DirEnclaveWrite)
+
+	var findings []Finding
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(info, n)
+			if callee == nil {
+				return true
+			}
+			var argBits uint8
+			for _, arg := range n.Args {
+				argBits |= ft.exprTaint(arg)
+			}
+			name := callee.FullName()
+			switch {
+			case p.Annot.FuncHas(callee, DirSink):
+				if argBits&taintSecret != 0 && !sealed && !enclaveWrite && callee.Pkg() != fd.Fn.Pkg() {
+					findings = append(findings, p.newFinding("keyflow", n.Pos(),
+						"%s passes secret-tainted bytes into sink %s without //ss:seals or //ss:enclave-write audit",
+						fd.Fn.Name(), name))
+				}
+			case hostIOFuncs[name]:
+				if argBits&taintSecret != 0 {
+					findings = append(findings, p.newFinding("keyflow", n.Pos(),
+						"%s writes secret-tainted bytes to host I/O via %s; seal the value first",
+						fd.Fn.Name(), name))
+				}
+			case isLogPkg(callee):
+				if argBits&taintSecret != 0 {
+					findings = append(findings, p.newFinding("keyflow", n.Pos(),
+						"%s formats secret-tainted bytes via %s; log a length or fingerprint instead",
+						fd.Fn.Name(), name))
+				}
+			case variableTimeCompareFuncs[name]:
+				if argBits != 0 && !ctOK {
+					findings = append(findings, p.newFinding("keyflow", n.Pos(),
+						"%s compares secret/authenticated material via %s; use subtle.ConstantTimeCompare or annotate //ss:ct-ok(reason)",
+						fd.Fn.Name(), name))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if ctOK {
+				return true
+			}
+			for _, side := range [2]ast.Expr{n.X, n.Y} {
+				bits := ft.exprTaint(side)
+				if bits == 0 {
+					continue
+				}
+				tv, ok := info.Types[side]
+				if !ok || !comparableLeak(tv.Type) {
+					continue
+				}
+				findings = append(findings, p.newFinding("keyflow", n.Pos(),
+					"%s compares secret/authenticated material with %s; use subtle.ConstantTimeCompare or annotate //ss:ct-ok(reason)",
+					fd.Fn.Name(), n.Op))
+				break
+			}
+		}
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// keylifeChecker enforces key-material lifecycle hygiene: every local
+// that OWNS secret bytes must reach one of the discharge points below on
+// every path out of the function.
+//
+// An obligation arises when a local variable is:
+//
+//   - assigned the result of a function explicitly annotated //ss:secret
+//     (DeriveKey, ExportKeys, derive, ...) — unless that function is also
+//     //ss:keylife-ok, which marks a borrowed view (secret.Buffer.Bytes:
+//     the Buffer owns the wipe, the slice owes nothing);
+//   - declared with a //ss:secret named type (var k entry.Keys): the
+//     zero value will be filled with key material in place.
+//
+// An obligation is discharged by:
+//
+//   - a call to a //ss:wipes function with the local as receiver or
+//     argument (k.Wipe(), secret.WipeBytes(k[:]), secret.From(k[:]));
+//     a DEFERRED wipe discharges every path at once;
+//   - returning the local (ownership transfers to the caller);
+//   - storing the local into a field, element, or composite literal
+//     (ownership transfers to the containing object, whose Close/Wipe
+//     is a separate audited path).
+//
+// Two findings beyond "never discharged": a plain (non-deferred) wipe
+// with a `return` between obligation and wipe leaks the key on the
+// early exit; and sync.Pool.Put of an un-wiped obligation plants key
+// bytes in a recycled buffer. Escape hatch: //ss:keylife-ok(reason) on
+// the enclosing function.
+type keylifeChecker struct{}
+
+func (keylifeChecker) Name() string { return "keylife" }
+
+func (keylifeChecker) Check(p *Program) []Finding {
+	var findings []Finding
+	for _, fd := range sortedDecls(p) {
+		if p.Annot.FuncOrPkgHas(fd.Fn, DirKeyLifeOK) {
+			continue
+		}
+		findings = append(findings, checkKeylife(p, fd)...)
+	}
+	return findings
+}
+
+// obligation is one local owing a wipe.
+type obligation struct {
+	obj   types.Object
+	name  string
+	pos   token.Pos
+	scope span // innermost function literal owning the obligation
+}
+
+// span delimits a function literal's body; the zero span means the
+// declaration's own body.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(pos token.Pos) bool { return s.lo <= pos && pos < s.hi }
+
+// discharge records one way an obligation's secret can leave the frame.
+type discharge struct {
+	pos      token.Pos
+	deferred bool
+	wipe     bool // a //ss:wipes call (vs. a return/store handoff)
+}
+
+// secretProducer reports whether a call's resolved callee is explicitly
+// //ss:secret without the //ss:keylife-ok borrow marker.
+func secretProducer(p *Program, info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	return p.Annot.FuncHas(callee, DirSecret) && !p.Annot.FuncHas(callee, DirKeyLifeOK)
+}
+
+// usesObj reports whether the object appears anywhere inside the
+// expression tree.
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkKeylife(p *Program, fd *FuncDecl) []Finding {
+	info := fd.Pkg.Info
+
+	// Function-literal spans: obligations and their discharges must live
+	// in the same (innermost) literal, or both in the declaration body.
+	var lits []span
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, span{fl.Body.Pos(), fl.Body.End()})
+		}
+		return true
+	})
+	scopeOf := func(pos token.Pos) span {
+		best := span{} // declaration body
+		for _, l := range lits {
+			if l.contains(pos) && (best.lo == token.NoPos || l.lo > best.lo) {
+				best = l
+			}
+		}
+		return best
+	}
+
+	// Pass 1: collect obligations.
+	var obls []*obligation
+	addObl := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Parent() == fd.Pkg.Types.Scope() {
+			return
+		}
+		for _, o := range obls {
+			if o.obj == obj {
+				return
+			}
+		}
+		obls = append(obls, &obligation{obj: obj, name: id.Name, pos: id.Pos(), scope: scopeOf(id.Pos())})
+	}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !secretProducer(p, info, call) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue // field/element store: ownership already moved
+				}
+				if tv, ok := info.Types[lhs]; ok && isErrorType(tv.Type) {
+					continue
+				}
+				addObl(id)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					if call, ok := ast.Unparen(n.Values[i]).(*ast.CallExpr); ok && secretProducer(p, info, call) {
+						addObl(name)
+					}
+					continue
+				}
+				// var k SecretType — the zero value is about to be
+				// filled with key material in place.
+				if obj := info.ObjectOf(name); obj != nil && isSecretNamed(p, obj.Type()) {
+					addObl(name)
+				}
+			}
+		}
+		return true
+	})
+	if len(obls) == 0 {
+		return nil
+	}
+
+	// Pass 2: collect discharges and pool hand-offs per obligation,
+	// with an explicit ancestor stack to spot deferred wipes.
+	discharges := map[*obligation][]discharge{}
+	var findings []Finding
+	var stack []ast.Node
+	inDefer := func() bool {
+		for _, n := range stack {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(info, n)
+			if callee == nil {
+				return true
+			}
+			wipes := p.Annot.FuncHas(callee, DirWipes)
+			isPoolPut := callee.FullName() == "(*sync.Pool).Put"
+			if !wipes && !isPoolPut {
+				return true
+			}
+			for _, o := range obls {
+				touches := false
+				for _, arg := range n.Args {
+					if usesObj(info, arg, o.obj) {
+						touches = true
+						break
+					}
+				}
+				if !touches && wipes {
+					// Method form: k.Wipe() — receiver inside Fun.
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && usesObj(info, sel.X, o.obj) {
+						touches = true
+					}
+				}
+				if !touches {
+					continue
+				}
+				if isPoolPut {
+					if !wipedBefore(discharges[o], n.Pos()) {
+						findings = append(findings, p.newFinding("keylife", n.Pos(),
+							"%s puts secret-tainted %s into a sync.Pool without wiping it first",
+							fd.Fn.Name(), o.name))
+					}
+					// Wiped or not, the bytes left the frame: record the
+					// hand-off so the verdict pass doesn't double-report.
+					discharges[o] = append(discharges[o], discharge{pos: n.Pos()})
+					continue
+				}
+				discharges[o] = append(discharges[o], discharge{pos: n.Pos(), deferred: inDefer(), wipe: true})
+			}
+		case *ast.ReturnStmt:
+			sc := scopeOf(n.Pos())
+			for _, o := range obls {
+				if o.scope != sc {
+					continue
+				}
+				for _, r := range n.Results {
+					if usesObj(info, r, o.obj) {
+						discharges[o] = append(discharges[o], discharge{pos: n.Pos()})
+						break
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					for _, o := range obls {
+						if usesObj(info, n.Rhs[i], o.obj) {
+							discharges[o] = append(discharges[o], discharge{pos: n.Pos()})
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, o := range obls {
+				for _, elt := range n.Elts {
+					if usesObj(info, elt, o.obj) {
+						discharges[o] = append(discharges[o], discharge{pos: n.Pos()})
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: verdicts.
+	for _, o := range obls {
+		ds := discharges[o]
+		if len(ds) == 0 {
+			findings = append(findings, p.newFinding("keylife", o.pos,
+				"secret-tainted %s in %s is never wiped or handed off; add a //ss:wipes call (defer %s.Wipe()) or //ss:keylife-ok(reason)",
+				o.name, fd.Fn.Name(), o.name))
+			continue
+		}
+		covered := false
+		first := token.Pos(0)
+		for _, d := range ds {
+			if d.deferred {
+				covered = true
+			}
+			if first == 0 || d.pos < first {
+				first = d.pos
+			}
+		}
+		if covered {
+			continue
+		}
+		// Any return between the obligation and its first discharge, in
+		// the same literal scope, escapes with the key still live.
+		leakPos := token.NoPos
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || leakPos != token.NoPos {
+				return leakPos == token.NoPos
+			}
+			if ret.Pos() <= o.pos || ret.Pos() >= first || scopeOf(ret.Pos()) != o.scope {
+				return true
+			}
+			for _, r := range ret.Results {
+				if usesObj(info, r, o.obj) {
+					return true // this return IS a discharge
+				}
+			}
+			leakPos = ret.Pos()
+			return false
+		})
+		if leakPos != token.NoPos {
+			findings = append(findings, p.newFinding("keylife", leakPos,
+				"early return leaks secret-tainted %s before its wipe in %s; defer the wipe or //ss:keylife-ok(reason)",
+				o.name, fd.Fn.Name()))
+		}
+	}
+	return findings
+}
+
+// wipedBefore reports whether a wipe discharge precedes pos.
+func wipedBefore(ds []discharge, pos token.Pos) bool {
+	for _, d := range ds {
+		if d.wipe && !d.deferred && d.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

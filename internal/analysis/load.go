@@ -8,12 +8,17 @@
 //   - boundarycost: every enclave boundary crossing (//ss:ocall, //ss:ecall)
 //     charges the sim cost model, and no host I/O happens unannotated,
 //   - partition: partition-worker code never touches another partition's
-//     mutable state (//ss:partitioned fields) outside the dispatch plane.
+//     mutable state (//ss:partitioned fields) outside the dispatch plane,
+//   - keyflow: secret-tainted key material (//ss:secret) never reaches
+//     sinks, host I/O, or fmt/log, and secret or authenticated bytes
+//     (//ss:authn) are never compared with variable-time equality,
+//   - keylife: every local owning secret bytes is wiped (//ss:wipes) or
+//     handed off on every path out of its function.
 //
 // The analyzer is built exclusively on go/parser, go/ast, go/types and
 // go/importer — no module dependencies — so it can run as a blocking CI
-// job anywhere the repo builds. See DESIGN.md section 11 for the full
-// annotation vocabulary and checker semantics.
+// job anywhere the repo builds. See DESIGN.md sections 11 and 16 for the
+// full annotation vocabulary and checker semantics.
 //
 //ss:host(developer tool; runs outside the simulated machine)
 package analysis

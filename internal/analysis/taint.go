@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Two-color taint engine shared by the keyflow and keylife checkers.
+//
+// Color semantics:
+//
+//   - secret: raw key material (//ss:secret functions, types, fields).
+//     Subject to every keyflow rule and to keylife wipe obligations.
+//   - authn: authenticated material — MAC tags and keyed digests
+//     (//ss:authn). Subject only to the constant-time-comparison rule.
+//
+// Propagation is deliberately asymmetric about calls: a call RESULT is
+// tainted only when the callee's summary says so (annotation, or the
+// module-wide fixpoint below observing the callee return tainted
+// values). Passing tainted bytes INTO a call does not taint its result —
+// that is precisely how sealing and encryption launder taint, and it is
+// what keeps `sealed := e.Seal(m, key)` out of the host-I/O rule while
+// `os.WriteFile(path, key)` stays in it. Within a function, taint flows
+// through assignment, append/copy, conversions, slicing, indexing,
+// struct access on tainted values, and range statements.
+//
+// Summaries are per result index, so a function returning (key, val,
+// err) can carry color on key alone. A directive's argument may scope
+// it: //ss:authn(key — ...) colors only the result named key. With no
+// leading result name, every non-error result is colored.
+
+// Taint color bits.
+const (
+	taintSecret uint8 = 1 << iota
+	taintAuthn
+)
+
+// taintInfo carries the module-wide function summaries: the colors each
+// declared function's results may carry, per result index.
+type taintInfo struct {
+	p         *Program
+	summaries map[*types.Func][]uint8
+}
+
+// annotTaint returns the per-result colors a function is explicitly
+// annotated with. The directive argument's leading word(s) may name
+// result parameters to scope the color; otherwise every non-error
+// result is colored.
+func annotTaint(p *Program, fn *types.Func) []uint8 {
+	results := fn.Signature().Results()
+	if results.Len() == 0 {
+		return nil
+	}
+	bits := make([]uint8, results.Len())
+	apply := func(dir string, color uint8) {
+		if !p.Annot.FuncHas(fn, dir) {
+			return
+		}
+		scoped := false
+		for _, tok := range leadingTokens(p.Annot.FuncArg(fn, dir)) {
+			for i := 0; i < results.Len(); i++ {
+				if results.At(i).Name() == tok {
+					bits[i] |= color
+					scoped = true
+				}
+			}
+		}
+		if scoped {
+			return
+		}
+		for i := 0; i < results.Len(); i++ {
+			if !isErrorType(results.At(i).Type()) {
+				bits[i] |= color
+			}
+		}
+	}
+	apply(DirSecret, taintSecret)
+	apply(DirAuthn, taintAuthn)
+	return bits
+}
+
+// leadingTokens returns the run of identifier-shaped words at the start
+// of a directive argument, stopping at the first word that could not be
+// a result name (punctuation, dashes, prose).
+func leadingTokens(arg string) []string {
+	var out []string
+	for _, f := range strings.Fields(arg) {
+		tok := strings.TrimSuffix(f, ",")
+		ok := tok != ""
+		for _, r := range tok {
+			if !(r == '_' || 'a' <= r && r <= 'z' || 'A' <= r && r <= 'Z' || '0' <= r && r <= '9') {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		out = append(out, tok)
+		if !strings.HasSuffix(f, ",") {
+			break
+		}
+	}
+	return out
+}
+
+func orBits(bits []uint8) uint8 {
+	var all uint8
+	for _, b := range bits {
+		all |= b
+	}
+	return all
+}
+
+func mergeBits(dst, src []uint8) []uint8 {
+	if len(dst) < len(src) {
+		grown := make([]uint8, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, b := range src {
+		dst[i] |= b
+	}
+	return dst
+}
+
+// isSecretNamed unwraps pointers and reports whether the named type's
+// declaration carries //ss:secret.
+func isSecretNamed(p *Program, t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return p.Annot.TypeHas(named.Obj(), DirSecret)
+}
+
+// computeTaint runs the module-wide summary fixpoint: a function's
+// summary is its annotation bits plus the colors of everything its
+// return statements can carry, recomputed until stable.
+func computeTaint(p *Program) *taintInfo {
+	ti := &taintInfo{p: p, summaries: map[*types.Func][]uint8{}}
+	decls := sortedDecls(p)
+	for _, fd := range decls {
+		ti.summaries[fd.Fn] = annotTaint(p, fd.Fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			ft := ti.funcTaint(fd)
+			bits := mergeBits(annotTaint(p, fd.Fn), ft.returnBits())
+			if !bitsEqual(bits, ti.summaries[fd.Fn]) {
+				ti.summaries[fd.Fn] = bits
+				changed = true
+			}
+		}
+	}
+	return ti
+}
+
+func bitsEqual(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// calleeResultBits returns the per-result colors a call expression may
+// produce, resolving interface calls to every module implementation.
+func (ti *taintInfo) calleeResultBits(pkg *Package, call *ast.CallExpr) []uint8 {
+	var bits []uint8
+	if callee := calleeOf(pkg.Info, call); callee != nil {
+		bits = mergeBits(bits, annotTaint(ti.p, callee))
+	}
+	for _, callee := range ti.p.Callees(pkg, call) {
+		bits = mergeBits(bits, ti.summaries[callee])
+		bits = mergeBits(bits, annotTaint(ti.p, callee))
+	}
+	return bits
+}
+
+// funcTaint is the per-function taint state: the colors each local
+// object (variable or named result) may hold.
+type funcTaint struct {
+	ti      *taintInfo
+	fd      *FuncDecl
+	tainted map[types.Object]uint8
+}
+
+// funcTaint computes the function's local taint map to a fixpoint.
+func (ti *taintInfo) funcTaint(fd *FuncDecl) *funcTaint {
+	ft := &funcTaint{ti: ti, fd: fd, tainted: map[types.Object]uint8{}}
+	for changed := true; changed; {
+		changed = ft.propagate()
+	}
+	return ft
+}
+
+// exprTaint returns the colors an expression may carry. Error values
+// never carry taint: an error is a message about key material, not the
+// material itself.
+func (ft *funcTaint) exprTaint(e ast.Expr) uint8 {
+	if e == nil {
+		return 0
+	}
+	info := ft.fd.Pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.IsValue() && isErrorType(tv.Type) {
+		return 0
+	}
+	var bits uint8
+	if tv, ok := info.Types[e]; ok && tv.IsValue() && isSecretNamed(ft.ti.p, tv.Type) {
+		bits |= taintSecret
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			bits |= ft.tainted[obj]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && ft.ti.p.Annot.FieldHas(v, DirSecret) {
+				bits |= taintSecret
+			}
+			if sel.Kind() == types.FieldVal {
+				bits |= ft.exprTaint(e.X)
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: T(x) carries x's taint.
+			for _, arg := range e.Args {
+				bits |= ft.exprTaint(arg)
+			}
+			break
+		}
+		switch {
+		case isBuiltinCall(info, e, "len"), isBuiltinCall(info, e, "cap"):
+			// Lengths of key material are not secret.
+		case isBuiltinCall(info, e, "append"):
+			for _, arg := range e.Args {
+				bits |= ft.exprTaint(arg)
+			}
+		default:
+			// In expression position a call has one meaningful value;
+			// OR over results is exact for single-result callees and
+			// conservative for multi-result pass-through.
+			bits |= orBits(ft.ti.calleeResultBits(ft.fd.Pkg, e))
+		}
+	case *ast.ParenExpr:
+		bits |= ft.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		bits |= ft.exprTaint(e.X)
+	case *ast.StarExpr:
+		bits |= ft.exprTaint(e.X)
+	case *ast.IndexExpr:
+		bits |= ft.exprTaint(e.X)
+	case *ast.SliceExpr:
+		bits |= ft.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		bits |= ft.exprTaint(e.X) | ft.exprTaint(e.Y)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				bits |= ft.exprTaint(kv.Value)
+				continue
+			}
+			bits |= ft.exprTaint(elt)
+		}
+	case *ast.TypeAssertExpr:
+		bits |= ft.exprTaint(e.X)
+	}
+	return bits
+}
+
+// taintObj adds colors to a local object, reporting change.
+func (ft *funcTaint) taintObj(obj types.Object, bits uint8) bool {
+	if obj == nil || bits == 0 {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	if isErrorType(obj.Type()) {
+		return false
+	}
+	old := ft.tainted[obj]
+	if old|bits == old {
+		return false
+	}
+	ft.tainted[obj] = old | bits
+	return true
+}
+
+// taintLHS taints the object behind an assignment target (plain
+// identifiers only; stores through fields and indexes move ownership
+// out of the local frame and are not tracked).
+func (ft *funcTaint) taintLHS(lhs ast.Expr, bits uint8) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	return ft.taintObj(ft.fd.Pkg.Info.ObjectOf(id), bits)
+}
+
+// rootIdent unwraps slicing/indexing/parens/&x down to the base
+// identifier, if any — copy(dst[:], src) taints dst.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// propagate runs one pass over the body, flowing taint through
+// assignments, declarations, ranges and copy; reports change.
+func (ft *funcTaint) propagate() bool {
+	info := ft.fd.Pkg.Info
+	changed := false
+	ast.Inspect(ft.fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// Multi-assign from one call: per-result colors.
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					bits := ft.ti.calleeResultBits(ft.fd.Pkg, call)
+					for i, lhs := range n.Lhs {
+						if i < len(bits) && ft.taintLHS(lhs, bits[i]) {
+							changed = true
+						}
+					}
+					break
+				}
+				// Comma-ok / type-assert forms: value position only.
+				bits := ft.exprTaint(n.Rhs[0])
+				if ft.taintLHS(n.Lhs[0], bits) {
+					changed = true
+				}
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) && ft.taintLHS(lhs, ft.exprTaint(n.Rhs[i])) {
+					changed = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && len(n.Names) > 1 {
+				if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+					bits := ft.ti.calleeResultBits(ft.fd.Pkg, call)
+					for i, name := range n.Names {
+						if i < len(bits) && ft.taintObj(info.ObjectOf(name), bits[i]) {
+							changed = true
+						}
+					}
+					break
+				}
+			}
+			for i, name := range n.Names {
+				if i < len(n.Values) && ft.taintObj(info.ObjectOf(name), ft.exprTaint(n.Values[i])) {
+					changed = true
+				}
+			}
+		case *ast.RangeStmt:
+			if bits := ft.exprTaint(n.X); bits != 0 && n.Value != nil {
+				if ft.taintLHS(n.Value, bits) {
+					changed = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(info, n, "copy") && len(n.Args) == 2 {
+				if bits := ft.exprTaint(n.Args[1]); bits != 0 {
+					if dst := rootIdent(n.Args[0]); dst != nil {
+						if ft.taintObj(info.ObjectOf(dst), bits) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// returnBits collects the per-result colors this function's return
+// statements can carry (returns inside function literals belong to the
+// literal, not to the declaration, and are excluded).
+func (ft *funcTaint) returnBits() []uint8 {
+	results := ft.fd.Fn.Signature().Results()
+	if results.Len() == 0 {
+		return nil
+	}
+	bits := make([]uint8, results.Len())
+	ast.Inspect(ft.fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			switch {
+			case len(n.Results) == 0:
+				// Naked return: named results carry whatever was
+				// assigned to them.
+				for i := 0; i < results.Len(); i++ {
+					bits[i] |= ft.tainted[results.At(i)]
+				}
+			case len(n.Results) == 1 && results.Len() > 1:
+				// return f() pass-through.
+				if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+					for i, b := range ft.ti.calleeResultBits(ft.fd.Pkg, call) {
+						if i < len(bits) {
+							bits[i] |= b
+						}
+					}
+				}
+			default:
+				for i, r := range n.Results {
+					if i < len(bits) {
+						bits[i] |= ft.exprTaint(r)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return bits
+}

@@ -1,0 +1,143 @@
+// Package app exercises every keyflow diagnostic and escape hatch.
+package app
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"fmt"
+	"log"
+	"os"
+
+	"corpus/kdf"
+	"corpus/memsim"
+)
+
+// LeakSink drops raw key bytes into host-visible memory with no audit.
+func LeakSink() {
+	key := kdf.Derive()
+	memsim.Write(64, key) // want `LeakSink passes secret-tainted bytes into sink corpus/memsim.Write`
+}
+
+// StoreSealed is an audited seal path, so the sink call is approved.
+//
+//ss:seals — corpus: writes MACed bytes only.
+func StoreSealed() {
+	key := kdf.Derive()
+	memsim.Write(64, key)
+}
+
+// StoreEnclave targets enclave-region addresses, where plaintext is fine.
+//
+//ss:enclave-write
+func StoreEnclave() {
+	key := kdf.Derive()
+	memsim.Write(0, key)
+}
+
+// WriteHost persists raw key bytes to the host filesystem.
+func WriteHost() {
+	key := kdf.Derive()
+	os.WriteFile("key.bin", key, 0o600) // want `WriteHost writes secret-tainted bytes to host I/O via os.WriteFile`
+}
+
+// WriteSealed persists the sealed form: Seal's result carries no taint,
+// so the laundering is structural, not annotated.
+func WriteSealed() {
+	key := kdf.Derive()
+	os.WriteFile("key.sealed", kdf.Seal(key), 0o600)
+}
+
+// LogKey formats raw key bytes into host-visible stdout.
+func LogKey() {
+	key := kdf.Derive()
+	fmt.Printf("key=%x\n", key) // want `LogKey formats secret-tainted bytes via fmt.Printf`
+}
+
+// LogKeyStdLog does the same through the log package.
+func LogKeyStdLog() {
+	key := kdf.Derive()
+	log.Println("derived", key) // want `LogKeyStdLog formats secret-tainted bytes via log.Println`
+}
+
+// LogLen logs only the length: len() launders taint, a key's size is
+// public.
+func LogLen() {
+	key := kdf.Derive()
+	log.Printf("derived %d key bytes", len(key))
+}
+
+// CompareKey leaks the first differing byte's position through timing.
+func CompareKey(x []byte) bool {
+	key := kdf.Derive()
+	return bytes.Equal(key, x) // want `CompareKey compares secret/authenticated material via bytes.Equal`
+}
+
+// CompareCT is the approved spelling.
+func CompareCT(x []byte) bool {
+	key := kdf.Derive()
+	return subtle.ConstantTimeCompare(key, x) == 1
+}
+
+// CtOK is the audited escape hatch for a legitimate variable-time use.
+//
+//ss:ct-ok(corpus: compares against a public published test vector)
+func CtOK(x []byte) bool {
+	key := kdf.Derive()
+	return bytes.Equal(key, x)
+}
+
+// CompareTag compares authenticated material (a MAC tag) with ==: the
+// tag itself is public, but the comparison leaks the verifier's
+// expected tag byte by byte.
+func CompareTag(msg []byte, got [16]byte) bool {
+	want := kdf.Tag(msg)
+	return want == got // want `CompareTag compares secret/authenticated material with ==`
+}
+
+// VerifyMAC mirrors the defect keyflow found in the real store: a
+// freshly computed tag compared against the stored one with != leaks
+// the match position on the read path.
+func VerifyMAC(msg []byte, stored [16]byte) bool {
+	want := kdf.Tag(msg)
+	if want != stored { // want `VerifyMAC compares secret/authenticated material with !=`
+		return false
+	}
+	return true
+}
+
+// TypedKey is tainted by its parameter's //ss:secret named type alone.
+func TypedKey(k kdf.Key) bool {
+	var zero kdf.Key
+	return k == zero // want `TypedKey compares secret/authenticated material with ==`
+}
+
+// FieldKey is tainted through the //ss:secret struct field; the public
+// sibling field compares freely.
+func FieldKey(c kdf.Creds, x []byte) bool {
+	if c.ID == "public" {
+		return false
+	}
+	return bytes.Equal(c.Seed, x) // want `FieldKey compares secret/authenticated material via bytes.Equal`
+}
+
+// NilCheck is identity, not content: slice/pointer comparisons carry no
+// timing side channel over the bytes.
+func NilCheck() bool {
+	key := kdf.Derive()
+	return key != nil
+}
+
+// ScopedRead mirrors the defect keyflow found in the real value log:
+// the record key returned by Read must be compared in constant time,
+// while the record VALUE — scoped out of the //ss:authn(key — ...)
+// directive — is plain user data, and errors never carry taint.
+func ScopedRead(x []byte) bool {
+	rkey, val, err := kdf.Read()
+	if err != nil {
+		return false
+	}
+	if bytes.Equal(val, x) {
+		return false
+	}
+	return bytes.Equal(rkey, x) // want `ScopedRead compares secret/authenticated material via bytes.Equal`
+}

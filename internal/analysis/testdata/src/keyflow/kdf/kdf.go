@@ -1,0 +1,40 @@
+// Package kdf is the corpus stand-in for enclave key derivation: the
+// secret/authn producers the keyflow taint engine seeds from.
+package kdf
+
+// Key is raw key material by type: every value is secret-tainted.
+//
+//ss:secret
+type Key [16]byte
+
+// Creds carries a secret field next to a public one.
+type Creds struct {
+	ID   string
+	Seed []byte //ss:secret
+}
+
+// Derive returns fresh raw key bytes.
+//
+//ss:secret
+func Derive() []byte { return make([]byte, 16) }
+
+// Tag returns an authenticated MAC tag.
+//
+//ss:authn
+func Tag(msg []byte) [16]byte { return [16]byte{byte(len(msg))} }
+
+// Read mirrors the value-log record reader: the key result is
+// authenticated material, the val result is plain user data. The
+// directive's leading result name scopes the color.
+//
+//ss:authn(key — the record key is authenticated; the value is user data)
+func Read() (key, val []byte, err error) { return nil, nil, nil }
+
+// Seal encrypts b. Call results are never tainted by their arguments,
+// so routing key material through Seal launders the taint by
+// construction — exactly the audited path keyflow wants.
+func Seal(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,13 @@
+// Package memsim is the corpus stand-in for host-visible simulated memory.
+package memsim
+
+import "corpus/kdf"
+
+// Write copies b into simulated memory at addr.
+//
+//ss:sink
+func Write(addr uint64, b []byte) {}
+
+// fill exercises the own-package exemption: the sink package's internals
+// are the sink implementation and may call it freely, key bytes or not.
+func fill() { Write(0, kdf.Derive()) }

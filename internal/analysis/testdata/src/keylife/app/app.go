@@ -1,0 +1,142 @@
+// Package app exercises every keylife diagnostic and escape hatch.
+package app
+
+import (
+	"errors"
+	"sync"
+
+	"corpus/kdf"
+)
+
+var errFail = errors.New("corpus: failed")
+
+func use(b []byte) bool { return len(b) > 0 }
+
+// Forget derives a key and drops it on the floor: the bytes outlive
+// their use un-zeroed.
+func Forget() {
+	key := kdf.Derive() // want `secret-tainted key in Forget is never wiped or handed off`
+	use(key)
+}
+
+// DeferWipe is the canonical clean shape: a deferred wipe discharges
+// every path at once, early returns included.
+func DeferWipe() error {
+	key := kdf.Derive()
+	defer kdf.WipeBytes(key)
+	if use(key) {
+		return errFail
+	}
+	return nil
+}
+
+// EarlyReturn wipes on the happy path only: the error exit leaks the
+// live key.
+func EarlyReturn(fail bool) error {
+	key := kdf.Derive()
+	if fail {
+		return errFail // want `early return leaks secret-tainted key before its wipe in EarlyReturn`
+	}
+	kdf.WipeBytes(key)
+	return nil
+}
+
+// Handoff transfers ownership to the caller: the obligation moves with
+// the return value.
+func Handoff() []byte {
+	key := kdf.Derive()
+	return key
+}
+
+type holder struct {
+	k []byte
+}
+
+// StoreField transfers ownership into a containing object, whose own
+// Close/Wipe is a separately audited path.
+func StoreField(h *holder) {
+	key := kdf.Derive()
+	h.k = key
+}
+
+// Pack transfers ownership through a composite literal.
+func Pack() *holder {
+	key := kdf.Derive()
+	return &holder{k: key}
+}
+
+var pool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// PoolLeak plants live key bytes in a recycled buffer.
+func PoolLeak() {
+	key := kdf.Derive()
+	pool.Put(key) // want `PoolLeak puts secret-tainted key into a sync.Pool without wiping it first`
+}
+
+// PoolClean wipes before recycling.
+func PoolClean() {
+	key := kdf.Derive()
+	kdf.WipeBytes(key)
+	pool.Put(key)
+}
+
+// Exempt is the audited body-level escape hatch.
+//
+//ss:keylife-ok(corpus: the derived bytes are a compiled-in public test vector)
+func Exempt() {
+	key := kdf.Derive()
+	use(key)
+}
+
+// UseBorrow holds a borrowed view: Borrow is //ss:keylife-ok, so no
+// obligation arises here.
+func UseBorrow() {
+	view := kdf.Borrow()
+	use(view)
+}
+
+// ZeroFill declares a secret-typed value — an obligation even with no
+// producer call, because the zero value is filled in place — and never
+// wipes it.
+func ZeroFill() {
+	var k kdf.Keys // want `secret-tainted k in ZeroFill is never wiped or handed off`
+	use(k.Data[:])
+}
+
+// ZeroFillWiped is the clean spelling: a deferred method-form wipe.
+func ZeroFillWiped() {
+	var k kdf.Keys
+	defer k.Wipe()
+	use(k.Data[:])
+}
+
+// Checked shows errors carry no obligation, and the deferred wipe
+// covers the error exit (where the key is empty anyway).
+func Checked() error {
+	key, err := kdf.DeriveChecked()
+	if err != nil {
+		return err
+	}
+	defer kdf.WipeBytes(key)
+	use(key)
+	return nil
+}
+
+// InClosure scopes obligations per function literal: the closure owns
+// and discharges its own key.
+func InClosure() func() {
+	return func() {
+		key := kdf.Derive()
+		defer kdf.WipeBytes(key)
+		use(key)
+	}
+}
+
+// ClosureForget leaks inside the literal: the discharge scan does not
+// credit the OUTER function's returns to the closure's obligation.
+func ClosureForget() func() {
+	return func() {
+		key := kdf.Derive() // want `secret-tainted key in ClosureForget is never wiped or handed off`
+		use(key)
+	}
+}

@@ -1,0 +1,47 @@
+// Package kdf is the corpus stand-in for enclave key derivation and the
+// wipe primitives the keylife checker tracks obligations against.
+package kdf
+
+// Keys is raw key material by type: declaring a value creates a wipe
+// obligation, because the zero value is about to be filled in place.
+//
+//ss:secret
+type Keys struct {
+	Data [16]byte
+}
+
+// Wipe zeroes the keys.
+//
+//ss:wipes
+func (k *Keys) Wipe() {
+	for i := range k.Data {
+		k.Data[i] = 0
+	}
+}
+
+// Derive returns fresh raw key bytes the caller now owns.
+//
+//ss:secret
+func Derive() []byte { return make([]byte, 16) }
+
+// DeriveChecked is the fallible variant: the error result never carries
+// an obligation.
+//
+//ss:secret
+func DeriveChecked() ([]byte, error) { return make([]byte, 16), nil }
+
+// Borrow hands out a view of key material someone else owns: callers
+// owe no wipe.
+//
+//ss:secret
+//ss:keylife-ok(borrowed view: the owner wipes, callers of Borrow owe nothing)
+func Borrow() []byte { return nil }
+
+// WipeBytes zeroes b in place.
+//
+//ss:wipes
+func WipeBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

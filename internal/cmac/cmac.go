@@ -121,6 +121,8 @@ func (c *CMAC) Sum(out []byte, msg []byte) []byte {
 }
 
 // Tag returns the tag of msg as a fresh array.
+//
+//ss:authn — tags must be compared in constant time (Verify, subtle).
 func (c *CMAC) Tag(msg []byte) [Size]byte {
 	var t [Size]byte
 	c.Sum(t[:], msg)

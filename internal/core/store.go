@@ -13,6 +13,7 @@
 package core
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"strconv"
@@ -99,9 +100,9 @@ type Options struct {
 // all optimizations on, MAC hashes equal to buckets (capped), cache off.
 func Defaults(buckets int) Options {
 	return Options{
-		Buckets:      buckets,
-		MACHashes:    buckets,
-		MACBucketCap: 30,
+		Buckets:        buckets,
+		MACHashes:      buckets,
+		MACBucketCap:   30,
 		KeyHint:        true,
 		MACBucket:      true,
 		ExtraHeap:      true,
@@ -558,7 +559,7 @@ func (s *Store) verifySet(m *sim.Meter, v *setView) error {
 		return nil
 	}
 	want := s.cipher.SetMAC(m, v.macs)
-	if want != stored {
+	if subtle.ConstantTimeCompare(want[:], stored[:]) != 1 {
 		return ErrIntegrity
 	}
 	return nil
@@ -647,7 +648,7 @@ func (s *Store) verifyMissChain(m *sim.Meter, v *setView, b int) error {
 		if slot < 0 || slot >= cnt || seen[slot] {
 			return ErrIntegrity
 		}
-		if string(hdr.MAC[:]) != string(v.macs[off+slot*entry.MACSize:off+(slot+1)*entry.MACSize]) {
+		if subtle.ConstantTimeCompare(hdr.MAC[:], v.macs[off+slot*entry.MACSize:off+(slot+1)*entry.MACSize]) != 1 {
 			return ErrIntegrity
 		}
 		seen[slot] = true
@@ -1370,7 +1371,7 @@ func (s *Store) verifyBucketEntries(m *sim.Meter, v *setView, b int) error {
 		if !ok {
 			return ErrIntegrity
 		}
-		if s.opts.MACBucket && string(hdr.MAC[:]) != string(authoritative) {
+		if s.opts.MACBucket && subtle.ConstantTimeCompare(hdr.MAC[:], authoritative) != 1 {
 			return ErrIntegrity // stale entry MAC field vs sidecar
 		}
 		if err := mem.CheckUntrusted(hdr.Next); err != nil {

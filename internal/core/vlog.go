@@ -7,7 +7,7 @@
 package core
 
 import (
-	"bytes"
+	"crypto/subtle"
 	"fmt"
 
 	"shieldstore/internal/entry"
@@ -90,7 +90,7 @@ func (s *Store) faultSpilled(m *sim.Meter, key, ptrBytes []byte) (vlog.Ptr, []by
 	if err != nil {
 		return vlog.Ptr{}, nil, fmt.Errorf("%w: value log: %w", ErrIntegrity, err)
 	}
-	if !bytes.Equal(rkey, key) {
+	if subtle.ConstantTimeCompare(rkey, key) != 1 {
 		return vlog.Ptr{}, nil, fmt.Errorf("%w: value log record key mismatch", ErrIntegrity)
 	}
 	m.Count(sim.CtrVLogFault)

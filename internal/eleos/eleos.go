@@ -19,6 +19,7 @@ package eleos
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -283,7 +284,7 @@ func (p *Pager) pageIn(m *sim.Meter, f *frame) error {
 	p.space.Peek(p.macs+mem.Addr(f.page*16), want[:])
 	m.Charge(p.model.CacheAccess)
 	got := p.pageMAC(m, f.page, ver, ct)
-	if got != want {
+	if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
 		return ErrIntegrity
 	}
 

@@ -30,6 +30,7 @@ import (
 
 	"shieldstore/internal/cmac"
 	"shieldstore/internal/mem"
+	"shieldstore/internal/secret"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
 	"shieldstore/internal/siphash"
@@ -137,11 +138,23 @@ type Cipher struct {
 // bytes into untrusted memory or a log.
 //
 //ss:trusted
+//ss:secret
 type Keys struct {
 	Data   [16]byte // AES-CTR data key
 	MAC    [16]byte // AES-CMAC key
 	Bucket [16]byte // SipHash key for the bucket index
 	Hint   [16]byte // SipHash key for the 1-byte key hint
+}
+
+// Wipe zeroes the key material in place. Keys is a value type, so every
+// copy made along a seal/recover path owns its own wipe.
+//
+//ss:wipes
+func (k *Keys) Wipe() {
+	secret.WipeBytes(k.Data[:])
+	secret.WipeBytes(k.MAC[:])
+	secret.WipeBytes(k.Bucket[:])
+	secret.WipeBytes(k.Hint[:])
 }
 
 // NewCipher generates fresh key material via the enclave DRBG.
@@ -151,7 +164,9 @@ func NewCipher(e *sgx.Enclave, m *sim.Meter) *Cipher {
 	e.ReadRand(m, k.MAC[:])
 	e.ReadRand(m, k.Bucket[:])
 	e.ReadRand(m, k.Hint[:])
-	return NewCipherFromKeys(e, k)
+	c := NewCipherFromKeys(e, k)
+	k.Wipe() // the cipher holds its own copy
+	return c
 }
 
 // NewCipherFromKeys rebuilds a cipher from sealed key material (recovery).
@@ -169,8 +184,22 @@ func NewCipherFromKeys(e *sgx.Enclave, k Keys) *Cipher {
 	return &Cipher{block: block, mac: mc, keys: k, enclave: e, model: e.Model()}
 }
 
-// ExportKeys returns the key material (for sealing only).
+// ExportKeys returns the key material (for sealing only). The returned
+// copy is the caller's to wipe once sealed.
+//
+//ss:secret — hands out raw key material; callers own the wipe.
 func (c *Cipher) ExportKeys() Keys { return c.keys }
+
+// Wipe destroys the cipher's key material: the Keys copy is zeroed and
+// the AES/CMAC engines (which hold expanded schedules) are dropped.
+// The cipher is unusable afterwards; only call on final store teardown.
+//
+//ss:wipes
+func (c *Cipher) Wipe() {
+	c.keys.Wipe()
+	c.block = nil
+	c.mac = nil
+}
 
 // MACEngine exposes the underlying CMAC instance (shared with auxiliary
 // integrity structures such as the Merkle-tree backend).

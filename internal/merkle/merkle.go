@@ -20,6 +20,7 @@
 package merkle
 
 import (
+	"crypto/subtle"
 	"errors"
 
 	"shieldstore/internal/cmac"
@@ -142,7 +143,7 @@ func (t *Tree) VerifyLeaf(m *sim.Meter, i int, leaf Digest) error {
 	}
 	var want Digest
 	t.space.Read(m, t.root, want[:])
-	if cur != want {
+	if subtle.ConstantTimeCompare(cur[:], want[:]) != 1 {
 		return ErrIntegrity
 	}
 	return nil

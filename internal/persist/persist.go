@@ -29,6 +29,7 @@ import (
 	"shieldstore/internal/core"
 	"shieldstore/internal/entry"
 	"shieldstore/internal/fault"
+	"shieldstore/internal/secret"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
 	"shieldstore/internal/vlog"
@@ -169,6 +170,7 @@ func (p *Store) Snapshot(m *sim.Meter) error {
 	}
 	meta := p.encodeMeta(version)
 	sealed := p.enclave.Seal(m, meta)
+	secret.WipeBytes(meta) // plaintext metadata embeds the cipher keys
 	if err := os.WriteFile(filepath.Join(p.dir, metaFile), sealed, 0o600); err != nil {
 		return err
 	}
@@ -310,10 +312,15 @@ func (p *Store) Drain(m *sim.Meter) {
 // encodeMeta serializes enclave-side state: version, options, key count,
 // cipher keys, MAC hashes.
 //
+// The returned plaintext embeds the cipher keys; the caller must wipe it
+// once sealed.
+//
 //ss:seals — the designated path for key material into the sealed metadata blob.
+//ss:secret — the returned buffer carries raw key material.
 func (p *Store) encodeMeta(version uint64) []byte {
 	opts := p.main.Options()
 	keys := p.main.Cipher().ExportKeys()
+	defer keys.Wipe()
 	hashes := p.main.ExportMACHashes()
 
 	buf := make([]byte, 0, 64+len(hashes))
@@ -500,9 +507,11 @@ func RestoreWith(e *sgx.Enclave, dir string, counterID uint32, m *sim.Meter, ro 
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	mb, err := decodeMeta(meta)
+	secret.WipeBytes(meta) // decodeMeta copies what it keeps; the plaintext embeds keys
 	if err != nil {
 		return nil, err
 	}
+	defer mb.keys.Wipe() // the rebuilt cipher holds its own copy
 	// Rollback defense: sealed version must match the platform counter.
 	cur, err := e.ReadMonotonicCounter(counterID)
 	if err != nil {

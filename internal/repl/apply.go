@@ -84,6 +84,15 @@ func NewApplier(p *core.Partitioned, opts ApplierOptions) (*Applier, error) {
 	return a, nil
 }
 
+// Close wipes the chain key and retires the apply engine. Frames arriving
+// after Close fail chain verification (the MAC engine is gone), so a
+// late-shipping primary gets StatusError rather than silent acceptance.
+func (a *Applier) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.chain.release()
+}
+
 // Watermark returns the highest contiguously applied frame sequence.
 func (a *Applier) Watermark() uint64 {
 	a.mu.Lock()

@@ -33,6 +33,7 @@ import (
 
 	"shieldstore/internal/cmac"
 	"shieldstore/internal/core"
+	"shieldstore/internal/secret"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
 )
@@ -94,7 +95,11 @@ type Frame struct {
 //
 //ss:trusted
 type chainState struct {
-	mac     *cmac.CMAC
+	mac *cmac.CMAC
+	// key is the guarded chain key, held so release can wipe it when
+	// the stream ends instead of leaving it reachable until exit.
+	//ss:secret
+	key     *secret.Buffer
 	last    [cmac.Size]byte
 	scratch []byte
 }
@@ -108,11 +113,26 @@ const chainLabel = "repl-chain-v1"
 //ss:seals — derives and holds the chain key inside trusted state.
 func newChain(e *sgx.Enclave) *chainState {
 	key := e.DeriveKey(chainLabel)
-	mac, err := cmac.New(key[:16])
+	mac, err := cmac.New(key.Bytes()[:16])
 	if err != nil {
 		panic("repl: chain key derivation failed: " + err.Error())
 	}
-	return &chainState{mac: mac}
+	return &chainState{mac: mac, key: key}
+}
+
+// release wipes the chain key and drops the MAC engine — called when
+// the replication stream's owner (Shipper or Applier) closes. A closed
+// chain cannot be extended; re-linking derives a fresh chainState.
+//
+//ss:seals — wipes trusted key state.
+func (c *chainState) release() {
+	if c == nil {
+		return
+	}
+	if c.key != nil {
+		_ = c.key.Wipe()
+	}
+	c.mac = nil
 }
 
 // reset rewinds the chain to genesis (zero previous tag) — done on both
@@ -144,7 +164,7 @@ func (c *chainState) check(m *sim.Meter, model *sim.CostModel, body, tag []byte)
 	c.scratch = append(c.scratch, body...)
 	m.Count(sim.CtrCMAC)
 	m.Charge(model.CMAC(len(c.scratch)))
-	if !c.mac.Verify(c.scratch, tag) {
+	if c.mac == nil || !c.mac.Verify(c.scratch, tag) {
 		return false
 	}
 	copy(c.last[:], tag)
@@ -161,7 +181,7 @@ func (c *chainState) checkGenesis(m *sim.Meter, model *sim.CostModel, body, tag 
 	c.scratch = append(c.scratch, body...)
 	m.Count(sim.CtrCMAC)
 	m.Charge(model.CMAC(len(c.scratch)))
-	if !c.mac.Verify(c.scratch, tag) {
+	if c.mac == nil || !c.mac.Verify(c.scratch, tag) {
 		return false
 	}
 	copy(c.last[:], tag)
@@ -236,8 +256,7 @@ func decodeFrame(f *Frame, buf []byte) (n int, body, blob, tag []byte, err error
 // extends the MAC chain over it, returning the complete wire bytes.
 // Sealing and MAC costs accrue to m.
 //
-//ss:seals — emits sealed blob + chain MAC only; advances the trusted
-// chain tag through chainState.next.
+//ss:seals(emits sealed blob + chain MAC only; advances the trusted chain tag through chainState.next)
 func encodeFrame(m *sim.Meter, e *sgx.Enclave, chain *chainState, seq, epoch uint64, part uint16, rec []byte) []byte {
 	blob := e.Seal(m, rec)
 	out := make([]byte, frameHdr, frameHdr+len(blob)+cmac.Size)

@@ -144,6 +144,7 @@ func (s *Shipper) Close() {
 		s.conn.Close()
 		s.conn = nil
 	}
+	s.chain.release()
 	s.mu.Unlock()
 }
 

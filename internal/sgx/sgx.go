@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"shieldstore/internal/mem"
+	"shieldstore/internal/secret"
 	"shieldstore/internal/sim"
 )
 
@@ -57,10 +58,15 @@ type Enclave struct {
 	space *mem.Space
 	model *sim.CostModel
 
-	sealAEAD    cipher.AEAD
+	sealAEAD cipher.AEAD
+	// attestKey is the platform attestation MAC key.
+	//ss:secret
 	attestKey   [32]byte
 	measurement [32]byte
-	keySeed     [16]byte
+	// keySeed is the fused platform key-derivation seed — the root of
+	// every derived subsystem key. Guarded and wiped on Teardown.
+	//ss:secret
+	keySeed *secret.Buffer
 
 	mu          sync.Mutex
 	drbg        cipher.Stream
@@ -88,12 +94,16 @@ func New(cfg Config) *Enclave {
 	e.loadCounters()
 
 	// Derive platform keys from the seed: the real hardware derives the
-	// sealing key from the fused device key + MRENCLAVE/MRSIGNER.
+	// sealing key from the fused device key + MRENCLAVE/MRSIGNER. The
+	// seed moves into a guarded buffer immediately (From wipes the stack
+	// copy) and every derived intermediate is wiped once its schedule is
+	// expanded.
 	var seedBytes [16]byte
 	binary.LittleEndian.PutUint64(seedBytes[:8], seed)
 	copy(seedBytes[8:], cfg.Measurement[:8])
-	e.keySeed = seedBytes
-	sealKey := derive(seedBytes[:], "seal")
+	e.keySeed = secret.From(seedBytes[:])
+	sealKey := derive(e.keySeed.Bytes(), "seal")
+	defer secret.WipeBytes(sealKey[:])
 	block, err := aes.NewCipher(sealKey[:16])
 	if err != nil {
 		panic(err)
@@ -102,11 +112,12 @@ func New(cfg Config) *Enclave {
 	if err != nil {
 		panic(err)
 	}
-	e.attestKey = derive(seedBytes[:], "attest")
+	e.attestKey = derive(e.keySeed.Bytes(), "attest")
 
 	// DRBG: AES-CTR keystream over a derived key, the standard CTR_DRBG
 	// construction in miniature.
-	rk := derive(seedBytes[:], "drbg")
+	rk := derive(e.keySeed.Bytes(), "drbg")
+	defer secret.WipeBytes(rk[:])
 	rb, err := aes.NewCipher(rk[:16])
 	if err != nil {
 		panic(err)
@@ -115,6 +126,9 @@ func New(cfg Config) *Enclave {
 	return e
 }
 
+// derive expands one labeled subsystem key from the platform seed.
+//
+//ss:secret — returns raw key material; callers own the wipe.
 func derive(seed []byte, label string) [32]byte {
 	h := hmac.New(sha256.New, seed)
 	h.Write([]byte(label))
@@ -128,8 +142,36 @@ func derive(seed []byte, label string) [32]byte {
 // yield independent keys; the same enclave identity + seed always derives
 // the same key, which is what lets a restarted enclave reopen state it
 // sealed earlier (the value log, for instance).
-func (e *Enclave) DeriveKey(label string) [32]byte {
-	return derive(e.keySeed[:], label)
+//
+// The key arrives in a guarded buffer: the caller owns it and must Wipe
+// it when the subsystem releases the key (shieldvet's keylife checker
+// enforces this).
+//
+//ss:secret — returns guarded key material; callers own the wipe.
+func (e *Enclave) DeriveKey(label string) *secret.Buffer {
+	k := derive(e.keySeed.Bytes(), label)
+	return secret.From(k[:])
+}
+
+// Teardown destroys the enclave's key material at enclave destruction:
+// the platform seed, the attestation key, and the DRBG state are wiped
+// or dropped. Sealing, randomness and key derivation are unusable
+// afterwards — use-after-teardown fails loudly rather than running on
+// zeroed keys. The AES key schedules expanded inside crypto stdlib
+// state cannot be zeroed from Go; dropping the references is the
+// portable equivalent of sgx_destroy_enclave's EPC scrub (DESIGN.md
+// §16). Returns ErrCanary if the seed's guard frame was corrupted.
+func (e *Enclave) Teardown() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	if e.keySeed != nil {
+		err = e.keySeed.Wipe()
+	}
+	secret.WipeBytes(e.attestKey[:])
+	e.drbg = nil
+	e.sealAEAD = nil
+	return err
 }
 
 // Space returns the memory space the enclave runs in.

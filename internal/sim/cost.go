@@ -188,9 +188,9 @@ func DefaultCostModel() *CostModel {
 		StorageWritePerByte: 8.0, // ~500 MB/s persistent storage
 		StorageWriteSetup:   24_000,
 
-		DiskSeek:         80_000, // ~20 us NVMe random access
-		DiskReadPerByte:  2.0,    // ~2 GB/s
-		DiskWritePerByte: 2.7,    // ~1.5 GB/s
+		DiskSeek:         80_000,  // ~20 us NVMe random access
+		DiskReadPerByte:  2.0,     // ~2 GB/s
+		DiskWritePerByte: 2.7,     // ~1.5 GB/s
 		DiskFsync:        500_000, // ~125 us durability barrier
 
 		PageSize: 4096,

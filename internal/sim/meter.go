@@ -44,6 +44,8 @@ const (
 	CtrReplShipped
 	CtrReplApplied
 	CtrReplFailover
+	CtrSecretBuffersLive
+	CtrSecretBytesLive
 	numCounters
 )
 
@@ -78,6 +80,8 @@ var counterNames = [numCounters]string{
 	"repl_shipped",
 	"repl_applied",
 	"repl_failover",
+	"secret_buffers_live",
+	"secret_bytes_live",
 }
 
 // String returns the counter's snake_case name.

@@ -38,6 +38,7 @@ import (
 
 	"shieldstore/internal/cmac"
 	"shieldstore/internal/fault"
+	"shieldstore/internal/secret"
 	"shieldstore/internal/sgx"
 	"shieldstore/internal/sim"
 )
@@ -139,15 +140,22 @@ type Log struct {
 
 	block cipher.Block
 	mac   *cmac.CMAC
+	// dataKey/macKey are the guarded derived log keys; held so Close can
+	// release them instead of leaving key bytes reachable for the
+	// process lifetime.
+	//ss:secret
+	dataKey *secret.Buffer
+	//ss:secret
+	macKey *secret.Buffer
 
-	segs    map[uint32]*segState // live segments
-	vers    map[uint32]uint32    // version floor for every ID ever used
-	files   map[uint32]*os.File
-	tail    uint32
+	segs     map[uint32]*segState // live segments
+	vers     map[uint32]uint32    // version floor for every ID ever used
+	files    map[uint32]*os.File
+	tail     uint32
 	haveTail bool
-	nextID  uint32
-	freeIDs []uint32
-	pending []uint32 // retired segments awaiting post-snapshot purge
+	nextID   uint32
+	freeIDs  []uint32
+	pending  []uint32 // retired segments awaiting post-snapshot purge
 
 	faults *fault.Plane
 }
@@ -164,11 +172,11 @@ func New(e *sgx.Enclave, dir string, opts Options) (*Log, error) {
 	}
 	dataKey := e.DeriveKey("vlog-data")
 	macKey := e.DeriveKey("vlog-mac")
-	block, err := aes.NewCipher(dataKey[:16])
+	block, err := aes.NewCipher(dataKey.Bytes()[:16])
 	if err != nil {
 		panic(err)
 	}
-	mc, err := cmac.New(macKey[:16])
+	mc, err := cmac.New(macKey.Bytes()[:16])
 	if err != nil {
 		panic(err)
 	}
@@ -178,6 +186,8 @@ func New(e *sgx.Enclave, dir string, opts Options) (*Log, error) {
 		opts:    opts.withDefaults(),
 		block:   block,
 		mac:     mc,
+		dataKey: dataKey,
+		macKey:  macKey,
 		segs:    map[uint32]*segState{},
 		vers:    map[uint32]uint32{},
 		files:   map[uint32]*os.File{},
@@ -328,6 +338,7 @@ func (l *Log) segBytesFor(need int) int {
 // integrity violation, not an I/O error.
 //
 //ss:ocall
+//ss:authn(key — the returned record key is authenticated material; callers must compare it in constant time)
 func (l *Log) Read(m *sim.Meter, p Ptr) (key, val []byte, err error) {
 	st, ok := l.segs[p.Seg]
 	if !ok || st.ver != p.Version {
@@ -568,7 +579,10 @@ func (l *Log) DeadBytes() int64 {
 	return n
 }
 
-// Close releases all file handles.
+// Close releases all file handles and wipes the derived log keys: a
+// closed log's key material is no longer reachable in process memory
+// (the expanded AES/CMAC schedules are dropped with it). A canary
+// failure on either key buffer surfaces as the returned error.
 //
 //ss:host(teardown outside the measured window)
 func (l *Log) Close() error {
@@ -579,5 +593,14 @@ func (l *Log) Close() error {
 		}
 		delete(l.files, id)
 	}
+	for _, kb := range []*secret.Buffer{l.dataKey, l.macKey} {
+		if kb == nil {
+			continue
+		}
+		if err := kb.Wipe(); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.block, l.mac = nil, nil
 	return first
 }

@@ -668,7 +668,10 @@ func (e dbEngine) ExecBatch(_ *sim.Meter, ops []core.BatchOp) []core.BatchResult
 // examples and tests plays the role of the attestation service).
 func (db *DB) Enclave() *sgx.Enclave { return db.enclave }
 
-// Close drains in-flight snapshots and marks the DB closed.
+// Close drains in-flight snapshots, destroys the key material (cipher
+// keys, value-log keys, enclave key seed) and marks the DB closed. Close
+// is the key-hygiene boundary: after it returns, no copy of the store's
+// secrets survives in this process.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -684,7 +687,10 @@ func (db *DB) Close() error {
 		}
 		db.locks[i].Unlock()
 	}
-	return nil
+	if db.cipher != nil {
+		db.cipher.Wipe()
+	}
+	return db.enclave.Teardown()
 }
 
 func parseInt(b []byte) (int64, error) {
