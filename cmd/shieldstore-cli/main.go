@@ -7,7 +7,7 @@
 //	shieldstore-cli -addr 127.0.0.1:7701            # REPL mode
 //
 // Commands: get K | set K V | del K | append K V | incr K N | stats |
-// health | ping
+// health | ping | topology (against a shieldstore-ctl supervisor)
 package main
 
 import (
@@ -67,7 +67,7 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("commands: get K | set K V | del K | append K V | incr K N | stats | health | ping | quit")
+			fmt.Println("commands: get K | set K V | del K | append K V | incr K N | stats | health | ping | topology | quit")
 			continue
 		}
 		if err := runCommand(c, fields); err != nil {
@@ -145,6 +145,17 @@ func runCommand(c *client.Client, args []string) error {
 			return err
 		}
 		fmt.Println("PONG")
+	case "topology":
+		// Against a shieldstore-ctl supervisor (use -insecure: the
+		// topology endpoint is plaintext — it holds no secrets).
+		version, lines, err := c.Topology()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("version=%d\n", version)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 	default:
 		return fmt.Errorf("unknown command %q (try help)", args[0])
 	}

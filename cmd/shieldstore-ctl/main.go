@@ -1,0 +1,123 @@
+// Command shieldstore-ctl runs the cluster control plane (DESIGN.md
+// §17): a supervisor that health-probes every primary and replica,
+// detects failures with a consecutive-miss + hysteresis detector, owns
+// the fencing-epoch counter, promotes replicas itself, re-protects
+// failed-over shards, watches replication lag, and publishes a
+// versioned topology over CmdTopology for every cluster client to
+// converge on.
+//
+//	shieldstore-ctl -listen 127.0.0.1:7700 -seed 7 \
+//	    -shard 127.0.0.1:7801,127.0.0.1:7802 \
+//	    -shard 127.0.0.1:7811,127.0.0.1:7812
+//
+// Each -shard names one pair as primary[,replica], in the same ring
+// order every client uses. -seed must match the data nodes' deployment
+// seed (the attestation identity the probes verify). The supervisor
+// runs on the untrusted host and holds no key material: a compromised
+// supervisor can at worst redirect reads, because fencing epochs are
+// enforced inside the data nodes' enclaves.
+//
+// Query it with: shieldstore-cli -addr <listen> -insecure topology
+//
+//ss:host(control plane; holds no secrets, enclaves enforce fencing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shieldstore"
+	"shieldstore/internal/client"
+	"shieldstore/internal/ctl"
+)
+
+func mustListen(addr string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("shieldstore-ctl: listen: %v", err)
+	}
+	return ln
+}
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:7700", "topology endpoint listen address")
+		probeInterval = flag.Duration("probe-interval", 25*time.Millisecond, "health-probe tick")
+		probeTimeout  = flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe deadline (dial+handshake+round trip)")
+		downAfter     = flag.Int("down-after", 3, "consecutive probe misses before a node is declared down")
+		upAfter       = flag.Int("up-after", 2, "consecutive successes before a down node is trusted again")
+		lagAlarm      = flag.Uint64("lag-alarm", 4096, "replication lag (frames) raising the topology alarm flag")
+		seed          = flag.Uint64("seed", 0, "deployment enclave key seed (must match the data nodes)")
+		insecure      = flag.Bool("insecure", false, "probe without attestation/encryption (testing only)")
+	)
+	var shards []ctl.ShardConfig
+	link := func() client.Options {
+		l := client.Options{Secure: !*insecure}
+		if !*insecure {
+			l.Verifier = shieldstore.AttestationService(*seed)
+			l.Measurement = shieldstore.Measurement()
+		}
+		return l
+	}
+	flag.Func("shard", "one shard as primary[,replica] (repeatable, ring order)", func(v string) error {
+		primary, replica, _ := strings.Cut(v, ",")
+		if primary == "" {
+			return fmt.Errorf("empty primary in -shard %q", v)
+		}
+		sc := ctl.ShardConfig{Primary: ctl.Node{Addr: primary}}
+		if replica != "" {
+			sc.Replica = ctl.Node{Addr: replica}
+		}
+		shards = append(shards, sc)
+		return nil
+	})
+	flag.Parse()
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "shieldstore-ctl: at least one -shard is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Links resolve after flag parsing so -seed/-insecure apply no matter
+	// the argument order.
+	for i := range shards {
+		shards[i].Primary.Link = link()
+		if shards[i].Replica.Addr != "" {
+			shards[i].Replica.Link = link()
+		}
+	}
+
+	sup, err := ctl.Start(ctl.Config{
+		Shards:        shards,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		DownAfter:     *downAfter,
+		UpAfter:       *upAfter,
+		LagAlarm:      *lagAlarm,
+		Listener:      mustListen(*listen),
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("shieldstore-ctl: %v", err)
+	}
+	log.Printf("shieldstore-ctl supervising %d shard(s), topology on %s (probe=%v down-after=%d up-after=%d)",
+		len(shards), sup.Addr(), *probeInterval, *downAfter, *upAfter)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("%v: shutting down", sig)
+	for _, l := range sup.StatsLines() {
+		log.Printf("final %s", l)
+	}
+	for _, l := range sup.Topology().Lines() {
+		log.Printf("final %s", l)
+	}
+	sup.Close()
+}

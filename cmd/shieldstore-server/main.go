@@ -198,6 +198,20 @@ func runReplicated(cfg replicatedConfig) error {
 		Health: func() []string { return core.FormatHealth(p.Health()) },
 	}
 
+	// Link builds the dial options for any same-deployment peer this node
+	// is told to ship to — the boot-time -replica-addr or a later
+	// CmdReplAttach target from a supervisor (cmd/shieldstore-ctl).
+	link := func(string) client.Options {
+		l := client.Options{Secure: !cfg.insecure}
+		if !cfg.insecure {
+			// The attestation-service stand-in: quote verification keys
+			// derive from the shared deployment seed.
+			l.Verifier = shieldstore.AttestationService(cfg.seed)
+			l.Measurement = shieldstore.Measurement()
+		}
+		return l
+	}
+
 	var shipper *repl.Shipper
 	var applier *repl.Applier
 	switch cfg.role {
@@ -214,29 +228,34 @@ func runReplicated(cfg replicatedConfig) error {
 		}
 		scfg.Replicate = applier.Apply
 		scfg.Promote = applier.Promote
-		scfg.Writable = applier.Writable
 	case "primary":
 		if cfg.replicaAddr == "" {
 			return fmt.Errorf("-role primary requires -replica-addr")
 		}
-		link := client.Options{Secure: !cfg.insecure}
-		if !cfg.insecure {
-			// The attestation-service stand-in: quote verification keys
-			// derive from the shared deployment seed.
-			link.Verifier = shieldstore.AttestationService(cfg.seed)
-			link.Measurement = shieldstore.Measurement()
-		}
 		shipper = repl.NewShipper(p, repl.ShipperOptions{
 			Addr:  cfg.replicaAddr,
-			Link:  link,
+			Link:  link(cfg.replicaAddr),
 			Epoch: cfg.epoch,
 			Logf:  log.Printf,
 		})
 		for i := 0; i < p.Parts(); i++ {
 			p.SetJournal(i, shipper.Tee(i, nil))
 		}
-		scfg.Writable = func() bool { return !shipper.Fenced() }
 	}
+
+	// The role manager (DESIGN.md §17): decides writability (promoted and
+	// not fenced), answers CmdReplAttach so a supervisor can re-protect
+	// this node by pointing its stream at a fresh spare, and renders the
+	// repl_* stats lines the lag monitor reads.
+	node := repl.NewNode(p, shipper, applier, repl.NodeOptions{
+		Link:  link,
+		Epoch: cfg.epoch,
+		Logf:  log.Printf,
+	})
+	scfg.Writable = node.Writable
+	scfg.Attach = node.Attach
+	baseStats := scfg.Stats
+	scfg.Stats = func() []string { return append(baseStats(), node.StatsLines()...) }
 
 	p.Start()
 	if shipper != nil {
@@ -263,9 +282,7 @@ func runReplicated(cfg replicatedConfig) error {
 	sig := <-stop
 	log.Printf("%v: shutting down", sig)
 	srv.Close()
-	if shipper != nil {
-		shipper.Close()
-	}
+	node.Close() // shipper (boot-time or attached by a supervisor), then applier
 	p.Stop()
 	if applier != nil {
 		log.Printf("replica watermark=%d epoch=%d writable=%v", applier.Watermark(), applier.Epoch(), applier.Writable())

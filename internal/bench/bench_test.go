@@ -77,7 +77,7 @@ func TestResultFormat(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"batch", "dispatch", "cluster", "vlog", "failover"}
+		"batch", "dispatch", "cluster", "vlog", "failover", "ctl"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}

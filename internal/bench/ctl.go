@@ -1,0 +1,163 @@
+// The control-plane experiment (DESIGN.md §17): what supervisor-
+// orchestrated failover costs relative to PR-8-style client-decided
+// failover, on the real wire. Client-decided failover reacts on the
+// first failed op (one connection error, one promote, one retry);
+// orchestrated failover must first *detect* the death — DownAfter
+// consecutive probe misses — before promoting, so its blackout carries
+// the detection window but buys convergence (every client moves to one
+// published view, no promote races) and automatic re-protection. The
+// experiment reports both blackouts plus the time from kill to the
+// shard being protected again behind a freshly attached spare. As in
+// the failover experiment, integrity is asserted, not sampled: every
+// acknowledged write is read back after each disruption.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"shieldstore/internal/cluster"
+	"shieldstore/internal/ctl"
+)
+
+// CtlExp generates the orchestrated-failover timing table (the -run ctl
+// experiment; CI's ctl-chaos-soak job emits BENCH_ctl.json from it).
+func CtlExp(cfg Config) Result {
+	cfg = cfg.Defaults()
+	ops := max(500, cfg.Ops/10)
+	res := Result{
+		ID:     "ctl",
+		Title:  "Control plane: orchestrated vs client-decided failover (real wire)",
+		Header: []string{"scenario", "ops", "wall_ms", "Kop/s", "detail"},
+		Notes: []string{
+			"wall-clock over loopback TCP with secure channels; orchestrated",
+			"blackout includes the supervisor's detection window (DownAfter",
+			"consecutive probe misses) before promote + topology publish",
+		},
+		Metrics: map[string]float64{},
+	}
+
+	clientDecidedBlackout(cfg, &res, ops)
+	orchestratedFailover(cfg, &res, ops)
+	return res
+}
+
+// clientDecidedBlackout is the PR-8 baseline: no supervisor, the client
+// promotes on the first failover-class error.
+func clientDecidedBlackout(cfg Config, res *Result, ops int) {
+	h := harnessFor(cfg, true)
+	defer h.Close()
+	c := dialCluster(h)
+	defer c.Close()
+	loadOps(c, "b", ops)
+
+	probe := probeKeyFor(c, 0)
+	h.KillPrimary(0)
+	start := time.Now()
+	if err := c.Set([]byte(probe), []byte("post")); err != nil {
+		panic(fmt.Sprintf("bench ctl: client-decided post-kill write: %v", err))
+	}
+	blackout := time.Since(start)
+	verifyOps(c, "b", ops)
+	res.Rows = append(res.Rows, []string{
+		"failover/client-decided", "1", f1(blackout.Seconds() * 1e3), "-",
+		"promote on first error + retry (no supervisor)",
+	})
+	res.Metrics["client_decided_blackout_ms"] = blackout.Seconds() * 1e3
+}
+
+// orchestratedFailover runs the same kill under a supervisor: blackout
+// is kill -> first write acknowledged via the supervisor-published
+// topology; re-protection is kill -> shard protected again behind an
+// attached spare that caught up.
+func orchestratedFailover(cfg Config, res *Result, ops int) {
+	h := harnessFor(cfg, true)
+	defer h.Close()
+
+	scfg := ctl.Config{
+		ProbeInterval: 10 * time.Millisecond,
+		DownAfter:     3,
+		UpAfter:       2,
+		SpawnSpare: func(shard int) (ctl.Node, error) {
+			sp, err := h.StartSpare(shard)
+			if err != nil {
+				return ctl.Node{}, err
+			}
+			return ctl.Node{Addr: sp.Addr, Link: h.ClientOptionsFor(sp)}, nil
+		},
+	}
+	for i := 0; i < h.Shards(); i++ {
+		s := h.Shard(i)
+		sc := ctl.ShardConfig{Primary: ctl.Node{Addr: s.Addr, Link: h.ClientOptionsFor(s)}}
+		if s.Replica != nil {
+			sc.Replica = ctl.Node{Addr: s.Replica.Addr, Link: h.ClientOptionsFor(s.Replica)}
+		}
+		scfg.Shards = append(scfg.Shards, sc)
+	}
+	sup, err := ctl.Start(scfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench ctl: supervisor: %v", err))
+	}
+	defer sup.Close()
+
+	opts := h.Options()
+	opts.Supervisor = sup.Addr()
+	opts.FailoverWait = 30 * time.Second
+	c, err := cluster.Dial(opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench ctl: dial: %v", err))
+	}
+	defer c.Close()
+	loadOps(c, "o", ops)
+
+	probe := probeKeyFor(c, 0)
+	h.KillPrimary(0)
+	kill := time.Now()
+	if err := c.Set([]byte(probe), []byte("post")); err != nil {
+		panic(fmt.Sprintf("bench ctl: orchestrated post-kill write: %v", err))
+	}
+	blackout := time.Since(kill)
+	verifyOps(c, "o", ops)
+
+	// Re-protection: spare spawned, attached, caught up — no operator.
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; ; i++ {
+		ts := sup.Topology().Shard(0)
+		if ts != nil && ts.Protected && ts.Failovers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			panic("bench ctl: shard never re-protected")
+		}
+		// The spare's catch-up flushes inside group commits: drip writes.
+		k := fmt.Sprintf("drip-%06d", i)
+		if c.ShardFor([]byte(k)) == 0 {
+			if err := c.Set([]byte(k), []byte("d")); err != nil {
+				panic(fmt.Sprintf("bench ctl: drip write: %v", err))
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reprotect := time.Since(kill)
+
+	res.Rows = append(res.Rows, []string{
+		"failover/orchestrated", "1", f1(blackout.Seconds() * 1e3), "-",
+		"probe-detect + promote + topology publish + client converge",
+	})
+	res.Rows = append(res.Rows, []string{
+		"reprotect/auto", fmt.Sprintf("%d", ops), f1(reprotect.Seconds() * 1e3), "-",
+		"kill -> spare spawned, attached, caught up, protected again",
+	})
+	res.Metrics["orchestrated_blackout_ms"] = blackout.Seconds() * 1e3
+	res.Metrics["reprotect_ms"] = reprotect.Seconds() * 1e3
+}
+
+// probeKeyFor finds a key routed at shard — the blackout probe.
+func probeKeyFor(c *cluster.Client, shard int) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%04d", i)
+		if c.ShardFor([]byte(k)) == shard {
+			return k
+		}
+	}
+}

@@ -331,6 +331,7 @@ var All = []Experiment{
 	{"cluster", "sharded cluster shard-scaling sweep", ClusterExp},
 	{"vlog", "tiered value-log working-set/budget sweep", VLogExp},
 	{"failover", "replication overhead, failover blackout, live migration", FailoverExp},
+	{"ctl", "orchestrated vs client-decided failover, auto re-protection", CtlExp},
 }
 
 // ByID finds an experiment.

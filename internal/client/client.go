@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"shieldstore/internal/proto"
 )
@@ -60,6 +61,12 @@ type Options struct {
 	// so ALL ops (mutations included) are retried with backoff while a
 	// partition heals.
 	Retry RetryPolicy
+	// Timeout, when set, deadline-bounds every dial, handshake and
+	// request/response round trip on this connection. A probe client (the
+	// control plane's failure detector) sets it so a wedged or
+	// half-partitioned node costs a bounded wait, never a hang; an
+	// expired deadline surfaces as ErrConnection. 0 means no deadline.
+	Timeout time.Duration
 }
 
 // Client is one connection to a ShieldStore server. A Client is not safe
@@ -83,7 +90,7 @@ type Client struct {
 // The address is remembered: with Options.Retry enabled the client can
 // re-dial after a transport failure.
 func Dial(addr string, opts Options) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConnection, err)
 	}
@@ -103,10 +110,16 @@ func NewClient(conn net.Conn, opts Options) (*Client, error) {
 			conn.Close()
 			return nil, fmt.Errorf("shieldstore client: Secure requires a Verifier")
 		}
+		if opts.Timeout > 0 {
+			conn.SetDeadline(time.Now().Add(opts.Timeout))
+		}
 		ch, err := proto.ClientHandshake(conn, opts.Verifier, opts.Measurement)
 		if err != nil {
 			conn.Close()
 			return nil, err
+		}
+		if opts.Timeout > 0 {
+			conn.SetDeadline(time.Time{})
 		}
 		c.ch = ch
 	}
@@ -136,6 +149,12 @@ func (c *Client) roundTripIdem(req *proto.Request) (*proto.Response, error) {
 // channel/protocol failures poison it too (the stream or nonce sequence
 // is unrecoverable) but are never retried.
 func (c *Client) exchange(req *proto.Request) (*proto.Response, error) {
+	if c.opts.Timeout > 0 {
+		// One deadline spans the whole round trip: a node that accepts the
+		// request and never answers is as failed as one that refuses it.
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.enc = proto.AppendRequest(c.enc[:0], req)
 	wire := c.enc
 	if c.ch != nil {
@@ -300,6 +319,40 @@ func (c *Client) Replicate(payload []byte) (status uint8, watermark uint64, err 
 		return 0, 0, err
 	}
 	return resp.Status, uint64(resp.Num), nil
+}
+
+// ReplAttach asks a node to (re)target its replication stream at addr —
+// the control plane's re-protection call after a failover leaves a shard
+// unprotected. The node bootstraps the new replica through its snapshot
+// path; progress is observable via the repl_* stats lines. Not retried.
+func (c *Client) ReplAttach(addr string) error {
+	resp, err := c.exchange(&proto.Request{Cmd: proto.CmdReplAttach, Key: []byte(addr)})
+	if err != nil {
+		return err
+	}
+	if resp.Status != proto.StatusOK {
+		return fmt.Errorf("%w: attach replica %s refused (status %d)", ErrServer, addr, resp.Status)
+	}
+	return nil
+}
+
+// Topology fetches a control-plane supervisor's cluster view: the
+// topology version plus one line per shard (internal/ctl formats and
+// parses the lines). Idempotent.
+func (c *Client) Topology() (version uint64, lines []string, err error) {
+	resp, err := c.roundTripIdem(&proto.Request{Cmd: proto.CmdTopology})
+	if err != nil {
+		return 0, nil, err
+	}
+	items, err := proto.DecodeList(resp.Value)
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = string(it)
+	}
+	return uint64(resp.Num), out, nil
 }
 
 // Promote asks a replica to adopt fencing epoch `epoch` and start

@@ -129,18 +129,24 @@ func (c *Client) redial(pol RetryPolicy) error {
 func (c *Client) reconnectOnce() error {
 	c.retries++
 	c.conn.Close()
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrConnection, err)
 	}
 	var ch *proto.Channel
 	if c.opts.Secure {
+		if c.opts.Timeout > 0 {
+			conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		}
 		ch, err = proto.ClientHandshake(conn, c.opts.Verifier, c.opts.Measurement)
 		if err != nil {
 			conn.Close()
 			// The handshake rides the same socket; its failure during a
 			// flap is a transport-class event.
 			return fmt.Errorf("%w: handshake: %v", ErrConnection, err)
+		}
+		if c.opts.Timeout > 0 {
+			conn.SetDeadline(time.Time{})
 		}
 	}
 	c.conn = conn

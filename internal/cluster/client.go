@@ -56,6 +56,23 @@ type Options struct {
 	// per-connection client.Options.Retry instead.) The zero value
 	// disables the re-issue and surfaces ErrRebuilding per op.
 	Retry client.RetryPolicy
+	// Supervisor, when non-empty, names a ctl.Supervisor topology
+	// endpoint. Failovers then become supervisor-mediated: on a
+	// failover-class error the client polls CmdTopology and repoints the
+	// shard at whatever the supervisor published, instead of promoting a
+	// replica itself. Client-side promotion remains strictly as fallback
+	// for an unreachable supervisor (see ctlplane.go).
+	Supervisor string
+	// SupervisorClient are dial options for the supervisor endpoint.
+	// The zero value is right for a stock supervisor: plaintext (the
+	// topology holds no secrets), with a default 250ms deadline.
+	SupervisorClient client.Options
+	// FailoverWait bounds how long a failing operation waits for the
+	// supervisor to publish a new topology before giving up (default 2s —
+	// comfortably past the supervisor's detection + promotion time).
+	FailoverWait time.Duration
+	// TopologyPoll is the re-fetch interval while waiting (default 10ms).
+	TopologyPoll time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +81,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Conns <= 0 {
 		o.Conns = 2
+	}
+	if o.FailoverWait <= 0 {
+		o.FailoverWait = 2 * time.Second
+	}
+	if o.TopologyPoll <= 0 {
+		o.TopologyPoll = 10 * time.Millisecond
 	}
 	return o
 }
@@ -76,6 +99,9 @@ type Client struct {
 	opts  Options
 	ring  *Ring
 	slots []*shardSlot
+
+	supMu   sync.Mutex     // guards the cached supervisor connection
+	supConn *client.Client // lazily dialed; nil until first topology fetch
 }
 
 // Dial connects Conns connections to every shard (and to every
@@ -99,7 +125,7 @@ func Dial(opts Options) (*Client, error) {
 			c.Close()
 			return nil, fmt.Errorf("shieldstore cluster: shard %d (%s): %w", i, spec.Addr, err)
 		}
-		sl := &shardSlot{primary: p, epoch: 1}
+		sl := &shardSlot{primary: p, epoch: 1, spec: spec, primaryAddr: spec.Addr, replicaAddr: spec.ReplicaAddr}
 		if spec.ReplicaAddr != "" {
 			rp, err := newPool(ShardSpec{Addr: spec.ReplicaAddr, Client: spec.ReplicaClient}, opts.Conns)
 			if err != nil {
@@ -118,6 +144,12 @@ func Dial(opts Options) (*Client, error) {
 // pools retired by failovers and cutovers.
 func (c *Client) Close() error {
 	var first error
+	c.supMu.Lock()
+	if c.supConn != nil {
+		c.supConn.Close()
+		c.supConn = nil
+	}
+	c.supMu.Unlock()
 	for _, sl := range c.slots {
 		sl.mu.Lock()
 		pools := append([]*pool{sl.primary, sl.replica}, sl.retired...)
@@ -254,7 +286,7 @@ func (c *Client) execShard(shard int, ops []client.Op) []client.Result {
 			retry = append(retry, i)
 		}
 	}
-	if len(retry) == 0 || !c.failover(shard) {
+	if len(retry) == 0 || !c.recover(shard) {
 		return rs
 	}
 	sub := make([]client.Op, len(retry))
@@ -423,7 +455,7 @@ func (c *Client) gatherLines(probe func(*client.Client) ([]string, error)) ([]st
 				lines, e = probe(conn)
 				return e
 			})
-			if err != nil && failoverClass(err) && c.failover(s) {
+			if err != nil && failoverClass(err) && c.recover(s) {
 				err = c.try1(s, func(conn *client.Client) error {
 					var e error
 					lines, e = probe(conn)

@@ -7,17 +7,45 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"shieldstore/internal/client"
 	"shieldstore/internal/cluster"
 )
 
+// leakCheck snapshots the goroutine count and, at cleanup time — after
+// the harness and client registered below have closed — polls until the
+// count returns to baseline. Failover and kill/restart tests churn
+// through shippers, appliers, healers and pools; a teardown that forgets
+// one (the Applier.Close class of bug) fails here with full stacks
+// instead of leaking silently across the suite.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak after teardown: %d running, baseline %d\n%s", n, base, buf)
+	})
+}
+
 // startCluster boots a secure in-process harness plus a cluster client.
 func startCluster(t *testing.T, cfg cluster.HarnessConfig) (*cluster.Harness, *cluster.Client) {
 	t.Helper()
+	leakCheck(t)
 	if cfg.Buckets == 0 {
 		cfg.Buckets = 1 << 10
 	}

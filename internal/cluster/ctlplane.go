@@ -1,0 +1,217 @@
+// Supervisor integration (DESIGN.md §17): when Options.Supervisor names
+// a ctl.Supervisor topology endpoint, the cluster client stops deciding
+// failovers itself. On a failover-class error it asks the supervisor for
+// the current topology and repoints the shard's slot at whatever the
+// supervisor published — the supervisor owns the fencing epoch and the
+// promote decision, so every client converges on the same active node
+// instead of racing their own promotions. The client-side one-shot
+// failover (failover.go) remains strictly as a fallback for when the
+// supervisor is unreachable: degraded-mode availability beats waiting
+// forever for a dead control plane.
+package cluster
+
+import (
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/ctl"
+)
+
+// supResult classifies one supervisor-mediated recovery attempt.
+type supResult int
+
+const (
+	// supApplied: the topology repointed this shard's slot — retry.
+	supApplied supResult = iota
+	// supUnreachable: the supervisor cannot be reached — the client is on
+	// its own; fall back to client-side failover.
+	supUnreachable
+	// supNoChange: the supervisor answered but published no new view for
+	// this shard within FailoverWait — surface the original error rather
+	// than promote behind the supervisor's back.
+	supNoChange
+)
+
+// recover is the data path's failover entry point: supervisor-mediated
+// when configured, client-decided otherwise. Returns true when the
+// caller should retry against the slot's (possibly new) active pool.
+func (c *Client) recover(shard int) bool {
+	if c.opts.Supervisor == "" {
+		return c.failover(shard)
+	}
+	switch c.superFailover(shard) {
+	case supApplied:
+		return true
+	case supUnreachable:
+		return c.failover(shard)
+	default:
+		return false
+	}
+}
+
+// superFailover polls the supervisor's topology until it repoints this
+// shard away from the node the client just failed against, the wait
+// budget runs out, or the supervisor proves unreachable.
+func (c *Client) superFailover(shard int) supResult {
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	startAddr, startEpoch := sl.primaryAddr, sl.epoch
+	sl.mu.Unlock()
+	deadline := time.Now().Add(c.opts.FailoverWait)
+	for {
+		topo, err := c.fetchTopology()
+		if err != nil {
+			return supUnreachable
+		}
+		if ts := topo.Shard(shard); ts != nil && c.applyTopo(shard, ts) {
+			return supApplied
+		}
+		// A concurrent caller may have applied a newer view meanwhile —
+		// that counts as recovery for us too.
+		sl.mu.Lock()
+		moved := sl.primaryAddr != startAddr || sl.epoch > startEpoch
+		sl.mu.Unlock()
+		if moved {
+			return supApplied
+		}
+		if time.Now().After(deadline) {
+			return supNoChange
+		}
+		time.Sleep(c.opts.TopologyPoll)
+	}
+}
+
+// applyTopo folds one published shard view into the slot. Returns true
+// when the slot's active pool changed (the caller should retry). An
+// entry that still names the node we hold only refreshes the epoch —
+// the supervisor has not (yet) moved the shard.
+func (c *Client) applyTopo(shard int, ts *ctl.ShardTopo) bool {
+	sl := c.slots[shard]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if ts.Primary == sl.primaryAddr {
+		if ts.Epoch > sl.epoch {
+			sl.epoch = ts.Epoch
+		}
+		c.refreshStandbyLocked(sl, ts)
+		return false
+	}
+	var np *pool
+	if sl.replica != nil && ts.Primary == sl.replicaAddr {
+		// The supervisor promoted the standby we already hold connections
+		// to: swap it in without redialing.
+		np = sl.replica
+		sl.replica = nil
+		sl.replicaAddr = ""
+	} else {
+		// A node we have never met (a re-protection spare that got
+		// promoted). Same-shard nodes share an attestation identity, so
+		// the pair's replica options (or the primary's, for unreplicated
+		// specs) verify it.
+		copts := sl.spec.Client
+		if sl.spec.ReplicaAddr != "" {
+			copts = sl.spec.ReplicaClient
+		}
+		p, err := newPool(ShardSpec{Addr: ts.Primary, Client: copts}, c.opts.Conns)
+		if err != nil {
+			return false // unreachable view; keep what we have
+		}
+		np = p
+	}
+	sl.retired = append(sl.retired, sl.primary)
+	sl.primary = np
+	sl.primaryAddr = ts.Primary
+	if ts.Epoch > sl.epoch {
+		sl.epoch = ts.Epoch
+	}
+	// The slot's client-side one-shot is spent until a protected standby
+	// re-arms it below.
+	sl.demoted = true
+	c.refreshStandbyLocked(sl, ts)
+	return true
+}
+
+// refreshStandbyLocked installs the published standby as the slot's
+// fallback target — but only when the supervisor says the shard is
+// protected: the client-side fallback must never promote an unsynced
+// spare (its watermark is behind the acked writes). Installing a fresh
+// standby re-arms the slot's one-shot client-side failover.
+func (c *Client) refreshStandbyLocked(sl *shardSlot, ts *ctl.ShardTopo) {
+	if ts.Replica == "" || !ts.Protected || ts.Replica == sl.replicaAddr {
+		return
+	}
+	copts := sl.spec.Client
+	if sl.spec.ReplicaAddr != "" {
+		copts = sl.spec.ReplicaClient
+	}
+	rp, err := newPool(ShardSpec{Addr: ts.Replica, Client: copts}, c.opts.Conns)
+	if err != nil {
+		return
+	}
+	if sl.replica != nil {
+		sl.retired = append(sl.retired, sl.replica)
+	}
+	sl.replica = rp
+	sl.replicaAddr = ts.Replica
+	sl.demoted = false
+}
+
+// Resync fetches the supervisor's current topology and folds every
+// shard's entry into the client's slots — the proactive variant of the
+// on-error recovery path, for clients that want to converge on the
+// published view without waiting to trip over a dead node.
+func (c *Client) Resync() error {
+	topo, err := c.fetchTopology()
+	if err != nil {
+		return err
+	}
+	for s := range c.slots {
+		if ts := topo.Shard(s); ts != nil {
+			c.applyTopo(s, ts)
+		}
+	}
+	return nil
+}
+
+// Topology fetches the supervisor's current cluster view (requires
+// Options.Supervisor).
+func (c *Client) Topology() (*ctl.Topology, error) {
+	return c.fetchTopology()
+}
+
+// fetchTopology runs one CmdTopology round trip on the cached supervisor
+// connection, redialing once on failure.
+func (c *Client) fetchTopology() (*ctl.Topology, error) {
+	c.supMu.Lock()
+	defer c.supMu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.supConn == nil {
+			conn, err := client.Dial(c.opts.Supervisor, c.supervisorOptions())
+			if err != nil {
+				return nil, err
+			}
+			c.supConn = conn
+		}
+		ver, lines, err := c.supConn.Topology()
+		if err == nil {
+			return ctl.ParseTopology(ver, lines)
+		}
+		lastErr = err
+		c.supConn.Close()
+		c.supConn = nil
+	}
+	return nil, lastErr
+}
+
+// supervisorOptions derives the supervisor dial options: plaintext
+// unless configured otherwise (the topology holds no secrets), always
+// deadline-bounded — a hung supervisor must cost a bounded wait, then
+// the client falls back to deciding for itself.
+func (c *Client) supervisorOptions() client.Options {
+	copts := c.opts.SupervisorClient
+	if copts.Timeout <= 0 {
+		copts.Timeout = 250 * time.Millisecond
+	}
+	return copts
+}

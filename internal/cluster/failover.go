@@ -20,12 +20,15 @@ import (
 
 // shardSlot is one ring position's connection state.
 type shardSlot struct {
-	mu      sync.Mutex
-	primary *pool // active pool (all traffic)
-	replica *pool // standby pool (nil without a replica)
-	epoch   uint64
-	demoted bool    // a failover already promoted the replica
-	retired []*pool // swapped-out pools, closed at Client.Close
+	mu          sync.Mutex
+	primary     *pool // active pool (all traffic)
+	replica     *pool // standby pool (nil without a replica)
+	primaryAddr string
+	replicaAddr string
+	spec        ShardSpec // boot-time spec (dial options for new nodes)
+	epoch       uint64
+	demoted     bool    // a failover already promoted the replica
+	retired     []*pool // swapped-out pools, closed at Client.Close
 }
 
 // active returns the slot's current traffic target.
@@ -97,7 +100,9 @@ func (c *Client) failover(shard int) bool {
 	}
 	sl.retired = append(sl.retired, sl.primary)
 	sl.primary = sl.replica
+	sl.primaryAddr = sl.replicaAddr
 	sl.replica = nil
+	sl.replicaAddr = ""
 	sl.epoch = newEpoch
 	sl.demoted = true
 	return true
@@ -155,6 +160,9 @@ func (c *Client) Cutover(shard int, spec ShardSpec) error {
 	}
 	sl.primary = np
 	sl.replica = rp
+	sl.primaryAddr = spec.Addr
+	sl.replicaAddr = spec.ReplicaAddr
+	sl.spec = spec
 	sl.epoch = newEpoch
 	sl.demoted = false
 	return nil
@@ -172,15 +180,17 @@ func (c *Client) try1(shard int, op func(conn *client.Client) error) error {
 	return err
 }
 
-// exec1 is the single-key data path: try the active node, fail over on a
-// failover-class error, retry exactly once on the promoted replica.
+// exec1 is the single-key data path: try the active node, recover on a
+// failover-class error (supervisor-mediated when one is configured,
+// client-side promotion otherwise), retry exactly once on the new
+// active node.
 func (c *Client) exec1(key []byte, op func(conn *client.Client) error) error {
 	shard := c.ring.Shard(key)
 	err := c.try1(shard, op)
 	if err == nil || !failoverClass(err) {
 		return err
 	}
-	if !c.failover(shard) {
+	if !c.recover(shard) {
 		return err
 	}
 	return c.try1(shard, op)

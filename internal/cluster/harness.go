@@ -118,21 +118,30 @@ type Shard struct {
 	Healer  *persist.Healer // nil unless SelfHeal
 	Server  *server.Server
 	Addr    string
+	Node    *repl.Node    // replication role manager (always set)
 	Shipper *repl.Shipper // nil unless Replicas (primary role)
 	Applier *repl.Applier // nil unless this node is replica-role
 	Replica *Shard        // nil unless Replicas (the standby node)
-	killed  bool          // torn down by KillPrimary; skip at Close
+	killed  bool          // torn down by Kill/KillPrimary; skip at Close
 }
 
 // close tears one node down in dependency order: front-end, healer,
-// shipper (uses RunCtl), then the worker pool.
+// replication engines (the shipper drives RunCtl, the applier holds a
+// chain key), then the worker pool.
 func (s *Shard) close() {
 	s.Server.Close()
 	if s.Healer != nil {
 		s.Healer.Close()
 	}
-	if s.Shipper != nil {
-		s.Shipper.Close()
+	if s.Node != nil {
+		s.Node.Close() // shipper (boot-time or attached later) then applier
+	} else {
+		if s.Shipper != nil {
+			s.Shipper.Close()
+		}
+		if s.Applier != nil {
+			s.Applier.Close()
+		}
 	}
 	s.Pool.Stop()
 }
@@ -226,6 +235,29 @@ func (h *Harness) serverConfig(enclave *sgx.Enclave, p *core.Partitioned) server
 	}
 }
 
+// linkFor builds the CmdReplAttach dial hook for a node with this
+// enclave identity: same-shard peers (replica, spares) share the
+// enclave seed, so the node's own enclave verifies any peer's quote.
+func (h *Harness) linkFor(enclave *sgx.Enclave) func(string) client.Options {
+	return func(string) client.Options {
+		copts := client.Options{Secure: h.cfg.Secure, Retry: h.cfg.Retry}
+		if h.cfg.Secure {
+			copts.Verifier = enclave
+			copts.Measurement = HarnessMeasurement()
+		}
+		return copts
+	}
+}
+
+// wireNode hangs a shard's replication role manager off its server
+// config: writability, CmdReplAttach, and the repl_* stats lines.
+func wireNode(scfg *server.Config, node *repl.Node) {
+	scfg.Writable = node.Writable
+	scfg.Attach = node.Attach
+	base := scfg.Stats
+	scfg.Stats = func() []string { return append(base(), node.StatsLines()...) }
+}
+
 // startReplica boots shard i's standby node: same enclave identity as the
 // primary, a repl.Applier wired into the server's Replicate/Promote
 // hooks, and Writable gated on promotion. No healer — a replica that
@@ -252,12 +284,17 @@ func (h *Harness) startReplica(i int, suffix string) (*Shard, error) {
 		p.Stop()
 		return nil, err
 	}
+	node := repl.NewNode(p, nil, applier, repl.NodeOptions{
+		Link:   h.linkFor(enclave),
+		Faults: cfg.ReplFaults,
+		Logf:   cfg.Logf,
+	})
 	scfg := h.serverConfig(enclave, p)
 	scfg.Replicate = applier.Apply
 	scfg.Promote = applier.Promote
-	scfg.Writable = applier.Writable
+	wireNode(&scfg, node)
 	srv := server.Serve(ln, scfg)
-	return &Shard{Enclave: enclave, Pool: p, Server: srv, Addr: srv.Addr().String(), Applier: applier}, nil
+	return &Shard{Enclave: enclave, Pool: p, Server: srv, Addr: srv.Addr().String(), Node: node, Applier: applier}, nil
 }
 
 // startPrimary boots shard i's serving node: enclave, partitioned pool,
@@ -325,14 +362,18 @@ func (h *Harness) startPrimary(i int, rep *Shard) (*Shard, error) {
 		p.Stop()
 		return nil, err
 	}
+	// A primary fenced out by its promoted replica must stop taking
+	// writes — reads stay up (they may be stale; the client has moved).
+	// Node.Writable enforces exactly that through the shipper.
+	node := repl.NewNode(p, shipper, nil, repl.NodeOptions{
+		Link:   h.linkFor(enclave),
+		Faults: cfg.ReplFaults,
+		Logf:   cfg.Logf,
+	})
 	scfg := h.serverConfig(enclave, p)
-	if shipper != nil {
-		// A primary fenced out by its promoted replica must stop taking
-		// writes — reads stay up (they may be stale; the client has moved).
-		scfg.Writable = func() bool { return !shipper.Fenced() }
-	}
+	wireNode(&scfg, node)
 	srv := server.Serve(ln, scfg)
-	return &Shard{Enclave: enclave, Pool: p, Healer: healer, Server: srv, Addr: srv.Addr().String(), Shipper: shipper}, nil
+	return &Shard{Enclave: enclave, Pool: p, Healer: healer, Server: srv, Addr: srv.Addr().String(), Node: node, Shipper: shipper}, nil
 }
 
 // Shard returns shard i.
@@ -389,6 +430,18 @@ func (h *Harness) Options() Options {
 	}
 }
 
+// Kill tears down an arbitrary harness node by pointer — a primary, a
+// replica, or a spare — marking it so Close skips it. The chaos tests'
+// crash switch for supervisor-managed topologies, where the boot-time
+// pairing no longer describes who serves what.
+func (h *Harness) Kill(s *Shard) {
+	if s == nil || s.killed {
+		return
+	}
+	s.killed = true
+	s.close()
+}
+
 // KillPrimary tears down shard i's primary node — server, healer,
 // shipper, worker pool — leaving its replica serving. The failover tests'
 // crash switch.
@@ -399,9 +452,14 @@ func (h *Harness) KillPrimary(i int) {
 	}
 	rep := s.Replica
 	s.Replica = nil // keep the standby out of the primary's teardown
-	s.close()
-	s.killed = true
+	h.Kill(s)
 	s.Replica = rep
+}
+
+// KillReplica tears down shard i's boot-time standby, leaving the
+// primary serving unprotected until a spare is attached.
+func (h *Harness) KillReplica(i int) {
+	h.Kill(h.shards[i].Replica)
 }
 
 // RestartPrimary brings shard i's killed primary back on a fresh
@@ -444,12 +502,14 @@ func (h *Harness) Close() {
 		if !s.killed {
 			s.close()
 		}
-		if s.Replica != nil {
+		if s.Replica != nil && !s.Replica.killed {
 			s.Replica.close()
 		}
 	}
 	for _, sp := range h.spares {
-		sp.close()
+		if !sp.killed {
+			sp.close()
+		}
 	}
 	h.shards, h.spares = nil, nil
 }

@@ -248,13 +248,22 @@ func (p *Partitioned) Route(m *sim.Meter, key []byte) int {
 	return int(h % uint64(len(p.parts)))
 }
 
-// Keys returns the total number of live keys across partitions.
+// Keys returns the total number of live keys across partitions. On a
+// running pool each partition's count is read on its own worker (via
+// RunCtl, between drains) — stats probes race the data path otherwise.
+// Direct-driven pools read inline; those callers quiesce workers first.
 //
-//ss:xpart — control-plane aggregation; callers quiesce workers first.
+//ss:xpart — control-plane aggregation.
 func (p *Partitioned) Keys() int {
+	total := 0
+	if p.started {
+		for i := range p.parts {
+			p.RunCtl(i, func(st *WorkerState) { total += st.Store.Keys() })
+		}
+		return total
+	}
 	p.partsMu.RLock()
 	defer p.partsMu.RUnlock()
-	total := 0
 	for _, s := range p.parts {
 		total += s.Keys()
 	}
@@ -284,16 +293,30 @@ func (p *Partitioned) ResetMeters() {
 	}
 }
 
-// AggregateStats sums event counters across workers.
+// AggregateStats sums event counters across workers (Cycles is the max,
+// the cluster-critical-path convention). Meters are single-threaded by
+// design, and stats probes (the server's CmdStats hook, a supervisor's
+// lag monitor) arrive concurrently with the data path — so on a running
+// pool each worker's meter is snapshotted on its own goroutine via
+// RunCtl, between drains. Direct-driven pools (benchmarks) read inline.
 //
 //ss:xpart — control-plane aggregation.
 func (p *Partitioned) AggregateStats() sim.Stats {
-	agg := sim.NewMeter(p.enclave.Model())
-	for _, m := range p.meters {
-		agg.Add(m)
+	var s sim.Stats
+	for i, m := range p.meters {
+		var snap sim.Stats
+		if p.started {
+			p.RunCtl(i, func(*WorkerState) { snap = m.Snapshot() })
+		} else {
+			snap = m.Snapshot()
+		}
+		for c := range snap.Events {
+			s.Events[c] += snap.Events[c]
+		}
+		if snap.Cycles > s.Cycles {
+			s.Cycles = snap.Cycles
+		}
 	}
-	s := agg.Snapshot()
-	s.Cycles = p.MaxCycles()
 	return s
 }
 

@@ -1,0 +1,338 @@
+// The cluster-wide chaos soak (DESIGN.md §17): a seeded adversarial
+// schedule against a supervised cluster. Primaries and replicas of
+// protected shards are killed round after round while concurrent
+// clients write through supervisor-mediated recovery and every probe
+// link drops packets; the supervisor must detect, promote, publish, and
+// re-protect each time without operator action. Invariants asserted:
+// zero acknowledged-write loss, bounded write blackout after every
+// primary kill, no promotion storms (failovers bounded by kills), a
+// fenced revenant primary rejected on return, and — after the
+// supervisor itself dies — clients completing writes via the one-shot
+// client-side fallback. The CI ctl-chaos-soak job runs this under
+// -race. The schedule is fully seeded: kill choices and probe flake
+// come from one PRNG, so a failure replays.
+package ctl_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"shieldstore/internal/client"
+	"shieldstore/internal/cluster"
+	"shieldstore/internal/ctl"
+)
+
+// leakCheck snapshots the goroutine count and, at cleanup time — after
+// every harness, supervisor and client registered later has closed —
+// polls until the count returns to baseline. A shipper, applier,
+// supervisor loop or pooled connection left running fails the test with
+// full stacks instead of silently accumulating across the suite.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak after teardown: %d running, baseline %d\n%s", n, base, buf)
+	})
+}
+
+// ackLog records every acknowledged write across concurrent writers —
+// the ground truth for the zero-loss check.
+type ackLog struct {
+	mu   sync.Mutex
+	keys map[string]string
+}
+
+func (a *ackLog) record(k, v string) {
+	a.mu.Lock()
+	a.keys[k] = v
+	a.mu.Unlock()
+}
+
+func (a *ackLog) snapshot() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]string, len(a.keys))
+	for k, v := range a.keys {
+		out[k] = v
+	}
+	return out
+}
+
+func TestChaosSoak(t *testing.T) {
+	leakCheck(t)
+
+	const (
+		seed       = 2026
+		shards     = 3
+		rounds     = 4
+		writers    = 2
+		flakePct   = 10 // % of probes dropped (both directions of hysteresis exercised)
+		blackoutOK = 20 * time.Second
+	)
+
+	h := startPairs(t, cluster.HarnessConfig{Shards: shards, Seed: 53})
+
+	// nodes maps every address the topology can name to the harness node
+	// behind it, so the chaos actor can kill by published address.
+	var nodeMu sync.Mutex
+	nodes := map[string]*cluster.Shard{}
+	for i := 0; i < h.Shards(); i++ {
+		nodes[h.Shard(i).Addr] = h.Shard(i)
+		nodes[h.Shard(i).Replica.Addr] = h.Shard(i).Replica
+	}
+
+	// One PRNG drives both chaos decisions and probe flake. The probe
+	// loop calls DropProbe from parallel goroutines, so the rng is
+	// mutex-guarded; the flake stream interleaves nondeterministically
+	// with the kill stream, but every decision still derives from seed.
+	rng := rand.New(rand.NewSource(seed))
+	var rngMu sync.Mutex
+	flake := func(int, string) bool {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Intn(100) < flakePct
+	}
+	pick := func(n int) int {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Intn(n)
+	}
+
+	sup := supervisorFor(t, h, func(cfg *ctl.Config) {
+		cfg.ProbeInterval = 10 * time.Millisecond
+		cfg.DownAfter = 5 // flaky links need a longer window than the default
+		cfg.DropProbe = flake
+		cfg.SpawnSpare = func(shard int) (ctl.Node, error) {
+			sp, err := h.StartSpare(shard)
+			if err != nil {
+				return ctl.Node{}, err
+			}
+			nodeMu.Lock()
+			nodes[sp.Addr] = sp
+			nodeMu.Unlock()
+			return ctl.Node{Addr: sp.Addr, Link: h.ClientOptionsFor(sp)}, nil
+		}
+	})
+	c := dialSupervised(t, h, sup)
+
+	// Concurrent writers hammer the whole ring for the entire soak. A
+	// write that errors mid-failover is simply not recorded (the
+	// at-least-once contract is the client's, not the soak's); every
+	// write that IS acknowledged must survive everything below.
+	acked := &ackLog{keys: map[string]string{}}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("c%d-%06d", w, seq)
+				v := fmt.Sprintf("v%d-%06d", w, seq)
+				if err := c.Set([]byte(k), []byte(v)); err == nil {
+					acked.record(k, v)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(w)
+	}
+	stopWriters := func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+			wg.Wait()
+		}
+	}
+	defer stopWriters()
+
+	waitProtected := func(shard int, d time.Duration, what string) {
+		waitTopo(t, sup, nil, shard, d, what, func(ts *ctl.ShardTopo) bool {
+			return ts.Protected
+		})
+	}
+	for s := 0; s < shards; s++ {
+		waitProtected(s, 10*time.Second, "initial protection")
+	}
+
+	// probeWrite measures the shard's write blackout: time from now until
+	// a write routed at shard is acknowledged again.
+	probeWrite := func(shard int, tag string) time.Duration {
+		t.Helper()
+		start := time.Now()
+		deadline := start.Add(blackoutOK)
+		for i := 0; time.Now().Before(deadline); i++ {
+			k := fmt.Sprintf("probe-%s-%06d", tag, i)
+			if c.ShardFor([]byte(k)) != shard {
+				continue
+			}
+			if err := c.Set([]byte(k), []byte("p")); err == nil {
+				acked.record(k, "p")
+				return time.Since(start)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("shard %d: no acknowledged write within %v after %s", shard, blackoutOK, tag)
+		return 0
+	}
+
+	// --- phase 1: revenant fencing under supervision ---
+	// Kill shard 0's boot primary, let the supervisor fail over and
+	// re-protect, then bring the dead node back: its first shipped commit
+	// is rejected by its own former replica's higher epoch and the node
+	// latches read-only — the revenant takes no writes, ever.
+	bootReplica := h.Shard(0).Replica.Addr
+	h.KillPrimary(0)
+	primaryKills := 1
+	if d := probeWrite(0, "revenant-kill"); d > blackoutOK {
+		t.Fatalf("blackout %v", d)
+	}
+	waitTopo(t, sup, nil, 0, 10*time.Second, "failover off boot primary", func(ts *ctl.ShardTopo) bool {
+		return ts.Primary == bootReplica
+	})
+	waitProtected(0, 30*time.Second, "re-protection after revenant kill")
+
+	revenant, err := h.RestartPrimary(0)
+	if err != nil {
+		t.Fatalf("RestartPrimary: %v", err)
+	}
+	direct, err := client.Dial(revenant.Addr, h.ClientOptionsFor(revenant))
+	if err != nil {
+		t.Fatalf("dial revenant: %v", err)
+	}
+	if err := direct.Set([]byte("zombie"), []byte("w")); !errors.Is(err, client.ErrFenced) {
+		t.Fatalf("write on revenant: %v, want ErrFenced", err)
+	}
+	direct.Close()
+
+	// --- phase 2: seeded kill/restart chaos across the cluster ---
+	for round := 0; round < rounds; round++ {
+		shard := pick(shards)
+		waitProtected(shard, 30*time.Second, fmt.Sprintf("protection before round %d", round))
+		ts := sup.Topology().Shard(shard)
+		victim := ts.Primary
+		killPrimary := pick(2) == 0
+		if !killPrimary {
+			victim = ts.Replica
+		}
+		nodeMu.Lock()
+		n := nodes[victim]
+		nodeMu.Unlock()
+		if n == nil {
+			t.Fatalf("round %d: topology names unknown node %s", round, victim)
+		}
+		t.Logf("chaos round %d: killing shard %d %s (%s)", round, shard,
+			map[bool]string{true: "primary", false: "replica"}[killPrimary], victim)
+		h.Kill(n)
+		if killPrimary {
+			primaryKills++
+			d := probeWrite(shard, fmt.Sprintf("round-%d", round))
+			t.Logf("chaos round %d: write blackout %v", round, d)
+			waitTopo(t, sup, nil, shard, 30*time.Second, "failover", func(ts *ctl.ShardTopo) bool {
+				return ts.Primary != victim
+			})
+		}
+		waitProtected(shard, 30*time.Second, fmt.Sprintf("re-protection after round %d", round))
+	}
+
+	// Settle: every shard protected, writers still running.
+	for s := 0; s < shards; s++ {
+		waitProtected(s, 30*time.Second, "final protection")
+	}
+	stopWriters()
+
+	// --- invariants ---
+	// No promotion storms: the flaky links may buy the supervisor at most
+	// a couple of spurious (but safe: protected-standby-only) failovers
+	// on top of the real kills.
+	totalFailovers := 0
+	for _, ts := range sup.Topology().Shards {
+		totalFailovers += ts.Failovers
+	}
+	if totalFailovers > primaryKills+2 {
+		t.Fatalf("%d failovers for %d primary kills — promotion storm", totalFailovers, primaryKills)
+	}
+
+	// Zero acknowledged-write loss across every kill, promotion and
+	// bootstrap: the full ack log reads back exactly.
+	final := acked.snapshot()
+	t.Logf("soak wrote %d acknowledged keys across %d failovers", len(final), totalFailovers)
+	if len(final) < 100 {
+		t.Fatalf("only %d acknowledged writes — writers starved, soak proved nothing", len(final))
+	}
+	for k, v := range final {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("acked key %s lost: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("acked key %s = %q, want %q", k, got, v)
+		}
+	}
+
+	// --- phase 3: fallback failover with a dead supervisor ---
+	// Converge the client on the final topology, kill the control plane,
+	// then kill a primary. recover() finds the supervisor unreachable and
+	// falls back to the one-shot client-side promotion of the protected
+	// standby it learned from the last published view.
+	if err := c.Resync(); err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	fallbackShard := pick(shards)
+	ts := sup.Topology().Shard(fallbackShard)
+	sup.Close()
+
+	nodeMu.Lock()
+	n := nodes[ts.Primary]
+	nodeMu.Unlock()
+	if n == nil {
+		t.Fatalf("fallback: topology names unknown node %s", ts.Primary)
+	}
+	h.Kill(n)
+
+	done := 0
+	for i := 0; done < 20; i++ {
+		k := fmt.Sprintf("fb-%06d", i)
+		if c.ShardFor([]byte(k)) != fallbackShard {
+			continue
+		}
+		if err := c.Set([]byte(k), []byte("fb")); err != nil {
+			t.Fatalf("fallback write %s: %v", k, err)
+		}
+		final[k] = "fb"
+		done++
+	}
+	if !c.Demoted(fallbackShard) {
+		t.Fatal("fallback shard not demoted — client-side failover never ran")
+	}
+	for k, v := range final {
+		got, err := c.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("post-fallback: acked key %s lost: %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("post-fallback: acked key %s = %q, want %q", k, got, v)
+		}
+	}
+}

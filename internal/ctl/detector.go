@@ -1,0 +1,82 @@
+// Package ctl is the cluster control plane (DESIGN.md §17): a supervisor
+// that owns cluster topology and drives failover instead of the client.
+// It probes every primary and replica with deadline-bounded health
+// checks, detects failures with a consecutive-miss + hysteresis detector
+// (a flaky link never triggers a promotion), owns the fencing-epoch
+// counter, promotes replicas itself, re-protects failed-over shards by
+// attaching spares, watches replication lag, and publishes a versioned
+// topology over CmdTopology so every client converges on one view.
+// Clients keep their one-shot client-side failover strictly as a
+// fallback for when the supervisor is unreachable.
+//
+// The supervisor runs on the untrusted host — it never holds key
+// material and a compromised one can at worst redirect reads to a stale
+// fenced node; writes stay safe because fencing epochs are enforced
+// inside the data nodes' enclaves, not here.
+//
+//ss:host(control plane; holds no secrets, enclaves enforce fencing)
+package ctl
+
+// Detector is a consecutive-miss + hysteresis failure detector for one
+// probed node. A node is declared down only after DownAfter consecutive
+// probe misses, and once down it is declared up again only after UpAfter
+// consecutive successes — so a flapping link (alternating hit/miss)
+// never crosses either threshold and never triggers a promotion, while a
+// genuinely dead node is detected within DownAfter probe intervals.
+//
+// The zero value is usable (defaults applied on first Observe). Not safe
+// for concurrent use; the supervisor's probe loop owns each instance.
+type Detector struct {
+	// DownAfter is how many consecutive misses declare the node down
+	// (default 3).
+	DownAfter int
+	// UpAfter is how many consecutive successes an already-down node
+	// needs before it is trusted again (default 2).
+	UpAfter int
+
+	misses int
+	hits   int
+	down   bool
+}
+
+func (d *Detector) defaults() {
+	if d.DownAfter <= 0 {
+		d.DownAfter = 3
+	}
+	if d.UpAfter <= 0 {
+		d.UpAfter = 2
+	}
+}
+
+// Observe feeds one probe outcome and reports whether the node's
+// up/down verdict changed on this observation.
+func (d *Detector) Observe(ok bool) (changed bool) {
+	d.defaults()
+	if !ok {
+		d.hits = 0
+		d.misses++
+		if !d.down && d.misses >= d.DownAfter {
+			d.down = true
+			return true
+		}
+		return false
+	}
+	d.misses = 0
+	if !d.down {
+		return false
+	}
+	d.hits++
+	if d.hits >= d.UpAfter {
+		d.down = false
+		d.hits = 0
+		return true
+	}
+	return false
+}
+
+// Down reports the current verdict.
+func (d *Detector) Down() bool { return d.down }
+
+// Reset returns the detector to a fresh up state — used when the node
+// behind it is replaced (a spare takes a dead replica's slot).
+func (d *Detector) Reset() { *d = Detector{DownAfter: d.DownAfter, UpAfter: d.UpAfter} }

@@ -1,0 +1,132 @@
+package ctl
+
+import "testing"
+
+// TestDetectorDownAfterConsecutiveMisses checks the basic down threshold:
+// the verdict flips exactly on the DownAfter'th consecutive miss, not
+// before.
+func TestDetectorDownAfterConsecutiveMisses(t *testing.T) {
+	d := Detector{DownAfter: 3, UpAfter: 2}
+	for i := 0; i < 2; i++ {
+		if changed := d.Observe(false); changed {
+			t.Fatalf("verdict changed after %d misses, want %d", i+1, 3)
+		}
+		if d.Down() {
+			t.Fatalf("down after %d misses, want %d", i+1, 3)
+		}
+	}
+	if changed := d.Observe(false); !changed {
+		t.Fatal("no verdict change on the DownAfter'th miss")
+	}
+	if !d.Down() {
+		t.Fatal("not down after DownAfter consecutive misses")
+	}
+	// Further misses keep the verdict without re-reporting a change.
+	if changed := d.Observe(false); changed {
+		t.Fatal("verdict re-changed while already down")
+	}
+}
+
+// TestDetectorHysteresisWindow checks that a down node needs UpAfter
+// consecutive successes to be trusted again, and that a single
+// intervening miss restarts the count.
+func TestDetectorHysteresisWindow(t *testing.T) {
+	d := Detector{DownAfter: 3, UpAfter: 2}
+	for i := 0; i < 3; i++ {
+		d.Observe(false)
+	}
+	if !d.Down() {
+		t.Fatal("setup: not down")
+	}
+	if d.Observe(true); !d.Down() {
+		t.Fatal("up after a single success, want UpAfter=2")
+	}
+	// A miss mid-recovery resets the streak.
+	d.Observe(false)
+	if d.Observe(true); !d.Down() {
+		t.Fatal("up after interrupted recovery streak")
+	}
+	if changed := d.Observe(true); !changed {
+		t.Fatal("no verdict change after UpAfter consecutive successes")
+	}
+	if d.Down() {
+		t.Fatal("still down after sustained health")
+	}
+}
+
+// TestDetectorFlappingNeverChangesVerdict is the no-promote-storm
+// property: a link alternating hit/miss forever crosses neither
+// threshold, in either direction.
+func TestDetectorFlappingNeverChangesVerdict(t *testing.T) {
+	// Starting up: flapping must never declare down.
+	up := Detector{DownAfter: 3, UpAfter: 2}
+	for i := 0; i < 1000; i++ {
+		if up.Observe(i%2 == 0) {
+			t.Fatalf("flapping flipped an up node's verdict at observation %d", i)
+		}
+	}
+	if up.Down() {
+		t.Fatal("flapping declared an up node down")
+	}
+
+	// Starting down: flapping must never declare up.
+	down := Detector{DownAfter: 3, UpAfter: 2}
+	for i := 0; i < 3; i++ {
+		down.Observe(false)
+	}
+	for i := 0; i < 1000; i++ {
+		if down.Observe(i%2 == 0) {
+			t.Fatalf("flapping flipped a down node's verdict at observation %d", i)
+		}
+	}
+	if !down.Down() {
+		t.Fatal("flapping declared a down node up")
+	}
+}
+
+// TestDetectorRecoveryCycle checks a full down/up/down cycle: after a
+// recovery, the down threshold applies afresh (no residual miss count).
+func TestDetectorRecoveryCycle(t *testing.T) {
+	d := Detector{DownAfter: 2, UpAfter: 2}
+	d.Observe(false)
+	d.Observe(false)
+	if !d.Down() {
+		t.Fatal("setup: not down")
+	}
+	d.Observe(true)
+	d.Observe(true)
+	if d.Down() {
+		t.Fatal("setup: not recovered")
+	}
+	if d.Observe(false); d.Down() {
+		t.Fatal("down after one miss post-recovery, want a fresh DownAfter window")
+	}
+	if d.Observe(false); !d.Down() {
+		t.Fatal("not down after a fresh DownAfter run of misses")
+	}
+}
+
+// TestDetectorDefaultsAndReset checks the zero value picks up defaults
+// (3 misses) and that Reset clears the verdict but keeps thresholds.
+func TestDetectorDefaultsAndReset(t *testing.T) {
+	var d Detector
+	d.Observe(false)
+	d.Observe(false)
+	if d.Down() {
+		t.Fatal("zero-value detector down before 3 misses")
+	}
+	d.Observe(false)
+	if !d.Down() {
+		t.Fatal("zero-value detector not down after 3 misses")
+	}
+	d.Reset()
+	if d.Down() {
+		t.Fatal("down survived Reset")
+	}
+	d.Observe(false)
+	d.Observe(false)
+	d.Observe(false)
+	if !d.Down() {
+		t.Fatal("thresholds lost across Reset")
+	}
+}

@@ -1,0 +1,122 @@
+// Versioned cluster topology: the supervisor's published view of which
+// node serves each shard. Encoded as text lines over CmdTopology (the
+// response's Num carries the version) so any wire client can read it;
+// clients apply a view only when its version advances past the one they
+// hold, so stale supervisors or reordered fetches never roll a client
+// back to a deposed primary.
+package ctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShardTopo is one shard's entry in the published topology.
+type ShardTopo struct {
+	// Shard is the ring position.
+	Shard int
+	// Epoch is the shard's current fencing epoch — owned and advanced by
+	// the supervisor (clients adopt it, they do not invent their own
+	// except in fallback failover).
+	Epoch uint64
+	// Primary is the address of the node currently serving the shard.
+	Primary string
+	// Replica is the standby's address; empty while the shard runs
+	// unprotected (its replica was promoted or died, and re-protection
+	// has not caught up yet).
+	Replica string
+	// Protected reports that the standby's watermark has caught up with
+	// the primary's assigned sequence — the shard would survive losing
+	// its primary right now.
+	Protected bool
+	// LagAlarm reports replication lag above the supervisor's alarm
+	// threshold on a protected shard.
+	LagAlarm bool
+	// Failovers counts the promotions the supervisor has orchestrated or
+	// reconciled for this shard.
+	Failovers int
+}
+
+// Topology is one consistent, versioned cluster view.
+type Topology struct {
+	Version uint64
+	Shards  []ShardTopo
+}
+
+// Lines renders the per-shard topology lines (the CmdTopology payload).
+func (t Topology) Lines() []string {
+	out := make([]string, len(t.Shards))
+	for i, s := range t.Shards {
+		rep := s.Replica
+		if rep == "" {
+			rep = "-"
+		}
+		out[i] = fmt.Sprintf("shard=%d epoch=%d primary=%s replica=%s protected=%d alarm=%d failovers=%d",
+			s.Shard, s.Epoch, s.Primary, rep, b2i(s.Protected), b2i(s.LagAlarm), s.Failovers)
+	}
+	return out
+}
+
+// ParseTopology decodes a CmdTopology response (version + lines) back
+// into a Topology. Unknown fields are ignored so views stay forward
+// compatible; a malformed line fails the whole parse — half a topology
+// is worse than none.
+func ParseTopology(version uint64, lines []string) (*Topology, error) {
+	t := &Topology{Version: version}
+	for _, line := range lines {
+		var s ShardTopo
+		seen := false
+		for _, kv := range strings.Fields(line) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("ctl: malformed topology field %q", kv)
+			}
+			var err error
+			switch k {
+			case "shard":
+				s.Shard, err = strconv.Atoi(v)
+				seen = true
+			case "epoch":
+				s.Epoch, err = strconv.ParseUint(v, 10, 64)
+			case "primary":
+				s.Primary = v
+			case "replica":
+				if v != "-" {
+					s.Replica = v
+				}
+			case "protected":
+				s.Protected = v == "1"
+			case "alarm":
+				s.LagAlarm = v == "1"
+			case "failovers":
+				s.Failovers, err = strconv.Atoi(v)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("ctl: malformed topology field %q: %v", kv, err)
+			}
+		}
+		if !seen {
+			return nil, fmt.Errorf("ctl: topology line without shard: %q", line)
+		}
+		t.Shards = append(t.Shards, s)
+	}
+	return t, nil
+}
+
+// Shard returns the entry for ring position shard, or nil.
+func (t Topology) Shard(shard int) *ShardTopo {
+	for i := range t.Shards {
+		if t.Shards[i].Shard == shard {
+			return &t.Shards[i]
+		}
+	}
+	return nil
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

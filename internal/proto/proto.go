@@ -48,6 +48,18 @@ const (
 	// CmdPromote promotes a replica to primary: Delta carries the new
 	// fencing epoch; the response's Num echoes the resulting epoch.
 	CmdPromote
+	// CmdReplAttach instructs a node to (re)target its replication stream
+	// at the replica endpoint named by Key — the control plane's
+	// re-protection hook. The node creates a journal shipper if it has
+	// none, schedules a full bootstrap at the new target, and starts
+	// streaming. Rejected on nodes that cannot ship (an unpromoted
+	// replica) with StatusError.
+	CmdReplAttach
+	// CmdTopology asks a control-plane supervisor for its current cluster
+	// view: the response's Num is the topology version and Value is an
+	// EncodeList of per-shard lines (see internal/ctl.Topology). Data
+	// nodes do not answer it.
+	CmdTopology
 )
 
 // Status codes.

@@ -463,6 +463,57 @@ func (s *Shipper) Watermark() (acked, assigned uint64) {
 	return s.acked, s.seq
 }
 
+// ShipStats is one consistent snapshot of the stream's replication state
+// — the control plane's lag-monitoring signal (Shipper.Stats).
+type ShipStats struct {
+	// Acked is the replica's durable watermark; Assigned the highest
+	// frame sequence ever assigned. Assigned-Acked is the replication
+	// lag in frames: the window a failover would have to give up.
+	Acked, Assigned uint64
+	// Synced mirrors Shipper.Synced; Fenced mirrors Shipper.Fenced.
+	Synced, Fenced bool
+	// Down reports the replica link in its backoff window;
+	// Bootstrapping that a full re-sync is pending or running.
+	Down, Bootstrapping bool
+}
+
+// Lag returns the unacked frame window (assigned - acked).
+func (st ShipStats) Lag() uint64 {
+	if st.Assigned < st.Acked {
+		return 0
+	}
+	return st.Assigned - st.Acked
+}
+
+// Stats snapshots the stream state under one lock acquisition — the
+// watermark pair and the link flags are mutually consistent, which the
+// individual accessors cannot promise.
+func (s *Shipper) Stats() ShipStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShipStats{
+		Acked:         s.acked,
+		Assigned:      s.seq,
+		Synced:        !s.needsBootstrap && !s.bootstrapping && !s.down && !s.fenced && len(s.buf) == 0,
+		Fenced:        s.fenced,
+		Down:          s.down,
+		Bootstrapping: s.needsBootstrap || s.bootstrapping,
+	}
+}
+
+// SetEpoch restamps the stream's fencing epoch — called when the node
+// owning this shipper is promoted (its writes now belong to the new
+// epoch) before the stream is retargeted at a fresh replica. Frames
+// sealed after SetEpoch carry the new epoch; the bootstrap's FrameReset
+// hands it to the replica.
+func (s *Shipper) SetEpoch(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.opts.Epoch {
+		s.opts.Epoch = epoch
+	}
+}
+
 // Meter exposes the shipper's own meter (bootstrap costs accrue here).
 func (s *Shipper) Meter() *sim.Meter { return s.meter }
 

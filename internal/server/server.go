@@ -138,6 +138,11 @@ type Config struct {
 	// and start accepting writes (repl.Applier.Promote). Returns the
 	// node's resulting epoch and a wire status.
 	Promote func(epoch uint64) (resultEpoch uint64, status uint8)
+	// Attach, when set, answers CmdReplAttach: (re)target this node's
+	// replication stream at the given replica address and bootstrap it
+	// (repl.Node.Attach) — the control plane's re-protection hook. Unset,
+	// the command is rejected.
+	Attach func(addr string) uint8
 	// Writable, when set, gates every mutation command: when it reports
 	// false the mutation is rejected with StatusFenced without touching
 	// the engine. Replicas before promotion and fenced old primaries are
@@ -464,6 +469,12 @@ func (s *Server) execute(m *sim.Meter, req *proto.Request) *proto.Response {
 		}
 		ep, st := s.cfg.Promote(uint64(req.Delta))
 		return &proto.Response{Status: st, Num: int64(ep)}
+	case proto.CmdReplAttach:
+		if s.cfg.Attach == nil {
+			// Not a replicated deployment: no role manager wired here.
+			return &proto.Response{Status: proto.StatusError}
+		}
+		return &proto.Response{Status: s.cfg.Attach(string(req.Key))}
 	case proto.CmdStats:
 		if s.cfg.Stats == nil {
 			return &proto.Response{Status: proto.StatusOK, Value: proto.EncodeList(nil)}

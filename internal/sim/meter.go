@@ -46,6 +46,9 @@ const (
 	CtrReplFailover
 	CtrSecretBuffersLive
 	CtrSecretBytesLive
+	CtrCtlProbe
+	CtrCtlFailover
+	CtrCtlLagAlarm
 	numCounters
 )
 
@@ -82,6 +85,9 @@ var counterNames = [numCounters]string{
 	"repl_failover",
 	"secret_buffers_live",
 	"secret_bytes_live",
+	"ctl_probe",
+	"ctl_failover",
+	"ctl_lag_alarm",
 }
 
 // String returns the counter's snake_case name.
